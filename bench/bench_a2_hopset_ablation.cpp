@@ -1,0 +1,88 @@
+// A2 (ablation) — what the hopset buys the k-nearest computation.
+//
+// Without the Lemma 3.2 hopset, the filtered-power stage must cover the
+// graph's true shortest-path hop radius: on hop-deep graphs (paths,
+// grids) this needs many more squaring iterations — and therefore rounds
+// — than with the hopset's O(a log d) hop bound.  The sweep compares
+// iterations-to-exactness with and without the hopset across topologies.
+#include "bench_helpers.hpp"
+
+#include <algorithm>
+
+#include "ccq/hopset/knearest_hopset.hpp"
+#include "ccq/knearest/knearest.hpp"
+
+namespace {
+
+using namespace ccq;
+
+/// Iterations of h=2 filtered powers until the k-nearest rows stop
+/// changing (i.e. are exact), plus the rounds spent.
+std::pair<int, double> iterations_until_stable(const SparseMatrix& adjacency, int k, int n)
+{
+    SparseMatrix previous = filter_k_smallest(adjacency, k);
+    RoundLedger ledger;
+    CliqueTransport transport(n, CostModel::standard(), ledger);
+    int iterations = 0;
+    while (iterations < 64) {
+        KNearestOptions options;
+        options.k = k;
+        options.h = 2;
+        options.iterations = 1;
+        const KNearestResult next = compute_k_nearest(previous, options, transport, "iter");
+        ++iterations;
+        if (next.rows == previous) break;
+        previous = next.rows;
+    }
+    return {iterations, ledger.total_rounds()};
+}
+
+void run_ablation(benchmark::State& state, GraphFamily family)
+{
+    const int n = 144;
+    Rng rng(81);
+    const Graph g = make_family_instance(family, n, WeightRange{1, 20}, rng);
+    const int k = std::max(2, static_cast<int>(floor_sqrt(n)));
+    state.SetLabel(family_name(family));
+
+    int without_iters = 0, with_iters = 0;
+    double without_rounds = 0.0, with_rounds = 0.0;
+    int hopset_rounds = 0;
+    for (auto _ : state) {
+        // Without hopset: raw adjacency rows.
+        std::tie(without_iters, without_rounds) =
+            iterations_until_stable(adjacency_rows(g), k, n);
+
+        // With hopset (built from an exact delta; its O(1)-round cost is
+        // reported separately).
+        RoundLedger hopset_ledger;
+        CliqueTransport transport(n, CostModel::standard(), hopset_ledger);
+        const DistanceMatrix exact = exact_apsp(g);
+        const Hopset hopset = build_knearest_hopset(g, exact, 1.0, weighted_diameter(exact),
+                                                    transport, "hopset", k);
+        std::tie(with_iters, with_rounds) =
+            iterations_until_stable(augmented_rows(g, hopset), k, n);
+        hopset_rounds = static_cast<int>(hopset_ledger.total_rounds());
+    }
+    state.counters["k"] = k;
+    state.counters["iters_without_hopset"] = without_iters;
+    state.counters["iters_with_hopset"] = with_iters;
+    state.counters["rounds_without"] = without_rounds;
+    state.counters["rounds_with"] = with_rounds + hopset_rounds;
+    state.counters["hopset_build_rounds"] = hopset_rounds;
+}
+
+void BM_HopsetAblation(benchmark::State& state)
+{
+    run_ablation(state, static_cast<GraphFamily>(state.range(0)));
+}
+BENCHMARK(BM_HopsetAblation)
+    ->Arg(static_cast<int>(GraphFamily::path))
+    ->Arg(static_cast<int>(GraphFamily::grid))
+    ->Arg(static_cast<int>(GraphFamily::tree))
+    ->Arg(static_cast<int>(GraphFamily::erdos_renyi_sparse))
+    ->Arg(static_cast<int>(GraphFamily::geometric))
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+} // namespace

@@ -1,0 +1,76 @@
+// A3 (ablation) — distributed constructions vs sequential quality
+// ceilings.
+//
+// The paper's O(1)-round pipeline uses randomized distributed primitives
+// (Baswana–Sen spanner via the CZ22 substitution, sampled hitting sets).
+// This ablation quantifies the quality they trade for round efficiency by
+// comparing against the sequential greedy algorithms on the same inputs:
+// spanner size/stretch, and hitting-set size vs the O(n log k / k) bound.
+#include "bench_helpers.hpp"
+
+#include <algorithm>
+
+#include "ccq/skeleton/hitting_set.hpp"
+#include "ccq/skeleton/skeleton.hpp"
+#include "ccq/spanner/greedy.hpp"
+
+namespace {
+
+using namespace ccq;
+using bench::make_graph;
+
+void BM_SpannerGreedyVsBaswanaSen(benchmark::State& state)
+{
+    const int k = static_cast<int>(state.range(0));
+    const int n = 192;
+    const Graph g = make_graph(n, 91, 100, GraphFamily::erdos_renyi_dense);
+    SpannerResult greedy{Graph::undirected(0), 1, 1};
+    SpannerResult distributed{Graph::undirected(0), 1, 1};
+    for (auto _ : state) {
+        Rng rng(92);
+        greedy = greedy_spanner(g, k);
+        distributed = baswana_sen_spanner(g, k, rng);
+    }
+    state.counters["k"] = k;
+    state.counters["greedy_edges"] = static_cast<double>(greedy.spanner.edge_count());
+    state.counters["bs_edges"] = static_cast<double>(distributed.spanner.edge_count());
+    state.counters["greedy_stretch"] = measured_spanner_stretch(g, greedy.spanner);
+    state.counters["bs_stretch"] = measured_spanner_stretch(g, distributed.spanner);
+    state.counters["stretch_bound"] = 2 * k - 1;
+}
+BENCHMARK(BM_SpannerGreedyVsBaswanaSen)->Arg(2)->Arg(3)->Arg(5)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_HittingSetSampledVsGreedy(benchmark::State& state)
+{
+    const int k = static_cast<int>(state.range(0));
+    const int n = 192;
+    const Graph g = make_graph(n, 93);
+    const DistanceMatrix exact = exact_apsp(g);
+    SparseMatrix rows(static_cast<std::size_t>(n));
+    for (NodeId u = 0; u < n; ++u) {
+        SparseRow row;
+        for (NodeId v = 0; v < n; ++v)
+            if (is_finite(exact.at(u, v))) row.push_back(SparseEntry{v, exact.at(u, v)});
+        std::sort(row.begin(), row.end(), entry_less);
+        row.resize(std::min<std::size_t>(row.size(), static_cast<std::size_t>(k)));
+        rows[static_cast<std::size_t>(u)] = std::move(row);
+    }
+
+    std::size_t sampled_size = 0, greedy_size = 0;
+    for (auto _ : state) {
+        RoundLedger ledger;
+        CliqueTransport transport(n, CostModel::standard(), ledger);
+        Rng rng(94);
+        sampled_size = compute_hitting_set(rows, k, rng, transport, "hs").size();
+        greedy_size = compute_hitting_set_greedy(rows).size();
+    }
+    state.counters["k"] = k;
+    state.counters["sampled_size"] = static_cast<double>(sampled_size);
+    state.counters["greedy_size"] = static_cast<double>(greedy_size);
+    state.counters["bound"] = skeleton_size_bound(n, k);
+}
+BENCHMARK(BM_HittingSetSampledVsGreedy)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+} // namespace

@@ -1,0 +1,55 @@
+// E10 — Theorem 2.1: the zero-weight reduction costs f(n) + O(1) rounds
+// and preserves the inner algorithm's approximation factor.
+//
+// Sweep the number of zero-weight clusters; report the wrapper's round
+// overhead over the bare inner run (must stay a flat constant) and the
+// measured stretch through the wrapper.
+#include "bench_helpers.hpp"
+
+#include "ccq/core/zero_weights.hpp"
+
+namespace {
+
+using namespace ccq;
+using bench::report_apsp;
+
+Graph make_zero_instance(int n, int clusters, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Graph g = erdos_renyi(n, 0.08, WeightRange{1, 50}, rng);
+    // `clusters` zero-weight triangles spread over the node range.
+    for (int c = 0; c < clusters; ++c) {
+        const NodeId base = static_cast<NodeId>((c * n) / std::max(1, clusters));
+        if (base + 2 >= n) break;
+        g.add_edge(base, base + 1, 0);
+        g.add_edge(base + 1, base + 2, 0);
+        g.add_edge(base, base + 2, 0);
+    }
+    return g;
+}
+
+void BM_ZeroWeightWrapper(benchmark::State& state)
+{
+    const int n = 128;
+    const int clusters = static_cast<int>(state.range(0));
+    const Graph g = make_zero_instance(n, clusters, 61);
+
+    ApspResult wrapped;
+    for (auto _ : state) {
+        wrapped = apsp_with_zero_weights(
+            g, ApspOptions{},
+            [](const Graph& inner, const ApspOptions& options) {
+                return apsp_general(inner, options);
+            });
+    }
+    report_apsp(state, g, wrapped);
+    state.counters["zero_clusters"] = clusters;
+    state.counters["reduction_rounds"] =
+        wrapped.ledger.rounds_in_phase("zero-weight-reduction") +
+        wrapped.ledger.rounds_in_phase("expand");
+    state.counters["inner_rounds"] = wrapped.ledger.rounds_in_phase("inner-algorithm");
+}
+BENCHMARK(BM_ZeroWeightWrapper)->Arg(0)->Arg(4)->Arg(12)->Arg(24)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+} // namespace

@@ -1,0 +1,78 @@
+// E3 — Lemma 3.2: sqrt(n)-nearest beta-hopsets in O(1) rounds.
+//
+// Paper claim: from an a-approximation, a hopset with hop bound
+// beta = O(a log d) is built in O(1) rounds.  The sweep varies the
+// weighted-diameter regime (via the weight range) and the quality of the
+// input approximation (exact a=1 vs the O(log n) bootstrap), and reports
+// measured beta against the claimed 2*ceil(a ln d)+3 plus the hopset size
+// and the construction's simulated rounds (which must stay flat in d).
+#include "bench_helpers.hpp"
+
+#include "ccq/hopset/knearest_hopset.hpp"
+
+namespace {
+
+using namespace ccq;
+using bench::make_graph;
+
+void run_hopset_case(benchmark::State& state, const Graph& g, const DistanceMatrix& delta,
+                     double a)
+{
+    Weight diameter = 0;
+    for (NodeId u = 0; u < delta.size(); ++u)
+        for (NodeId v = 0; v < delta.size(); ++v)
+            if (is_finite(delta.at(u, v))) diameter = std::max(diameter, delta.at(u, v));
+
+    RoundLedger ledger;
+    Hopset hopset;
+    for (auto _ : state) {
+        RoundLedger fresh;
+        CliqueTransport transport(g.node_count(), CostModel::standard(), fresh);
+        hopset = build_knearest_hopset(g, delta, a, std::max<Weight>(2, diameter), transport,
+                                       "hopset");
+        ledger = std::move(fresh);
+    }
+    state.counters["n"] = g.node_count();
+    state.counters["diameter_bound"] = static_cast<double>(diameter);
+    state.counters["a"] = a;
+    state.counters["rounds"] = ledger.total_rounds();
+    state.counters["hopset_edges"] = static_cast<double>(hopset.edges.size());
+    state.counters["beta_claimed"] = hopset.claimed_hop_bound;
+    state.counters["beta_measured"] = measured_hopset_bound(g, hopset);
+}
+
+void BM_HopsetExactDelta(benchmark::State& state)
+{
+    const auto max_weight = static_cast<Weight>(state.range(1));
+    const Graph g = make_graph(static_cast<int>(state.range(0)), 3, max_weight);
+    const DistanceMatrix exact = exact_apsp(g);
+    run_hopset_case(state, g, exact, 1.0);
+}
+BENCHMARK(BM_HopsetExactDelta)
+    ->Args({128, 10})
+    ->Args({128, 1000})
+    ->Args({128, 100000})
+    ->Args({256, 1000})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_HopsetBootstrapDelta(benchmark::State& state)
+{
+    const auto max_weight = static_cast<Weight>(state.range(1));
+    const Graph g = make_graph(static_cast<int>(state.range(0)), 3, max_weight);
+    RoundLedger boot_ledger;
+    CliqueTransport boot(g.node_count(), CostModel::standard(), boot_ledger);
+    Rng rng(17);
+    double a = 1.0;
+    const DistanceMatrix delta = bootstrap_logn_approx(g, rng, boot, "boot", &a);
+    run_hopset_case(state, g, delta, a);
+}
+BENCHMARK(BM_HopsetBootstrapDelta)
+    ->Args({128, 10})
+    ->Args({128, 1000})
+    ->Args({128, 100000})
+    ->Args({256, 1000})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+} // namespace

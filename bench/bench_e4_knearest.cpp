@@ -1,0 +1,70 @@
+// E4 — Lemmas 5.1/5.2: k-nearest nodes in O(i) rounds.
+//
+// Paper claim: for k ∈ O(n^{1/h}), each filtered-power iteration runs in
+// O(1) rounds via the bin / h-combination scheme (h * C(p,h) <= n helper
+// assignments), so i iterations cover h^i hops in O(i) rounds.  The sweep
+// varies (k, h, i), reports simulated rounds per iteration (flat in k
+// within the regime), and compares the faithful routed execution against
+// the fast path (identical rows, measured loads).
+#include "bench_helpers.hpp"
+
+#include "ccq/knearest/knearest.hpp"
+
+namespace {
+
+using namespace ccq;
+using bench::make_graph;
+
+void run_knearest(benchmark::State& state, bool faithful)
+{
+    const int n = 192;
+    const Graph g = make_graph(n, 5);
+    KNearestOptions options;
+    options.k = static_cast<int>(state.range(0));
+    options.h = static_cast<int>(state.range(1));
+    options.iterations = static_cast<int>(state.range(2));
+    options.faithful_bins = faithful;
+
+    RoundLedger ledger;
+    KNearestResult result;
+    for (auto _ : state) {
+        RoundLedger fresh;
+        CliqueTransport transport(n, CostModel::standard(), fresh);
+        result = compute_k_nearest(adjacency_rows(g), options, transport, "knn");
+        ledger = std::move(fresh);
+    }
+    const BinSchemeParams params = bin_scheme_params(n, options.k, options.h);
+    state.counters["k"] = options.k;
+    state.counters["h"] = options.h;
+    state.counters["i"] = options.iterations;
+    state.counters["rounds"] = ledger.total_rounds();
+    state.counters["rounds_per_iter"] =
+        options.iterations > 0 ? ledger.total_rounds() / options.iterations : 0.0;
+    state.counters["words"] = static_cast<double>(ledger.total_words());
+    state.counters["hop_budget"] = static_cast<double>(result.hop_budget);
+    state.counters["bins_p"] = static_cast<double>(params.p_effective);
+    state.counters["combos"] = static_cast<double>(params.combination_count);
+    state.counters["degenerate"] = params.degenerate ? 1.0 : 0.0;
+}
+
+void BM_KNearestFastPath(benchmark::State& state) { run_knearest(state, false); }
+BENCHMARK(BM_KNearestFastPath)
+    ->Args({4, 2, 2})
+    ->Args({8, 2, 3})
+    ->Args({13, 2, 4}) // k = sqrt(n)
+    ->Args({4, 3, 2})
+    ->Args({8, 3, 2})
+    ->Args({4, 4, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_KNearestFaithfulBins(benchmark::State& state) { run_knearest(state, true); }
+BENCHMARK(BM_KNearestFaithfulBins)
+    ->Args({4, 2, 2})
+    ->Args({8, 2, 3})
+    ->Args({13, 2, 4})
+    ->Args({4, 3, 2})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+} // namespace

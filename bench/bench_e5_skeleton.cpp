@@ -1,0 +1,75 @@
+// E5 — Lemmas 3.4/6.1: skeleton graphs.
+//
+// Paper claims: |V_S| ∈ O(n log k / k) built in O(1) rounds, and an
+// l-approximation of APSP on G_S extends to a 7*l*a^2-approximation on G.
+// The sweep varies k, reports skeleton size against the bound, and the
+// measured stretch of eta (exact inputs, exact skeleton APSP: bound 7).
+#include "bench_helpers.hpp"
+
+#include <algorithm>
+
+#include "ccq/skeleton/skeleton.hpp"
+
+namespace {
+
+using namespace ccq;
+using bench::make_graph;
+
+SparseMatrix exact_rows(const DistanceMatrix& exact, int k)
+{
+    SparseMatrix rows(static_cast<std::size_t>(exact.size()));
+    for (NodeId u = 0; u < exact.size(); ++u) {
+        SparseRow row;
+        for (NodeId v = 0; v < exact.size(); ++v)
+            if (is_finite(exact.at(u, v))) row.push_back(SparseEntry{v, exact.at(u, v)});
+        std::sort(row.begin(), row.end(), entry_less);
+        if (std::cmp_less(k, row.size())) row.resize(static_cast<std::size_t>(k));
+        rows[static_cast<std::size_t>(u)] = std::move(row);
+    }
+    return rows;
+}
+
+void BM_SkeletonSizeAndStretch(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const int k = static_cast<int>(state.range(1));
+    const Graph g = make_graph(n, 9);
+    const DistanceMatrix exact = exact_apsp(g);
+    const SparseMatrix rows = exact_rows(exact, k);
+
+    RoundLedger ledger;
+    int skeleton_size = 0;
+    double stretch = 0.0;
+    std::size_t skeleton_edges = 0;
+    for (auto _ : state) {
+        RoundLedger fresh;
+        CliqueTransport transport(n, CostModel::standard(), fresh);
+        Rng rng(13);
+        const SkeletonGraph skeleton = build_skeleton(g, rows, 1.0, rng, transport, "sk");
+        const DistanceMatrix eta = extend_skeleton_estimate(
+            skeleton, exact_apsp(skeleton.graph), rows, transport, "ext");
+        skeleton_size = skeleton.size();
+        skeleton_edges = skeleton.graph.edge_count();
+        stretch = evaluate_stretch(exact, eta).max_stretch;
+        ledger = std::move(fresh);
+    }
+    state.counters["n"] = n;
+    state.counters["k"] = k;
+    state.counters["rounds"] = ledger.total_rounds();
+    state.counters["skeleton_nodes"] = skeleton_size;
+    state.counters["skeleton_edges"] = static_cast<double>(skeleton_edges);
+    state.counters["size_bound"] = skeleton_size_bound(n, k);
+    state.counters["stretch_max"] = stretch;
+    state.counters["stretch_bound"] = 7.0;
+}
+BENCHMARK(BM_SkeletonSizeAndStretch)
+    ->Args({192, 4})
+    ->Args({192, 8})
+    ->Args({192, 14}) // ~sqrt(n)
+    ->Args({192, 32})
+    ->Args({192, 64})
+    ->Args({384, 20}) // ~sqrt(n) at the larger size
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+} // namespace

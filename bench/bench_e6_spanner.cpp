@@ -1,0 +1,53 @@
+// E6 — Lemma 7.1 substrate: (2k-1)-spanners with O(k n^{1+1/k}) edges,
+// and Corollary 7.2 (O(log n)-approx APSP in O(1) rounds).
+//
+// Sweep k: measured stretch must stay within 2k-1 and the edge count
+// within its bound; the spanner-broadcast APSP's simulated rounds must
+// stay flat in n (the O(1)-round claim).
+#include "bench_helpers.hpp"
+
+#include <cmath>
+
+#include "ccq/spanner/baswana_sen.hpp"
+#include "ccq/spanner/spanner_apsp.hpp"
+
+namespace {
+
+using namespace ccq;
+using bench::make_graph;
+
+void BM_SpannerQuality(benchmark::State& state)
+{
+    const int n = 256;
+    const int k = static_cast<int>(state.range(0));
+    const Graph g = make_graph(n, 21, 100, GraphFamily::erdos_renyi_dense);
+    SpannerResult result{Graph::undirected(0), 1, 1};
+    for (auto _ : state) {
+        Rng rng(33);
+        result = baswana_sen_spanner(g, k, rng);
+    }
+    state.counters["k"] = k;
+    state.counters["input_edges"] = static_cast<double>(g.edge_count());
+    state.counters["spanner_edges"] = static_cast<double>(result.spanner.edge_count());
+    state.counters["edge_bound"] =
+        8.0 * k * std::pow(static_cast<double>(n), 1.0 + 1.0 / k);
+    state.counters["stretch_bound"] = 2 * k - 1;
+    state.counters["stretch_measured"] = measured_spanner_stretch(g, result.spanner);
+}
+BENCHMARK(BM_SpannerQuality)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Corollary72RoundsFlatInN(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const Graph g = make_graph(n, 22);
+    ApspResult result;
+    for (auto _ : state) result = logn_approx_apsp(g);
+    bench::report_apsp(state, g, result);
+    state.counters["b"] = logn_spanner_parameter(n);
+}
+BENCHMARK(BM_Corollary72RoundsFlatInN)
+    ->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+} // namespace

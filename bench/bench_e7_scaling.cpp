@@ -1,0 +1,56 @@
+// E7 — Lemma 8.1: the weight-scaling family.
+//
+// Paper claims: O(log n) levels, each of weighted diameter at most
+// ceil(2/eps) h^2, and the combined eta is a (1+eps)l-approximation on
+// pairs with <= h-hop shortest paths.  The sweep varies the weight range
+// (level count must grow logarithmically with the spread) and eps (cap
+// grows as 1/eps), and verifies eta's measured stretch with exact level
+// estimates (bound 1+eps).
+#include "bench_helpers.hpp"
+
+#include "ccq/scaling/weight_scaling.hpp"
+
+namespace {
+
+using namespace ccq;
+using bench::make_graph;
+
+void BM_ScalingFamily(benchmark::State& state)
+{
+    const auto max_weight = static_cast<Weight>(state.range(0));
+    const double eps = static_cast<double>(state.range(1)) / 100.0;
+    const int n = 96;
+    const Graph g = make_graph(n, 19, max_weight);
+    const DistanceMatrix exact = exact_apsp(g);
+    const int h = std::max(2, shortest_path_hop_diameter(g));
+
+    ScaledFamily family;
+    DistanceMatrix eta;
+    for (auto _ : state) {
+        family = build_scaled_family(g, weighted_diameter(exact), h, eps);
+        std::vector<DistanceMatrix> estimates;
+        estimates.reserve(family.levels.size());
+        for (const ScaledLevel& level : family.levels)
+            estimates.push_back(exact_apsp(level.graph));
+        eta = combine_scaled_estimates(family, estimates, exact);
+    }
+    state.counters["max_weight"] = static_cast<double>(max_weight);
+    state.counters["eps"] = eps;
+    state.counters["levels"] = static_cast<double>(family.levels.size());
+    state.counters["level_cap"] = static_cast<double>(family.levels.front().cap);
+    state.counters["h"] = h;
+    const StretchReport report = evaluate_stretch(exact, eta);
+    state.counters["stretch_max"] = report.max_stretch;
+    state.counters["stretch_bound"] = 1.0 + eps;
+    state.counters["sound"] = report.sound() ? 1.0 : 0.0;
+}
+BENCHMARK(BM_ScalingFamily)
+    ->Args({100, 50})
+    ->Args({10000, 50})
+    ->Args({1000000, 50})
+    ->Args({10000, 25})
+    ->Args({10000, 100})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+} // namespace

@@ -1,0 +1,66 @@
+// E8 — Theorem 6.1 substrate (CDKL21): sparse min-plus product round cost
+//
+//   O( (rho_S rho_T rho_ST)^{1/3} / n^{2/3} + 1 ).
+//
+// The sweep varies operand density and reports the formula's round charge
+// next to the product's wall time; the skeleton construction's density
+// pattern (rho_X <= k, rho_Y <= |S|, rho_XY <= |S|^2/n) must land in the
+// O(1)-rounds regime.
+#include "bench_helpers.hpp"
+
+#include <cmath>
+
+#include "ccq/matrix/round_cost.hpp"
+
+namespace {
+
+using namespace ccq;
+
+SparseMatrix random_rows(int n, int per_row, std::uint64_t seed)
+{
+    Rng rng(seed);
+    SparseMatrix rows(static_cast<std::size_t>(n));
+    for (NodeId u = 0; u < n; ++u) {
+        SparseRow& row = rows[static_cast<std::size_t>(u)];
+        row.push_back(SparseEntry{u, 0});
+        for (int j = 1; j < per_row; ++j)
+            row.push_back(SparseEntry{static_cast<NodeId>(rng.uniform_int(0, n - 1)),
+                                      static_cast<Weight>(rng.uniform_int(1, 1000))});
+        normalize_row(row);
+    }
+    return rows;
+}
+
+void BM_SparseProductDensitySweep(benchmark::State& state)
+{
+    const int n = 512;
+    const int per_row = static_cast<int>(state.range(0));
+    const SparseMatrix rows = random_rows(n, per_row, 41);
+    SparseMatrix product;
+    for (auto _ : state) product = min_plus_product(rows, rows, n);
+    const double rho = average_density(rows);
+    const double rho_out = average_density(product);
+    state.counters["rho_in"] = rho;
+    state.counters["rho_out"] = rho_out;
+    state.counters["rounds_formula"] = sparse_product_rounds(rho, rho, rho_out, n);
+    state.counters["n"] = n;
+}
+BENCHMARK(BM_SparseProductDensitySweep)
+    ->Arg(2)->Arg(8)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DenseProductReference(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const Graph g = ccq::bench::make_graph(n, 42, 100, GraphFamily::erdos_renyi_dense);
+    const DistanceMatrix a = adjacency_matrix(g);
+    DistanceMatrix c;
+    for (auto _ : state) c = min_plus_product(a, a);
+    benchmark::DoNotOptimize(c);
+    // [CKK+19] round charge for the exact baseline.
+    state.counters["rounds_charge"] = std::cbrt(static_cast<double>(n));
+}
+BENCHMARK(BM_DenseProductReference)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace

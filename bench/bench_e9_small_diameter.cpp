@@ -1,0 +1,80 @@
+// E9 — Theorem 7.1 and Lemma 3.1: small-diameter APSP and the
+// approximation-factor reduction chain.
+//
+// Paper claims: 21-approximation (standard bandwidth) / 7-approximation
+// (Congested-Clique[log^3 n]) in O(log log log n) rounds when
+// d ∈ (log n)^{O(1)}; each Lemma 3.1 application turns an a-approximation
+// into a 15*sqrt(a)-approximation in O(1) rounds.  Reported: claimed and
+// measured stretch for both bandwidth variants, per-phase round
+// breakdown, and one reduction's trace (hopset beta, k, skeleton size).
+#include "bench_helpers.hpp"
+
+#include "ccq/core/reduction.hpp"
+#include "ccq/core/small_diameter.hpp"
+
+namespace {
+
+using namespace ccq;
+using bench::make_graph;
+using bench::report_apsp;
+
+void BM_SmallDiameter(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const bool wide = state.range(1) != 0;
+    // Small weighted diameter: narrow weights on a well-connected graph.
+    const Graph g = make_graph(n, 51, 8);
+    ApspOptions options;
+    options.wide_bandwidth = wide;
+    ApspResult result;
+    for (auto _ : state) result = apsp_small_diameter(g, options);
+    report_apsp(state, g, result);
+    state.counters["wide_bandwidth"] = wide ? 1.0 : 0.0;
+    state.counters["bound"] = wide ? 7.0 : 21.0;
+    state.counters["bootstrap_rounds"] =
+        result.ledger.rounds_in_phase("small-diameter/bootstrap");
+    state.counters["reduce_rounds"] = result.ledger.rounds_in_phase("small-diameter/reduce");
+}
+BENCHMARK(BM_SmallDiameter)
+    ->Args({96, 0})
+    ->Args({96, 1})
+    ->Args({192, 0})
+    ->Args({192, 1})
+    ->Args({384, 0})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_ReductionTrace(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const Graph g = make_graph(n, 52, 8);
+    const DistanceMatrix exact = exact_apsp(g);
+
+    ReductionOutcome outcome;
+    RoundLedger ledger;
+    double input_a = 1.0;
+    for (auto _ : state) {
+        RoundLedger fresh;
+        CliqueTransport transport(n, CostModel::standard(), fresh);
+        Rng rng(53);
+        DistanceMatrix delta = bootstrap_logn_approx(g, rng, transport, "boot", &input_a);
+        outcome = reduce_approximation(g, delta, input_a, weighted_diameter(delta),
+                                       ApspOptions{}, rng, transport, "red");
+        ledger = std::move(fresh);
+    }
+    state.counters["n"] = n;
+    state.counters["input_a"] = input_a;
+    state.counters["claimed_out"] = outcome.trace.claimed_stretch;
+    state.counters["lemma31_bound"] = 15.0 * std::sqrt(input_a);
+    state.counters["stretch_measured"] =
+        evaluate_stretch(exact, outcome.estimate).max_stretch;
+    state.counters["hopset_beta"] = outcome.trace.hopset_hop_bound;
+    state.counters["k"] = static_cast<double>(outcome.trace.k);
+    state.counters["power_iterations"] = outcome.trace.power_iterations;
+    state.counters["skeleton_nodes"] = outcome.trace.skeleton_size;
+    state.counters["rounds"] = ledger.total_rounds();
+}
+BENCHMARK(BM_ReductionTrace)->Arg(96)->Arg(192)->Arg(384)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+} // namespace

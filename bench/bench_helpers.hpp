@@ -1,0 +1,42 @@
+// Shared helpers for the experiment benchmarks (E1..E10).
+//
+// Conventions: every benchmark reports its science through counters —
+// simulated Congested-Clique rounds ("rounds"), measured/claimed stretch,
+// structure sizes — and wall time only describes the simulator itself.
+// Heavy algorithms run one iteration per configuration.
+#ifndef CCQ_BENCH_BENCH_HELPERS_HPP
+#define CCQ_BENCH_BENCH_HELPERS_HPP
+
+#include <benchmark/benchmark.h>
+
+#include "ccq/apsp.hpp"
+
+namespace ccq::bench {
+
+/// Deterministic bench instance: Erdős–Rényi with average degree ~6
+/// unless a family is specified.
+inline Graph make_graph(int n, std::uint64_t seed = 1, Weight max_weight = 100,
+                        GraphFamily family = GraphFamily::erdos_renyi_sparse)
+{
+    Rng rng(seed);
+    return make_family_instance(family, n, WeightRange{1, max_weight}, rng);
+}
+
+/// Records the standard science counters for an APSP run.
+inline void report_apsp(benchmark::State& state, const Graph& g, const ApspResult& result)
+{
+    const DistanceMatrix exact = exact_apsp(g);
+    const StretchReport report = evaluate_stretch(exact, result.estimate);
+    state.counters["rounds"] = result.ledger.total_rounds();
+    state.counters["words"] = static_cast<double>(result.ledger.total_words());
+    state.counters["claimed_stretch"] = result.claimed_stretch;
+    state.counters["stretch_max"] = report.max_stretch;
+    state.counters["stretch_avg"] = report.avg_stretch;
+    state.counters["sound"] = report.sound() ? 1.0 : 0.0;
+    state.counters["n"] = g.node_count();
+    state.counters["m"] = static_cast<double>(g.edge_count());
+}
+
+} // namespace ccq::bench
+
+#endif // CCQ_BENCH_BENCH_HELPERS_HPP

@@ -1,0 +1,32 @@
+// Quickstart: run the paper's headline algorithm (Theorem 1.1) on a random
+// graph and compare against the exact distances and the prior-work
+// baselines it improves upon.
+#include <cstdio>
+
+#include "ccq/apsp.hpp"
+
+int main()
+{
+    using namespace ccq;
+    Rng rng(2024);
+    const Graph g = erdos_renyi(192, 0.05, WeightRange{1, 100}, rng);
+    const DistanceMatrix exact = exact_apsp(g);
+
+    const auto show = [&](const ApspResult& r) {
+        const StretchReport report = evaluate_stretch(exact, r.estimate);
+        std::printf("%-18s rounds=%8.1f  claimed<=%7.1f  measured max=%5.2f avg=%4.2f  sound=%s\n",
+                    r.algorithm.c_str(), r.ledger.total_rounds(), r.claimed_stretch,
+                    report.max_stretch, report.avg_stretch, report.sound() ? "yes" : "NO");
+    };
+
+    std::printf("n=%d m=%zu diameter(w)=%lld\n", g.node_count(), g.edge_count(),
+                static_cast<long long>(weighted_diameter(g)));
+    show(exact_apsp_clique(g));      // prior work: exact, polynomial rounds
+    show(logn_approx_apsp(g));       // prior work: O(log n)-approx, O(1) rounds
+    show(apsp_loglog(g));            // Section 3.2: O(log log n) rounds
+    show(apsp_small_diameter(g));    // Theorem 7.1
+    show(apsp_large_bandwidth(g));   // Theorem 8.1
+    show(apsp_general(g));           // Theorem 1.1 (headline)
+    show(apsp_tradeoff(g, 1));       // Theorem 1.2, t = 1
+    return 0;
+}

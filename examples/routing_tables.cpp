@@ -1,0 +1,66 @@
+// Example: approximate network routing (the paper's motivating
+// application, Section 1).
+//
+// Scenario: a clustered wide-area network — dense regional pods joined by
+// heavy long-haul links.  Exact all-pairs routing state is expensive to
+// compute in rounds; instead every node learns an O(1)-round spanner
+// backbone, builds next-hop tables locally, and forwards greedily.  We
+// verify that the realized routes stay within the spanner's stretch.
+#include <cstdio>
+
+#include "ccq/apsp.hpp"
+#include "ccq/spanner/baswana_sen.hpp"
+
+int main()
+{
+    using namespace ccq;
+    Rng rng(7);
+    const int n = 96;
+    const Graph network =
+        clustered_graph(n, /*clusters=*/6, /*p_in=*/0.5, /*p_out=*/0.01, WeightRange{1, 10},
+                        /*bridge_factor=*/12, rng);
+    std::printf("WAN: %d routers, %zu links\n", network.node_count(), network.edge_count());
+
+    // Backbone: (2k-1)-spanner, broadcast once (O(1) rounds in the model).
+    const SpannerResult backbone = baswana_sen_spanner(network, 3, rng);
+    std::printf("backbone: %zu links kept (stretch bound %d)\n",
+                backbone.spanner.edge_count(), backbone.stretch_bound);
+
+    const RoutingTables tables = build_routing_tables(backbone.spanner);
+    const DistanceMatrix exact = exact_apsp(network);
+
+    // Route a few representative flows and report their realized stretch.
+    std::printf("\n%-12s %-28s %8s %8s %8s\n", "flow", "route", "hops", "length", "stretch");
+    double worst = 1.0;
+    for (const auto& [src, dst] : {std::pair<NodeId, NodeId>{0, 95}, {1, 50}, {7, 88}, {13, 41}}) {
+        const std::vector<NodeId> route = tables.route(src, dst);
+        const Weight len = route_length(network, route);
+        const double stretch =
+            static_cast<double>(len) / static_cast<double>(exact.at(src, dst));
+        worst = std::max(worst, stretch);
+        std::string shown;
+        for (std::size_t i = 0; i < route.size(); ++i) {
+            if (i > 0) shown += ">";
+            shown += std::to_string(route[i]);
+            if (shown.size() > 24) {
+                shown += "...";
+                break;
+            }
+        }
+        std::printf("%3d -> %-4d  %-28s %8zu %8lld %8.2f\n", src, dst, shown.c_str(),
+                    route.size() - 1, static_cast<long long>(len), stretch);
+    }
+
+    // Global verification across all pairs.
+    double global_worst = 1.0;
+    for (NodeId u = 0; u < n; ++u)
+        for (NodeId v = 0; v < n; ++v) {
+            if (u == v || !is_finite(exact.at(u, v))) continue;
+            const Weight len = route_length(network, tables.route(u, v));
+            global_worst = std::max(global_worst, static_cast<double>(len) /
+                                                      static_cast<double>(exact.at(u, v)));
+        }
+    std::printf("\nworst route stretch over all %d^2 flows: %.2f (bound %d)\n", n, global_worst,
+                backbone.stretch_bound);
+    return global_worst <= backbone.stretch_bound ? 0 : 1;
+}

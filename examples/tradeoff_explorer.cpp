@@ -1,0 +1,49 @@
+// Example: exploring the Theorem 1.2 round/approximation tradeoff.
+//
+//   tradeoff_explorer [n] [seed] [t_max]
+//
+// Sweeps the reduction budget t and prints, per t: the theoretical shape
+// O(log^{2^-t} n), the guarantee the execution accumulated, the measured
+// stretch, and the simulated rounds — the dial a deployment would turn
+// when it can afford a few more rounds for better routes.
+#include <cstdio>
+#include <cstdlib>
+
+#include "ccq/apsp.hpp"
+
+int main(int argc, char** argv)
+{
+    using namespace ccq;
+    const int n = argc > 1 ? std::atoi(argv[1]) : 160;
+    const std::uint64_t seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 9;
+    const int t_max = argc > 3 ? std::atoi(argv[3]) : 4;
+    if (n < 4 || t_max < 0) {
+        std::fprintf(stderr, "usage: %s [n>=4] [seed] [t_max>=0]\n", argv[0]);
+        return 2;
+    }
+
+    Rng rng(seed);
+    const Graph g = erdos_renyi(n, 6.0 / n, WeightRange{1, 1000}, rng);
+    const DistanceMatrix truth = exact_apsp(g);
+    std::printf("instance: n=%d m=%zu seed=%llu\n", g.node_count(), g.edge_count(),
+                static_cast<unsigned long long>(seed));
+    std::printf("\n%4s %16s %12s %12s %10s\n", "t", "shape log^(2^-t)n", "guarantee",
+                "measured", "rounds");
+    for (int t = 0; t <= t_max; ++t) {
+        ApspOptions options;
+        options.seed = seed;
+        const ApspResult result = apsp_tradeoff(g, t, options);
+        const StretchReport report = evaluate_stretch(truth, result.estimate);
+        std::printf("%4d %16.2f %12.1f %12.2f %10.1f\n", t,
+                    tradeoff_stretch_shape(g.node_count(), t), result.claimed_stretch,
+                    report.max_stretch, result.ledger.total_rounds());
+        if (!report.sound()) {
+            std::fprintf(stderr, "UNSOUND estimate at t=%d\n", t);
+            return 1;
+        }
+    }
+    std::printf("\nnote: at simulable n the guarantee saturates at the constant-factor\n"
+                "regime quickly (see EXPERIMENTS.md, E2); the shape column shows the\n"
+                "asymptotic prediction that distinguishes budgets at scale.\n");
+    return 0;
+}

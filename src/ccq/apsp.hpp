@@ -1,0 +1,33 @@
+// Umbrella header: the public API of the ccq library.
+//
+// Quick start:
+//
+//   ccq::Graph g = ccq::erdos_renyi(512, 0.05, {1, 100}, rng);
+//   ccq::ApspResult r = ccq::apsp_general(g);   // Theorem 1.1
+//   // r.estimate.at(u, v): distance estimate
+//   // r.claimed_stretch:   guaranteed approximation factor
+//   // r.ledger:            Congested-Clique round accounting
+//
+// See DESIGN.md for the module map and EXPERIMENTS.md for the measured
+// reproduction of every quantitative claim.
+#ifndef CCQ_APSP_HPP
+#define CCQ_APSP_HPP
+
+#include "ccq/core/apsp_result.hpp"
+#include "ccq/core/baselines.hpp"
+#include "ccq/core/loglog_apsp.hpp"
+#include "ccq/core/oracle.hpp"
+#include "ccq/core/routing.hpp"
+#include "ccq/core/general_apsp.hpp"
+#include "ccq/core/reduction.hpp"
+#include "ccq/core/small_diameter.hpp"
+#include "ccq/core/stretch.hpp"
+#include "ccq/core/tradeoff.hpp"
+#include "ccq/core/zero_weights.hpp"
+#include "ccq/graph/exact.hpp"
+#include "ccq/graph/generators.hpp"
+#include "ccq/graph/graph.hpp"
+#include "ccq/graph/io.hpp"
+#include "ccq/graph/metrics.hpp"
+
+#endif // CCQ_APSP_HPP

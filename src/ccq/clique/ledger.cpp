@@ -1,0 +1,108 @@
+#include "ccq/clique/ledger.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace ccq {
+
+std::string RoundLedger::qualified(std::string_view label) const
+{
+    std::string path;
+    for (const std::string& part : phase_stack_) {
+        path += part;
+        path += '/';
+    }
+    path += label;
+    return path;
+}
+
+void RoundLedger::charge(std::string_view label, double rounds, std::uint64_t words)
+{
+    CCQ_EXPECT(rounds >= 0.0, "RoundLedger::charge: negative rounds");
+    entries_.push_back(LedgerEntry{qualified(label), rounds, words, !parallel_stack_.empty()});
+    total_words_ += words;
+    if (!parallel_stack_.empty()) {
+        parallel_stack_.back().current_lane_rounds += rounds;
+        parallel_stack_.back().words += words;
+    } else {
+        total_rounds_ += rounds;
+    }
+}
+
+void RoundLedger::push_phase(std::string_view label) { phase_stack_.emplace_back(label); }
+
+void RoundLedger::pop_phase()
+{
+    CCQ_CHECK(!phase_stack_.empty(), "RoundLedger::pop_phase: empty stack");
+    phase_stack_.pop_back();
+}
+
+void RoundLedger::begin_parallel() { parallel_stack_.push_back({}); }
+
+void RoundLedger::next_lane()
+{
+    CCQ_CHECK(!parallel_stack_.empty(), "RoundLedger::next_lane: no open group");
+    ParallelGroup& group = parallel_stack_.back();
+    group.max_lane_rounds = std::max(group.max_lane_rounds, group.current_lane_rounds);
+    group.current_lane_rounds = 0.0;
+}
+
+void RoundLedger::end_parallel(std::string_view label)
+{
+    CCQ_CHECK(!parallel_stack_.empty(), "RoundLedger::end_parallel: no open group");
+    ParallelGroup group = parallel_stack_.back();
+    parallel_stack_.pop_back();
+    group.max_lane_rounds = std::max(group.max_lane_rounds, group.current_lane_rounds);
+    // The group cost (max over lanes) flows to the enclosing context.
+    entries_.push_back(LedgerEntry{qualified(std::string(label) + "[parallel-max]"),
+                                   group.max_lane_rounds, 0, !parallel_stack_.empty()});
+    if (!parallel_stack_.empty()) {
+        parallel_stack_.back().current_lane_rounds += group.max_lane_rounds;
+        parallel_stack_.back().words += group.words;
+    } else {
+        total_rounds_ += group.max_lane_rounds;
+    }
+}
+
+double RoundLedger::rounds_in_phase(std::string_view prefix, bool include_parallel_lanes) const
+{
+    double sum = 0.0;
+    for (const LedgerEntry& entry : entries_) {
+        if (entry.parallel_lane && !include_parallel_lanes) continue;
+        if (entry.phase.starts_with(prefix)) sum += entry.rounds;
+    }
+    return sum;
+}
+
+std::vector<PhaseTotal> RoundLedger::top_level_totals() const
+{
+    std::map<std::string, PhaseTotal> by_top;
+    for (const LedgerEntry& entry : entries_) {
+        if (entry.parallel_lane) continue;
+        const std::size_t slash = entry.phase.find('/');
+        const std::string top =
+            slash == std::string::npos ? entry.phase : entry.phase.substr(0, slash);
+        PhaseTotal& total = by_top[top];
+        total.phase = top;
+        total.rounds += entry.rounds;
+        total.words += entry.words;
+    }
+    std::vector<PhaseTotal> result;
+    result.reserve(by_top.size());
+    for (auto& [name, total] : by_top) result.push_back(std::move(total));
+    return result;
+}
+
+std::string RoundLedger::report() const
+{
+    std::ostringstream out;
+    out << "rounds=" << total_rounds_ << " words=" << total_words_ << '\n';
+    for (const PhaseTotal& total : top_level_totals()) {
+        out << "  " << total.phase << ": rounds=" << total.rounds << " words=" << total.words
+            << '\n';
+    }
+    return out.str();
+}
+
+} // namespace ccq

@@ -1,0 +1,126 @@
+// Round accounting for the Congested-Clique simulation.
+//
+// The model's complexity measure is synchronous communication rounds.
+// Every communication primitive charges rounds here, tagged with a phase
+// label, so tests can assert accounting invariants and benches can report
+// per-stage breakdowns (e.g. "hopset: 4 rounds, k-nearest: 12 rounds").
+//
+// Parallel composition: Theorem 8.1 runs Theorem 7.1 on O(log n) graphs
+// *in parallel* using widened bandwidth.  A ParallelScope charges the
+// maximum over its lanes instead of the sum.
+#ifndef CCQ_CLIQUE_LEDGER_HPP
+#define CCQ_CLIQUE_LEDGER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ccq/common/check.hpp"
+
+namespace ccq {
+
+/// One accounting record.
+struct LedgerEntry {
+    std::string phase;       ///< hierarchical label, e.g. "general/hopset/route"
+    double rounds = 0.0;     ///< rounds charged
+    std::uint64_t words = 0; ///< total words moved (0 for charged-only entries)
+    bool parallel_lane = false; ///< true for trace entries inside a parallel
+                                ///< group; the group's cost is carried by its
+                                ///< single "[parallel-max]" entry instead
+};
+
+/// Aggregated view of one phase.
+struct PhaseTotal {
+    std::string phase;
+    double rounds = 0.0;
+    std::uint64_t words = 0;
+};
+
+class RoundLedger {
+public:
+    /// Charges `rounds` under the current phase path extended by `label`.
+    void charge(std::string_view label, double rounds, std::uint64_t words = 0);
+
+    [[nodiscard]] double total_rounds() const noexcept { return total_rounds_; }
+    [[nodiscard]] std::uint64_t total_words() const noexcept { return total_words_; }
+    [[nodiscard]] const std::vector<LedgerEntry>& entries() const noexcept { return entries_; }
+
+    /// Sums entries whose phase path starts with `prefix`.  By default
+    /// parallel-lane trace entries are excluded, so the sum over disjoint
+    /// prefixes matches total_rounds(); pass true to inspect lane detail.
+    [[nodiscard]] double rounds_in_phase(std::string_view prefix,
+                                         bool include_parallel_lanes = false) const;
+
+    /// Rolls entries up to their top-level phase component.
+    [[nodiscard]] std::vector<PhaseTotal> top_level_totals() const;
+
+    /// Multi-line human-readable report.
+    [[nodiscard]] std::string report() const;
+
+    // --- phase scoping (see PhaseScope below) ---
+    void push_phase(std::string_view label);
+    void pop_phase();
+
+    // --- parallel lanes (see ParallelScope below) ---
+    void begin_parallel();
+    void next_lane();
+    void end_parallel(std::string_view label);
+
+private:
+    friend class PhaseScope;
+    friend class ParallelScope;
+
+    [[nodiscard]] std::string qualified(std::string_view label) const;
+
+    std::vector<std::string> phase_stack_;
+    std::vector<LedgerEntry> entries_;
+    double total_rounds_ = 0.0;
+    std::uint64_t total_words_ = 0;
+
+    // Parallel bookkeeping: while a parallel group is open, charges
+    // accumulate into the current lane instead of the grand total.
+    struct ParallelGroup {
+        double max_lane_rounds = 0.0;
+        double current_lane_rounds = 0.0;
+        std::uint64_t words = 0;
+    };
+    std::vector<ParallelGroup> parallel_stack_;
+};
+
+/// RAII phase label: all charges inside the scope are nested under it.
+class PhaseScope {
+public:
+    PhaseScope(RoundLedger& ledger, std::string_view label) : ledger_(ledger)
+    {
+        ledger_.push_phase(label);
+    }
+    ~PhaseScope() { ledger_.pop_phase(); }
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+
+private:
+    RoundLedger& ledger_;
+};
+
+/// RAII parallel group: lanes declared with next_lane() run concurrently;
+/// on destruction the group charges max-over-lanes under `label`.
+class ParallelScope {
+public:
+    ParallelScope(RoundLedger& ledger, std::string_view label)
+        : ledger_(ledger), label_(label)
+    {
+        ledger_.begin_parallel();
+    }
+    void next_lane() { ledger_.next_lane(); }
+    ~ParallelScope() { ledger_.end_parallel(label_); }
+    ParallelScope(const ParallelScope&) = delete;
+    ParallelScope& operator=(const ParallelScope&) = delete;
+
+private:
+    RoundLedger& ledger_;
+    std::string label_;
+};
+
+} // namespace ccq
+
+#endif // CCQ_CLIQUE_LEDGER_HPP

@@ -1,0 +1,73 @@
+#include "ccq/clique/transport.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccq {
+
+double CliqueTransport::rounds_for_load(std::uint64_t max_load_words) const
+{
+    if (max_load_words == 0) return 0.0;
+    const double link_capacity_per_round =
+        std::max(1.0, static_cast<double>(n_) * cost_.bandwidth_words);
+    return cost_.lenzen_round_factor *
+           std::ceil(static_cast<double>(max_load_words) / link_capacity_per_round);
+}
+
+void CliqueTransport::charge_route(std::string_view phase, const RoutingLoad& load)
+{
+    const std::uint64_t max_load = std::max(load.max_sent, load.max_received);
+    ledger_->charge(phase, rounds_for_load(max_load), load.total_words);
+}
+
+void CliqueTransport::charge_redundant_route(std::string_view phase, const RoutingLoad& load)
+{
+    // Lemma 2.2: only the receive side constrains the instance; duplicated
+    // send content is reconstructed by helper nodes.
+    ledger_->charge(phase, rounds_for_load(load.max_received), load.total_words);
+}
+
+void CliqueTransport::charge_broadcast_from(std::string_view phase, std::uint64_t words)
+{
+    if (words == 0) return;
+    const double link_capacity_per_round =
+        std::max(1.0, static_cast<double>(n_) * cost_.bandwidth_words);
+    const double rounds =
+        2.0 * std::ceil(static_cast<double>(words) / link_capacity_per_round);
+    ledger_->charge(phase, rounds, words * static_cast<std::uint64_t>(n_));
+}
+
+void CliqueTransport::charge_broadcast_all(std::string_view phase, std::uint64_t words_per_node)
+{
+    if (words_per_node == 0) return;
+    const double rounds =
+        std::ceil(static_cast<double>(words_per_node) / std::max(1.0, cost_.bandwidth_words));
+    ledger_->charge(phase, rounds,
+                    words_per_node * static_cast<std::uint64_t>(n_) *
+                        static_cast<std::uint64_t>(n_));
+}
+
+void CliqueTransport::charge_constant_round_spanner(std::string_view phase)
+{
+    ledger_->charge(phase, cost_.constant_round_spanner_rounds, 0);
+}
+
+void CliqueTransport::charge_constant_round_mst(std::string_view phase)
+{
+    ledger_->charge(phase, cost_.constant_round_mst_rounds, 0);
+}
+
+void CliqueTransport::charge_dense_products(std::string_view phase, int products)
+{
+    CCQ_EXPECT(products >= 0, "charge_dense_products: negative count");
+    const double per_product =
+        cost_.dense_product_round_factor * std::cbrt(static_cast<double>(n_));
+    ledger_->charge(phase, per_product * products, 0);
+}
+
+void CliqueTransport::note_local_computation(std::string_view phase)
+{
+    ledger_->charge(phase, 0.0, 0);
+}
+
+} // namespace ccq

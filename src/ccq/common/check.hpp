@@ -1,0 +1,50 @@
+// Precondition / invariant checking.
+//
+// Following the error-handling strategy of the C++ Core Guidelines
+// (I.5/I.6, E.2): interface preconditions and internal invariants are
+// stated explicitly and violations throw a dedicated exception type, so
+// that misuse is caught early and is testable.
+#ifndef CCQ_COMMON_CHECK_HPP
+#define CCQ_COMMON_CHECK_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace ccq {
+
+/// Thrown when a ccq API precondition or internal invariant is violated.
+class check_error : public std::logic_error {
+public:
+    explicit check_error(const std::string& what_arg) : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& message)
+{
+    std::string what = std::string(kind) + " failed: (" + expr + ") at " + file + ":" +
+                       std::to_string(line);
+    if (!message.empty()) what += " — " + message;
+    throw check_error(what);
+}
+
+} // namespace detail
+} // namespace ccq
+
+/// Precondition check: use at the top of public functions.
+#define CCQ_EXPECT(cond, message)                                                          \
+    do {                                                                                   \
+        if (!(cond)) ::ccq::detail::check_failed("precondition", #cond, __FILE__, __LINE__, \
+                                                 (message));                               \
+    } while (false)
+
+/// Internal invariant check: use for "this cannot happen" conditions.
+#define CCQ_CHECK(cond, message)                                                        \
+    do {                                                                                \
+        if (!(cond)) ::ccq::detail::check_failed("invariant", #cond, __FILE__, __LINE__, \
+                                                 (message));                            \
+    } while (false)
+
+#endif // CCQ_COMMON_CHECK_HPP

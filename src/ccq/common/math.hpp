@@ -1,0 +1,110 @@
+// Small integer-math helpers used across the algorithm stack.
+//
+// The paper's parameter schedules are full of expressions like
+// ceil(log2 d), n^{1/h}, h * C(p, h); these helpers compute them exactly
+// on integers (no floating-point drift in parameter selection).
+#ifndef CCQ_COMMON_MATH_HPP
+#define CCQ_COMMON_MATH_HPP
+
+#include <cstdint>
+
+#include "ccq/common/check.hpp"
+
+namespace ccq {
+
+/// ceil(a / b) for nonnegative a, positive b.
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b)
+{
+    return b > 0 && a >= 0 ? (a + b - 1) / b : throw check_error("ceil_div: bad arguments");
+}
+
+/// floor(log2 x) for x >= 1.
+[[nodiscard]] constexpr int floor_log2(std::int64_t x)
+{
+    if (x < 1) throw check_error("floor_log2: x must be >= 1");
+    int r = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/// ceil(log2 x) for x >= 1.
+[[nodiscard]] constexpr int ceil_log2(std::int64_t x)
+{
+    if (x < 1) throw check_error("ceil_log2: x must be >= 1");
+    const int fl = floor_log2(x);
+    return (std::int64_t{1} << fl) == x ? fl : fl + 1;
+}
+
+/// base^exp with saturation at `cap` (default: a large sentinel).  Used for
+/// h^i hop budgets, which must not overflow.
+[[nodiscard]] constexpr std::int64_t saturating_pow(std::int64_t base, int exp,
+                                                    std::int64_t cap = (std::int64_t{1} << 62))
+{
+    if (base < 0 || exp < 0) throw check_error("saturating_pow: bad arguments");
+    std::int64_t result = 1;
+    for (int i = 0; i < exp; ++i) {
+        if (base != 0 && result > cap / base) return cap;
+        result *= base;
+        if (result > cap) return cap;
+    }
+    return result;
+}
+
+/// floor(sqrt(x)) for x >= 0, exact.
+[[nodiscard]] constexpr std::int64_t floor_sqrt(std::int64_t x)
+{
+    if (x < 0) throw check_error("floor_sqrt: x must be >= 0");
+    std::int64_t lo = 0, hi = 2;
+    while (hi * hi <= x) hi *= 2;
+    while (lo < hi) {
+        const std::int64_t mid = lo + (hi - lo + 1) / 2;
+        if (mid * mid <= x)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    return lo;
+}
+
+/// floor(n^{1/h}), exact (binary search on r^h <= n).
+[[nodiscard]] constexpr std::int64_t floor_nth_root(std::int64_t n, int h)
+{
+    if (n < 0 || h < 1) throw check_error("floor_nth_root: bad arguments");
+    if (h == 1) return n;
+    std::int64_t lo = 0, hi = 2;
+    while (saturating_pow(hi, h) <= n) hi *= 2;
+    while (lo < hi) {
+        const std::int64_t mid = lo + (hi - lo + 1) / 2;
+        if (saturating_pow(mid, h) <= n)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    return lo;
+}
+
+/// Binomial coefficient C(n, k) with saturation at `cap`.  The k-nearest
+/// bin scheme needs h * C(p, h) compared against n; saturation keeps the
+/// comparison safe when p is large.
+[[nodiscard]] constexpr std::int64_t saturating_binomial(std::int64_t n, std::int64_t k,
+                                                         std::int64_t cap = (std::int64_t{1} << 62))
+{
+    if (k < 0 || n < 0) return 0;
+    if (k > n) return 0;
+    if (k > n - k) k = n - k;
+    std::int64_t result = 1;
+    for (std::int64_t i = 1; i <= k; ++i) {
+        // result * (n - k + i) / i, computed carefully to stay integral.
+        if (result > cap / (n - k + i)) return cap;
+        result = result * (n - k + i) / i;
+        if (result > cap) return cap;
+    }
+    return result;
+}
+
+} // namespace ccq
+
+#endif // CCQ_COMMON_MATH_HPP

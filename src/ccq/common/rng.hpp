@@ -1,0 +1,65 @@
+// Deterministic, seedable randomness.
+//
+// All randomized algorithms in the paper are Monte Carlo; for
+// reproducibility every ccq algorithm takes an explicit Rng (no global
+// random state, per Core Guidelines I.2).
+#ifndef CCQ_COMMON_RNG_HPP
+#define CCQ_COMMON_RNG_HPP
+
+#include <cstdint>
+#include <random>
+#include <span>
+
+#include "ccq/common/check.hpp"
+
+namespace ccq {
+
+/// Thin deterministic wrapper over std::mt19937_64 with the handful of
+/// draws the algorithms need.  Copyable, so callers can fork independent
+/// streams (`fork()`) for parallel phases without coupling their draws.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    /// Uniform integer in the inclusive range [lo, hi].
+    [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi)
+    {
+        CCQ_EXPECT(lo <= hi, "uniform_int: empty range");
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    }
+
+    /// Uniform real in [0, 1).
+    [[nodiscard]] double uniform_real() { return real_dist_(engine_); }
+
+    /// Bernoulli trial with success probability p (clamped to [0,1]).
+    [[nodiscard]] bool bernoulli(double p)
+    {
+        if (p <= 0.0) return false;
+        if (p >= 1.0) return true;
+        return uniform_real() < p;
+    }
+
+    /// A fresh, independent generator derived from this one.
+    [[nodiscard]] Rng fork() { return Rng(engine_()); }
+
+    /// Fisher–Yates shuffle.
+    template <class T>
+    void shuffle(std::span<T> items)
+    {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+            std::swap(items[i - 1], items[j]);
+        }
+    }
+
+    /// Direct access for std <random> distributions.
+    [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+private:
+    std::mt19937_64 engine_;
+    std::uniform_real_distribution<double> real_dist_{0.0, 1.0};
+};
+
+} // namespace ccq
+
+#endif // CCQ_COMMON_RNG_HPP

@@ -1,0 +1,47 @@
+// Core scalar types shared by every ccq module.
+//
+// The Congested-Clique model works with polynomially bounded integer edge
+// weights (paper, Section 2.1).  Distances are therefore 64-bit integers
+// with an explicit "unreachable" sentinel and saturating arithmetic, so
+// that min-plus algebra over partially disconnected graphs never
+// overflows.
+#ifndef CCQ_COMMON_TYPES_HPP
+#define CCQ_COMMON_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace ccq {
+
+/// Index of a node in the input graph / communication clique.
+/// Nodes are always the contiguous range [0, n).
+using NodeId = std::int32_t;
+
+/// Edge weight / path length.  Nonnegative for valid graphs.
+using Weight = std::int64_t;
+
+/// Sentinel for "no path".  Chosen far below the int64 ceiling so that a
+/// long chain of saturating additions cannot overflow.
+inline constexpr Weight kInfinity = std::numeric_limits<Weight>::max() / 4;
+
+/// True if `w` represents a real (finite) distance.
+[[nodiscard]] constexpr bool is_finite(Weight w) noexcept { return w < kInfinity; }
+
+/// Min-plus "multiplication": adds two path lengths, saturating at
+/// kInfinity so that INF + x == INF.
+[[nodiscard]] constexpr Weight saturating_add(Weight a, Weight b) noexcept
+{
+    if (a >= kInfinity || b >= kInfinity) return kInfinity;
+    const Weight sum = a + b;
+    return sum >= kInfinity ? kInfinity : sum;
+}
+
+/// Min-plus "addition": takes the shorter of two path lengths.
+[[nodiscard]] constexpr Weight min_weight(Weight a, Weight b) noexcept
+{
+    return a < b ? a : b;
+}
+
+} // namespace ccq
+
+#endif // CCQ_COMMON_TYPES_HPP

@@ -1,0 +1,43 @@
+#include "ccq/core/baselines.hpp"
+
+#include "ccq/graph/exact.hpp"
+#include "ccq/spanner/spanner_apsp.hpp"
+
+namespace ccq {
+
+ApspResult exact_apsp_clique(const Graph& g, const ApspOptions& options)
+{
+    ApspResult result;
+    result.algorithm = "exact-minplus";
+    CliqueTransport transport(std::max(1, g.node_count()), options.cost, result.ledger);
+
+    int products = 0;
+    DistanceMatrix closure = min_plus_closure(adjacency_matrix(g), &products);
+    transport.charge_dense_products("minplus-squaring", products);
+
+    result.estimate = std::move(closure);
+    result.claimed_stretch = 1.0;
+    return result;
+}
+
+DistanceMatrix bootstrap_logn_approx(const Graph& g, Rng& rng, CliqueTransport& transport,
+                                     std::string_view phase, double* claimed)
+{
+    const int b = logn_spanner_parameter(g.node_count());
+    SubgraphApspResult approx = apsp_via_spanner(g, b, rng, transport, phase);
+    if (claimed != nullptr) *claimed = approx.claimed_stretch;
+    return std::move(approx.estimate);
+}
+
+ApspResult logn_approx_apsp(const Graph& g, const ApspOptions& options)
+{
+    ApspResult result;
+    result.algorithm = "logn-spanner";
+    CliqueTransport transport(std::max(1, g.node_count()), options.cost, result.ledger);
+    Rng rng(options.seed);
+    result.estimate =
+        bootstrap_logn_approx(g, rng, transport, "logn-approx", &result.claimed_stretch);
+    return result;
+}
+
+} // namespace ccq

@@ -1,0 +1,33 @@
+// Baseline APSP algorithms the paper compares against (experiment E1).
+//
+//  * exact_apsp_clique — distance-product exponentiation ([CKK+19]:
+//    O(n^{1/3}) rounds per dense product, ceil(log2(n-1)) products).
+//  * logn_approx_apsp — the CZ22-style O(1)-round O(log n)-approximation
+//    via spanner broadcast (Corollary 7.2).  Also the bootstrap stage of
+//    every composed algorithm.
+#ifndef CCQ_CORE_BASELINES_HPP
+#define CCQ_CORE_BASELINES_HPP
+
+#include <string_view>
+
+#include "ccq/common/rng.hpp"
+#include "ccq/core/apsp_result.hpp"
+#include "ccq/graph/graph.hpp"
+
+namespace ccq {
+
+/// Exact APSP baseline: min-plus squaring of the adjacency matrix.
+[[nodiscard]] ApspResult exact_apsp_clique(const Graph& g, const ApspOptions& options = {});
+
+/// O(log n)-approximation in O(1) rounds (Corollary 7.2 / CZ22 baseline).
+[[nodiscard]] ApspResult logn_approx_apsp(const Graph& g, const ApspOptions& options = {});
+
+/// Internal form of the bootstrap used by composed algorithms: runs on an
+/// existing transport and reports the claimed factor via `claimed`.
+[[nodiscard]] DistanceMatrix bootstrap_logn_approx(const Graph& g, Rng& rng,
+                                                   CliqueTransport& transport,
+                                                   std::string_view phase, double* claimed);
+
+} // namespace ccq
+
+#endif // CCQ_CORE_BASELINES_HPP

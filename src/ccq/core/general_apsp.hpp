@@ -1,0 +1,39 @@
+// APSP approximation in general graphs (Theorems 8.1 and 1.1).
+//
+// Theorem 8.1 (Congested-Clique[log^4 n]): bootstrap an O(log n)-approx,
+// build a sqrt(n)-nearest hopset, apply the weight-scaling lemma to get
+// O(log n) small-diameter graphs, run Theorem 7.1 on all of them in
+// parallel, combine into estimates valid for the sqrt(n)-nearest pairs,
+// and extend with a skeleton graph — a (7^3 + eps)-approximation in
+// O(log log log n) rounds.
+//
+// Theorem 1.1 (standard bandwidth): first shrink the node set — compute
+// polylog-many nearest neighbors, build a skeleton with n/polylog nodes,
+// and simulate the Theorem 8.1 algorithm on the skeleton with widened
+// per-pair bandwidth — a (7^4 + eps)-approximation, same round count.
+#ifndef CCQ_CORE_GENERAL_APSP_HPP
+#define CCQ_CORE_GENERAL_APSP_HPP
+
+#include <string_view>
+
+#include "ccq/common/rng.hpp"
+#include "ccq/core/apsp_result.hpp"
+#include "ccq/graph/graph.hpp"
+
+namespace ccq {
+
+/// Theorem 8.1 entry point (the [log^4 n] bandwidth is applied
+/// automatically unless options.cost already widens it).
+[[nodiscard]] ApspResult apsp_large_bandwidth(const Graph& g, const ApspOptions& options = {});
+
+/// Theorem 1.1 entry point — the paper's headline algorithm.
+[[nodiscard]] ApspResult apsp_general(const Graph& g, const ApspOptions& options = {});
+
+/// Internal form of Theorem 8.1 on an existing transport.
+[[nodiscard]] DistanceMatrix large_bandwidth_impl(const Graph& g, const ApspOptions& options,
+                                                  Rng& rng, CliqueTransport& transport,
+                                                  std::string_view phase, double* claimed);
+
+} // namespace ccq
+
+#endif // CCQ_CORE_GENERAL_APSP_HPP

@@ -1,0 +1,28 @@
+// The O(log log n)-round O(1)-approximation (paper Section 3.2).
+//
+// The stepping-stone result between the poly(log n) prior work and the
+// O(log log log n) headline: bootstrap an O(log n)-approximation, build a
+// sqrt(n)-nearest O(log^2 n)-hopset, compute the sqrt(n)-nearest nodes
+// with h = 2 and i ∈ O(log log n) squarings, build a skeleton graph on
+// O(sqrt(n) log n) nodes, solve it with a 3-spanner broadcast, and extend:
+// a 21-approximation in O(log log n) rounds (7-approximation under
+// Congested-Clique[log^3 n], where the whole skeleton is broadcast).
+//
+// Kept as a separate entry point because its round profile differs from
+// Theorem 7.1's reduction chain: one shot with k = sqrt(n) and
+// O(log log n) filtered-power iterations, instead of O(log log log n)
+// successive factor reductions.
+#ifndef CCQ_CORE_LOGLOG_APSP_HPP
+#define CCQ_CORE_LOGLOG_APSP_HPP
+
+#include "ccq/core/apsp_result.hpp"
+#include "ccq/graph/graph.hpp"
+
+namespace ccq {
+
+/// Section 3.2 entry point.
+[[nodiscard]] ApspResult apsp_loglog(const Graph& g, const ApspOptions& options = {});
+
+} // namespace ccq
+
+#endif // CCQ_CORE_LOGLOG_APSP_HPP

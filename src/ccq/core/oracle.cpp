@@ -1,0 +1,66 @@
+#include "ccq/core/oracle.hpp"
+
+#include "ccq/core/baselines.hpp"
+#include "ccq/core/general_apsp.hpp"
+#include "ccq/core/loglog_apsp.hpp"
+#include "ccq/core/small_diameter.hpp"
+#include "ccq/core/zero_weights.hpp"
+
+namespace ccq {
+namespace {
+
+ApspResult dispatch(const Graph& g, ApspAlgorithmKind kind, const ApspOptions& options)
+{
+    switch (kind) {
+    case ApspAlgorithmKind::exact_baseline: return exact_apsp_clique(g, options);
+    case ApspAlgorithmKind::logn_baseline: return logn_approx_apsp(g, options);
+    case ApspAlgorithmKind::loglog: return apsp_loglog(g, options);
+    case ApspAlgorithmKind::small_diameter: return apsp_small_diameter(g, options);
+    case ApspAlgorithmKind::large_bandwidth: return apsp_large_bandwidth(g, options);
+    case ApspAlgorithmKind::general: return apsp_general(g, options);
+    }
+    throw check_error("DistanceOracle: unknown algorithm kind");
+}
+
+bool has_zero_weight_edge(const Graph& g)
+{
+    for (NodeId u = 0; u < g.node_count(); ++u)
+        for (const Edge& e : g.neighbors(u))
+            if (e.weight == 0) return true;
+    return false;
+}
+
+} // namespace
+
+const char* algorithm_kind_name(ApspAlgorithmKind kind)
+{
+    switch (kind) {
+    case ApspAlgorithmKind::exact_baseline: return "exact-minplus";
+    case ApspAlgorithmKind::logn_baseline: return "logn-spanner";
+    case ApspAlgorithmKind::loglog: return "loglog";
+    case ApspAlgorithmKind::small_diameter: return "small-diameter";
+    case ApspAlgorithmKind::large_bandwidth: return "large-bandwidth";
+    case ApspAlgorithmKind::general: return "general";
+    }
+    return "unknown";
+}
+
+DistanceOracle::DistanceOracle(const Graph& g, ApspAlgorithmKind kind,
+                               const ApspOptions& options)
+{
+    CCQ_EXPECT(!g.is_directed(),
+               "DistanceOracle: the composed algorithms require undirected graphs");
+    if (has_zero_weight_edge(g)) {
+        // Theorem 2.1: contract zero components, run the positive-weight
+        // algorithm, expand.
+        result_ = apsp_with_zero_weights(
+            g, options, [kind](const Graph& inner, const ApspOptions& inner_options) {
+                return dispatch(inner, kind, inner_options);
+            });
+        result_.algorithm = std::string(algorithm_kind_name(kind)) + "+zero-weights";
+    } else {
+        result_ = dispatch(g, kind, options);
+    }
+}
+
+} // namespace ccq

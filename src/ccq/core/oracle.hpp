@@ -1,0 +1,59 @@
+// DistanceOracle: the library's one-call facade.
+//
+// Wraps algorithm selection, the zero-weight reduction, and the result
+// bookkeeping behind a query object:
+//
+//   ccq::DistanceOracle oracle(g);                 // Theorem 1.1 defaults
+//   Weight d = oracle.distance(u, v);              // estimate
+//   double s = oracle.claimed_stretch();           // guarantee
+//   double r = oracle.simulated_rounds();          // model cost
+#ifndef CCQ_CORE_ORACLE_HPP
+#define CCQ_CORE_ORACLE_HPP
+
+#include <string>
+
+#include "ccq/core/apsp_result.hpp"
+#include "ccq/graph/graph.hpp"
+
+namespace ccq {
+
+/// Which composed algorithm the oracle runs.
+enum class ApspAlgorithmKind {
+    exact_baseline,   ///< min-plus exponentiation (polynomial rounds)
+    logn_baseline,    ///< CZ22-style O(log n)-approx, O(1) rounds
+    loglog,           ///< Section 3.2: 21-approx, O(log log n) rounds
+    small_diameter,   ///< Theorem 7.1
+    large_bandwidth,  ///< Theorem 8.1
+    general,          ///< Theorem 1.1 (default)
+};
+
+[[nodiscard]] const char* algorithm_kind_name(ApspAlgorithmKind kind);
+
+class DistanceOracle {
+public:
+    /// Runs the chosen algorithm at construction time.  Graphs with zero
+    /// edge weights are handled transparently via the Theorem 2.1
+    /// reduction.
+    explicit DistanceOracle(const Graph& g, ApspAlgorithmKind kind = ApspAlgorithmKind::general,
+                            const ApspOptions& options = {});
+
+    [[nodiscard]] Weight distance(NodeId u, NodeId v) const { return result_.estimate.at(u, v); }
+    [[nodiscard]] bool reachable(NodeId u, NodeId v) const
+    {
+        return is_finite(result_.estimate.at(u, v));
+    }
+    [[nodiscard]] double claimed_stretch() const noexcept { return result_.claimed_stretch; }
+    [[nodiscard]] double simulated_rounds() const noexcept
+    {
+        return result_.ledger.total_rounds();
+    }
+    [[nodiscard]] const ApspResult& result() const noexcept { return result_; }
+    [[nodiscard]] const std::string& algorithm() const noexcept { return result_.algorithm; }
+
+private:
+    ApspResult result_;
+};
+
+} // namespace ccq
+
+#endif // CCQ_CORE_ORACLE_HPP

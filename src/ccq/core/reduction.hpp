@@ -1,0 +1,54 @@
+// Approximation-factor reduction (paper Lemma 3.1).
+//
+// Given an a-approximation delta of APSP, produce an O(sqrt(a))-
+// approximation in O(1) rounds (when log d ∈ a^{O(1)}).  Pipeline:
+//   1. sqrt(n)-nearest O(a log d)-hopset from delta       (Lemma 3.2)
+//   2. exact k-nearest distances via filtered powers      (Lemma 3.3)
+//   3. skeleton graph over ~O(n log k / k) nodes          (Lemma 3.4)
+//   4. APSP on the skeleton via (2b-1)-spanner broadcast  (Cor. 7.1)
+//      — or exactly, when the skeleton is small enough to broadcast —
+//   5. extension back to G with factor 7*l                (Lemma 3.4)
+// The claimed stretch is accumulated from the stages actually taken;
+// with the paper's schedule (b = sqrt(a)) it is below 15*sqrt(a).
+#ifndef CCQ_CORE_REDUCTION_HPP
+#define CCQ_CORE_REDUCTION_HPP
+
+#include <string_view>
+
+#include "ccq/clique/transport.hpp"
+#include "ccq/common/rng.hpp"
+#include "ccq/core/apsp_result.hpp"
+#include "ccq/graph/graph.hpp"
+#include "ccq/matrix/dense.hpp"
+
+namespace ccq {
+
+/// Trace of one reduction application (reported by bench E9).
+struct ReductionTrace {
+    int hopset_hop_bound = 0; ///< beta-hat of the hopset built in step 1
+    int h = 0;                ///< per-iteration hop base of step 2
+    std::int64_t k = 0;       ///< k-nearest count of steps 2-3
+    int power_iterations = 0; ///< i with h^i >= beta-hat
+    int skeleton_size = 0;    ///< |V_S|
+    int spanner_b = 0;        ///< b of step 4 (0 when solved exactly)
+    bool exact_skeleton_apsp = false;
+    double claimed_stretch = 1.0;
+};
+
+struct ReductionOutcome {
+    DistanceMatrix estimate;
+    ReductionTrace trace;
+};
+
+/// Applies Lemma 3.1 once.  `delta` must be an `a`-approximation of APSP
+/// on `g`; `diameter_bound` upper-bounds the weighted diameter (drives the
+/// hopset's claimed hop bound — pass the max finite delta entry).
+[[nodiscard]] ReductionOutcome reduce_approximation(const Graph& g, const DistanceMatrix& delta,
+                                                    double a, Weight diameter_bound,
+                                                    const ApspOptions& options, Rng& rng,
+                                                    CliqueTransport& transport,
+                                                    std::string_view phase);
+
+} // namespace ccq
+
+#endif // CCQ_CORE_REDUCTION_HPP

@@ -1,0 +1,81 @@
+#include "ccq/core/routing.hpp"
+
+#include <queue>
+#include <utility>
+
+#include "ccq/graph/exact.hpp"
+
+namespace ccq {
+
+std::vector<NodeId> RoutingTables::route(NodeId from, NodeId to) const
+{
+    CCQ_EXPECT(valid(from) && valid(to), "RoutingTables::route: out of range");
+    std::vector<NodeId> path{from};
+    NodeId current = from;
+    // A well-formed table never loops; n hops is a safe upper bound.
+    for (int steps = 0; current != to; ++steps) {
+        CCQ_CHECK(steps <= n_, "RoutingTables::route: forwarding loop detected");
+        const NodeId next = next_hop(current, to);
+        if (next < 0) return {}; // unreachable
+        path.push_back(next);
+        current = next;
+    }
+    return path;
+}
+
+RoutingTables build_routing_tables(const Graph& backbone)
+{
+    CCQ_EXPECT(!backbone.is_directed(), "build_routing_tables: undirected backbone required");
+    const int n = backbone.node_count();
+    std::vector<NodeId> next(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), -1);
+
+    // One Dijkstra per destination over the backbone; the parent pointers
+    // toward the destination are exactly the next hops.  (Each node can
+    // do this locally once the backbone is broadcast.)
+    for (NodeId dest = 0; dest < n; ++dest) {
+        std::vector<Weight> dist(static_cast<std::size_t>(n), kInfinity);
+        std::vector<NodeId> toward(static_cast<std::size_t>(n), -1);
+        dist[static_cast<std::size_t>(dest)] = 0;
+        using Item = std::pair<Weight, NodeId>;
+        std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+        queue.emplace(0, dest);
+        while (!queue.empty()) {
+            const auto [d, u] = queue.top();
+            queue.pop();
+            if (d != dist[static_cast<std::size_t>(u)]) continue;
+            for (const Edge& e : backbone.neighbors(u)) {
+                const Weight cand = saturating_add(d, e.weight);
+                Weight& cur = dist[static_cast<std::size_t>(e.to)];
+                // Deterministic tie-break by hop id keeps tables stable.
+                if (cand < cur ||
+                    (cand == cur && toward[static_cast<std::size_t>(e.to)] > u)) {
+                    cur = cand;
+                    toward[static_cast<std::size_t>(e.to)] = u;
+                    queue.emplace(cand, e.to);
+                }
+            }
+        }
+        for (NodeId u = 0; u < n; ++u) {
+            if (u == dest) continue;
+            next[static_cast<std::size_t>(u) * static_cast<std::size_t>(n) +
+                 static_cast<std::size_t>(dest)] = toward[static_cast<std::size_t>(u)];
+        }
+    }
+    return RoutingTables(n, std::move(next));
+}
+
+Weight route_length(const Graph& g, const std::vector<NodeId>& route)
+{
+    if (route.size() < 2) return route.empty() ? kInfinity : 0;
+    Weight total = 0;
+    for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+        Weight best = kInfinity;
+        for (const Edge& e : g.neighbors(route[i]))
+            if (e.to == route[i + 1]) best = min_weight(best, e.weight);
+        if (!is_finite(best)) return kInfinity; // not an edge of g
+        total = saturating_add(total, best);
+    }
+    return total;
+}
+
+} // namespace ccq

@@ -1,0 +1,85 @@
+#include "ccq/core/small_diameter.hpp"
+
+#include <algorithm>
+
+#include "ccq/core/baselines.hpp"
+#include "ccq/graph/metrics.hpp"
+#include "ccq/spanner/spanner_apsp.hpp"
+
+namespace ccq {
+namespace {
+
+/// Upper bound on useful reduction applications: the factor cannot drop
+/// below the 7 of an exact-skeleton extension, and each application takes
+/// a square root, so a handful always suffices (O(log log log n)).
+constexpr int kMaxUsefulReductions = 8;
+
+} // namespace
+
+DistanceMatrix small_diameter_impl(const Graph& g, Weight diameter_bound,
+                                   const ApspOptions& options, Rng& rng,
+                                   CliqueTransport& transport, std::string_view phase,
+                                   double* claimed, std::vector<ReductionTrace>* traces)
+{
+    PhaseScope scope(transport.ledger(), phase);
+    const int n = g.node_count();
+
+    // Tiny instances: broadcast everything, solve exactly.
+    if (n <= 8) {
+        SubgraphApspResult exact = apsp_via_full_broadcast(g, transport, "tiny-exact");
+        if (claimed != nullptr) *claimed = 1.0;
+        return std::move(exact.estimate);
+    }
+
+    double a = 1.0;
+    DistanceMatrix delta = bootstrap_logn_approx(g, rng, transport, "bootstrap", &a);
+
+    const int limit = options.max_reduction_iterations >= 0
+                          ? std::min(options.max_reduction_iterations, kMaxUsefulReductions)
+                          : kMaxUsefulReductions;
+    for (int iteration = 0; iteration < limit; ++iteration) {
+        // A reduction ends with a skeleton extension (factor >= 7*1), so
+        // once a <= 7 no application can improve the guarantee.
+        if (a <= 7.0) break;
+        ReductionOutcome outcome =
+            reduce_approximation(g, delta, a, diameter_bound, options, rng, transport,
+                                 "reduce");
+        if (traces != nullptr) traces->push_back(outcome.trace);
+        const bool improved = outcome.trace.claimed_stretch < a;
+        // Even a non-improving application yields a valid estimate; keep
+        // the better guarantee.
+        if (improved) {
+            delta = std::move(outcome.estimate);
+            a = outcome.trace.claimed_stretch;
+        } else {
+            break;
+        }
+    }
+
+    if (claimed != nullptr) *claimed = a;
+    return delta;
+}
+
+ApspResult apsp_small_diameter(const Graph& g, const ApspOptions& options)
+{
+    ApspResult result;
+    result.algorithm = "small-diameter";
+    ApspOptions effective = options;
+    if (options.wide_bandwidth &&
+        effective.cost.bandwidth_words <= 1.0) {
+        // Theorem 7.1's second bullet runs in Congested-Clique[log^3 n].
+        effective.cost = CostModel::with_log_power_bandwidth(std::max(2, g.node_count()), 3);
+    }
+    CliqueTransport transport(std::max(1, g.node_count()), effective.cost, result.ledger);
+    Rng rng(options.seed);
+
+    // The theorem assumes d ∈ (log n)^{O(1)}; the implementation accepts
+    // any graph and uses an upper bound on d for parameter schedules.
+    const Weight diameter_bound = std::max<Weight>(
+        2, static_cast<Weight>(g.node_count()) * std::max<Weight>(1, g.max_weight()));
+    result.estimate = small_diameter_impl(g, diameter_bound, effective, rng, transport,
+                                          "small-diameter", &result.claimed_stretch);
+    return result;
+}
+
+} // namespace ccq

@@ -1,0 +1,37 @@
+// APSP approximation in small weighted-diameter graphs (Theorem 7.1).
+//
+// Bootstrap an O(log n)-approximation (Cor. 7.2), then repeatedly apply
+// the Lemma 3.1 reduction, roughly squaring-rooting the approximation
+// factor per O(1)-round application until it stops improving (after
+// O(log log log n) applications the factor is constant).  The final
+// application solves the skeleton exactly when the broadcast budget
+// permits: 21-approximation under standard bandwidth, 7-approximation
+// under Congested-Clique[log^3 n] (`wide_bandwidth`).
+#ifndef CCQ_CORE_SMALL_DIAMETER_HPP
+#define CCQ_CORE_SMALL_DIAMETER_HPP
+
+#include <string_view>
+#include <vector>
+
+#include "ccq/core/apsp_result.hpp"
+#include "ccq/core/reduction.hpp"
+#include "ccq/graph/graph.hpp"
+
+namespace ccq {
+
+/// Theorem 7.1 entry point.
+[[nodiscard]] ApspResult apsp_small_diameter(const Graph& g, const ApspOptions& options = {});
+
+/// Internal form running on an existing transport.  `diameter_bound`
+/// upper-bounds the weighted diameter (pass the scaling cap for the G_i
+/// levels of Theorem 8.1); `claimed` receives the guaranteed factor;
+/// `traces`, when non-null, collects one entry per reduction applied.
+[[nodiscard]] DistanceMatrix small_diameter_impl(const Graph& g, Weight diameter_bound,
+                                                 const ApspOptions& options, Rng& rng,
+                                                 CliqueTransport& transport,
+                                                 std::string_view phase, double* claimed,
+                                                 std::vector<ReductionTrace>* traces = nullptr);
+
+} // namespace ccq
+
+#endif // CCQ_CORE_SMALL_DIAMETER_HPP

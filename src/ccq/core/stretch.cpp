@@ -1,0 +1,49 @@
+#include "ccq/core/stretch.hpp"
+
+#include <algorithm>
+
+#include "ccq/common/check.hpp"
+
+namespace ccq {
+
+StretchReport evaluate_stretch(const DistanceMatrix& exact, const DistanceMatrix& estimate)
+{
+    CCQ_EXPECT(exact.size() == estimate.size(), "evaluate_stretch: size mismatch");
+    StretchReport report;
+    double sum = 0.0;
+    for (NodeId u = 0; u < exact.size(); ++u) {
+        for (NodeId v = 0; v < exact.size(); ++v) {
+            if (u == v) continue;
+            const Weight d = exact.at(u, v);
+            const Weight e = estimate.at(u, v);
+            if (is_finite(d) != is_finite(e)) {
+                ++report.reachability_mismatches;
+                continue;
+            }
+            if (!is_finite(d)) continue;
+            if (e < d) {
+                ++report.lower_bound_violations;
+                continue;
+            }
+            if (d == 0) {
+                // Any multiplicative approximation must map 0 to 0.
+                if (e == 0) {
+                    ++report.finite_pairs;
+                    sum += 1.0;
+                } else {
+                    ++report.lower_bound_violations;
+                }
+                continue;
+            }
+            ++report.finite_pairs;
+            const double ratio = static_cast<double>(e) / static_cast<double>(d);
+            report.max_stretch = std::max(report.max_stretch, ratio);
+            sum += ratio;
+        }
+    }
+    report.avg_stretch = report.finite_pairs > 0 ? sum / static_cast<double>(report.finite_pairs)
+                                                 : 1.0;
+    return report;
+}
+
+} // namespace ccq

@@ -1,0 +1,32 @@
+// Stretch evaluation: how a distance estimate compares to ground truth.
+#ifndef CCQ_CORE_STRETCH_HPP
+#define CCQ_CORE_STRETCH_HPP
+
+#include <cstddef>
+
+#include "ccq/matrix/dense.hpp"
+
+namespace ccq {
+
+struct StretchReport {
+    double max_stretch = 1.0; ///< max over pairs of estimate / exact
+    double avg_stretch = 1.0; ///< mean over finite pairs
+    std::size_t finite_pairs = 0;
+    /// Estimates below the true distance (must be 0 for a sound algorithm).
+    std::size_t lower_bound_violations = 0;
+    /// Pairs where exactly one side is infinite (must be 0).
+    std::size_t reachability_mismatches = 0;
+
+    [[nodiscard]] bool sound() const noexcept
+    {
+        return lower_bound_violations == 0 && reachability_mismatches == 0;
+    }
+};
+
+/// Compares `estimate` to `exact` over all ordered pairs (u != v).
+[[nodiscard]] StretchReport evaluate_stretch(const DistanceMatrix& exact,
+                                             const DistanceMatrix& estimate);
+
+} // namespace ccq
+
+#endif // CCQ_CORE_STRETCH_HPP

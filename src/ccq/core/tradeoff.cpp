@@ -1,0 +1,27 @@
+#include "ccq/core/tradeoff.hpp"
+
+#include <cmath>
+
+#include "ccq/common/math.hpp"
+#include "ccq/core/general_apsp.hpp"
+
+namespace ccq {
+
+ApspResult apsp_tradeoff(const Graph& g, int t, const ApspOptions& options)
+{
+    CCQ_EXPECT(t >= 0, "apsp_tradeoff: t must be >= 0");
+    ApspOptions limited = options;
+    limited.max_reduction_iterations = t;
+    ApspResult result = apsp_general(g, limited);
+    result.algorithm = "tradeoff(t=" + std::to_string(t) + ")";
+    return result;
+}
+
+double tradeoff_stretch_shape(int n, int t)
+{
+    CCQ_EXPECT(n >= 2 && t >= 0, "tradeoff_stretch_shape: need n >= 2, t >= 0");
+    const double log_n = static_cast<double>(ceil_log2(n));
+    return std::pow(log_n, std::pow(2.0, -t));
+}
+
+} // namespace ccq

@@ -1,0 +1,25 @@
+// Round / approximation tradeoff (Theorem 1.2).
+//
+// Limiting the Theorem 1.1 pipeline to t applications of the Lemma 3.1
+// reduction (Lemma 8.2/8.3) yields an O(log^{2^-t} n)-approximation in
+// O(t) rounds: t = 1 gives ~O(sqrt(log n)), t = 2 gives ~O(log^{1/4} n),
+// and so on, converging to the constant-factor headline result.
+#ifndef CCQ_CORE_TRADEOFF_HPP
+#define CCQ_CORE_TRADEOFF_HPP
+
+#include "ccq/core/apsp_result.hpp"
+#include "ccq/graph/graph.hpp"
+
+namespace ccq {
+
+/// Theorem 1.2 entry point: at most `t` reduction applications inside
+/// every small-diameter stage.
+[[nodiscard]] ApspResult apsp_tradeoff(const Graph& g, int t, const ApspOptions& options = {});
+
+/// The theoretical stretch shape O(log^{2^-t} n) (unit constant), for
+/// comparing measured curves in experiment E2.
+[[nodiscard]] double tradeoff_stretch_shape(int n, int t);
+
+} // namespace ccq
+
+#endif // CCQ_CORE_TRADEOFF_HPP

@@ -1,0 +1,130 @@
+#include "ccq/core/zero_weights.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "ccq/mst/boruvka.hpp"
+
+namespace ccq {
+
+ZeroWeightReduction build_zero_weight_reduction(const Graph& g, CliqueTransport& transport,
+                                                std::string_view phase)
+{
+    CCQ_EXPECT(!g.is_directed(), "build_zero_weight_reduction: undirected input required");
+    PhaseScope scope(transport.ledger(), phase);
+    const int n = g.node_count();
+
+    // Step 1: minimum spanning forest; its zero-weight edges span exactly
+    // the zero-components (Appendix A; Nowicki MST substituted by Borůvka,
+    // charged at the cited O(1) bound).
+    const MstResult msf = boruvka_msf(g);
+    transport.charge_constant_round_mst("mst");
+
+    // Union over zero-weight forest edges (known to all nodes since the
+    // whole MST is broadcast by the cited algorithm).
+    std::vector<NodeId> parent(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) parent[static_cast<std::size_t>(v)] = v;
+    const auto find = [&](NodeId v) {
+        while (parent[static_cast<std::size_t>(v)] != v) {
+            parent[static_cast<std::size_t>(v)] =
+                parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])];
+            v = parent[static_cast<std::size_t>(v)];
+        }
+        return v;
+    };
+    for (const WeightedEdge& e : msf.edges) {
+        if (e.weight != 0) continue;
+        const NodeId ru = find(e.u), rv = find(e.v);
+        if (ru != rv) parent[static_cast<std::size_t>(std::max(ru, rv))] = std::min(ru, rv);
+    }
+
+    ZeroWeightReduction reduction;
+    reduction.component.assign(static_cast<std::size_t>(n), -1);
+    for (NodeId v = 0; v < n; ++v) {
+        const NodeId root = find(v);
+        if (reduction.component[static_cast<std::size_t>(root)] < 0) {
+            reduction.component[static_cast<std::size_t>(root)] =
+                static_cast<int>(reduction.leaders.size());
+            reduction.leaders.push_back(root); // smallest id first by scan order
+        }
+        reduction.component[static_cast<std::size_t>(v)] =
+            reduction.component[static_cast<std::size_t>(root)];
+    }
+    transport.note_local_computation("identify-components");
+
+    // Step 3: minimum-weight edge between every pair of components.
+    // Every node reports, per foreign leader, its lightest incident edge
+    // into that component (one message per (node, leader) pair).
+    std::map<std::pair<int, int>, Weight> lightest;
+    std::uint64_t per_node_messages = 0;
+    for (NodeId u = 0; u < n; ++u) {
+        std::map<int, Weight> best_of_u;
+        for (const Edge& e : g.neighbors(u)) {
+            const int cu = reduction.component[static_cast<std::size_t>(u)];
+            const int cv = reduction.component[static_cast<std::size_t>(e.to)];
+            if (cu == cv) continue;
+            auto [it, inserted] = best_of_u.try_emplace(cv, e.weight);
+            if (!inserted) it->second = min_weight(it->second, e.weight);
+        }
+        per_node_messages = std::max<std::uint64_t>(per_node_messages, best_of_u.size());
+        for (const auto& [cv, w] : best_of_u) {
+            const int cu = reduction.component[static_cast<std::size_t>(u)];
+            const auto key = std::make_pair(std::min(cu, cv), std::max(cu, cv));
+            auto [it, inserted] = lightest.try_emplace(key, w);
+            if (!inserted) it->second = min_weight(it->second, w);
+        }
+    }
+    RoutingLoad load;
+    load.max_sent = per_node_messages * 2;
+    load.max_received = static_cast<std::uint64_t>(n) * 2;
+    load.total_words = 2ULL * static_cast<std::uint64_t>(lightest.size());
+    transport.charge_route("min-crossing-edges", load);
+
+    reduction.compressed = Graph::undirected(static_cast<int>(reduction.leaders.size()));
+    for (const auto& [key, weight] : lightest) {
+        CCQ_CHECK(weight > 0, "compressed graph must have positive weights");
+        reduction.compressed.add_edge(key.first, key.second, weight);
+    }
+    return reduction;
+}
+
+ApspResult apsp_with_zero_weights(const Graph& g, const ApspOptions& options,
+                                  const InnerApspAlgorithm& inner)
+{
+    ApspResult result;
+    result.algorithm = "zero-weight-wrapper";
+    CliqueTransport transport(std::max(1, g.node_count()), options.cost, result.ledger);
+
+    const ZeroWeightReduction reduction =
+        build_zero_weight_reduction(g, transport, "zero-weight-reduction");
+
+    ApspResult compressed = inner(reduction.compressed, options);
+    result.ledger.charge("inner-algorithm", compressed.ledger.total_rounds(),
+                         compressed.ledger.total_words());
+    result.claimed_stretch = compressed.claimed_stretch;
+
+    // Expansion: each leader tells its members the distances to all other
+    // leaders (each node receives |leaders| <= n words).
+    RoutingLoad expand;
+    expand.max_sent = static_cast<std::uint64_t>(g.node_count());
+    expand.max_received = static_cast<std::uint64_t>(reduction.leaders.size());
+    expand.total_words = static_cast<std::uint64_t>(g.node_count()) *
+                         static_cast<std::uint64_t>(reduction.leaders.size());
+    transport.charge_route("expand", expand);
+
+    const int n = g.node_count();
+    result.estimate = DistanceMatrix(n);
+    for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v = 0; v < n; ++v) {
+            const int cu = reduction.component[static_cast<std::size_t>(u)];
+            const int cv = reduction.component[static_cast<std::size_t>(v)];
+            result.estimate.at(u, v) =
+                cu == cv ? 0
+                         : compressed.estimate.at(static_cast<NodeId>(cu),
+                                                  static_cast<NodeId>(cv));
+        }
+    }
+    return result;
+}
+
+} // namespace ccq

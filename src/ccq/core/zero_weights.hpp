@@ -1,0 +1,42 @@
+// Zero-weight reduction (Theorem 2.1 / Appendix A).
+//
+// Wraps any positive-weight APSP approximation so it accepts nonnegative
+// weights, at +O(1) rounds and no stretch loss: contract the connected
+// components of the zero-weight subgraph (found via the MST substrate),
+// run the inner algorithm on the compressed graph with minimum
+// inter-component edge weights, and expand the answers back.
+#ifndef CCQ_CORE_ZERO_WEIGHTS_HPP
+#define CCQ_CORE_ZERO_WEIGHTS_HPP
+
+#include <functional>
+#include <vector>
+
+#include "ccq/core/apsp_result.hpp"
+#include "ccq/graph/graph.hpp"
+
+namespace ccq {
+
+/// The inner positive-weight algorithm (e.g. apsp_general or
+/// apsp_small_diameter bound to options).
+using InnerApspAlgorithm = std::function<ApspResult(const Graph&, const ApspOptions&)>;
+
+struct ZeroWeightReduction {
+    std::vector<int> component;   ///< zero-component label per node
+    std::vector<NodeId> leaders;  ///< smallest-id member per component
+    Graph compressed;             ///< one node per component, positive weights
+};
+
+/// Computes the contraction of the zero-weight subgraph's components.
+/// Exposed separately so tests can validate it against a direct
+/// union-find over zero edges.
+[[nodiscard]] ZeroWeightReduction build_zero_weight_reduction(const Graph& g,
+                                                              CliqueTransport& transport,
+                                                              std::string_view phase);
+
+/// Theorem 2.1: runs `inner` on the compressed graph and expands.
+[[nodiscard]] ApspResult apsp_with_zero_weights(const Graph& g, const ApspOptions& options,
+                                                const InnerApspAlgorithm& inner);
+
+} // namespace ccq
+
+#endif // CCQ_CORE_ZERO_WEIGHTS_HPP

@@ -1,0 +1,150 @@
+#include "ccq/graph/exact.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <tuple>
+#include <utility>
+
+namespace ccq {
+
+std::vector<Weight> dijkstra_from(const Graph& g, NodeId source)
+{
+    CCQ_EXPECT(g.is_valid_node(source), "dijkstra_from: source out of range");
+    const int n = g.node_count();
+    std::vector<Weight> dist(static_cast<std::size_t>(n), kInfinity);
+    dist[static_cast<std::size_t>(source)] = 0;
+
+    using Item = std::pair<Weight, NodeId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+    queue.emplace(0, source);
+    while (!queue.empty()) {
+        const auto [d, u] = queue.top();
+        queue.pop();
+        if (d != dist[static_cast<std::size_t>(u)]) continue; // stale entry
+        for (const Edge& e : g.neighbors(u)) {
+            const Weight cand = saturating_add(d, e.weight);
+            Weight& cur = dist[static_cast<std::size_t>(e.to)];
+            if (cand < cur) {
+                cur = cand;
+                queue.emplace(cand, e.to);
+            }
+        }
+    }
+    return dist;
+}
+
+DistanceMatrix exact_apsp(const Graph& g)
+{
+    const int n = g.node_count();
+    DistanceMatrix result(n);
+    for (NodeId s = 0; s < n; ++s) {
+        const std::vector<Weight> dist = dijkstra_from(g, s);
+        for (NodeId v = 0; v < n; ++v) result.at(s, v) = dist[static_cast<std::size_t>(v)];
+    }
+    return result;
+}
+
+DistanceMatrix exact_apsp_floyd_warshall(const Graph& g)
+{
+    DistanceMatrix d = adjacency_matrix(g);
+    const int n = d.size();
+    for (NodeId k = 0; k < n; ++k) {
+        for (NodeId i = 0; i < n; ++i) {
+            const Weight dik = d.at(i, k);
+            if (!is_finite(dik)) continue;
+            for (NodeId j = 0; j < n; ++j)
+                d.relax(i, j, saturating_add(dik, d.at(k, j)));
+        }
+    }
+    return d;
+}
+
+std::vector<Weight> hop_limited_from(const Graph& g, NodeId source, int max_hops)
+{
+    CCQ_EXPECT(g.is_valid_node(source), "hop_limited_from: source out of range");
+    CCQ_EXPECT(max_hops >= 0, "hop_limited_from: negative hop budget");
+    const int n = g.node_count();
+    std::vector<Weight> dist(static_cast<std::size_t>(n), kInfinity);
+    dist[static_cast<std::size_t>(source)] = 0;
+    std::vector<NodeId> frontier{source};
+
+    // Synchronous rounds: round r relaxes from the *previous* round's
+    // values only, so dist after r rounds is exactly the min over paths
+    // with at most r hops (in-place relaxation would let a value improved
+    // earlier in the same round propagate again, counting r+1 hops as r).
+    for (int round = 0; round < max_hops && !frontier.empty(); ++round) {
+        std::vector<Weight> next_dist = dist;
+        std::vector<NodeId> next;
+        std::vector<char> queued(static_cast<std::size_t>(n), 0);
+        for (const NodeId u : frontier) {
+            const Weight du = dist[static_cast<std::size_t>(u)];
+            for (const Edge& e : g.neighbors(u)) {
+                const Weight cand = saturating_add(du, e.weight);
+                Weight& cur = next_dist[static_cast<std::size_t>(e.to)];
+                if (cand < cur) {
+                    cur = cand;
+                    if (!queued[static_cast<std::size_t>(e.to)]) {
+                        queued[static_cast<std::size_t>(e.to)] = 1;
+                        next.push_back(e.to);
+                    }
+                }
+            }
+        }
+        dist = std::move(next_dist);
+        frontier = std::move(next);
+    }
+    return dist;
+}
+
+DistanceMatrix hop_limited_apsp(const Graph& g, int max_hops)
+{
+    const int n = g.node_count();
+    DistanceMatrix result(n);
+    for (NodeId s = 0; s < n; ++s) {
+        const std::vector<Weight> dist = hop_limited_from(g, s, max_hops);
+        for (NodeId v = 0; v < n; ++v) result.at(s, v) = dist[static_cast<std::size_t>(v)];
+    }
+    return result;
+}
+
+std::vector<int> min_hops_on_shortest_paths(const Graph& g, NodeId source)
+{
+    CCQ_EXPECT(g.is_valid_node(source), "min_hops_on_shortest_paths: source out of range");
+    const int n = g.node_count();
+
+    // Lexicographic Dijkstra on (length, hops): the primary key recovers
+    // shortest-path lengths, the secondary key minimizes hop count among
+    // shortest paths.  Correct even with zero-weight edges.
+    std::vector<Weight> dist(static_cast<std::size_t>(n), kInfinity);
+    std::vector<int> hops(static_cast<std::size_t>(n), std::numeric_limits<int>::max());
+    dist[static_cast<std::size_t>(source)] = 0;
+    hops[static_cast<std::size_t>(source)] = 0;
+
+    using Item = std::tuple<Weight, int, NodeId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+    queue.emplace(0, 0, source);
+    while (!queue.empty()) {
+        const auto [d, h, u] = queue.top();
+        queue.pop();
+        if (d != dist[static_cast<std::size_t>(u)] || h != hops[static_cast<std::size_t>(u)])
+            continue; // stale entry
+        for (const Edge& e : g.neighbors(u)) {
+            const Weight cand = saturating_add(d, e.weight);
+            const int cand_hops = h + 1;
+            Weight& cur = dist[static_cast<std::size_t>(e.to)];
+            int& cur_hops = hops[static_cast<std::size_t>(e.to)];
+            if (cand < cur || (cand == cur && cand_hops < cur_hops)) {
+                cur = cand;
+                cur_hops = cand_hops;
+                queue.emplace(cand, cand_hops, e.to);
+            }
+        }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+        if (!is_finite(dist[static_cast<std::size_t>(v)])) hops[static_cast<std::size_t>(v)] = -1;
+    }
+    return hops;
+}
+
+} // namespace ccq

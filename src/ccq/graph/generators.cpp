@@ -1,0 +1,230 @@
+#include "ccq/graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "ccq/common/math.hpp"
+#include "ccq/graph/metrics.hpp"
+
+namespace ccq {
+
+Graph path_graph(int n, WeightRange weights, Rng& rng)
+{
+    CCQ_EXPECT(n >= 1, "path_graph: need n >= 1");
+    Graph g = Graph::undirected(n);
+    for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1, weights.sample(rng));
+    return g;
+}
+
+Graph cycle_graph(int n, WeightRange weights, Rng& rng)
+{
+    CCQ_EXPECT(n >= 3, "cycle_graph: need n >= 3");
+    Graph g = path_graph(n, weights, rng);
+    g.add_edge(n - 1, 0, weights.sample(rng));
+    return g;
+}
+
+Graph star_graph(int n, WeightRange weights, Rng& rng)
+{
+    CCQ_EXPECT(n >= 1, "star_graph: need n >= 1");
+    Graph g = Graph::undirected(n);
+    for (NodeId v = 1; v < n; ++v) g.add_edge(0, v, weights.sample(rng));
+    return g;
+}
+
+Graph complete_graph(int n, WeightRange weights, Rng& rng)
+{
+    CCQ_EXPECT(n >= 1, "complete_graph: need n >= 1");
+    Graph g = Graph::undirected(n);
+    for (NodeId u = 0; u < n; ++u)
+        for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v, weights.sample(rng));
+    return g;
+}
+
+Graph grid_graph(int rows, int cols, WeightRange weights, Rng& rng)
+{
+    CCQ_EXPECT(rows >= 1 && cols >= 1, "grid_graph: need positive dimensions");
+    Graph g = Graph::undirected(rows * cols);
+    const auto id = [cols](int r, int c) { return static_cast<NodeId>(r * cols + c); };
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1), weights.sample(rng));
+            if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c), weights.sample(rng));
+        }
+    }
+    return g;
+}
+
+Graph random_tree(int n, WeightRange weights, Rng& rng)
+{
+    CCQ_EXPECT(n >= 1, "random_tree: need n >= 1");
+    Graph g = Graph::undirected(n);
+    for (NodeId v = 1; v < n; ++v) {
+        const NodeId parent = static_cast<NodeId>(rng.uniform_int(0, v - 1));
+        g.add_edge(parent, v, weights.sample(rng));
+    }
+    return g;
+}
+
+Graph erdos_renyi(int n, double p, WeightRange weights, Rng& rng, bool ensure_connected)
+{
+    CCQ_EXPECT(n >= 1, "erdos_renyi: need n >= 1");
+    CCQ_EXPECT(p >= 0.0 && p <= 1.0, "erdos_renyi: p out of [0,1]");
+    Graph g = Graph::undirected(n);
+    for (NodeId u = 0; u < n; ++u)
+        for (NodeId v = u + 1; v < n; ++v)
+            if (rng.bernoulli(p)) g.add_edge(u, v, weights.sample(rng));
+    if (ensure_connected) make_connected(g, weights, rng);
+    return g;
+}
+
+Graph random_geometric(int n, double radius, WeightRange weights, Rng& rng,
+                       bool ensure_connected)
+{
+    CCQ_EXPECT(n >= 1, "random_geometric: need n >= 1");
+    CCQ_EXPECT(radius > 0.0, "random_geometric: radius must be positive");
+    std::vector<std::pair<double, double>> points(static_cast<std::size_t>(n));
+    for (auto& [x, y] : points) {
+        x = rng.uniform_real();
+        y = rng.uniform_real();
+    }
+    Graph g = Graph::undirected(n);
+    const Weight span = weights.hi - weights.lo;
+    for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v = u + 1; v < n; ++v) {
+            const double dx = points[static_cast<std::size_t>(u)].first -
+                              points[static_cast<std::size_t>(v)].first;
+            const double dy = points[static_cast<std::size_t>(u)].second -
+                              points[static_cast<std::size_t>(v)].second;
+            const double dist = std::sqrt(dx * dx + dy * dy);
+            if (dist <= radius) {
+                // Weight proportional to geometric length, mapped into range.
+                const Weight w =
+                    weights.lo + static_cast<Weight>(static_cast<double>(span) * dist / radius);
+                g.add_edge(u, v, std::clamp(w, weights.lo, weights.hi));
+            }
+        }
+    }
+    if (ensure_connected) make_connected(g, weights, rng);
+    return g;
+}
+
+Graph barabasi_albert(int n, int attach, WeightRange weights, Rng& rng)
+{
+    CCQ_EXPECT(n >= 2, "barabasi_albert: need n >= 2");
+    CCQ_EXPECT(attach >= 1, "barabasi_albert: need attach >= 1");
+    Graph g = Graph::undirected(n);
+    // Preferential attachment via the repeated-endpoints trick.
+    std::vector<NodeId> endpoints;
+    g.add_edge(0, 1, weights.sample(rng));
+    endpoints.push_back(0);
+    endpoints.push_back(1);
+    for (NodeId v = 2; v < n; ++v) {
+        const int degree_links = std::min<int>(attach, v);
+        std::vector<NodeId> chosen;
+        while (static_cast<int>(chosen.size()) < degree_links) {
+            const auto pick = static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(endpoints.size()) - 1));
+            const NodeId target = endpoints[pick];
+            if (std::find(chosen.begin(), chosen.end(), target) == chosen.end())
+                chosen.push_back(target);
+        }
+        for (const NodeId target : chosen) {
+            g.add_edge(v, target, weights.sample(rng));
+            endpoints.push_back(v);
+            endpoints.push_back(target);
+        }
+    }
+    return g;
+}
+
+Graph clustered_graph(int n, int clusters, double p_in, double p_out, WeightRange weights,
+                      Weight bridge_factor, Rng& rng)
+{
+    CCQ_EXPECT(n >= 1 && clusters >= 1, "clustered_graph: bad sizes");
+    CCQ_EXPECT(bridge_factor >= 1, "clustered_graph: bridge_factor must be >= 1");
+    Graph g = Graph::undirected(n);
+    const auto cluster_of = [&](NodeId v) { return static_cast<int>(v) % clusters; };
+    const WeightRange bridge_weights{weights.lo * bridge_factor, weights.hi * bridge_factor};
+    for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v = u + 1; v < n; ++v) {
+            const bool same = cluster_of(u) == cluster_of(v);
+            if (rng.bernoulli(same ? p_in : p_out)) {
+                g.add_edge(u, v, same ? weights.sample(rng) : bridge_weights.sample(rng));
+            }
+        }
+    }
+    make_connected(g, bridge_weights, rng);
+    return g;
+}
+
+void make_connected(Graph& g, WeightRange weights, Rng& rng)
+{
+    CCQ_EXPECT(!g.is_directed(), "make_connected: undirected graphs only");
+    const int n = g.node_count();
+    if (n <= 1) return;
+    const std::vector<int> label = connected_components(g);
+    // Pick one representative per component; chain them with fresh edges.
+    std::map<int, NodeId> representative;
+    for (NodeId v = 0; v < n; ++v) representative.try_emplace(label[static_cast<std::size_t>(v)], v);
+    NodeId previous = -1;
+    for (const auto& [component, node] : representative) {
+        (void)component;
+        if (previous >= 0) {
+            // Attach at a random node of the previous component for variety.
+            g.add_edge(previous, node, weights.sample(rng));
+        }
+        previous = node;
+    }
+    const NodeId rnd = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    (void)rnd; // draw kept for stream stability across versions
+}
+
+const char* family_name(GraphFamily family)
+{
+    switch (family) {
+    case GraphFamily::path: return "path";
+    case GraphFamily::cycle: return "cycle";
+    case GraphFamily::star: return "star";
+    case GraphFamily::grid: return "grid";
+    case GraphFamily::tree: return "tree";
+    case GraphFamily::erdos_renyi_sparse: return "er_sparse";
+    case GraphFamily::erdos_renyi_dense: return "er_dense";
+    case GraphFamily::geometric: return "geometric";
+    case GraphFamily::barabasi_albert: return "barabasi_albert";
+    case GraphFamily::clustered: return "clustered";
+    }
+    return "unknown";
+}
+
+Graph make_family_instance(GraphFamily family, int n, WeightRange weights, Rng& rng)
+{
+    CCQ_EXPECT(n >= 4, "make_family_instance: need n >= 4");
+    switch (family) {
+    case GraphFamily::path: return path_graph(n, weights, rng);
+    case GraphFamily::cycle: return cycle_graph(n, weights, rng);
+    case GraphFamily::star: return star_graph(n, weights, rng);
+    case GraphFamily::grid: {
+        const int rows = std::max(2, static_cast<int>(floor_sqrt(n)));
+        const int cols = std::max(2, (n + rows - 1) / rows);
+        return grid_graph(rows, cols, weights, rng);
+    }
+    case GraphFamily::tree: return random_tree(n, weights, rng);
+    case GraphFamily::erdos_renyi_sparse:
+        return erdos_renyi(n, 3.0 / std::max(1, n), weights, rng);
+    case GraphFamily::erdos_renyi_dense:
+        return erdos_renyi(n, 0.3, weights, rng);
+    case GraphFamily::geometric:
+        return random_geometric(n, 2.0 / std::sqrt(static_cast<double>(std::max(1, n))), weights,
+                                rng);
+    case GraphFamily::barabasi_albert: return barabasi_albert(n, 3, weights, rng);
+    case GraphFamily::clustered:
+        return clustered_graph(n, std::max(2, n / 32), 0.4, 0.002, weights, /*bridge_factor=*/8,
+                               rng);
+    }
+    throw check_error("make_family_instance: unknown family");
+}
+
+} // namespace ccq

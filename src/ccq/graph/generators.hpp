@@ -1,0 +1,95 @@
+// Synthetic workload generators.
+//
+// The paper has no published input traces (it is a theory result), so the
+// evaluation harness generates graph families spanning the regimes the
+// analysis distinguishes: sparse vs dense, small vs large weighted
+// diameter, uniform vs highly skewed weights, and clustered topologies
+// that stress the skeleton-graph machinery.  Every generator is
+// deterministic given the Rng seed.
+#ifndef CCQ_GRAPH_GENERATORS_HPP
+#define CCQ_GRAPH_GENERATORS_HPP
+
+#include "ccq/common/rng.hpp"
+#include "ccq/graph/graph.hpp"
+
+namespace ccq {
+
+/// Edge-weight sampling policy.
+struct WeightRange {
+    Weight lo = 1;
+    Weight hi = 100;
+
+    [[nodiscard]] Weight sample(Rng& rng) const
+    {
+        CCQ_EXPECT(0 <= lo && lo <= hi, "WeightRange: need 0 <= lo <= hi");
+        return static_cast<Weight>(rng.uniform_int(lo, hi));
+    }
+};
+
+/// Path 0-1-...-(n-1).  Maximal hop diameter.
+[[nodiscard]] Graph path_graph(int n, WeightRange weights, Rng& rng);
+
+/// Cycle over n >= 3 nodes.
+[[nodiscard]] Graph cycle_graph(int n, WeightRange weights, Rng& rng);
+
+/// Star centered at node 0.  Diameter 2 hops.
+[[nodiscard]] Graph star_graph(int n, WeightRange weights, Rng& rng);
+
+/// Complete graph K_n.
+[[nodiscard]] Graph complete_graph(int n, WeightRange weights, Rng& rng);
+
+/// rows x cols grid.
+[[nodiscard]] Graph grid_graph(int rows, int cols, WeightRange weights, Rng& rng);
+
+/// Uniform random spanning tree over n nodes (random attachment order).
+[[nodiscard]] Graph random_tree(int n, WeightRange weights, Rng& rng);
+
+/// Erdős–Rényi G(n, p).  If `ensure_connected`, a random spanning tree is
+/// superimposed first so the instance has finite distances everywhere.
+[[nodiscard]] Graph erdos_renyi(int n, double p, WeightRange weights, Rng& rng,
+                                bool ensure_connected = true);
+
+/// Random geometric graph on the unit square: nodes connect within
+/// `radius`; edge weight scales the Euclidean distance into `weights`.
+/// Produces locality the skeleton machinery can exploit.
+[[nodiscard]] Graph random_geometric(int n, double radius, WeightRange weights, Rng& rng,
+                                     bool ensure_connected = true);
+
+/// Barabási–Albert preferential attachment, `attach` edges per new node.
+/// Skewed degree distribution.
+[[nodiscard]] Graph barabasi_albert(int n, int attach, WeightRange weights, Rng& rng);
+
+/// `clusters` dense blobs (intra-edge prob. p_in, weights `weights`) joined
+/// by sparse heavy bridges (prob. p_out, weights scaled by bridge_factor).
+/// Stresses hitting sets and hierarchical distance scales.
+[[nodiscard]] Graph clustered_graph(int n, int clusters, double p_in, double p_out,
+                                    WeightRange weights, Weight bridge_factor, Rng& rng);
+
+/// Adds minimum plumbing (one sampled edge per extra component) so the
+/// graph becomes connected.  No-op when already connected.
+void make_connected(Graph& g, WeightRange weights, Rng& rng);
+
+/// Named family selector so tests and benches can sweep families
+/// uniformly.
+enum class GraphFamily {
+    path,
+    cycle,
+    star,
+    grid,
+    tree,
+    erdos_renyi_sparse,
+    erdos_renyi_dense,
+    geometric,
+    barabasi_albert,
+    clustered,
+};
+
+[[nodiscard]] const char* family_name(GraphFamily family);
+
+/// Builds a representative instance of `family` with ~n nodes.
+[[nodiscard]] Graph make_family_instance(GraphFamily family, int n, WeightRange weights,
+                                         Rng& rng);
+
+} // namespace ccq
+
+#endif // CCQ_GRAPH_GENERATORS_HPP

@@ -1,0 +1,103 @@
+#include "ccq/graph/graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace ccq {
+
+Graph::Graph(int node_count, Orientation orientation) : orientation_(orientation)
+{
+    CCQ_EXPECT(node_count >= 0, "Graph: negative node count");
+    adjacency_.resize(static_cast<std::size_t>(node_count));
+}
+
+void Graph::add_edge(NodeId u, NodeId v, Weight weight)
+{
+    CCQ_EXPECT(is_valid_node(u) && is_valid_node(v), "add_edge: endpoint out of range");
+    CCQ_EXPECT(weight >= 0 && is_finite(weight), "add_edge: weight must be finite and >= 0");
+    adjacency_[static_cast<std::size_t>(u)].push_back(Edge{v, weight});
+    ++arc_count_;
+    if (!is_directed()) {
+        adjacency_[static_cast<std::size_t>(v)].push_back(Edge{u, weight});
+        ++arc_count_;
+    }
+}
+
+Weight Graph::max_weight() const noexcept
+{
+    Weight result = 0;
+    for (const auto& list : adjacency_)
+        for (const Edge& e : list) result = std::max(result, e.weight);
+    return result;
+}
+
+std::vector<Edge> Graph::lightest_out_edges(NodeId u, int k) const
+{
+    CCQ_EXPECT(is_valid_node(u), "lightest_out_edges: node out of range");
+    CCQ_EXPECT(k >= 0, "lightest_out_edges: k must be >= 0");
+    std::vector<Edge> edges(neighbors(u).begin(), neighbors(u).end());
+    const auto by_weight_then_id = [](const Edge& a, const Edge& b) {
+        return weight_id_less(a.weight, a.to, b.weight, b.to);
+    };
+    if (std::cmp_less(k, edges.size())) {
+        std::nth_element(edges.begin(), edges.begin() + k, edges.end(), by_weight_then_id);
+        edges.resize(static_cast<std::size_t>(k));
+    }
+    std::sort(edges.begin(), edges.end(), by_weight_then_id);
+    return edges;
+}
+
+std::vector<WeightedEdge> Graph::edge_list() const
+{
+    std::vector<WeightedEdge> result;
+    result.reserve(edge_count());
+    for (NodeId u = 0; u < node_count(); ++u) {
+        for (const Edge& e : neighbors(u)) {
+            if (is_directed() || u <= e.to) result.push_back(WeightedEdge{u, e.to, e.weight});
+        }
+    }
+    return result;
+}
+
+Graph Graph::simplified() const
+{
+    Graph result(node_count(), orientation_);
+    std::map<std::pair<NodeId, NodeId>, Weight> best;
+    for (NodeId u = 0; u < node_count(); ++u) {
+        for (const Edge& e : neighbors(u)) {
+            if (u == e.to) continue; // drop self-loops
+            NodeId a = u, b = e.to;
+            if (!is_directed() && a > b) std::swap(a, b);
+            if (is_directed() || u <= e.to) {
+                auto [it, inserted] = best.try_emplace({a, b}, e.weight);
+                if (!inserted) it->second = std::min(it->second, e.weight);
+            }
+        }
+    }
+    for (const auto& [key, weight] : best) result.add_edge(key.first, key.second, weight);
+    return result;
+}
+
+Graph Graph::with_weights_clamped(Weight cap) const
+{
+    CCQ_EXPECT(cap >= 0, "with_weights_clamped: cap must be >= 0");
+    Graph result(node_count(), orientation_);
+    for (NodeId u = 0; u < node_count(); ++u) {
+        for (const Edge& e : neighbors(u)) {
+            if (is_directed() || u <= e.to)
+                result.add_edge(u, e.to, std::min(e.weight, cap));
+        }
+    }
+    return result;
+}
+
+Graph graph_from_edges(int node_count, Orientation orientation,
+                       std::span<const WeightedEdge> edges)
+{
+    Graph g(node_count, orientation);
+    for (const WeightedEdge& e : edges) g.add_edge(e.u, e.v, e.weight);
+    return g;
+}
+
+} // namespace ccq

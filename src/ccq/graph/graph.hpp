@@ -1,0 +1,125 @@
+// Weighted graph representation.
+//
+// The input graph of the APSP problem (paper, Section 2.1): simple,
+// weighted, with polynomially bounded nonnegative integer weights.  Most
+// of the paper concerns undirected graphs, but the hopset (Section 4) and
+// k-nearest (Section 5) machinery is stated for directed graphs, so the
+// representation supports both orientations.
+#ifndef CCQ_GRAPH_GRAPH_HPP
+#define CCQ_GRAPH_GRAPH_HPP
+
+#include <span>
+#include <vector>
+
+#include "ccq/common/check.hpp"
+#include "ccq/common/types.hpp"
+
+namespace ccq {
+
+/// Outgoing half-edge.
+struct Edge {
+    NodeId to = 0;
+    Weight weight = 0;
+
+    friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Full edge, used for edge-list interchange.
+struct WeightedEdge {
+    NodeId u = 0;
+    NodeId v = 0;
+    Weight weight = 0;
+
+    friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+enum class Orientation { undirected, directed };
+
+/// Adjacency-list graph over nodes [0, n).
+///
+/// Invariants: all endpoints are valid node ids and all weights are
+/// nonnegative and finite.  For undirected graphs every edge is stored as
+/// two arcs; `edge_count()` reports logical edges while `arc_count()`
+/// reports stored arcs.  Parallel edges are permitted (algorithms that
+/// need simple graphs deduplicate explicitly via `simplified()`).
+class Graph {
+public:
+    /// Empty undirected graph (useful as a default member).
+    Graph() : Graph(0, Orientation::undirected) {}
+
+    Graph(int node_count, Orientation orientation);
+
+    [[nodiscard]] static Graph undirected(int node_count)
+    {
+        return Graph(node_count, Orientation::undirected);
+    }
+    [[nodiscard]] static Graph directed(int node_count)
+    {
+        return Graph(node_count, Orientation::directed);
+    }
+
+    /// Adds edge {u, v} (undirected) or arc (u, v) (directed).
+    void add_edge(NodeId u, NodeId v, Weight weight);
+
+    [[nodiscard]] int node_count() const noexcept { return static_cast<int>(adjacency_.size()); }
+    [[nodiscard]] std::size_t arc_count() const noexcept { return arc_count_; }
+    [[nodiscard]] std::size_t edge_count() const noexcept
+    {
+        return is_directed() ? arc_count_ : arc_count_ / 2;
+    }
+    [[nodiscard]] bool is_directed() const noexcept
+    {
+        return orientation_ == Orientation::directed;
+    }
+    [[nodiscard]] Orientation orientation() const noexcept { return orientation_; }
+
+    [[nodiscard]] std::span<const Edge> neighbors(NodeId u) const
+    {
+        CCQ_EXPECT(is_valid_node(u), "neighbors: node out of range");
+        return adjacency_[static_cast<std::size_t>(u)];
+    }
+
+    [[nodiscard]] bool is_valid_node(NodeId u) const noexcept
+    {
+        return u >= 0 && u < node_count();
+    }
+
+    /// Largest edge weight (0 for an empty graph).
+    [[nodiscard]] Weight max_weight() const noexcept;
+
+    /// The `k` lightest outgoing edges of `u`, ties broken by target id.
+    /// This is the edge-selection rule of Section 4 (hopset) and Section 5
+    /// (k-nearest filtering), where the tie order is load-bearing.
+    [[nodiscard]] std::vector<Edge> lightest_out_edges(NodeId u, int k) const;
+
+    /// All edges as a list (each undirected edge appears once, u <= v).
+    [[nodiscard]] std::vector<WeightedEdge> edge_list() const;
+
+    /// Copy with parallel edges collapsed to their minimum weight and
+    /// self-loops removed.
+    [[nodiscard]] Graph simplified() const;
+
+    /// Copy with every edge weight clamped to `cap` (used by the
+    /// weight-scaling lemma's implicit complete "cap" edges).
+    [[nodiscard]] Graph with_weights_clamped(Weight cap) const;
+
+private:
+    std::vector<std::vector<Edge>> adjacency_;
+    Orientation orientation_;
+    std::size_t arc_count_ = 0;
+};
+
+/// Builds a graph from an edge list.
+[[nodiscard]] Graph graph_from_edges(int node_count, Orientation orientation,
+                                     std::span<const WeightedEdge> edges);
+
+/// Comparison used everywhere a "k smallest" selection appears in the
+/// paper: order by (weight, node id).  Returns true if (wa, a) < (wb, b).
+[[nodiscard]] constexpr bool weight_id_less(Weight wa, NodeId a, Weight wb, NodeId b) noexcept
+{
+    return wa != wb ? wa < wb : a < b;
+}
+
+} // namespace ccq
+
+#endif // CCQ_GRAPH_GRAPH_HPP

@@ -1,0 +1,88 @@
+#include "ccq/graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace ccq {
+
+void write_graph(std::ostream& out, const Graph& g, std::string_view comment)
+{
+    if (!comment.empty()) out << "c " << comment << '\n';
+    out << "p " << (g.is_directed() ? "directed" : "undirected") << ' ' << g.node_count() << ' '
+        << g.edge_count() << '\n';
+    for (const WeightedEdge& e : g.edge_list())
+        out << "e " << e.u << ' ' << e.v << ' ' << e.weight << '\n';
+}
+
+Graph read_graph(std::istream& in)
+{
+    std::string line;
+    bool have_header = false;
+    Graph g = Graph::undirected(0);
+    std::size_t declared_edges = 0;
+    std::size_t seen_edges = 0;
+    int line_number = 0;
+    while (std::getline(in, line)) {
+        ++line_number;
+        std::istringstream fields(line);
+        std::string tag;
+        if (!(fields >> tag) || tag == "c") continue; // blank or comment
+        if (tag == "p") {
+            if (have_header)
+                throw graph_io_error("read_graph: duplicate header at line " +
+                                     std::to_string(line_number));
+            std::string orientation;
+            int n = 0;
+            if (!(fields >> orientation >> n >> declared_edges) || n < 0)
+                throw graph_io_error("read_graph: malformed header at line " +
+                                     std::to_string(line_number));
+            if (orientation == "undirected")
+                g = Graph::undirected(n);
+            else if (orientation == "directed")
+                g = Graph::directed(n);
+            else
+                throw graph_io_error("read_graph: unknown orientation '" + orientation + "'");
+            have_header = true;
+        } else if (tag == "e") {
+            if (!have_header)
+                throw graph_io_error("read_graph: edge before header at line " +
+                                     std::to_string(line_number));
+            long long u = 0, v = 0, w = 0;
+            if (!(fields >> u >> v >> w))
+                throw graph_io_error("read_graph: malformed edge at line " +
+                                     std::to_string(line_number));
+            try {
+                g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v),
+                           static_cast<Weight>(w));
+            } catch (const check_error& error) {
+                throw graph_io_error("read_graph: invalid edge at line " +
+                                     std::to_string(line_number) + ": " + error.what());
+            }
+            ++seen_edges;
+        } else {
+            throw graph_io_error("read_graph: unknown record '" + tag + "' at line " +
+                                 std::to_string(line_number));
+        }
+    }
+    if (!have_header) throw graph_io_error("read_graph: missing header");
+    if (seen_edges != declared_edges)
+        throw graph_io_error("read_graph: header declares " + std::to_string(declared_edges) +
+                             " edges, found " + std::to_string(seen_edges));
+    return g;
+}
+
+void save_graph(const std::string& path, const Graph& g, std::string_view comment)
+{
+    std::ofstream out(path);
+    if (!out) throw graph_io_error("save_graph: cannot open " + path);
+    write_graph(out, g, comment);
+}
+
+Graph load_graph(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) throw graph_io_error("load_graph: cannot open " + path);
+    return read_graph(in);
+}
+
+} // namespace ccq

@@ -1,0 +1,33 @@
+// Graph serialization: a DIMACS-like edge-list format.
+//
+//   c <comment>
+//   p <undirected|directed> <node-count> <edge-count>
+//   e <u> <v> <weight>
+//
+// Used by the examples and by downstream users to run the library on
+// their own instances.
+#ifndef CCQ_GRAPH_IO_HPP
+#define CCQ_GRAPH_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "ccq/graph/graph.hpp"
+
+namespace ccq {
+
+/// Thrown on malformed input.
+class graph_io_error : public std::runtime_error {
+public:
+    explicit graph_io_error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+void write_graph(std::ostream& out, const Graph& g, std::string_view comment = {});
+[[nodiscard]] Graph read_graph(std::istream& in);
+
+void save_graph(const std::string& path, const Graph& g, std::string_view comment = {});
+[[nodiscard]] Graph load_graph(const std::string& path);
+
+} // namespace ccq
+
+#endif // CCQ_GRAPH_IO_HPP

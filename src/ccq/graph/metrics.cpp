@@ -1,0 +1,93 @@
+#include "ccq/graph/metrics.hpp"
+
+#include <algorithm>
+
+#include "ccq/graph/exact.hpp"
+
+namespace ccq {
+
+std::vector<int> connected_components(const Graph& g)
+{
+    const int n = g.node_count();
+    // Union-find over the underlying undirected graph.
+    std::vector<NodeId> parent(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) parent[static_cast<std::size_t>(v)] = v;
+    const auto find = [&](NodeId v) {
+        while (parent[static_cast<std::size_t>(v)] != v) {
+            parent[static_cast<std::size_t>(v)] =
+                parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])];
+            v = parent[static_cast<std::size_t>(v)];
+        }
+        return v;
+    };
+    for (NodeId u = 0; u < n; ++u) {
+        for (const Edge& e : g.neighbors(u)) {
+            const NodeId ru = find(u), rv = find(e.to);
+            if (ru != rv) parent[static_cast<std::size_t>(std::max(ru, rv))] = std::min(ru, rv);
+        }
+    }
+    std::vector<int> label(static_cast<std::size_t>(n), -1);
+    int next = 0;
+    for (NodeId v = 0; v < n; ++v) {
+        const NodeId root = find(v);
+        if (label[static_cast<std::size_t>(root)] < 0) label[static_cast<std::size_t>(root)] = next++;
+        label[static_cast<std::size_t>(v)] = label[static_cast<std::size_t>(root)];
+    }
+    return label;
+}
+
+bool is_connected(const Graph& g)
+{
+    if (g.node_count() <= 1) return true;
+    const std::vector<int> label = connected_components(g);
+    return std::all_of(label.begin(), label.end(), [](int c) { return c == 0; });
+}
+
+Weight weighted_diameter(const DistanceMatrix& exact_distances)
+{
+    Weight best = 0;
+    for (NodeId u = 0; u < exact_distances.size(); ++u) {
+        for (NodeId v = 0; v < exact_distances.size(); ++v) {
+            const Weight d = exact_distances.at(u, v);
+            if (is_finite(d)) best = std::max(best, d);
+        }
+    }
+    return best;
+}
+
+Weight weighted_diameter(const Graph& g)
+{
+    Weight best = 0;
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+        for (const Weight d : dijkstra_from(g, s))
+            if (is_finite(d)) best = std::max(best, d);
+    }
+    return best;
+}
+
+int shortest_path_hop_diameter(const Graph& g)
+{
+    int best = 0;
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+        for (const int h : min_hops_on_shortest_paths(g, s)) best = std::max(best, h);
+    }
+    return best;
+}
+
+DegreeStats degree_stats(const Graph& g)
+{
+    DegreeStats stats;
+    const int n = g.node_count();
+    if (n == 0) return stats;
+    stats.min_degree = static_cast<int>(g.neighbors(0).size());
+    for (NodeId v = 0; v < n; ++v) {
+        const int deg = static_cast<int>(g.neighbors(v).size());
+        stats.min_degree = std::min(stats.min_degree, deg);
+        stats.max_degree = std::max(stats.max_degree, deg);
+        stats.avg_degree += deg;
+    }
+    stats.avg_degree /= n;
+    return stats;
+}
+
+} // namespace ccq

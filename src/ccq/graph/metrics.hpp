@@ -1,0 +1,37 @@
+// Structural graph metrics used by tests, benches and parameter schedules.
+#ifndef CCQ_GRAPH_METRICS_HPP
+#define CCQ_GRAPH_METRICS_HPP
+
+#include <vector>
+
+#include "ccq/graph/graph.hpp"
+#include "ccq/matrix/dense.hpp"
+
+namespace ccq {
+
+/// Connected-component label per node (undirected sense: directed graphs
+/// are treated as their underlying undirected graph).  Labels are dense,
+/// starting at 0, assigned in order of smallest member id.
+[[nodiscard]] std::vector<int> connected_components(const Graph& g);
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Maximum finite pairwise distance ("weighted diameter", Section 2.1).
+/// Returns 0 for graphs with fewer than 2 nodes.
+[[nodiscard]] Weight weighted_diameter(const Graph& g);
+[[nodiscard]] Weight weighted_diameter(const DistanceMatrix& exact_distances);
+
+/// Maximum hop count over shortest paths (the smallest h with A^h = A^n).
+[[nodiscard]] int shortest_path_hop_diameter(const Graph& g);
+
+struct DegreeStats {
+    int min_degree = 0;
+    int max_degree = 0;
+    double avg_degree = 0.0;
+};
+
+[[nodiscard]] DegreeStats degree_stats(const Graph& g);
+
+} // namespace ccq
+
+#endif // CCQ_GRAPH_METRICS_HPP

@@ -1,0 +1,63 @@
+// k-nearest beta-hopsets (paper Section 4, Lemma 3.2).
+//
+// Given an a-approximation delta of APSP, adds shortcut edges H such that
+//  * distances are preserved: d_{G∪H} = d_G, and
+//  * every node reaches each of its k nearest nodes within
+//    beta = O(a log d) hops at exact distance,
+// in O(1) rounds.  Works for directed graphs as well (the paper proves the
+// lemma in the directed setting); for undirected inputs each shortcut is
+// usable in both directions.
+//
+// Algorithm (Section 4.1): each node v takes its approximate k-nearest
+// set (by delta, ties by id), asks each member for its k lightest
+// outgoing edges, runs a local shortest-path computation on the received
+// subgraph plus its own out-edges, and records the resulting local
+// distances as shortcut edges.
+#ifndef CCQ_HOPSET_KNEAREST_HOPSET_HPP
+#define CCQ_HOPSET_KNEAREST_HOPSET_HPP
+
+#include <string_view>
+#include <vector>
+
+#include "ccq/clique/transport.hpp"
+#include "ccq/graph/graph.hpp"
+#include "ccq/matrix/dense.hpp"
+#include "ccq/matrix/sparse.hpp"
+
+namespace ccq {
+
+struct Hopset {
+    /// Directed shortcut edges (from, to, exact-path length d'(from,to)).
+    std::vector<WeightedEdge> edges;
+    int k = 0;
+    /// Analytic hop bound from Lemma 4.2: 2*ceil(a ln d) + 3, evaluated
+    /// with the caller's diameter upper bound.
+    int claimed_hop_bound = 0;
+};
+
+/// Builds a k-nearest O(a log d)-hopset from an a-approximation `delta`.
+/// `k` defaults to floor(sqrt(n)) (the paper's headline instantiation).
+/// `diameter_bound` upper-bounds the weighted diameter d (pass the max
+/// finite delta entry if unknown; it is only used for the claimed bound).
+[[nodiscard]] Hopset build_knearest_hopset(const Graph& g, const DistanceMatrix& delta,
+                                           double a, Weight diameter_bound,
+                                           CliqueTransport& transport, std::string_view phase,
+                                           int k = -1);
+
+/// G ∪ H with the same orientation as `g`.  For undirected `g`, shortcut
+/// (v,u,w) becomes an undirected edge — valid because w is the length of
+/// a real v-u path in `g`.
+[[nodiscard]] Graph augmented_graph(const Graph& g, const Hopset& hopset);
+
+/// Adjacency rows of G ∪ H including diagonal zeros (input format for the
+/// k-nearest computation of Section 5).
+[[nodiscard]] SparseMatrix augmented_rows(const Graph& g, const Hopset& hopset);
+
+/// Measurement helper for E3: the maximum, over nodes v and their true
+/// k-nearest u, of the minimum hop count among shortest v-u paths in
+/// G ∪ H.  This is the empirical beta the hopset achieves.
+[[nodiscard]] int measured_hopset_bound(const Graph& g, const Hopset& hopset);
+
+} // namespace ccq
+
+#endif // CCQ_HOPSET_KNEAREST_HOPSET_HPP

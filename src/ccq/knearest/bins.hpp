@@ -1,0 +1,29 @@
+// Faithful implementation of the Section 5.2 distributed algorithm:
+// global list M = M(1)◦...◦M(n), contiguous bins C_1..C_p, one
+// h-combination of bins per helper node, and the query/response phase.
+//
+// Used by tests to validate that the routed computation produces exactly
+// the filtered power filter_k((A-bar)^h), and by benches (E4) to measure
+// the real message loads of the scheme.
+#ifndef CCQ_KNEAREST_BINS_HPP
+#define CCQ_KNEAREST_BINS_HPP
+
+#include <string_view>
+
+#include "ccq/clique/transport.hpp"
+#include "ccq/matrix/sparse.hpp"
+
+namespace ccq {
+
+/// One iteration of Lemma 5.1 via the bin / h-combination scheme.
+/// `filtered` must already be filtered to k entries per row (with diagonal
+/// zeros).  Returns the k smallest entries per row of filtered^h.
+/// Falls back to the broadcast branch when the scheme is degenerate for
+/// (n, k, h), exactly as the paper prescribes (Section 5.2, assumptions).
+[[nodiscard]] SparseMatrix knearest_iteration_bins(const SparseMatrix& filtered, int k, int h,
+                                                   CliqueTransport& transport,
+                                                   std::string_view phase);
+
+} // namespace ccq
+
+#endif // CCQ_KNEAREST_BINS_HPP

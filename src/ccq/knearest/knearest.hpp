@@ -1,0 +1,64 @@
+// Fast computation of the k-nearest nodes (paper Section 5).
+//
+// Lemma 5.1: for k ∈ O(n^{1/h}), the h-hop distances to the k nearest
+// nodes are computable in O(1) rounds.  Lemma 5.2 iterates this i times to
+// cover h^i hops in O(i) rounds.  Combined with a k-nearest h^i-hopset
+// this yields exact k-nearest distances (Lemma 3.3).
+//
+// The computation is filtered min-plus exponentiation: keep the k
+// smallest entries per row (ties by id), raise to the h-th power, filter
+// again; Lemma 5.5 guarantees no information about the k nearest is lost.
+//
+// Two execution paths produce identical rows:
+//  * fast path — local filtered powers, rounds charged analytically from
+//    the bin-scheme loads;
+//  * faithful path (bins.hpp) — actually routes the bin / h-combination
+//    messages of Section 5.2 through the simulated clique.
+#ifndef CCQ_KNEAREST_KNEAREST_HPP
+#define CCQ_KNEAREST_KNEAREST_HPP
+
+#include <cstdint>
+#include <string_view>
+
+#include "ccq/clique/transport.hpp"
+#include "ccq/matrix/sparse.hpp"
+
+namespace ccq {
+
+struct KNearestOptions {
+    int k = 1;          ///< how many nearest nodes per node
+    int h = 2;          ///< per-iteration hop base (k should be O(n^{1/h}))
+    int iterations = 1; ///< i of Lemma 5.2; covers h^i hops total
+    bool faithful_bins = false; ///< route the real Section 5.2 messages
+};
+
+/// Parameters of the Section 5.2 bin scheme for (n, k, h).
+struct BinSchemeParams {
+    std::int64_t p = 0;        ///< number of bins: floor(n^{1/h} * h/4)
+    std::int64_t bin_size = 0; ///< ceil(n*k/p) list entries per bin
+    std::int64_t p_effective = 0; ///< bins actually populated
+    std::int64_t combination_count = 0; ///< h * C(p_eff, h), saturated
+    bool degenerate = false; ///< p < h, bin_size <= k, or combos > n:
+                             ///< fall back to broadcasting the k-lists
+};
+
+[[nodiscard]] BinSchemeParams bin_scheme_params(int n, int k, int h);
+
+struct KNearestResult {
+    SparseMatrix rows;           ///< per node u: k smallest (dist, id) of A^{h^i}
+    std::int64_t hop_budget = 1; ///< h^iterations (saturated)
+    bool used_degenerate_broadcast = false;
+};
+
+/// Runs `iterations` filtered-power steps on `adjacency` (which must
+/// contain diagonal zeros, i.e. come from adjacency_rows(g, true) or
+/// augmented_rows).  Rounds are charged per iteration: O(1) each in the
+/// non-degenerate regime, matching Lemma 5.3.
+[[nodiscard]] KNearestResult compute_k_nearest(const SparseMatrix& adjacency,
+                                               const KNearestOptions& options,
+                                               CliqueTransport& transport,
+                                               std::string_view phase);
+
+} // namespace ccq
+
+#endif // CCQ_KNEAREST_KNEAREST_HPP

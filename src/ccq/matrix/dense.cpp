@@ -1,0 +1,64 @@
+#include "ccq/matrix/dense.hpp"
+
+#include "ccq/graph/graph.hpp"
+
+namespace ccq {
+
+DistanceMatrix adjacency_matrix(const Graph& g)
+{
+    DistanceMatrix a(g.node_count());
+    a.set_diagonal_zero();
+    for (NodeId u = 0; u < g.node_count(); ++u)
+        for (const Edge& e : g.neighbors(u)) a.relax(u, e.to, e.weight);
+    return a;
+}
+
+DistanceMatrix min_plus_product(const DistanceMatrix& a, const DistanceMatrix& b)
+{
+    CCQ_EXPECT(a.size() == b.size(), "min_plus_product: size mismatch");
+    const int n = a.size();
+    DistanceMatrix c(n);
+    for (NodeId i = 0; i < n; ++i) {
+        for (NodeId k = 0; k < n; ++k) {
+            const Weight aik = a.at(i, k);
+            if (!is_finite(aik)) continue;
+            for (NodeId j = 0; j < n; ++j) {
+                const Weight cand = saturating_add(aik, b.at(k, j));
+                c.relax(i, j, cand);
+            }
+        }
+    }
+    return c;
+}
+
+DistanceMatrix min_plus_closure(DistanceMatrix a, int* products_used)
+{
+    int used = 0;
+    const int n = a.size();
+    // (n-1) hops suffice; square until the hop budget covers that.
+    for (std::int64_t hops = 1; hops < n - 1; hops *= 2) {
+        a = min_plus_product(a, a);
+        ++used;
+    }
+    if (products_used != nullptr) *products_used = used;
+    return a;
+}
+
+DistanceMatrix entrywise_min(const DistanceMatrix& a, const DistanceMatrix& b)
+{
+    CCQ_EXPECT(a.size() == b.size(), "entrywise_min: size mismatch");
+    DistanceMatrix c(a.size());
+    for (NodeId i = 0; i < a.size(); ++i)
+        for (NodeId j = 0; j < a.size(); ++j) c.at(i, j) = min_weight(a.at(i, j), b.at(i, j));
+    return c;
+}
+
+bool is_symmetric(const DistanceMatrix& a)
+{
+    for (NodeId i = 0; i < a.size(); ++i)
+        for (NodeId j = i + 1; j < a.size(); ++j)
+            if (a.at(i, j) != a.at(j, i)) return false;
+    return true;
+}
+
+} // namespace ccq

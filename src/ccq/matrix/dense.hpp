@@ -1,0 +1,87 @@
+// Dense distance matrices over the tropical (min-plus) semiring.
+//
+// Section 2.1 of the paper: APSP is matrix exponentiation over
+// (Z>=0 ∪ {∞}, min, +).  A^h holds the h-hop distances; once h reaches the
+// maximum shortest-path hop count, A^h is the distance matrix.
+#ifndef CCQ_MATRIX_DENSE_HPP
+#define CCQ_MATRIX_DENSE_HPP
+
+#include <vector>
+
+#include "ccq/common/check.hpp"
+#include "ccq/common/types.hpp"
+
+namespace ccq {
+
+class Graph;
+
+/// Square matrix of path lengths with kInfinity as "no path".
+class DistanceMatrix {
+public:
+    DistanceMatrix() = default;
+    explicit DistanceMatrix(int n, Weight fill = kInfinity)
+        : n_(n), cells_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), fill)
+    {
+        CCQ_EXPECT(n >= 0, "DistanceMatrix: negative size");
+    }
+
+    [[nodiscard]] int size() const noexcept { return n_; }
+
+    [[nodiscard]] Weight& at(NodeId u, NodeId v)
+    {
+        CCQ_EXPECT(in_range(u) && in_range(v), "DistanceMatrix::at out of range");
+        return cells_[index(u, v)];
+    }
+    [[nodiscard]] Weight at(NodeId u, NodeId v) const
+    {
+        CCQ_EXPECT(in_range(u) && in_range(v), "DistanceMatrix::at out of range");
+        return cells_[index(u, v)];
+    }
+
+    /// Replaces at(u,v) with min(at(u,v), w).
+    void relax(NodeId u, NodeId v, Weight w)
+    {
+        Weight& cell = at(u, v);
+        cell = min_weight(cell, w);
+    }
+
+    void set_diagonal_zero()
+    {
+        for (NodeId u = 0; u < n_; ++u) at(u, u) = 0;
+    }
+
+    [[nodiscard]] bool in_range(NodeId u) const noexcept { return u >= 0 && u < n_; }
+
+    friend bool operator==(const DistanceMatrix&, const DistanceMatrix&) = default;
+
+private:
+    [[nodiscard]] std::size_t index(NodeId u, NodeId v) const noexcept
+    {
+        return static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
+               static_cast<std::size_t>(v);
+    }
+
+    int n_ = 0;
+    std::vector<Weight> cells_;
+};
+
+/// Weighted adjacency matrix of `g` with zero diagonal (paper notation A).
+[[nodiscard]] DistanceMatrix adjacency_matrix(const Graph& g);
+
+/// Min-plus product C[i,j] = min_k A[i,k] + B[k,j].  O(n^3).
+[[nodiscard]] DistanceMatrix min_plus_product(const DistanceMatrix& a, const DistanceMatrix& b);
+
+/// Min-plus closure A^(n-1) by repeated squaring; `products_used`, when
+/// non-null, receives the number of squarings (the [CKK+19] baseline
+/// charges O(n^{1/3}) rounds per product).
+[[nodiscard]] DistanceMatrix min_plus_closure(DistanceMatrix a, int* products_used = nullptr);
+
+/// Entry-wise minimum.
+[[nodiscard]] DistanceMatrix entrywise_min(const DistanceMatrix& a, const DistanceMatrix& b);
+
+/// True if the matrix is symmetric (undirected distances).
+[[nodiscard]] bool is_symmetric(const DistanceMatrix& a);
+
+} // namespace ccq
+
+#endif // CCQ_MATRIX_DENSE_HPP

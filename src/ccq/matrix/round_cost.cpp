@@ -1,0 +1,34 @@
+#include "ccq/matrix/round_cost.hpp"
+
+#include <cmath>
+
+namespace ccq {
+
+double sparse_product_rounds(double rho_s, double rho_t, double rho_st_bound, int n)
+{
+    CCQ_EXPECT(n >= 1, "sparse_product_rounds: n >= 1");
+    CCQ_EXPECT(rho_s >= 0 && rho_t >= 0 && rho_st_bound >= 0,
+               "sparse_product_rounds: densities must be nonnegative");
+    const double numerator = std::cbrt(rho_s * rho_t * rho_st_bound);
+    const double denominator = std::pow(static_cast<double>(n), 2.0 / 3.0);
+    return numerator / denominator + 1.0;
+}
+
+SparseMatrix charged_sparse_product(CliqueTransport& transport, std::string_view phase,
+                                    const SparseMatrix& s, const SparseMatrix& t,
+                                    double rho_st_bound)
+{
+    const int n = transport.node_count();
+    const double rho_s = average_density(s);
+    const double rho_t = average_density(t);
+    SparseMatrix product = min_plus_product(s, t, n);
+    const double rho_st = average_density(product);
+    CCQ_CHECK(rho_st <= rho_st_bound + 1e-9,
+              "charged_sparse_product: a-priori density bound violated");
+    transport.ledger().charge(phase, sparse_product_rounds(rho_s, rho_t, rho_st_bound, n),
+                              static_cast<std::uint64_t>(rho_s * static_cast<double>(s.size())) +
+                                  static_cast<std::uint64_t>(rho_t * static_cast<double>(t.size())));
+    return product;
+}
+
+} // namespace ccq

@@ -1,0 +1,33 @@
+// Round-cost model for sparse min-plus products (CDKL21, Theorem 6.1).
+//
+// The product S*T of n x n matrices over the min-plus semiring costs
+//     O( (ρ_S ρ_T ρ_ST)^{1/3} / n^{2/3} + 1 )
+// rounds in the Congested-Clique, where ρ is average finite entries per
+// row and ρ_ST an a-priori *upper bound* on the product's density.  The
+// skeleton-graph construction (Lemma 6.2) relies on this cost being O(1)
+// for its particular density pattern; tests verify that.
+#ifndef CCQ_MATRIX_ROUND_COST_HPP
+#define CCQ_MATRIX_ROUND_COST_HPP
+
+#include <string_view>
+
+#include "ccq/clique/transport.hpp"
+#include "ccq/matrix/sparse.hpp"
+
+namespace ccq {
+
+/// Theorem 6.1 round formula (the O(.) argument, with unit constant).
+[[nodiscard]] double sparse_product_rounds(double rho_s, double rho_t, double rho_st_bound,
+                                           int n);
+
+/// Computes S*T and charges Theorem 6.1 rounds for it.  `rho_st_bound` is
+/// the caller's a-priori density bound on the product (must be known
+/// beforehand, per the theorem statement); the actual product density is
+/// verified against it.
+[[nodiscard]] SparseMatrix charged_sparse_product(CliqueTransport& transport,
+                                                  std::string_view phase, const SparseMatrix& s,
+                                                  const SparseMatrix& t, double rho_st_bound);
+
+} // namespace ccq
+
+#endif // CCQ_MATRIX_ROUND_COST_HPP

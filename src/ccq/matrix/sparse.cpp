@@ -1,0 +1,116 @@
+#include "ccq/matrix/sparse.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ccq {
+
+void normalize_row(SparseRow& row)
+{
+    std::sort(row.begin(), row.end(), [](const SparseEntry& a, const SparseEntry& b) {
+        return a.node != b.node ? a.node < b.node : a.dist < b.dist;
+    });
+    // Unique nodes: first occurrence has the smallest dist.
+    row.erase(std::unique(row.begin(), row.end(),
+                          [](const SparseEntry& a, const SparseEntry& b) {
+                              return a.node == b.node;
+                          }),
+              row.end());
+    std::sort(row.begin(), row.end(), entry_less);
+}
+
+SparseMatrix adjacency_rows(const Graph& g, bool include_self)
+{
+    const int n = g.node_count();
+    SparseMatrix rows(static_cast<std::size_t>(n));
+    for (NodeId u = 0; u < n; ++u) {
+        SparseRow& row = rows[static_cast<std::size_t>(u)];
+        if (include_self) row.push_back(SparseEntry{u, 0});
+        for (const Edge& e : g.neighbors(u)) row.push_back(SparseEntry{e.to, e.weight});
+        normalize_row(row);
+    }
+    return rows;
+}
+
+SparseMatrix filter_k_smallest(const SparseMatrix& m, int k)
+{
+    CCQ_EXPECT(k >= 0, "filter_k_smallest: k must be >= 0");
+    SparseMatrix result(m.size());
+    for (std::size_t u = 0; u < m.size(); ++u) {
+        SparseRow row = m[u]; // already canonical: sorted by (dist, id)
+        if (std::cmp_less(k, row.size())) row.resize(static_cast<std::size_t>(k));
+        result[u] = std::move(row);
+    }
+    return result;
+}
+
+SparseMatrix min_plus_product(const SparseMatrix& a, const SparseMatrix& b, int n)
+{
+    CCQ_EXPECT(a.size() == b.size(), "min_plus_product(sparse): size mismatch");
+    CCQ_EXPECT(std::cmp_less_equal(a.size(), static_cast<std::size_t>(n)),
+               "min_plus_product(sparse): n too small");
+    SparseMatrix result(a.size());
+    std::vector<Weight> best(static_cast<std::size_t>(n), kInfinity);
+    std::vector<NodeId> touched;
+    for (std::size_t u = 0; u < a.size(); ++u) {
+        touched.clear();
+        for (const SparseEntry& via : a[u]) {
+            for (const SparseEntry& hop : b[static_cast<std::size_t>(via.node)]) {
+                const Weight cand = saturating_add(via.dist, hop.dist);
+                Weight& cell = best[static_cast<std::size_t>(hop.node)];
+                if (cell == kInfinity) touched.push_back(hop.node);
+                cell = min_weight(cell, cand);
+            }
+        }
+        SparseRow& row = result[u];
+        row.reserve(touched.size());
+        for (const NodeId w : touched) {
+            row.push_back(SparseEntry{w, best[static_cast<std::size_t>(w)]});
+            best[static_cast<std::size_t>(w)] = kInfinity;
+        }
+        std::sort(row.begin(), row.end(), entry_less);
+    }
+    return result;
+}
+
+SparseMatrix hop_power(const SparseMatrix& a, int h, int n)
+{
+    CCQ_EXPECT(h >= 1, "hop_power: h must be >= 1");
+    SparseMatrix result = a;
+    for (int i = 1; i < h; ++i) result = min_plus_product(result, a, n);
+    return result;
+}
+
+double average_density(const SparseMatrix& m)
+{
+    if (m.empty()) return 0.0;
+    std::size_t total = 0;
+    for (const SparseRow& row : m) total += row.size();
+    return static_cast<double>(total) / static_cast<double>(m.size());
+}
+
+DistanceMatrix sparse_to_dense(const SparseMatrix& m, int n)
+{
+    CCQ_EXPECT(std::cmp_less_equal(m.size(), static_cast<std::size_t>(n)),
+               "sparse_to_dense: n too small");
+    DistanceMatrix d(n);
+    for (std::size_t u = 0; u < m.size(); ++u)
+        for (const SparseEntry& e : m[u]) d.relax(static_cast<NodeId>(u), e.node, e.dist);
+    return d;
+}
+
+SparseMatrix dense_to_sparse(const DistanceMatrix& d)
+{
+    SparseMatrix m(static_cast<std::size_t>(d.size()));
+    for (NodeId u = 0; u < d.size(); ++u) {
+        SparseRow& row = m[static_cast<std::size_t>(u)];
+        for (NodeId v = 0; v < d.size(); ++v) {
+            const Weight w = d.at(u, v);
+            if (is_finite(w)) row.push_back(SparseEntry{v, w});
+        }
+        std::sort(row.begin(), row.end(), entry_less);
+    }
+    return m;
+}
+
+} // namespace ccq

@@ -1,0 +1,106 @@
+#include "ccq/mst/boruvka.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ccq {
+namespace {
+
+class UnionFind {
+public:
+    explicit UnionFind(int n) : parent_(static_cast<std::size_t>(n))
+    {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    NodeId find(NodeId v)
+    {
+        while (parent_[static_cast<std::size_t>(v)] != v) {
+            parent_[static_cast<std::size_t>(v)] =
+                parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(v)])];
+            v = parent_[static_cast<std::size_t>(v)];
+        }
+        return v;
+    }
+
+    bool unite(NodeId a, NodeId b)
+    {
+        const NodeId ra = find(a), rb = find(b);
+        if (ra == rb) return false;
+        parent_[static_cast<std::size_t>(std::max(ra, rb))] = std::min(ra, rb);
+        return true;
+    }
+
+private:
+    std::vector<NodeId> parent_;
+};
+
+/// Canonical deterministic edge order: (weight, min endpoint, max endpoint).
+bool edge_less(const WeightedEdge& a, const WeightedEdge& b)
+{
+    const NodeId a_lo = std::min(a.u, a.v), a_hi = std::max(a.u, a.v);
+    const NodeId b_lo = std::min(b.u, b.v), b_hi = std::max(b.u, b.v);
+    if (a.weight != b.weight) return a.weight < b.weight;
+    if (a_lo != b_lo) return a_lo < b_lo;
+    return a_hi < b_hi;
+}
+
+} // namespace
+
+MstResult boruvka_msf(const Graph& g)
+{
+    CCQ_EXPECT(!g.is_directed(), "boruvka_msf: undirected input required");
+    const int n = g.node_count();
+    const std::vector<WeightedEdge> edges = g.edge_list();
+
+    MstResult result;
+    UnionFind components(n);
+    int remaining = n;
+    while (true) {
+        // Cheapest outgoing edge per component, deterministic ties.
+        std::vector<const WeightedEdge*> cheapest(static_cast<std::size_t>(n), nullptr);
+        bool any = false;
+        for (const WeightedEdge& e : edges) {
+            if (e.u == e.v) continue;
+            const NodeId cu = components.find(e.u), cv = components.find(e.v);
+            if (cu == cv) continue;
+            any = true;
+            for (const NodeId c : {cu, cv}) {
+                const WeightedEdge*& slot = cheapest[static_cast<std::size_t>(c)];
+                if (slot == nullptr || edge_less(e, *slot)) slot = &e;
+            }
+        }
+        if (!any) break;
+        ++result.boruvka_phases;
+        for (NodeId c = 0; c < n; ++c) {
+            const WeightedEdge* e = cheapest[static_cast<std::size_t>(c)];
+            if (e == nullptr) continue;
+            if (components.unite(e->u, e->v)) {
+                result.edges.push_back(*e);
+                result.total_weight = saturating_add(result.total_weight, e->weight);
+                --remaining;
+            }
+        }
+        if (remaining <= 1) break;
+    }
+    return result;
+}
+
+MstResult kruskal_msf(const Graph& g)
+{
+    CCQ_EXPECT(!g.is_directed(), "kruskal_msf: undirected input required");
+    std::vector<WeightedEdge> edges = g.edge_list();
+    std::sort(edges.begin(), edges.end(), edge_less);
+    MstResult result;
+    UnionFind components(g.node_count());
+    for (const WeightedEdge& e : edges) {
+        if (e.u == e.v) continue;
+        if (components.unite(e.u, e.v)) {
+            result.edges.push_back(e);
+            result.total_weight = saturating_add(result.total_weight, e.weight);
+        }
+    }
+    return result;
+}
+
+} // namespace ccq

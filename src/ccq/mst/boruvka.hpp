@@ -1,0 +1,32 @@
+// Minimum spanning forest (substrate for the zero-weight reduction).
+//
+// Theorem 2.1 (Appendix A) identifies zero-weight clusters by computing an
+// MST with Nowicki's O(1)-round Congested-Clique algorithm and filtering
+// its zero-weight edges.  We substitute Borůvka phases (deterministic
+// given the tie-breaking rule); the reduction only consumes the MST edge
+// set, so any minimum spanning forest is interchangeable.
+#ifndef CCQ_MST_BORUVKA_HPP
+#define CCQ_MST_BORUVKA_HPP
+
+#include <vector>
+
+#include "ccq/graph/graph.hpp"
+
+namespace ccq {
+
+struct MstResult {
+    std::vector<WeightedEdge> edges; ///< minimum spanning forest edges
+    Weight total_weight = 0;
+    int boruvka_phases = 0; ///< phases used (<= ceil(log2 n))
+};
+
+/// Minimum spanning forest via Borůvka.  Ties are broken by
+/// (weight, min endpoint, max endpoint), making the result deterministic.
+[[nodiscard]] MstResult boruvka_msf(const Graph& g);
+
+/// Reference implementation (Kruskal) for cross-checking total weight.
+[[nodiscard]] MstResult kruskal_msf(const Graph& g);
+
+} // namespace ccq
+
+#endif // CCQ_MST_BORUVKA_HPP

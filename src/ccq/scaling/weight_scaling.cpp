@@ -1,0 +1,95 @@
+#include "ccq/scaling/weight_scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "ccq/common/math.hpp"
+
+namespace ccq {
+
+ScaledFamily build_scaled_family(const Graph& g, Weight max_estimate, int h, double eps)
+{
+    CCQ_EXPECT(h >= 1, "build_scaled_family: h must be >= 1");
+    CCQ_EXPECT(eps > 0.0, "build_scaled_family: eps must be positive");
+    CCQ_EXPECT(max_estimate >= 0, "build_scaled_family: negative estimate bound");
+
+    ScaledFamily family;
+    family.eps = eps;
+    family.hop_bound_h = h;
+    family.cap_factor_b = static_cast<int>(std::ceil(2.0 / eps));
+    const Weight cap =
+        static_cast<Weight>(family.cap_factor_b) * static_cast<Weight>(h) * static_cast<Weight>(h);
+
+    // Levels 0..L, where L is the smallest index with 2^L * cap > max_estimate
+    // (so the selection rule always lands inside the family).
+    int level_count = 1;
+    while ((static_cast<Weight>(1) << (level_count - 1)) <= max_estimate / std::max<Weight>(cap, 1))
+        ++level_count;
+    ++level_count; // one guard level above the threshold
+
+    for (int i = 0; i < level_count; ++i) {
+        const Weight scale = static_cast<Weight>(1) << i;
+        Graph level(g.node_count(), g.orientation());
+        for (const WeightedEdge& e : g.edge_list()) {
+            // H_i: round up to a multiple of 2^i; G_i: divide by 2^i and
+            // clamp to the cap (the implicit complete cap edge dominates
+            // anything heavier).
+            const Weight rescaled = ceil_div(e.weight, scale);
+            level.add_edge(e.u, e.v, std::min(rescaled, cap));
+        }
+        family.levels.push_back(ScaledLevel{std::move(level), scale, cap, i});
+    }
+    return family;
+}
+
+int select_level(const ScaledFamily& family, Weight delta_uv)
+{
+    CCQ_EXPECT(!family.levels.empty(), "select_level: empty family");
+    CCQ_EXPECT(delta_uv >= 0, "select_level: negative estimate");
+    const Weight cap = family.levels.front().cap;
+    // Section 8.1: delta < (B/2) h^2 selects i = 0 directly; otherwise the
+    // unique i with 2^{i-1} cap <= delta < 2^i cap — which is also 0 for
+    // delta in [cap/2, cap).
+    if (delta_uv < cap) return 0;
+    int i = 1;
+    while ((static_cast<Weight>(1) << i) <= delta_uv / std::max<Weight>(cap, 1)) ++i;
+    CCQ_CHECK(std::cmp_less(i, family.levels.size()),
+              "select_level: estimate exceeds the family's range");
+    return i;
+}
+
+DistanceMatrix combine_scaled_estimates(const ScaledFamily& family,
+                                        const std::vector<DistanceMatrix>& level_estimates,
+                                        const DistanceMatrix& delta)
+{
+    CCQ_EXPECT(level_estimates.size() == family.levels.size(),
+               "combine_scaled_estimates: one estimate per level required");
+    const int n = delta.size();
+    for (const DistanceMatrix& m : level_estimates)
+        CCQ_EXPECT(m.size() == n, "combine_scaled_estimates: size mismatch");
+
+    DistanceMatrix eta(n);
+    eta.set_diagonal_zero();
+    for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v = 0; v < n; ++v) {
+            if (u == v) continue;
+            const Weight coarse = delta.at(u, v);
+            if (!is_finite(coarse)) {
+                // No coarse estimate: the pair is disconnected in G.
+                eta.at(u, v) = kInfinity;
+                continue;
+            }
+            const int level = select_level(family, coarse);
+            const ScaledLevel& info = family.levels[static_cast<std::size_t>(level)];
+            // Implicit cap edge of K_i, then undo the 2^i scaling.
+            const Weight capped =
+                min_weight(level_estimates[static_cast<std::size_t>(level)].at(u, v), info.cap);
+            eta.at(u, v) =
+                capped >= kInfinity / info.scale ? kInfinity : capped * info.scale;
+        }
+    }
+    return eta;
+}
+
+} // namespace ccq

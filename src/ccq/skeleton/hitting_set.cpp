@@ -1,0 +1,107 @@
+#include "ccq/skeleton/hitting_set.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccq {
+
+std::vector<NodeId> compute_hitting_set(const SparseMatrix& nk_rows, int k, Rng& rng,
+                                        CliqueTransport& transport, std::string_view phase,
+                                        int repetitions)
+{
+    const int n = static_cast<int>(nk_rows.size());
+    CCQ_EXPECT(n >= 1, "compute_hitting_set: empty input");
+    CCQ_EXPECT(k >= 1, "compute_hitting_set: k must be >= 1");
+    CCQ_EXPECT(repetitions >= 1, "compute_hitting_set: repetitions must be >= 1");
+    for (NodeId v = 0; v < n; ++v) {
+        const SparseRow& row = nk_rows[static_cast<std::size_t>(v)];
+        const bool has_self = std::any_of(row.begin(), row.end(),
+                                          [v](const SparseEntry& e) { return e.node == v; });
+        // The fix-up step relies on v ∈ Ñk(v) (true for any set selected by
+        // smallest (delta, id), since delta(v,v) = 0).
+        CCQ_EXPECT(has_self, "compute_hitting_set: every k-nearest set must contain its owner");
+    }
+    PhaseScope scope(transport.ledger(), phase);
+
+    const double probability = k >= 2 ? std::log(static_cast<double>(k)) / k : 1.0;
+
+    std::vector<char> best_member;
+    std::size_t best_size = static_cast<std::size_t>(n) + 1;
+    for (int rep = 0; rep < repetitions; ++rep) {
+        std::vector<char> member(static_cast<std::size_t>(n), 0);
+        for (NodeId v = 0; v < n; ++v)
+            if (rng.bernoulli(probability)) member[static_cast<std::size_t>(v)] = 1;
+        // Fix-up: nodes with an unhit neighborhood join themselves.  Note
+        // every row contains its owner, so the fix-up always succeeds.
+        for (NodeId v = 0; v < n; ++v) {
+            const SparseRow& row = nk_rows[static_cast<std::size_t>(v)];
+            const bool hit = std::any_of(row.begin(), row.end(), [&](const SparseEntry& e) {
+                return member[static_cast<std::size_t>(e.node)] != 0;
+            });
+            if (!hit) member[static_cast<std::size_t>(v)] = 1;
+        }
+        const auto size = static_cast<std::size_t>(
+            std::count(member.begin(), member.end(), static_cast<char>(1)));
+        if (size < best_size) {
+            best_size = size;
+            best_member = std::move(member);
+        }
+    }
+
+    // Selection protocol cost: one indicator bit per (node, repetition)
+    // to the counting nodes, then one broadcast word per repetition
+    // (Lemma 6.2).  All repetitions run in parallel in O(1) rounds.
+    RoutingLoad load;
+    load.max_sent = static_cast<std::uint64_t>(repetitions);
+    load.max_received = static_cast<std::uint64_t>(n);
+    load.total_words = static_cast<std::uint64_t>(repetitions) * static_cast<std::uint64_t>(n);
+    transport.charge_route("membership-count", load);
+    transport.charge_broadcast_all("announce-membership", 1);
+
+    std::vector<NodeId> result;
+    for (NodeId v = 0; v < n; ++v)
+        if (best_member[static_cast<std::size_t>(v)] != 0) result.push_back(v);
+    return result;
+}
+
+std::vector<NodeId> compute_hitting_set_greedy(const SparseMatrix& nk_rows)
+{
+    const int n = static_cast<int>(nk_rows.size());
+    // coverage[v]: how many still-uncovered sets node v would hit.
+    std::vector<int> coverage(static_cast<std::size_t>(n), 0);
+    std::vector<std::vector<NodeId>> sets_containing(static_cast<std::size_t>(n));
+    for (NodeId owner = 0; owner < n; ++owner) {
+        for (const SparseEntry& e : nk_rows[static_cast<std::size_t>(owner)]) {
+            ++coverage[static_cast<std::size_t>(e.node)];
+            sets_containing[static_cast<std::size_t>(e.node)].push_back(owner);
+        }
+    }
+
+    std::vector<char> covered(static_cast<std::size_t>(n), 0);
+    std::vector<char> chosen(static_cast<std::size_t>(n), 0);
+    int remaining = n;
+    std::vector<NodeId> result;
+    while (remaining > 0) {
+        // Highest current coverage, ties by id.
+        NodeId best = 0;
+        for (NodeId v = 1; v < n; ++v)
+            if (coverage[static_cast<std::size_t>(v)] > coverage[static_cast<std::size_t>(best)])
+                best = v;
+        CCQ_CHECK(coverage[static_cast<std::size_t>(best)] > 0,
+                  "compute_hitting_set_greedy: uncoverable set (row missing its owner?)");
+        chosen[static_cast<std::size_t>(best)] = 1;
+        result.push_back(best);
+        for (const NodeId owner : sets_containing[static_cast<std::size_t>(best)]) {
+            if (covered[static_cast<std::size_t>(owner)]) continue;
+            covered[static_cast<std::size_t>(owner)] = 1;
+            --remaining;
+            // The owner's set no longer needs covering: decay its members.
+            for (const SparseEntry& e : nk_rows[static_cast<std::size_t>(owner)])
+                --coverage[static_cast<std::size_t>(e.node)];
+        }
+    }
+    std::sort(result.begin(), result.end());
+    return result;
+}
+
+} // namespace ccq

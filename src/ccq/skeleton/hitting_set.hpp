@@ -1,0 +1,37 @@
+// Hitting sets for k-nearest neighborhoods (Lemma 6.2, step 1).
+//
+// Sample each node with probability ln(k)/k, then deterministically add
+// any node whose approximate k-nearest set is still unhit.  Repeat
+// O(log n) times in parallel and keep the smallest result, so the size
+// bound O(n log k / k) holds w.h.p.
+#ifndef CCQ_SKELETON_HITTING_SET_HPP
+#define CCQ_SKELETON_HITTING_SET_HPP
+
+#include <string_view>
+#include <vector>
+
+#include "ccq/clique/transport.hpp"
+#include "ccq/common/rng.hpp"
+#include "ccq/matrix/sparse.hpp"
+
+namespace ccq {
+
+/// Computes a set S hitting every row of `nk_rows` (each row is a node's
+/// approximate k-nearest set; every row must be nonempty).  Returns the
+/// sorted member list.  Charges the O(1)-round selection protocol of
+/// Lemma 6.2 (one bit per node pair per repetition).
+[[nodiscard]] std::vector<NodeId> compute_hitting_set(const SparseMatrix& nk_rows, int k,
+                                                      Rng& rng, CliqueTransport& transport,
+                                                      std::string_view phase,
+                                                      int repetitions = 16);
+
+/// Deterministic alternative: greedy set cover over the neighborhoods
+/// (pick the node hitting the most uncovered sets, repeat).  Achieves the
+/// same O(n log k / k) size class with an H_n-factor guarantee, but needs
+/// global aggregation, so it is a sequential ablation baseline, not a
+/// constant-round primitive (bench A3).
+[[nodiscard]] std::vector<NodeId> compute_hitting_set_greedy(const SparseMatrix& nk_rows);
+
+} // namespace ccq
+
+#endif // CCQ_SKELETON_HITTING_SET_HPP

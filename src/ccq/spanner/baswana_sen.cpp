@@ -1,0 +1,142 @@
+#include "ccq/spanner/baswana_sen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ccq/graph/exact.hpp"
+
+namespace ccq {
+namespace {
+
+/// Lightest edge from `v` into each start-of-phase cluster among `alive`
+/// neighbors; deterministic tie-breaking by (weight, neighbor id).
+std::map<NodeId, Edge> lightest_edge_per_cluster(const Graph& g, NodeId v,
+                                                 const std::vector<NodeId>& cluster)
+{
+    std::map<NodeId, Edge> best;
+    for (const Edge& e : g.neighbors(v)) {
+        if (e.to == v) continue;
+        const NodeId c = cluster[static_cast<std::size_t>(e.to)];
+        if (c < 0) continue; // neighbor no longer clustered
+        auto [it, inserted] = best.try_emplace(c, e);
+        if (!inserted && weight_id_less(e.weight, e.to, it->second.weight, it->second.to))
+            it->second = e;
+    }
+    return best;
+}
+
+} // namespace
+
+SpannerResult baswana_sen_spanner(const Graph& g, int k, Rng& rng)
+{
+    CCQ_EXPECT(!g.is_directed(), "baswana_sen_spanner: undirected input required");
+    CCQ_EXPECT(k >= 1, "baswana_sen_spanner: k must be >= 1");
+    const int n = g.node_count();
+    if (k == 1 || n <= 2) {
+        return SpannerResult{g.simplified(), 1, 1};
+    }
+
+    const double sample_probability = std::pow(static_cast<double>(n), -1.0 / k);
+
+    // cluster[v]: id of v's cluster center, or -1 once v is discarded.
+    std::vector<NodeId> cluster(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) cluster[static_cast<std::size_t>(v)] = v;
+
+    std::set<std::pair<NodeId, NodeId>> chosen; // spanner edge keys (u <= v)
+    std::vector<WeightedEdge> spanner_edges;
+    const auto add_edge = [&](NodeId u, const Edge& e) {
+        const NodeId a = std::min(u, e.to), b = std::max(u, e.to);
+        if (chosen.insert({a, b}).second) spanner_edges.push_back(WeightedEdge{a, b, e.weight});
+    };
+
+    for (int phase = 1; phase <= k - 1; ++phase) {
+        // Sample surviving cluster centers.
+        std::set<NodeId> centers;
+        for (NodeId v = 0; v < n; ++v) {
+            const NodeId c = cluster[static_cast<std::size_t>(v)];
+            if (c >= 0) centers.insert(c);
+        }
+        std::set<NodeId> sampled;
+        for (const NodeId c : centers)
+            if (rng.bernoulli(sample_probability)) sampled.insert(c);
+
+        const std::vector<NodeId> cluster_before = cluster;
+        for (NodeId v = 0; v < n; ++v) {
+            const NodeId own = cluster_before[static_cast<std::size_t>(v)];
+            if (own < 0) continue;            // already discarded
+            if (sampled.contains(own)) continue; // survives as-is
+
+            const std::map<NodeId, Edge> best = lightest_edge_per_cluster(g, v, cluster_before);
+
+            // Lightest edge into any *sampled* cluster.
+            const Edge* to_sampled = nullptr;
+            NodeId sampled_cluster = -1;
+            for (const auto& [c, e] : best) {
+                if (!sampled.contains(c)) continue;
+                if (to_sampled == nullptr ||
+                    weight_id_less(e.weight, e.to, to_sampled->weight, to_sampled->to)) {
+                    to_sampled = &e;
+                    sampled_cluster = c;
+                }
+            }
+
+            if (to_sampled != nullptr) {
+                // Join the nearest sampled cluster; keep strictly lighter
+                // edges into other clusters.
+                add_edge(v, *to_sampled);
+                cluster[static_cast<std::size_t>(v)] = sampled_cluster;
+                for (const auto& [c, e] : best) {
+                    if (c == sampled_cluster) continue;
+                    if (weight_id_less(e.weight, e.to, to_sampled->weight, to_sampled->to))
+                        add_edge(v, e);
+                }
+            } else {
+                // No sampled neighbor cluster: keep one edge per adjacent
+                // cluster and retire from clustering.
+                for (const auto& [c, e] : best) {
+                    (void)c;
+                    add_edge(v, e);
+                }
+                cluster[static_cast<std::size_t>(v)] = -1;
+            }
+        }
+    }
+
+    // Final phase: every node connects to each surviving adjacent cluster.
+    for (NodeId v = 0; v < n; ++v) {
+        const std::map<NodeId, Edge> best = lightest_edge_per_cluster(g, v, cluster);
+        for (const auto& [c, e] : best) {
+            if (c == cluster[static_cast<std::size_t>(v)]) continue;
+            add_edge(v, e);
+        }
+    }
+
+    Graph spanner = graph_from_edges(n, Orientation::undirected, spanner_edges);
+    return SpannerResult{std::move(spanner), 2 * k - 1, k};
+}
+
+double measured_spanner_stretch(const Graph& g, const Graph& spanner, int sample_sources)
+{
+    CCQ_EXPECT(g.node_count() == spanner.node_count(),
+               "measured_spanner_stretch: node count mismatch");
+    const int n = g.node_count();
+    double worst = 1.0;
+    const int step = sample_sources > 0 ? std::max(1, n / sample_sources) : 1;
+    for (NodeId s = 0; s < n; s += step) {
+        const std::vector<Weight> dg = dijkstra_from(g, s);
+        const std::vector<Weight> ds = dijkstra_from(spanner, s);
+        for (NodeId v = 0; v < n; ++v) {
+            const Weight a = dg[static_cast<std::size_t>(v)];
+            const Weight b = ds[static_cast<std::size_t>(v)];
+            if (!is_finite(a) || a == 0) continue;
+            CCQ_CHECK(is_finite(b), "spanner must preserve connectivity");
+            worst = std::max(worst, static_cast<double>(b) / static_cast<double>(a));
+        }
+    }
+    return worst;
+}
+
+} // namespace ccq

@@ -1,0 +1,62 @@
+#include "ccq/spanner/greedy.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace ccq {
+namespace {
+
+/// Distance from `source` in the partial spanner, pruned at `budget`
+/// (early exit once the candidate edge is provably needed/unneeded).
+Weight bounded_distance(const Graph& spanner, NodeId source, NodeId target, Weight budget)
+{
+    std::vector<Weight> dist(static_cast<std::size_t>(spanner.node_count()), kInfinity);
+    dist[static_cast<std::size_t>(source)] = 0;
+    using Item = std::pair<Weight, NodeId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+    queue.emplace(0, source);
+    while (!queue.empty()) {
+        const auto [d, u] = queue.top();
+        queue.pop();
+        if (d != dist[static_cast<std::size_t>(u)]) continue;
+        if (u == target) return d;
+        if (d > budget) return kInfinity; // everything further is over budget
+        for (const Edge& e : spanner.neighbors(u)) {
+            const Weight cand = saturating_add(d, e.weight);
+            if (cand > budget) continue;
+            Weight& cur = dist[static_cast<std::size_t>(e.to)];
+            if (cand < cur) {
+                cur = cand;
+                queue.emplace(cand, e.to);
+            }
+        }
+    }
+    return dist[static_cast<std::size_t>(target)];
+}
+
+} // namespace
+
+SpannerResult greedy_spanner(const Graph& g, int k)
+{
+    CCQ_EXPECT(!g.is_directed(), "greedy_spanner: undirected input required");
+    CCQ_EXPECT(k >= 1, "greedy_spanner: k must be >= 1");
+    const int stretch = 2 * k - 1;
+
+    std::vector<WeightedEdge> edges = g.simplified().edge_list();
+    std::sort(edges.begin(), edges.end(), [](const WeightedEdge& a, const WeightedEdge& b) {
+        if (a.weight != b.weight) return a.weight < b.weight;
+        if (a.u != b.u) return a.u < b.u;
+        return a.v < b.v;
+    });
+
+    Graph spanner = Graph::undirected(g.node_count());
+    for (const WeightedEdge& e : edges) {
+        const Weight budget = e.weight * stretch;
+        if (bounded_distance(spanner, e.u, e.v, budget) > budget)
+            spanner.add_edge(e.u, e.v, e.weight);
+    }
+    return SpannerResult{std::move(spanner), stretch, k};
+}
+
+} // namespace ccq

@@ -1,0 +1,24 @@
+// Greedy (2k-1)-spanner (Althöfer et al.) — the quality ceiling for the
+// spanner substrate.
+//
+// Processes edges by increasing weight and keeps an edge only if the
+// spanner built so far cannot connect its endpoints within (2k-1) times
+// its weight.  Guarantees (2k-1) stretch with O(n^{1+1/k}) edges — the
+// same size class Lemma 7.1's first bullet cites — but needs a global
+// edge ordering, so it is *not* a constant-round construction; it serves
+// as the ablation baseline quantifying what the distributed Baswana–Sen
+// substitute gives up (bench A3 / E6).
+#ifndef CCQ_SPANNER_GREEDY_HPP
+#define CCQ_SPANNER_GREEDY_HPP
+
+#include "ccq/spanner/baswana_sen.hpp"
+
+namespace ccq {
+
+/// Greedy (2k-1)-spanner.  Deterministic; O(m (n log n + m)) worst case,
+/// intended for ablation at bench scales.
+[[nodiscard]] SpannerResult greedy_spanner(const Graph& g, int k);
+
+} // namespace ccq
+
+#endif // CCQ_SPANNER_GREEDY_HPP

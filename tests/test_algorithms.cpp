@@ -1,0 +1,213 @@
+// End-to-end tests for the composed algorithms: Theorem 7.1
+// (small-diameter), Theorem 8.1 (large bandwidth), Theorem 1.1 (general),
+// Theorem 1.2 (tradeoff) and the baselines — validity, claimed-factor
+// compliance, and ledger sanity across graph families.
+#include <gtest/gtest.h>
+
+#include "ccq/core/baselines.hpp"
+#include "ccq/core/general_apsp.hpp"
+#include "ccq/core/small_diameter.hpp"
+#include "ccq/core/tradeoff.hpp"
+#include "test_helpers.hpp"
+
+namespace ccq {
+namespace {
+
+using testing::InstanceSpec;
+using testing::expect_valid_approximation;
+
+class AlgorithmSweep : public ::testing::TestWithParam<InstanceSpec> {};
+
+TEST_P(AlgorithmSweep, ExactBaselineIsExact)
+{
+    const Graph g = make_instance(GetParam());
+    const ApspResult result = exact_apsp_clique(g);
+    EXPECT_EQ(result.estimate, exact_apsp(g));
+    EXPECT_GT(result.ledger.total_rounds(), 0.0);
+}
+
+TEST_P(AlgorithmSweep, LognBaselineWithinClaim)
+{
+    const Graph g = make_instance(GetParam());
+    ApspOptions options;
+    options.seed = GetParam().seed;
+    const ApspResult result = logn_approx_apsp(g, options);
+    expect_valid_approximation(exact_apsp(g), result.estimate, result.claimed_stretch,
+                               "logn " + GetParam().label());
+}
+
+TEST_P(AlgorithmSweep, SmallDiameterWithinClaim)
+{
+    const Graph g = make_instance(GetParam());
+    ApspOptions options;
+    options.seed = GetParam().seed;
+    const ApspResult result = apsp_small_diameter(g, options);
+    expect_valid_approximation(exact_apsp(g), result.estimate, result.claimed_stretch,
+                               "thm7.1 " + GetParam().label());
+    EXPECT_LE(result.claimed_stretch, 21.0 + 1e-9); // Theorem 7.1 bound
+}
+
+TEST_P(AlgorithmSweep, LargeBandwidthWithinClaim)
+{
+    const Graph g = make_instance(GetParam());
+    ApspOptions options;
+    options.seed = GetParam().seed;
+    const ApspResult result = apsp_large_bandwidth(g, options);
+    expect_valid_approximation(exact_apsp(g), result.estimate, result.claimed_stretch,
+                               "thm8.1 " + GetParam().label());
+    // 7^3 with the (1+eps)^2 slack of the implementation's eps.
+    const double bound = 343.0 * (1.0 + options.eps) * (1.0 + options.eps) + 1e-9;
+    EXPECT_LE(result.claimed_stretch, bound);
+}
+
+TEST_P(AlgorithmSweep, GeneralWithinClaim)
+{
+    const Graph g = make_instance(GetParam());
+    ApspOptions options;
+    options.seed = GetParam().seed;
+    const ApspResult result = apsp_general(g, options);
+    expect_valid_approximation(exact_apsp(g), result.estimate, result.claimed_stretch,
+                               "thm1.1 " + GetParam().label());
+    const double bound = 2401.0 * (1.0 + options.eps) * (1.0 + options.eps) + 1e-9;
+    EXPECT_LE(result.claimed_stretch, bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, AlgorithmSweep,
+    ::testing::Values(
+        InstanceSpec{GraphFamily::path, 48, 1, 40},
+        InstanceSpec{GraphFamily::cycle, 48, 2, 40},
+        InstanceSpec{GraphFamily::star, 48, 3, 40},
+        InstanceSpec{GraphFamily::grid, 49, 4, 40},
+        InstanceSpec{GraphFamily::tree, 56, 5, 40},
+        InstanceSpec{GraphFamily::erdos_renyi_sparse, 72, 6, 40},
+        InstanceSpec{GraphFamily::erdos_renyi_dense, 72, 7, 40},
+        InstanceSpec{GraphFamily::geometric, 72, 8, 40},
+        InstanceSpec{GraphFamily::barabasi_albert, 72, 9, 40},
+        InstanceSpec{GraphFamily::clustered, 72, 10, 40},
+        InstanceSpec{GraphFamily::erdos_renyi_sparse, 72, 11, 1},
+        InstanceSpec{GraphFamily::erdos_renyi_sparse, 72, 12, 50000}),
+    testing::InstanceSpecName{});
+
+TEST(Algorithms, TradeoffValidForEveryT)
+{
+    Rng rng(31);
+    const Graph g = erdos_renyi(64, 0.1, WeightRange{1, 60}, rng);
+    const DistanceMatrix exact = exact_apsp(g);
+    double previous_claim = 1e18;
+    for (const int t : {0, 1, 2, 3}) {
+        const ApspResult result = apsp_tradeoff(g, t);
+        expect_valid_approximation(exact, result.estimate, result.claimed_stretch,
+                                   "t=" + std::to_string(t));
+        // More reduction budget never worsens the guarantee.
+        EXPECT_LE(result.claimed_stretch, previous_claim + 1e-9);
+        previous_claim = result.claimed_stretch;
+    }
+}
+
+TEST(Algorithms, TradeoffShapeFormula)
+{
+    // log^{2^-t} n decreases doubly exponentially in t.
+    const double t0 = tradeoff_stretch_shape(1 << 16, 0);
+    const double t1 = tradeoff_stretch_shape(1 << 16, 1);
+    const double t2 = tradeoff_stretch_shape(1 << 16, 2);
+    EXPECT_DOUBLE_EQ(t0, 16.0);
+    EXPECT_DOUBLE_EQ(t1, 4.0);
+    EXPECT_DOUBLE_EQ(t2, 2.0);
+}
+
+TEST(Algorithms, WideBandwidthImprovesSmallDiameterClaim)
+{
+    Rng rng(32);
+    const Graph g = erdos_renyi(64, 0.12, WeightRange{1, 30}, rng);
+    ApspOptions narrow;
+    ApspOptions wide;
+    wide.wide_bandwidth = true;
+    const ApspResult narrow_result = apsp_small_diameter(g, narrow);
+    const ApspResult wide_result = apsp_small_diameter(g, wide);
+    EXPECT_LE(wide_result.claimed_stretch, narrow_result.claimed_stretch + 1e-9);
+    expect_valid_approximation(exact_apsp(g), wide_result.estimate,
+                               wide_result.claimed_stretch, "wide");
+}
+
+TEST(Algorithms, PaperProfileIsAlsoValid)
+{
+    Rng rng(33);
+    const Graph g = erdos_renyi(72, 0.1, WeightRange{1, 40}, rng);
+    ApspOptions options;
+    options.profile = ParamProfile::paper;
+    const ApspResult result = apsp_general(g, options);
+    expect_valid_approximation(exact_apsp(g), result.estimate, result.claimed_stretch,
+                               "paper-profile");
+}
+
+TEST(Algorithms, RoundLedgersArePopulated)
+{
+    Rng rng(34);
+    const Graph g = erdos_renyi(64, 0.1, WeightRange{1, 40}, rng);
+    const ApspResult result = apsp_general(g);
+    EXPECT_GT(result.ledger.total_rounds(), 0.0);
+    EXPECT_GT(result.ledger.total_words(), 0u);
+    EXPECT_FALSE(result.ledger.top_level_totals().empty());
+    EXPECT_FALSE(result.ledger.report().empty());
+}
+
+TEST(Algorithms, TinyGraphsSolvedExactly)
+{
+    Rng rng(35);
+    for (const int n : {1, 2, 3, 5, 8}) {
+        Graph g = Graph::undirected(n);
+        for (NodeId v = 0; v + 1 < n; ++v)
+            g.add_edge(v, v + 1, static_cast<Weight>(rng.uniform_int(1, 9)));
+        const DistanceMatrix exact = exact_apsp(g);
+        EXPECT_EQ(apsp_general(g).estimate, exact) << "n=" << n;
+        EXPECT_EQ(apsp_small_diameter(g).estimate, exact) << "n=" << n;
+        EXPECT_EQ(apsp_large_bandwidth(g).estimate, exact) << "n=" << n;
+    }
+}
+
+TEST(Algorithms, DisconnectedGraphsHandled)
+{
+    Rng rng(36);
+    Graph g = Graph::undirected(40);
+    // Two blobs of 20, never connected.
+    for (int base : {0, 20})
+        for (NodeId u = 0; u < 20; ++u)
+            for (NodeId v = u + 1; v < 20; ++v)
+                if (rng.bernoulli(0.3))
+                    g.add_edge(base + u, base + v, static_cast<Weight>(rng.uniform_int(1, 9)));
+    // Keep each blob internally connected.
+    for (int base : {0, 20})
+        for (NodeId v = 0; v + 1 < 20; ++v) g.add_edge(base + v, base + v + 1, 3);
+    const DistanceMatrix exact = exact_apsp(g);
+    const ApspResult result = apsp_general(g);
+    expect_valid_approximation(exact, result.estimate, result.claimed_stretch, "disconnected");
+    EXPECT_FALSE(is_finite(result.estimate.at(0, 25)));
+}
+
+TEST(Algorithms, DeterministicGivenSeed)
+{
+    Rng rng(37);
+    const Graph g = erdos_renyi(56, 0.12, WeightRange{1, 30}, rng);
+    ApspOptions options;
+    options.seed = 77;
+    const ApspResult a = apsp_general(g, options);
+    const ApspResult b = apsp_general(g, options);
+    EXPECT_EQ(a.estimate, b.estimate);
+    EXPECT_DOUBLE_EQ(a.ledger.total_rounds(), b.ledger.total_rounds());
+    options.seed = 78;
+    const ApspResult c = apsp_general(g, options);
+    EXPECT_DOUBLE_EQ(c.claimed_stretch, a.claimed_stretch); // claims are seed-independent
+}
+
+TEST(Algorithms, EstimatesAreSymmetricOnUndirectedGraphs)
+{
+    Rng rng(38);
+    const Graph g = erdos_renyi(48, 0.15, WeightRange{1, 25}, rng);
+    EXPECT_TRUE(is_symmetric(apsp_general(g).estimate));
+    EXPECT_TRUE(is_symmetric(apsp_small_diameter(g).estimate));
+    EXPECT_TRUE(is_symmetric(apsp_large_bandwidth(g).estimate));
+}
+
+} // namespace
+} // namespace ccq

@@ -1,0 +1,206 @@
+// Tests for the Congested-Clique simulator: round ledger (including
+// parallel composition), cost model, transport charging, and the typed
+// message exchange.
+#include <gtest/gtest.h>
+
+#include "ccq/clique/ledger.hpp"
+#include "ccq/clique/transport.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(Ledger, ChargesAccumulate)
+{
+    RoundLedger ledger;
+    ledger.charge("a", 2.0, 10);
+    ledger.charge("b", 3.5, 5);
+    EXPECT_DOUBLE_EQ(ledger.total_rounds(), 5.5);
+    EXPECT_EQ(ledger.total_words(), 15u);
+    EXPECT_EQ(ledger.entries().size(), 2u);
+}
+
+TEST(Ledger, RejectsNegativeRounds)
+{
+    RoundLedger ledger;
+    EXPECT_THROW(ledger.charge("bad", -1.0), check_error);
+}
+
+TEST(Ledger, PhaseScopesNest)
+{
+    RoundLedger ledger;
+    {
+        PhaseScope outer(ledger, "outer");
+        ledger.charge("x", 1.0);
+        {
+            PhaseScope inner(ledger, "inner");
+            ledger.charge("y", 2.0);
+        }
+    }
+    EXPECT_DOUBLE_EQ(ledger.rounds_in_phase("outer"), 3.0);
+    EXPECT_DOUBLE_EQ(ledger.rounds_in_phase("outer/inner"), 2.0);
+    EXPECT_DOUBLE_EQ(ledger.rounds_in_phase("absent"), 0.0);
+    EXPECT_EQ(ledger.entries()[1].phase, "outer/inner/y");
+}
+
+TEST(Ledger, ParallelGroupChargesMaxOverLanes)
+{
+    RoundLedger ledger;
+    {
+        ParallelScope lanes(ledger, "group");
+        ledger.charge("lane0", 5.0);
+        lanes.next_lane();
+        ledger.charge("lane1", 3.0);
+        lanes.next_lane();
+        ledger.charge("lane2", 4.0);
+    }
+    EXPECT_DOUBLE_EQ(ledger.total_rounds(), 5.0);
+    // Lane trace entries are excluded from phase totals by default.
+    EXPECT_DOUBLE_EQ(ledger.rounds_in_phase("lane0"), 0.0);
+    EXPECT_DOUBLE_EQ(ledger.rounds_in_phase("lane0", /*include_parallel_lanes=*/true), 5.0);
+}
+
+TEST(Ledger, SequentialChargeAfterParallelGroupAddsUp)
+{
+    RoundLedger ledger;
+    {
+        ParallelScope lanes(ledger, "group");
+        ledger.charge("lane0", 5.0);
+        lanes.next_lane();
+        ledger.charge("lane1", 7.0);
+    }
+    ledger.charge("after", 2.0);
+    EXPECT_DOUBLE_EQ(ledger.total_rounds(), 9.0);
+}
+
+TEST(Ledger, TopLevelTotalsRollUp)
+{
+    RoundLedger ledger;
+    {
+        PhaseScope a(ledger, "alpha");
+        ledger.charge("x", 1.0, 2);
+        ledger.charge("y", 2.0, 3);
+    }
+    ledger.charge("beta", 4.0, 1);
+    const std::vector<PhaseTotal> totals = ledger.top_level_totals();
+    ASSERT_EQ(totals.size(), 2u);
+    EXPECT_EQ(totals[0].phase, "alpha");
+    EXPECT_DOUBLE_EQ(totals[0].rounds, 3.0);
+    EXPECT_EQ(totals[0].words, 5u);
+    EXPECT_EQ(totals[1].phase, "beta");
+}
+
+TEST(CostModel, BandwidthVariants)
+{
+    EXPECT_DOUBLE_EQ(CostModel::standard().bandwidth_words, 1.0);
+    // Congested-Clique[log^3 n] at n=1024: log n = 10 bits per word,
+    // so log^3 bits = log^2 = 100 words per link per round.
+    EXPECT_DOUBLE_EQ(CostModel::with_log_power_bandwidth(1024, 3).bandwidth_words, 100.0);
+    EXPECT_DOUBLE_EQ(CostModel::with_log_power_bandwidth(1024, 1).bandwidth_words, 1.0);
+    EXPECT_THROW((void)CostModel::with_log_power_bandwidth(1024, 0), check_error);
+}
+
+TEST(Transport, RouteRoundsScaleWithLoad)
+{
+    RoundLedger ledger;
+    CliqueTransport transport(100, CostModel::standard(), ledger);
+    // Load n words -> one Lenzen batch: lenzen_round_factor * 1 = 2 rounds.
+    transport.charge_route("r1", RoutingLoad{100, 50, 1000});
+    EXPECT_DOUBLE_EQ(ledger.total_rounds(), 2.0);
+    // 5n words -> 5 batches.
+    transport.charge_route("r2", RoutingLoad{500, 100, 1000});
+    EXPECT_DOUBLE_EQ(ledger.total_rounds(), 2.0 + 10.0);
+}
+
+TEST(Transport, RedundantRouteIgnoresSendLoad)
+{
+    RoundLedger ledger;
+    CliqueTransport transport(100, CostModel::standard(), ledger);
+    // Send side way over capacity (Lemma 2.2 handles duplication).
+    transport.charge_redundant_route("r", RoutingLoad{100'000, 100, 0});
+    EXPECT_DOUBLE_EQ(ledger.total_rounds(), 2.0);
+}
+
+TEST(Transport, ZeroLoadIsFree)
+{
+    RoundLedger ledger;
+    CliqueTransport transport(64, CostModel::standard(), ledger);
+    transport.charge_route("r", RoutingLoad{0, 0, 0});
+    transport.charge_broadcast_from("b", 0);
+    transport.charge_broadcast_all("ba", 0);
+    EXPECT_DOUBLE_EQ(ledger.total_rounds(), 0.0);
+}
+
+TEST(Transport, BroadcastCosts)
+{
+    RoundLedger ledger;
+    CliqueTransport transport(64, CostModel::standard(), ledger);
+    transport.charge_broadcast_from("one", 64); // ceil(64/64) * 2 = 2
+    EXPECT_DOUBLE_EQ(ledger.total_rounds(), 2.0);
+    transport.charge_broadcast_all("all", 3); // ceil(3/1) = 3
+    EXPECT_DOUBLE_EQ(ledger.total_rounds(), 5.0);
+}
+
+TEST(Transport, WiderBandwidthReducesRounds)
+{
+    RoundLedger narrow_ledger, wide_ledger;
+    CliqueTransport narrow(64, CostModel::standard(), narrow_ledger);
+    CostModel wide_model;
+    wide_model.bandwidth_words = 8.0;
+    CliqueTransport wide(64, wide_model, wide_ledger);
+    const RoutingLoad load{4096, 4096, 0};
+    narrow.charge_route("r", load);
+    wide.charge_route("r", load);
+    EXPECT_GT(narrow_ledger.total_rounds(), wide_ledger.total_rounds());
+    EXPECT_DOUBLE_EQ(narrow_ledger.total_rounds(), 8.0 * wide_ledger.total_rounds());
+}
+
+TEST(MessageExchange, DeliversToCorrectInboxes)
+{
+    RoundLedger ledger;
+    CliqueTransport transport(4, CostModel::standard(), ledger);
+    MessageExchange<int> exchange(4);
+    exchange.send(0, 2, 7);
+    exchange.send(1, 2, 8);
+    exchange.send(3, 0, 9);
+    const auto inboxes = exchange.deliver(transport, "x");
+    EXPECT_TRUE(inboxes[1].empty() && inboxes[3].empty());
+    ASSERT_EQ(inboxes[2].size(), 2u);
+    ASSERT_EQ(inboxes[0].size(), 1u);
+    EXPECT_EQ(inboxes[0][0].source, 3);
+    EXPECT_EQ(inboxes[0][0].payload, 9);
+    EXPECT_GT(ledger.total_rounds(), 0.0);
+}
+
+TEST(MessageExchange, RejectsBadEndpoints)
+{
+    MessageExchange<int> exchange(3);
+    EXPECT_THROW(exchange.send(0, 3, 1), check_error);
+    EXPECT_THROW(exchange.send(-1, 0, 1), check_error);
+}
+
+TEST(MessageExchange, EmptyDeliveryIsFreeAndReusable)
+{
+    RoundLedger ledger;
+    CliqueTransport transport(3, CostModel::standard(), ledger);
+    MessageExchange<int> exchange(3);
+    const auto first = exchange.deliver(transport, "empty");
+    EXPECT_DOUBLE_EQ(ledger.total_rounds(), 0.0);
+    // Exchange is reusable after delivery.
+    exchange.send(0, 1, 5);
+    const auto second = exchange.deliver(transport, "again");
+    EXPECT_EQ(second[1].size(), 1u);
+}
+
+TEST(MessageExchange, WordsPerRecordScalesCharge)
+{
+    RoundLedger ledger;
+    CliqueTransport transport(2, CostModel::standard(), ledger);
+    MessageExchange<int> exchange(2);
+    for (int i = 0; i < 10; ++i) exchange.send(0, 1, i);
+    (void)exchange.deliver(transport, "x", /*words_per_record=*/4);
+    // 40 words over capacity 2/round -> 20 batches * factor 2.
+    EXPECT_DOUBLE_EQ(ledger.total_rounds(), 40.0);
+}
+
+} // namespace
+} // namespace ccq

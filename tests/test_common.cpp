@@ -1,0 +1,194 @@
+// Unit tests for ccq/common: types, checks, math helpers, rng.
+#include <gtest/gtest.h>
+
+#include "ccq/common/check.hpp"
+#include "ccq/common/math.hpp"
+#include "ccq/common/rng.hpp"
+#include "ccq/common/types.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(Types, SaturatingAddBasics)
+{
+    EXPECT_EQ(saturating_add(2, 3), 5);
+    EXPECT_EQ(saturating_add(0, 0), 0);
+    EXPECT_EQ(saturating_add(kInfinity, 1), kInfinity);
+    EXPECT_EQ(saturating_add(1, kInfinity), kInfinity);
+    EXPECT_EQ(saturating_add(kInfinity, kInfinity), kInfinity);
+}
+
+TEST(Types, SaturatingAddNeverOverflows)
+{
+    const Weight big = kInfinity - 1;
+    EXPECT_EQ(saturating_add(big, big), kInfinity);
+    EXPECT_EQ(saturating_add(big, 1), kInfinity);
+    // A long chain of saturating additions stays at the sentinel.
+    Weight acc = 0;
+    for (int i = 0; i < 100; ++i) acc = saturating_add(acc, big);
+    EXPECT_EQ(acc, kInfinity);
+}
+
+TEST(Types, IsFinite)
+{
+    EXPECT_TRUE(is_finite(0));
+    EXPECT_TRUE(is_finite(kInfinity - 1));
+    EXPECT_FALSE(is_finite(kInfinity));
+}
+
+TEST(Types, MinWeight)
+{
+    EXPECT_EQ(min_weight(3, 7), 3);
+    EXPECT_EQ(min_weight(7, 3), 3);
+    EXPECT_EQ(min_weight(kInfinity, 5), 5);
+}
+
+TEST(Check, ExpectThrowsWithContext)
+{
+    try {
+        CCQ_EXPECT(1 == 2, "custom context");
+        FAIL() << "CCQ_EXPECT did not throw";
+    } catch (const check_error& error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("precondition"), std::string::npos);
+        EXPECT_NE(what.find("custom context"), std::string::npos);
+    }
+}
+
+TEST(Check, CheckThrowsInvariant)
+{
+    EXPECT_THROW(CCQ_CHECK(false, ""), check_error);
+    EXPECT_NO_THROW(CCQ_CHECK(true, ""));
+}
+
+TEST(Math, CeilDiv)
+{
+    EXPECT_EQ(ceil_div(0, 3), 0);
+    EXPECT_EQ(ceil_div(1, 3), 1);
+    EXPECT_EQ(ceil_div(3, 3), 1);
+    EXPECT_EQ(ceil_div(4, 3), 2);
+    EXPECT_EQ(ceil_div(9, 3), 3);
+    EXPECT_THROW((void)ceil_div(-1, 3), check_error);
+    EXPECT_THROW((void)ceil_div(1, 0), check_error);
+}
+
+TEST(Math, Log2Helpers)
+{
+    EXPECT_EQ(floor_log2(1), 0);
+    EXPECT_EQ(floor_log2(2), 1);
+    EXPECT_EQ(floor_log2(3), 1);
+    EXPECT_EQ(floor_log2(1024), 10);
+    EXPECT_EQ(ceil_log2(1), 0);
+    EXPECT_EQ(ceil_log2(2), 1);
+    EXPECT_EQ(ceil_log2(3), 2);
+    EXPECT_EQ(ceil_log2(1024), 10);
+    EXPECT_EQ(ceil_log2(1025), 11);
+    EXPECT_THROW((void)floor_log2(0), check_error);
+}
+
+TEST(Math, SaturatingPow)
+{
+    EXPECT_EQ(saturating_pow(2, 10), 1024);
+    EXPECT_EQ(saturating_pow(3, 0), 1);
+    EXPECT_EQ(saturating_pow(0, 3), 0);
+    EXPECT_EQ(saturating_pow(10, 30, 1'000'000), 1'000'000); // saturates at cap
+    EXPECT_EQ(saturating_pow(1, 1'000'000'000), 1);
+}
+
+TEST(Math, FloorSqrt)
+{
+    EXPECT_EQ(floor_sqrt(0), 0);
+    EXPECT_EQ(floor_sqrt(1), 1);
+    EXPECT_EQ(floor_sqrt(3), 1);
+    EXPECT_EQ(floor_sqrt(4), 2);
+    EXPECT_EQ(floor_sqrt(99), 9);
+    EXPECT_EQ(floor_sqrt(100), 10);
+    EXPECT_EQ(floor_sqrt(1'000'000'000'000), 1'000'000);
+}
+
+TEST(Math, FloorNthRoot)
+{
+    EXPECT_EQ(floor_nth_root(27, 3), 3);
+    EXPECT_EQ(floor_nth_root(26, 3), 2);
+    EXPECT_EQ(floor_nth_root(1, 5), 1);
+    EXPECT_EQ(floor_nth_root(1024, 10), 2);
+    EXPECT_EQ(floor_nth_root(1023, 10), 1);
+    EXPECT_EQ(floor_nth_root(100, 1), 100);
+}
+
+TEST(Math, SaturatingBinomial)
+{
+    EXPECT_EQ(saturating_binomial(5, 2), 10);
+    EXPECT_EQ(saturating_binomial(10, 0), 1);
+    EXPECT_EQ(saturating_binomial(10, 10), 1);
+    EXPECT_EQ(saturating_binomial(10, 11), 0);
+    EXPECT_EQ(saturating_binomial(52, 5), 2'598'960);
+    // Saturation instead of overflow.
+    EXPECT_EQ(saturating_binomial(1000, 500, 1'000'000), 1'000'000);
+}
+
+TEST(Rng, DeterministicGivenSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 32; ++i)
+        if (a.uniform_int(0, 1'000'000) != b.uniform_int(0, 1'000'000)) ++differing;
+    EXPECT_GT(differing, 0);
+}
+
+TEST(Rng, UniformIntRespectsRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto x = rng.uniform_int(-5, 5);
+        EXPECT_GE(x, -5);
+        EXPECT_LE(x, 5);
+    }
+    EXPECT_EQ(rng.uniform_int(3, 3), 3);
+    EXPECT_THROW((void)rng.uniform_int(4, 3), check_error);
+}
+
+TEST(Rng, BernoulliEdgeCases)
+{
+    Rng rng(11);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    int hits = 0;
+    constexpr int kTrials = 10'000;
+    for (int i = 0; i < kTrials; ++i)
+        if (rng.bernoulli(0.25)) ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.25, 0.03);
+}
+
+TEST(Rng, ForkIsIndependent)
+{
+    Rng parent(5);
+    Rng child = parent.fork();
+    // Forked stream should not replay the parent stream.
+    Rng parent_copy(5);
+    (void)parent_copy.fork();
+    int equal = 0;
+    for (int i = 0; i < 32; ++i)
+        if (child.uniform_int(0, 1'000'000) == parent.uniform_int(0, 1'000'000)) ++equal;
+    EXPECT_LT(equal, 32);
+}
+
+TEST(Rng, ShufflePermutes)
+{
+    Rng rng(13);
+    std::vector<int> items{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    std::vector<int> original = items;
+    rng.shuffle(std::span<int>(items));
+    std::vector<int> sorted = items;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, original);
+}
+
+} // namespace
+} // namespace ccq

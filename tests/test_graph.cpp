@@ -1,0 +1,126 @@
+// Unit tests for ccq/graph/graph.hpp: representation and edge selection.
+#include <gtest/gtest.h>
+
+#include "ccq/graph/graph.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(Graph, EmptyGraph)
+{
+    const Graph g = Graph::undirected(0);
+    EXPECT_EQ(g.node_count(), 0);
+    EXPECT_EQ(g.edge_count(), 0u);
+    EXPECT_FALSE(g.is_valid_node(0));
+}
+
+TEST(Graph, UndirectedEdgesAppearBothWays)
+{
+    Graph g = Graph::undirected(3);
+    g.add_edge(0, 1, 5);
+    EXPECT_EQ(g.arc_count(), 2u);
+    EXPECT_EQ(g.edge_count(), 1u);
+    ASSERT_EQ(g.neighbors(0).size(), 1u);
+    ASSERT_EQ(g.neighbors(1).size(), 1u);
+    EXPECT_EQ(g.neighbors(0)[0].to, 1);
+    EXPECT_EQ(g.neighbors(1)[0].to, 0);
+    EXPECT_EQ(g.neighbors(1)[0].weight, 5);
+}
+
+TEST(Graph, DirectedEdgesAppearOneWay)
+{
+    Graph g = Graph::directed(3);
+    g.add_edge(0, 1, 5);
+    EXPECT_EQ(g.arc_count(), 1u);
+    EXPECT_EQ(g.edge_count(), 1u);
+    EXPECT_EQ(g.neighbors(0).size(), 1u);
+    EXPECT_TRUE(g.neighbors(1).empty());
+}
+
+TEST(Graph, RejectsBadInput)
+{
+    Graph g = Graph::undirected(2);
+    EXPECT_THROW(g.add_edge(0, 2, 1), check_error);
+    EXPECT_THROW(g.add_edge(-1, 0, 1), check_error);
+    EXPECT_THROW(g.add_edge(0, 1, -1), check_error);
+    EXPECT_THROW(g.add_edge(0, 1, kInfinity), check_error);
+    EXPECT_THROW((void)g.neighbors(5), check_error);
+    EXPECT_THROW(Graph::undirected(-1), check_error);
+}
+
+TEST(Graph, ZeroWeightEdgesAllowed)
+{
+    Graph g = Graph::undirected(2);
+    g.add_edge(0, 1, 0);
+    EXPECT_EQ(g.neighbors(0)[0].weight, 0);
+}
+
+TEST(Graph, MaxWeight)
+{
+    Graph g = Graph::undirected(3);
+    EXPECT_EQ(g.max_weight(), 0);
+    g.add_edge(0, 1, 7);
+    g.add_edge(1, 2, 3);
+    EXPECT_EQ(g.max_weight(), 7);
+}
+
+TEST(Graph, LightestOutEdgesSelectsByWeightThenId)
+{
+    Graph g = Graph::directed(5);
+    g.add_edge(0, 1, 9);
+    g.add_edge(0, 2, 3);
+    g.add_edge(0, 3, 3);
+    g.add_edge(0, 4, 1);
+    const std::vector<Edge> two = g.lightest_out_edges(0, 2);
+    ASSERT_EQ(two.size(), 2u);
+    EXPECT_EQ(two[0].to, 4);
+    EXPECT_EQ(two[1].to, 2); // weight tie with node 3 broken by id
+    const std::vector<Edge> many = g.lightest_out_edges(0, 10);
+    EXPECT_EQ(many.size(), 4u); // fewer edges than requested
+}
+
+TEST(Graph, EdgeListRoundTrip)
+{
+    Graph g = Graph::undirected(4);
+    g.add_edge(0, 1, 2);
+    g.add_edge(2, 3, 4);
+    g.add_edge(1, 2, 6);
+    const std::vector<WeightedEdge> edges = g.edge_list();
+    EXPECT_EQ(edges.size(), 3u);
+    const Graph h = graph_from_edges(4, Orientation::undirected, edges);
+    EXPECT_EQ(h.edge_count(), 3u);
+    EXPECT_EQ(h.edge_list(), edges);
+}
+
+TEST(Graph, SimplifiedCollapsesParallelEdgesAndLoops)
+{
+    Graph g = Graph::undirected(3);
+    g.add_edge(0, 1, 5);
+    g.add_edge(1, 0, 2); // parallel, lighter
+    g.add_edge(1, 1, 1); // self loop
+    const Graph s = g.simplified();
+    EXPECT_EQ(s.edge_count(), 1u);
+    EXPECT_EQ(s.neighbors(0)[0].weight, 2);
+}
+
+TEST(Graph, ClampWeights)
+{
+    Graph g = Graph::undirected(3);
+    g.add_edge(0, 1, 100);
+    g.add_edge(1, 2, 3);
+    const Graph c = g.with_weights_clamped(10);
+    EXPECT_EQ(c.neighbors(0)[0].weight, 10);
+    EXPECT_EQ(c.neighbors(2)[0].weight, 3);
+    EXPECT_EQ(c.edge_count(), g.edge_count());
+}
+
+TEST(Graph, WeightIdLessOrdering)
+{
+    EXPECT_TRUE(weight_id_less(1, 5, 2, 3));   // weight dominates
+    EXPECT_TRUE(weight_id_less(2, 3, 2, 5));   // id breaks ties
+    EXPECT_FALSE(weight_id_less(2, 5, 2, 3));
+    EXPECT_FALSE(weight_id_less(2, 3, 2, 3));  // equal is not less
+}
+
+} // namespace
+} // namespace ccq

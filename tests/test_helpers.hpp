@@ -1,0 +1,60 @@
+// Shared fixtures and assertion helpers for the ccq test suite.
+#ifndef CCQ_TESTS_TEST_HELPERS_HPP
+#define CCQ_TESTS_TEST_HELPERS_HPP
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ccq/core/stretch.hpp"
+#include "ccq/graph/exact.hpp"
+#include "ccq/graph/generators.hpp"
+
+namespace ccq::testing {
+
+/// A (family, n, seed) test-instance descriptor for parameterized sweeps.
+struct InstanceSpec {
+    GraphFamily family = GraphFamily::erdos_renyi_sparse;
+    int n = 32;
+    std::uint64_t seed = 1;
+    Weight max_weight = 100;
+
+    [[nodiscard]] std::string label() const
+    {
+        return std::string(family_name(family)) + "_n" + std::to_string(n) + "_s" +
+               std::to_string(seed) + "_w" + std::to_string(max_weight);
+    }
+};
+
+inline Graph make_instance(const InstanceSpec& spec)
+{
+    Rng rng(spec.seed);
+    return make_family_instance(spec.family, spec.n, WeightRange{1, spec.max_weight}, rng);
+}
+
+/// Pretty-printer so gtest names parameterized cases readably.
+struct InstanceSpecName {
+    template <class ParamType>
+    std::string operator()(const ::testing::TestParamInfo<ParamType>& info) const
+    {
+        return info.param.label();
+    }
+};
+
+/// Asserts that `estimate` is a valid `claimed`-approximation of `exact`:
+/// never below the true distance, never above claimed * distance, and
+/// agreeing on reachability.
+inline void expect_valid_approximation(const DistanceMatrix& exact,
+                                       const DistanceMatrix& estimate, double claimed,
+                                       const std::string& context)
+{
+    const StretchReport report = evaluate_stretch(exact, estimate);
+    EXPECT_EQ(report.lower_bound_violations, 0u) << context << ": estimate below true distance";
+    EXPECT_EQ(report.reachability_mismatches, 0u) << context << ": reachability mismatch";
+    EXPECT_LE(report.max_stretch, claimed + 1e-9)
+        << context << ": measured stretch exceeds the claimed factor";
+}
+
+} // namespace ccq::testing
+
+#endif // CCQ_TESTS_TEST_HELPERS_HPP

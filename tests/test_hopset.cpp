@@ -1,0 +1,174 @@
+// Tests for the k-nearest beta-hopset (Section 4, Lemma 3.2):
+// distance preservation, exactness on the approximate-nearest balls, and
+// the measured hop bound against the claimed O(a log d).
+#include <gtest/gtest.h>
+
+#include "ccq/core/baselines.hpp"
+#include "ccq/hopset/knearest_hopset.hpp"
+#include "test_helpers.hpp"
+
+namespace ccq {
+namespace {
+
+using testing::InstanceSpec;
+
+struct HopsetEnv {
+    Graph g;
+    DistanceMatrix exact;
+    RoundLedger ledger;
+};
+
+Hopset build_with_delta(HopsetEnv& env, const DistanceMatrix& delta, double a, int k = -1)
+{
+    CliqueTransport transport(env.g.node_count(), CostModel::standard(), env.ledger);
+    Weight diameter = 0;
+    for (NodeId u = 0; u < delta.size(); ++u)
+        for (NodeId v = 0; v < delta.size(); ++v)
+            if (is_finite(delta.at(u, v))) diameter = std::max(diameter, delta.at(u, v));
+    return build_knearest_hopset(env.g, delta, a, std::max<Weight>(2, diameter), transport,
+                                 "hopset", k);
+}
+
+class HopsetSweep : public ::testing::TestWithParam<InstanceSpec> {};
+
+// Core hopset properties with an exact delta (a = 1).
+TEST_P(HopsetSweep, PreservesDistancesAndMeetsHopBound)
+{
+    HopsetEnv env{make_instance(GetParam()), {}, {}};
+    env.exact = exact_apsp(env.g);
+    const Hopset hopset = build_with_delta(env, env.exact, 1.0);
+
+    // Distances unchanged by the shortcuts.
+    const Graph augmented = augmented_graph(env.g, hopset);
+    EXPECT_EQ(exact_apsp(augmented), env.exact) << "hopset changed distances";
+
+    // Every node reaches its k-nearest within the claimed hop bound.
+    const int measured = measured_hopset_bound(env.g, hopset);
+    EXPECT_LE(measured, hopset.claimed_hop_bound)
+        << family_name(GetParam().family) << ": measured beta exceeds claim";
+}
+
+// Same properties when delta comes from the O(log n) spanner bootstrap —
+// the configuration the composed algorithms actually use.
+TEST_P(HopsetSweep, WorksWithSpannerApproximation)
+{
+    HopsetEnv env{make_instance(GetParam()), {}, {}};
+    env.exact = exact_apsp(env.g);
+    CliqueTransport transport(env.g.node_count(), CostModel::standard(), env.ledger);
+    Rng rng(GetParam().seed);
+    double a = 1.0;
+    const DistanceMatrix delta =
+        bootstrap_logn_approx(env.g, rng, transport, "bootstrap", &a);
+
+    const Hopset hopset = build_with_delta(env, delta, a);
+    EXPECT_EQ(exact_apsp(augmented_graph(env.g, hopset)), env.exact);
+    EXPECT_LE(measured_hopset_bound(env.g, hopset), hopset.claimed_hop_bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, HopsetSweep,
+    ::testing::Values(
+        InstanceSpec{GraphFamily::path, 40, 1, 50},
+        InstanceSpec{GraphFamily::grid, 36, 2, 50},
+        InstanceSpec{GraphFamily::tree, 40, 3, 50},
+        InstanceSpec{GraphFamily::erdos_renyi_sparse, 48, 4, 50},
+        InstanceSpec{GraphFamily::erdos_renyi_dense, 48, 5, 50},
+        InstanceSpec{GraphFamily::geometric, 48, 6, 50},
+        InstanceSpec{GraphFamily::clustered, 48, 7, 50},
+        InstanceSpec{GraphFamily::star, 40, 8, 50},
+        InstanceSpec{GraphFamily::erdos_renyi_sparse, 48, 9, 1},
+        InstanceSpec{GraphFamily::path, 40, 10, 100000}),
+    testing::InstanceSpecName{});
+
+TEST(Hopset, ShortcutWeightsAreRealPathLengths)
+{
+    Rng rng(3);
+    HopsetEnv env{erdos_renyi(36, 0.12, WeightRange{1, 60}, rng), {}, {}};
+    env.exact = exact_apsp(env.g);
+    const Hopset hopset = build_with_delta(env, env.exact, 1.0);
+    EXPECT_FALSE(hopset.edges.empty());
+    for (const WeightedEdge& e : hopset.edges) {
+        EXPECT_GE(e.weight, env.exact.at(e.u, e.v)) << "shortcut shorter than distance";
+        EXPECT_TRUE(is_finite(e.weight));
+    }
+}
+
+TEST(Hopset, ExactDeltaYieldsExactShortcutsOnNearSets)
+{
+    // With a = 1 the approximate set equals the true k-nearest set and
+    // Lemma 4.1 applies to the whole ball: shortcuts are exact.
+    Rng rng(4);
+    HopsetEnv env{erdos_renyi(30, 0.15, WeightRange{1, 20}, rng), {}, {}};
+    env.exact = exact_apsp(env.g);
+    const Hopset hopset = build_with_delta(env, env.exact, 1.0);
+    for (const WeightedEdge& e : hopset.edges)
+        EXPECT_EQ(e.weight, env.exact.at(e.u, e.v));
+}
+
+TEST(Hopset, ExplicitKControlsSetSize)
+{
+    Rng rng(5);
+    HopsetEnv env{erdos_renyi(32, 0.2, WeightRange{1, 9}, rng), {}, {}};
+    env.exact = exact_apsp(env.g);
+    const Hopset small = build_with_delta(env, env.exact, 1.0, 2);
+    const Hopset large = build_with_delta(env, env.exact, 1.0, 16);
+    EXPECT_EQ(small.k, 2);
+    EXPECT_EQ(large.k, 16);
+    EXPECT_LT(small.edges.size(), large.edges.size());
+    // At most k-1 shortcuts per node (self excluded).
+    EXPECT_LE(small.edges.size(), 32u * 1u);
+}
+
+TEST(Hopset, WorksOnDirectedGraphs)
+{
+    // Lemma 3.2 holds for directed graphs; check preservation there too.
+    Rng rng(6);
+    Graph g = Graph::directed(24);
+    for (NodeId u = 0; u < 24; ++u)
+        for (NodeId v = 0; v < 24; ++v)
+            if (u != v && rng.bernoulli(0.2))
+                g.add_edge(u, v, static_cast<Weight>(rng.uniform_int(1, 30)));
+    HopsetEnv env{std::move(g), {}, {}};
+    env.exact = exact_apsp(env.g);
+    const Hopset hopset = build_with_delta(env, env.exact, 1.0);
+    EXPECT_EQ(exact_apsp(augmented_graph(env.g, hopset)), env.exact);
+}
+
+TEST(Hopset, AugmentedRowsContainDiagonalAndShortcuts)
+{
+    Rng rng(7);
+    HopsetEnv env{erdos_renyi(20, 0.2, WeightRange{1, 9}, rng), {}, {}};
+    env.exact = exact_apsp(env.g);
+    const Hopset hopset = build_with_delta(env, env.exact, 1.0, 4);
+    const SparseMatrix rows = augmented_rows(env.g, hopset);
+    ASSERT_EQ(rows.size(), 20u);
+    for (NodeId u = 0; u < 20; ++u) {
+        EXPECT_FALSE(rows[static_cast<std::size_t>(u)].empty());
+        EXPECT_EQ(rows[static_cast<std::size_t>(u)][0], (SparseEntry{u, 0}));
+    }
+}
+
+TEST(Hopset, RoundChargesAreRecorded)
+{
+    Rng rng(8);
+    HopsetEnv env{erdos_renyi(40, 0.15, WeightRange{1, 9}, rng), {}, {}};
+    env.exact = exact_apsp(env.g);
+    (void)build_with_delta(env, env.exact, 1.0);
+    EXPECT_GT(env.ledger.total_rounds(), 0.0);
+    EXPECT_GT(env.ledger.rounds_in_phase("hopset/collect-lightest-edges"), 0.0);
+}
+
+TEST(Hopset, RejectsBadArguments)
+{
+    Rng rng(9);
+    HopsetEnv env{erdos_renyi(10, 0.3, WeightRange{1, 9}, rng), {}, {}};
+    env.exact = exact_apsp(env.g);
+    CliqueTransport transport(10, CostModel::standard(), env.ledger);
+    EXPECT_THROW((void)build_knearest_hopset(env.g, DistanceMatrix(5), 1.0, 10, transport, "x"),
+                 check_error);
+    EXPECT_THROW((void)build_knearest_hopset(env.g, env.exact, 0.5, 10, transport, "x"),
+                 check_error);
+}
+
+} // namespace
+} // namespace ccq

@@ -1,0 +1,87 @@
+// Tests for graph serialization (ccq/graph/io.hpp).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ccq/graph/generators.hpp"
+#include "ccq/graph/io.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(GraphIo, RoundTripUndirected)
+{
+    Rng rng(1);
+    const Graph g = erdos_renyi(24, 0.2, WeightRange{1, 99}, rng);
+    std::stringstream buffer;
+    write_graph(buffer, g, "round trip");
+    const Graph back = read_graph(buffer);
+    EXPECT_FALSE(back.is_directed());
+    EXPECT_EQ(back.node_count(), g.node_count());
+    EXPECT_EQ(back.edge_list(), g.edge_list());
+}
+
+TEST(GraphIo, RoundTripDirected)
+{
+    Graph g = Graph::directed(5);
+    g.add_edge(0, 1, 7);
+    g.add_edge(4, 2, 3);
+    std::stringstream buffer;
+    write_graph(buffer, g);
+    const Graph back = read_graph(buffer);
+    EXPECT_TRUE(back.is_directed());
+    EXPECT_EQ(back.edge_list(), g.edge_list());
+}
+
+TEST(GraphIo, CommentsAndBlankLinesIgnored)
+{
+    std::stringstream in("c hello\n\np undirected 3 1\nc mid comment\ne 0 2 5\n");
+    const Graph g = read_graph(in);
+    EXPECT_EQ(g.node_count(), 3);
+    EXPECT_EQ(g.neighbors(0)[0].weight, 5);
+}
+
+TEST(GraphIo, ZeroWeightEdgesSurvive)
+{
+    Graph g = Graph::undirected(2);
+    g.add_edge(0, 1, 0);
+    std::stringstream buffer;
+    write_graph(buffer, g);
+    EXPECT_EQ(read_graph(buffer).neighbors(0)[0].weight, 0);
+}
+
+TEST(GraphIo, MalformedInputsRejectedWithLineNumbers)
+{
+    const auto expect_error = [](const std::string& text, const std::string& needle) {
+        std::stringstream in(text);
+        try {
+            (void)read_graph(in);
+            FAIL() << "expected graph_io_error for: " << text;
+        } catch (const graph_io_error& error) {
+            EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+                << error.what();
+        }
+    };
+    expect_error("e 0 1 5\n", "edge before header");
+    expect_error("p undirected 2 1\np undirected 2 1\n", "duplicate header");
+    expect_error("p sideways 2 1\n", "unknown orientation");
+    expect_error("p undirected 2 2\ne 0 1 5\n", "declares 2 edges");
+    expect_error("p undirected 2 1\ne 0 5 1\n", "invalid edge at line 2");
+    expect_error("p undirected 2 1\nx 0 1 5\n", "unknown record");
+    expect_error("", "missing header");
+    expect_error("p undirected 2 1\ne 0 1\n", "malformed edge");
+}
+
+TEST(GraphIo, FileRoundTrip)
+{
+    Rng rng(2);
+    const Graph g = random_tree(16, WeightRange{1, 9}, rng);
+    const std::string path = ::testing::TempDir() + "/ccq_io_test.graph";
+    save_graph(path, g, "file round trip");
+    const Graph back = load_graph(path);
+    EXPECT_EQ(back.edge_list(), g.edge_list());
+    EXPECT_THROW((void)load_graph(path + ".missing"), graph_io_error);
+}
+
+} // namespace
+} // namespace ccq

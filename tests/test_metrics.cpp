@@ -1,0 +1,88 @@
+// Tests for structural graph metrics (ccq/graph/metrics.hpp).
+#include <gtest/gtest.h>
+
+#include "ccq/graph/generators.hpp"
+#include "ccq/graph/exact.hpp"
+#include "ccq/graph/metrics.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(Metrics, ComponentsLabeling)
+{
+    Graph g = Graph::undirected(7);
+    g.add_edge(0, 1, 1);
+    g.add_edge(1, 2, 1);
+    g.add_edge(3, 4, 1);
+    // 5, 6 isolated
+    const std::vector<int> label = connected_components(g);
+    EXPECT_EQ(label[0], label[1]);
+    EXPECT_EQ(label[1], label[2]);
+    EXPECT_EQ(label[3], label[4]);
+    EXPECT_NE(label[0], label[3]);
+    EXPECT_NE(label[5], label[6]);
+    // Labels dense, ordered by smallest member.
+    EXPECT_EQ(label[0], 0);
+    EXPECT_EQ(label[3], 1);
+    EXPECT_EQ(label[5], 2);
+    EXPECT_EQ(label[6], 3);
+}
+
+TEST(Metrics, ConnectivityPredicates)
+{
+    EXPECT_TRUE(is_connected(Graph::undirected(0)));
+    EXPECT_TRUE(is_connected(Graph::undirected(1)));
+    EXPECT_FALSE(is_connected(Graph::undirected(2)));
+    Graph g = Graph::undirected(2);
+    g.add_edge(0, 1, 5);
+    EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Metrics, DirectedComponentsUseUnderlyingGraph)
+{
+    Graph g = Graph::directed(3);
+    g.add_edge(0, 1, 1); // only one direction
+    g.add_edge(2, 1, 1);
+    EXPECT_TRUE(is_connected(g)); // weakly connected
+}
+
+TEST(Metrics, WeightedDiameter)
+{
+    Rng rng(1);
+    const Graph g = path_graph(5, WeightRange{3, 3}, rng);
+    EXPECT_EQ(weighted_diameter(g), 12);
+    // Matrix overload agrees with graph overload.
+    EXPECT_EQ(weighted_diameter(exact_apsp(g)), 12);
+    // Disconnected graphs: max over finite pairs only.
+    Graph h = Graph::undirected(4);
+    h.add_edge(0, 1, 9);
+    EXPECT_EQ(weighted_diameter(h), 9);
+    EXPECT_EQ(weighted_diameter(Graph::undirected(1)), 0);
+}
+
+TEST(Metrics, HopDiameter)
+{
+    Rng rng(2);
+    EXPECT_EQ(shortest_path_hop_diameter(path_graph(6, WeightRange{1, 1}, rng)), 5);
+    EXPECT_EQ(shortest_path_hop_diameter(star_graph(6, WeightRange{1, 1}, rng)), 2);
+    // Heavy direct edge: the shortest path uses more hops.
+    Graph g = Graph::undirected(3);
+    g.add_edge(0, 2, 100);
+    g.add_edge(0, 1, 1);
+    g.add_edge(1, 2, 1);
+    EXPECT_EQ(shortest_path_hop_diameter(g), 2);
+}
+
+TEST(Metrics, DegreeStats)
+{
+    Rng rng(3);
+    const Graph star = star_graph(9, WeightRange{1, 1}, rng);
+    const DegreeStats stats = degree_stats(star);
+    EXPECT_EQ(stats.min_degree, 1);
+    EXPECT_EQ(stats.max_degree, 8);
+    EXPECT_DOUBLE_EQ(stats.avg_degree, 16.0 / 9.0);
+    EXPECT_EQ(degree_stats(Graph::undirected(0)).max_degree, 0);
+}
+
+} // namespace
+} // namespace ccq

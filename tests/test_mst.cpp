@@ -1,0 +1,109 @@
+// Tests for the MST substrate (Borůvka, cross-checked against Kruskal).
+#include <gtest/gtest.h>
+
+#include "ccq/graph/generators.hpp"
+#include "ccq/graph/metrics.hpp"
+#include "ccq/mst/boruvka.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(Mst, HandCheckedTriangle)
+{
+    Graph g = Graph::undirected(3);
+    g.add_edge(0, 1, 1);
+    g.add_edge(1, 2, 2);
+    g.add_edge(0, 2, 3);
+    const MstResult result = boruvka_msf(g);
+    EXPECT_EQ(result.edges.size(), 2u);
+    EXPECT_EQ(result.total_weight, 3);
+}
+
+TEST(Mst, BoruvkaMatchesKruskalWeightAcrossFamilies)
+{
+    for (const GraphFamily family :
+         {GraphFamily::erdos_renyi_sparse, GraphFamily::erdos_renyi_dense,
+          GraphFamily::geometric, GraphFamily::clustered, GraphFamily::grid}) {
+        for (const std::uint64_t seed : {1u, 2u, 3u}) {
+            Rng rng(seed);
+            const Graph g = make_family_instance(family, 56, WeightRange{1, 40}, rng);
+            const MstResult boruvka = boruvka_msf(g);
+            const MstResult kruskal = kruskal_msf(g);
+            EXPECT_EQ(boruvka.total_weight, kruskal.total_weight)
+                << family_name(family) << " seed " << seed;
+            EXPECT_EQ(boruvka.edges.size(), kruskal.edges.size());
+        }
+    }
+}
+
+TEST(Mst, SpanningTreeHasNMinusOneEdgesWhenConnected)
+{
+    Rng rng(9);
+    const Graph g = erdos_renyi(50, 0.2, WeightRange{1, 99}, rng);
+    const MstResult result = boruvka_msf(g);
+    EXPECT_EQ(result.edges.size(), 49u);
+    const Graph tree = graph_from_edges(50, Orientation::undirected, result.edges);
+    EXPECT_TRUE(is_connected(tree));
+}
+
+TEST(Mst, ForestOnDisconnectedGraph)
+{
+    Graph g = Graph::undirected(6);
+    g.add_edge(0, 1, 1);
+    g.add_edge(1, 2, 2);
+    g.add_edge(3, 4, 3);
+    const MstResult result = boruvka_msf(g);
+    EXPECT_EQ(result.edges.size(), 3u); // two components + isolated node 5
+    EXPECT_EQ(result.total_weight, 6);
+}
+
+TEST(Mst, PhaseCountIsLogarithmic)
+{
+    Rng rng(10);
+    const Graph g = erdos_renyi(64, 0.3, WeightRange{1, 1000}, rng);
+    const MstResult result = boruvka_msf(g);
+    EXPECT_LE(result.boruvka_phases, 6); // ceil(log2(64))
+    EXPECT_GE(result.boruvka_phases, 1);
+}
+
+TEST(Mst, ZeroWeightEdgesSpanZeroComponents)
+{
+    // Zero-weight triangle {0,1,2} plus positive edges: any MSF must keep
+    // the zero components connected with zero edges (Theorem 2.1 relies
+    // on this).
+    Graph g = Graph::undirected(5);
+    g.add_edge(0, 1, 0);
+    g.add_edge(1, 2, 0);
+    g.add_edge(0, 2, 0);
+    g.add_edge(2, 3, 4);
+    g.add_edge(3, 4, 5);
+    const MstResult result = boruvka_msf(g);
+    int zero_edges = 0;
+    for (const WeightedEdge& e : result.edges)
+        if (e.weight == 0) ++zero_edges;
+    EXPECT_EQ(zero_edges, 2); // spans {0,1,2}
+}
+
+TEST(Mst, DeterministicTieBreaking)
+{
+    Graph g = Graph::undirected(4); // all weights equal: ties everywhere
+    g.add_edge(0, 1, 5);
+    g.add_edge(1, 2, 5);
+    g.add_edge(2, 3, 5);
+    g.add_edge(3, 0, 5);
+    g.add_edge(0, 2, 5);
+    const MstResult a = boruvka_msf(g);
+    const MstResult b = boruvka_msf(g);
+    EXPECT_EQ(a.edges, b.edges);
+    EXPECT_EQ(a.total_weight, 15);
+}
+
+TEST(Mst, RejectsDirectedInput)
+{
+    const Graph g = Graph::directed(3);
+    EXPECT_THROW((void)boruvka_msf(g), check_error);
+    EXPECT_THROW((void)kruskal_msf(g), check_error);
+}
+
+} // namespace
+} // namespace ccq

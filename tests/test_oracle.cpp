@@ -1,0 +1,116 @@
+// Tests for the DistanceOracle facade and the Section 3.2 O(log log n)
+// algorithm exposed through it.
+#include <gtest/gtest.h>
+
+#include "ccq/core/loglog_apsp.hpp"
+#include "ccq/core/oracle.hpp"
+#include "test_helpers.hpp"
+
+namespace ccq {
+namespace {
+
+using testing::InstanceSpec;
+using testing::expect_valid_approximation;
+
+constexpr ApspAlgorithmKind kAllKinds[] = {
+    ApspAlgorithmKind::exact_baseline, ApspAlgorithmKind::logn_baseline,
+    ApspAlgorithmKind::loglog,         ApspAlgorithmKind::small_diameter,
+    ApspAlgorithmKind::large_bandwidth, ApspAlgorithmKind::general,
+};
+
+TEST(Oracle, EveryAlgorithmKindProducesValidEstimates)
+{
+    Rng rng(1);
+    const Graph g = erdos_renyi(56, 0.12, WeightRange{1, 40}, rng);
+    const DistanceMatrix exact = exact_apsp(g);
+    for (const ApspAlgorithmKind kind : kAllKinds) {
+        const DistanceOracle oracle(g, kind);
+        expect_valid_approximation(exact, oracle.result().estimate, oracle.claimed_stretch(),
+                                   algorithm_kind_name(kind));
+        EXPECT_GT(oracle.simulated_rounds(), 0.0) << algorithm_kind_name(kind);
+        EXPECT_EQ(oracle.algorithm(), algorithm_kind_name(kind));
+    }
+}
+
+TEST(Oracle, QueriesMatchResultMatrix)
+{
+    Rng rng(2);
+    const Graph g = erdos_renyi(32, 0.2, WeightRange{1, 20}, rng);
+    const DistanceOracle oracle(g, ApspAlgorithmKind::exact_baseline);
+    const DistanceMatrix exact = exact_apsp(g);
+    for (NodeId u = 0; u < 32; ++u)
+        for (NodeId v = 0; v < 32; ++v) {
+            EXPECT_EQ(oracle.distance(u, v), exact.at(u, v));
+            EXPECT_EQ(oracle.reachable(u, v), is_finite(exact.at(u, v)));
+        }
+}
+
+TEST(Oracle, ZeroWeightsHandledTransparently)
+{
+    Rng rng(3);
+    Graph g = erdos_renyi(32, 0.15, WeightRange{1, 20}, rng);
+    g.add_edge(0, 1, 0);
+    g.add_edge(1, 2, 0);
+    const DistanceOracle oracle(g, ApspAlgorithmKind::general);
+    EXPECT_EQ(oracle.distance(0, 2), 0);
+    EXPECT_EQ(oracle.algorithm(), std::string("general") + "+zero-weights");
+    expect_valid_approximation(exact_apsp(g), oracle.result().estimate,
+                               oracle.claimed_stretch(), "oracle-zero");
+}
+
+TEST(Oracle, RejectsDirectedGraphs)
+{
+    const Graph g = Graph::directed(4);
+    EXPECT_THROW(DistanceOracle oracle(g), check_error);
+}
+
+class LogLogSweep : public ::testing::TestWithParam<InstanceSpec> {};
+
+// Section 3.2: 21-approximation (standard bandwidth), 7-approximation
+// (Congested-Clique[log^3 n]).
+TEST_P(LogLogSweep, WithinTheoremBounds)
+{
+    const Graph g = make_instance(GetParam());
+    const DistanceMatrix exact = exact_apsp(g);
+
+    ApspOptions narrow;
+    narrow.seed = GetParam().seed;
+    const ApspResult standard = apsp_loglog(g, narrow);
+    expect_valid_approximation(exact, standard.estimate, standard.claimed_stretch,
+                               "loglog " + GetParam().label());
+    EXPECT_LE(standard.claimed_stretch, 21.0 + 1e-9);
+
+    ApspOptions wide = narrow;
+    wide.wide_bandwidth = true;
+    const ApspResult wide_result = apsp_loglog(g, wide);
+    expect_valid_approximation(exact, wide_result.estimate, wide_result.claimed_stretch,
+                               "loglog-wide " + GetParam().label());
+    EXPECT_LE(wide_result.claimed_stretch, 7.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, LogLogSweep,
+    ::testing::Values(
+        InstanceSpec{GraphFamily::erdos_renyi_sparse, 64, 1, 40},
+        InstanceSpec{GraphFamily::erdos_renyi_dense, 64, 2, 40},
+        InstanceSpec{GraphFamily::geometric, 64, 3, 40},
+        InstanceSpec{GraphFamily::clustered, 64, 4, 40},
+        InstanceSpec{GraphFamily::tree, 64, 5, 40},
+        InstanceSpec{GraphFamily::path, 48, 6, 40},
+        InstanceSpec{GraphFamily::grid, 49, 7, 40},
+        InstanceSpec{GraphFamily::barabasi_albert, 64, 8, 40}),
+    testing::InstanceSpecName{});
+
+TEST(LogLog, ChargesHopsetAndKNearestPhases)
+{
+    Rng rng(9);
+    const Graph g = erdos_renyi(64, 0.1, WeightRange{1, 30}, rng);
+    const ApspResult result = apsp_loglog(g);
+    EXPECT_GT(result.ledger.rounds_in_phase("loglog/bootstrap"), 0.0);
+    EXPECT_GT(result.ledger.rounds_in_phase("loglog/hopset"), 0.0);
+    EXPECT_GT(result.ledger.rounds_in_phase("loglog/k-nearest"), 0.0);
+    EXPECT_GT(result.ledger.rounds_in_phase("loglog/skeleton"), 0.0);
+}
+
+} // namespace
+} // namespace ccq

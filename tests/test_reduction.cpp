@@ -1,0 +1,118 @@
+// Tests for the Lemma 3.1 approximation-factor reduction: the output must
+// be a valid approximation within the claimed factor, for both exact and
+// coarse inputs, under both parameter profiles.
+#include <gtest/gtest.h>
+
+#include "ccq/core/baselines.hpp"
+#include "ccq/core/reduction.hpp"
+#include "ccq/graph/metrics.hpp"
+#include "test_helpers.hpp"
+
+namespace ccq {
+namespace {
+
+using testing::InstanceSpec;
+using testing::expect_valid_approximation;
+
+class ReductionSweep : public ::testing::TestWithParam<InstanceSpec> {};
+
+TEST_P(ReductionSweep, BootstrapInputYieldsValidOutput)
+{
+    const Graph g = make_instance(GetParam());
+    const DistanceMatrix exact = exact_apsp(g);
+    RoundLedger ledger;
+    CliqueTransport transport(g.node_count(), CostModel::standard(), ledger);
+    Rng rng(GetParam().seed);
+
+    double a = 1.0;
+    const DistanceMatrix delta = bootstrap_logn_approx(g, rng, transport, "boot", &a);
+    const Weight diameter_bound = weighted_diameter(delta);
+
+    for (const ParamProfile profile : {ParamProfile::practical, ParamProfile::paper}) {
+        ApspOptions options;
+        options.profile = profile;
+        const ReductionOutcome outcome = reduce_approximation(
+            g, delta, a, std::max<Weight>(2, diameter_bound), options, rng, transport, "red");
+        expect_valid_approximation(exact, outcome.estimate, outcome.trace.claimed_stretch,
+                                   GetParam().label());
+        EXPECT_GE(outcome.trace.claimed_stretch, 7.0);   // ends with a 7l extension
+        EXPECT_GT(outcome.trace.skeleton_size, 0);
+        EXPECT_GE(outcome.trace.power_iterations, 1);
+        EXPECT_GE(outcome.trace.hopset_hop_bound, 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ReductionSweep,
+    ::testing::Values(
+        InstanceSpec{GraphFamily::erdos_renyi_sparse, 64, 1, 50},
+        InstanceSpec{GraphFamily::erdos_renyi_dense, 64, 2, 50},
+        InstanceSpec{GraphFamily::geometric, 64, 3, 50},
+        InstanceSpec{GraphFamily::clustered, 64, 4, 50},
+        InstanceSpec{GraphFamily::grid, 64, 5, 50},
+        InstanceSpec{GraphFamily::tree, 64, 6, 50},
+        InstanceSpec{GraphFamily::path, 48, 7, 50},
+        InstanceSpec{GraphFamily::barabasi_albert, 64, 8, 50}),
+    testing::InstanceSpecName{});
+
+TEST(Reduction, ExactInputStaysWithinSevenL)
+{
+    // With an exact delta (a = 1) the reduction's skeleton sets are exact,
+    // so the Lemma 3.4 bound 7*l applies directly.
+    Rng rng(11);
+    const Graph g = erdos_renyi(56, 0.12, WeightRange{1, 50}, rng);
+    const DistanceMatrix exact = exact_apsp(g);
+    RoundLedger ledger;
+    CliqueTransport transport(56, CostModel::standard(), ledger);
+    const ReductionOutcome outcome = reduce_approximation(
+        g, exact, 1.0, weighted_diameter(exact), ApspOptions{}, rng, transport, "red");
+    expect_valid_approximation(exact, outcome.estimate, outcome.trace.claimed_stretch, "exact");
+}
+
+TEST(Reduction, WideBandwidthForcesExactSkeletonApsp)
+{
+    Rng rng(12);
+    const Graph g = erdos_renyi(48, 0.15, WeightRange{1, 50}, rng);
+    const DistanceMatrix exact = exact_apsp(g);
+    RoundLedger ledger;
+    CliqueTransport transport(48, CostModel::standard(), ledger);
+    ApspOptions options;
+    options.wide_bandwidth = true;
+    const ReductionOutcome outcome = reduce_approximation(
+        g, exact, 1.0, weighted_diameter(exact), options, rng, transport, "red");
+    EXPECT_TRUE(outcome.trace.exact_skeleton_apsp);
+    EXPECT_DOUBLE_EQ(outcome.trace.claimed_stretch, 7.0);
+    expect_valid_approximation(exact, outcome.estimate, 7.0, "wide");
+}
+
+TEST(Reduction, ChargesEveryStage)
+{
+    Rng rng(13);
+    const Graph g = erdos_renyi(48, 0.15, WeightRange{1, 50}, rng);
+    const DistanceMatrix exact = exact_apsp(g);
+    RoundLedger ledger;
+    CliqueTransport transport(48, CostModel::standard(), ledger);
+    (void)reduce_approximation(g, exact, 1.0, weighted_diameter(exact), ApspOptions{}, rng,
+                               transport, "red");
+    EXPECT_GT(ledger.rounds_in_phase("red/hopset"), 0.0);
+    EXPECT_GT(ledger.rounds_in_phase("red/k-nearest"), 0.0);
+    EXPECT_GT(ledger.rounds_in_phase("red/skeleton"), 0.0);
+    EXPECT_GT(ledger.rounds_in_phase("red/skeleton-apsp"), 0.0);
+}
+
+TEST(Reduction, RejectsBadArguments)
+{
+    Rng rng(14);
+    const Graph g = erdos_renyi(16, 0.3, WeightRange{1, 9}, rng);
+    RoundLedger ledger;
+    CliqueTransport transport(16, CostModel::standard(), ledger);
+    EXPECT_THROW((void)reduce_approximation(g, DistanceMatrix(4), 1.0, 2, ApspOptions{}, rng,
+                                            transport, "red"),
+                 check_error);
+    EXPECT_THROW((void)reduce_approximation(g, exact_apsp(g), 0.9, 2, ApspOptions{}, rng,
+                                            transport, "red"),
+                 check_error);
+}
+
+} // namespace
+} // namespace ccq

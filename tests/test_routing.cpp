@@ -1,0 +1,104 @@
+// Tests for the routing-table layer: next-hop correctness, loop freedom,
+// and stretch guarantees when routing along a spanner backbone.
+#include <gtest/gtest.h>
+
+#include "ccq/core/routing.hpp"
+#include "ccq/spanner/baswana_sen.hpp"
+#include "test_helpers.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(Routing, HandCheckedPath)
+{
+    Graph g = Graph::undirected(4); // 0-1-2-3 chain
+    g.add_edge(0, 1, 1);
+    g.add_edge(1, 2, 1);
+    g.add_edge(2, 3, 1);
+    const RoutingTables tables = build_routing_tables(g);
+    EXPECT_EQ(tables.next_hop(0, 3), 1);
+    EXPECT_EQ(tables.next_hop(1, 3), 2);
+    EXPECT_EQ(tables.next_hop(3, 0), 2);
+    EXPECT_EQ(tables.next_hop(0, 0), -1);
+    const std::vector<NodeId> route = tables.route(0, 3);
+    EXPECT_EQ(route, (std::vector<NodeId>{0, 1, 2, 3}));
+    EXPECT_EQ(route_length(g, route), 3);
+}
+
+TEST(Routing, RoutesFollowShortestPathsOnBackbone)
+{
+    Rng rng(1);
+    const Graph g = erdos_renyi(48, 0.15, WeightRange{1, 30}, rng);
+    const RoutingTables tables = build_routing_tables(g);
+    const DistanceMatrix exact = exact_apsp(g);
+    for (NodeId u = 0; u < 48; u += 5) {
+        for (NodeId v = 0; v < 48; v += 3) {
+            if (u == v) continue;
+            const std::vector<NodeId> route = tables.route(u, v);
+            ASSERT_FALSE(route.empty());
+            EXPECT_EQ(route_length(g, route), exact.at(u, v)) << u << "->" << v;
+        }
+    }
+}
+
+TEST(Routing, SpannerBackboneRoutesWithinStretch)
+{
+    for (const std::uint64_t seed : {2u, 3u}) {
+        Rng rng(seed);
+        const Graph g = erdos_renyi(56, 0.2, WeightRange{1, 40}, rng);
+        const SpannerResult spanner = baswana_sen_spanner(g, 3, rng);
+        const RoutingTables tables = build_routing_tables(spanner.spanner);
+        const DistanceMatrix exact = exact_apsp(g);
+        for (NodeId u = 0; u < 56; u += 7) {
+            for (NodeId v = 0; v < 56; v += 5) {
+                if (u == v) continue;
+                const std::vector<NodeId> route = tables.route(u, v);
+                ASSERT_FALSE(route.empty());
+                const Weight len = route_length(g, route);
+                EXPECT_LE(len, 5 * exact.at(u, v)) << "stretch-5 spanner route " << u << "->"
+                                                   << v;
+                EXPECT_GE(len, exact.at(u, v));
+            }
+        }
+    }
+}
+
+TEST(Routing, UnreachableDestinationsReturnEmptyRoute)
+{
+    Graph g = Graph::undirected(4);
+    g.add_edge(0, 1, 1); // {2,3} disconnected
+    const RoutingTables tables = build_routing_tables(g);
+    EXPECT_TRUE(tables.route(0, 2).empty());
+    EXPECT_EQ(tables.next_hop(0, 2), -1);
+    EXPECT_FALSE(tables.route(0, 1).empty());
+}
+
+TEST(Routing, RouteToSelfIsTrivial)
+{
+    Graph g = Graph::undirected(2);
+    g.add_edge(0, 1, 1);
+    const RoutingTables tables = build_routing_tables(g);
+    EXPECT_EQ(tables.route(1, 1), (std::vector<NodeId>{1}));
+    EXPECT_EQ(route_length(g, tables.route(1, 1)), 0);
+}
+
+TEST(Routing, RouteLengthDetectsNonEdges)
+{
+    Graph g = Graph::undirected(3);
+    g.add_edge(0, 1, 1);
+    EXPECT_EQ(route_length(g, {0, 2}), kInfinity); // 0-2 is not an edge
+    EXPECT_EQ(route_length(g, {}), kInfinity);
+}
+
+TEST(Routing, BoundsChecked)
+{
+    Graph g = Graph::undirected(2);
+    g.add_edge(0, 1, 1);
+    const RoutingTables tables = build_routing_tables(g);
+    EXPECT_THROW((void)tables.next_hop(0, 5), check_error);
+    EXPECT_THROW((void)tables.route(-1, 0), check_error);
+    EXPECT_THROW((void)build_routing_tables(Graph::directed(3)), check_error);
+}
+
+} // namespace
+} // namespace ccq

@@ -1,0 +1,206 @@
+// Tests for the weight-scaling lemma (Section 8.1, Lemma 8.1): family
+// construction, diameter caps, level selection, and the combined eta
+// guarantees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccq/graph/metrics.hpp"
+#include "ccq/scaling/weight_scaling.hpp"
+#include "test_helpers.hpp"
+
+namespace ccq {
+namespace {
+
+using testing::InstanceSpec;
+
+TEST(Scaling, FamilyStructure)
+{
+    Rng rng(1);
+    const Graph g = erdos_renyi(24, 0.3, WeightRange{1, 1000}, rng);
+    const ScaledFamily family = build_scaled_family(g, /*max_estimate=*/5000, /*h=*/3, 0.5);
+    EXPECT_EQ(family.cap_factor_b, 4); // ceil(2/0.5)
+    EXPECT_EQ(family.hop_bound_h, 3);
+    ASSERT_FALSE(family.levels.empty());
+    const Weight cap = 4 * 3 * 3;
+    for (std::size_t i = 0; i < family.levels.size(); ++i) {
+        const ScaledLevel& level = family.levels[i];
+        EXPECT_EQ(level.index, static_cast<int>(i));
+        EXPECT_EQ(level.scale, static_cast<Weight>(1) << i);
+        EXPECT_EQ(level.cap, cap);
+        EXPECT_EQ(level.graph.edge_count(), g.edge_count());
+        // Every level weight is ceil(w / 2^i) clamped to the cap.
+        for (NodeId u = 0; u < g.node_count(); ++u) {
+            const auto orig = g.neighbors(u);
+            const auto scaled = level.graph.neighbors(u);
+            ASSERT_EQ(orig.size(), scaled.size());
+            for (std::size_t e = 0; e < orig.size(); ++e) {
+                const Weight expected =
+                    std::min<Weight>((orig[e].weight + level.scale - 1) / level.scale, cap);
+                EXPECT_EQ(scaled[e].weight, expected);
+            }
+        }
+    }
+}
+
+TEST(Scaling, LevelCountIsLogarithmicInWeightRange)
+{
+    Rng rng(2);
+    const Graph g = path_graph(8, WeightRange{1, 2}, rng);
+    const std::size_t small = build_scaled_family(g, 100, 2, 0.5).levels.size();
+    const std::size_t large = build_scaled_family(g, 100'000'000, 2, 0.5).levels.size();
+    EXPECT_LT(small, large);
+    EXPECT_LE(large, 64u); // log2 of anything representable
+    EXPECT_LE(small, 8u);
+}
+
+TEST(Scaling, LevelDiameterRespectsCap)
+{
+    // With the implicit cap edges, every pair in G_i is within B*h^2; our
+    // sparse representation realizes this as min(d, cap): check that the
+    // capped distances never exceed the bound.
+    Rng rng(3);
+    const Graph g = erdos_renyi(30, 0.1, WeightRange{1, 100000}, rng);
+    const ScaledFamily family = build_scaled_family(g, weighted_diameter(g), 4, 0.5);
+    for (const ScaledLevel& level : family.levels) {
+        const DistanceMatrix d = exact_apsp(level.graph);
+        for (NodeId u = 0; u < d.size(); ++u)
+            for (NodeId v = 0; v < d.size(); ++v) {
+                if (u == v) continue;
+                EXPECT_LE(min_weight(d.at(u, v), level.cap), level.cap);
+            }
+    }
+}
+
+TEST(Scaling, SelectLevelMatchesPaperRule)
+{
+    Rng rng(4);
+    const Graph g = path_graph(4, WeightRange{1, 1}, rng);
+    const ScaledFamily family = build_scaled_family(g, 1'000'000, 3, 0.5);
+    const Weight cap = static_cast<Weight>(family.cap_factor_b) * 9; // B h^2 = 36
+    EXPECT_EQ(select_level(family, 0), 0);
+    EXPECT_EQ(select_level(family, cap / 2), 0);
+    EXPECT_EQ(select_level(family, cap - 1), 0);
+    EXPECT_EQ(select_level(family, cap), 1);
+    EXPECT_EQ(select_level(family, 2 * cap - 1), 1);
+    EXPECT_EQ(select_level(family, 2 * cap), 2);
+    EXPECT_EQ(select_level(family, 16 * cap), 5);
+    EXPECT_THROW((void)select_level(family, -1), check_error);
+}
+
+class ScalingSweep : public ::testing::TestWithParam<InstanceSpec> {};
+
+// Lemma 8.1 end-to-end with exact level estimates (l = 1): eta >= d
+// everywhere, and eta <= (1+eps) d for pairs within h hops.
+TEST_P(ScalingSweep, EtaGuarantees)
+{
+    const Graph g = make_instance(GetParam());
+    const DistanceMatrix exact = exact_apsp(g);
+    const int n = g.node_count();
+    const int h = std::max(2, shortest_path_hop_diameter(g)); // covers all pairs
+    const double eps = 0.5;
+
+    const ScaledFamily family =
+        build_scaled_family(g, weighted_diameter(exact), h, eps);
+    std::vector<DistanceMatrix> level_estimates;
+    for (const ScaledLevel& level : family.levels)
+        level_estimates.push_back(exact_apsp(level.graph)); // l = 1
+    const DistanceMatrix eta = combine_scaled_estimates(family, level_estimates, exact);
+
+    for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v = 0; v < n; ++v) {
+            if (u == v) {
+                EXPECT_EQ(eta.at(u, v), 0);
+                continue;
+            }
+            const Weight d = exact.at(u, v);
+            if (!is_finite(d)) {
+                EXPECT_FALSE(is_finite(eta.at(u, v)));
+                continue;
+            }
+            EXPECT_GE(eta.at(u, v), d) << u << "," << v;
+            EXPECT_LE(static_cast<double>(eta.at(u, v)), (1.0 + eps) * static_cast<double>(d))
+                << u << "," << v;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ScalingSweep,
+    ::testing::Values(
+        InstanceSpec{GraphFamily::path, 24, 1, 100000},
+        InstanceSpec{GraphFamily::erdos_renyi_sparse, 32, 2, 1000},
+        InstanceSpec{GraphFamily::erdos_renyi_dense, 32, 3, 100000},
+        InstanceSpec{GraphFamily::clustered, 32, 4, 1000},
+        InstanceSpec{GraphFamily::star, 24, 5, 100000},
+        InstanceSpec{GraphFamily::geometric, 32, 6, 9999}),
+    testing::InstanceSpecName{});
+
+// With an l-approximation per level, eta <= (1+eps) * l * d on covered
+// pairs (the full statement of Lemma 8.1).
+TEST(Scaling, LevelApproximationFactorPropagates)
+{
+    Rng rng(7);
+    const Graph g = erdos_renyi(28, 0.15, WeightRange{1, 5000}, rng);
+    const DistanceMatrix exact = exact_apsp(g);
+    const int h = std::max(2, shortest_path_hop_diameter(g));
+    constexpr double eps = 0.5;
+    constexpr double l = 3.0;
+
+    const ScaledFamily family = build_scaled_family(g, weighted_diameter(exact), h, eps);
+    std::vector<DistanceMatrix> level_estimates;
+    for (const ScaledLevel& level : family.levels) {
+        DistanceMatrix est = exact_apsp(level.graph);
+        for (NodeId u = 0; u < est.size(); ++u)
+            for (NodeId v = 0; v < est.size(); ++v) {
+                if (u == v || !is_finite(est.at(u, v))) continue;
+                est.at(u, v) = static_cast<Weight>(static_cast<double>(est.at(u, v)) * l);
+            }
+        level_estimates.push_back(std::move(est));
+    }
+    const DistanceMatrix eta = combine_scaled_estimates(family, level_estimates, exact);
+    testing::expect_valid_approximation(exact, eta, (1.0 + eps) * l, "scaling-l");
+}
+
+// The coarse selector may itself be an approximation (delta != d): the
+// lower bound must survive, and covered pairs stay within (1+eps)*l*d.
+TEST(Scaling, ApproximateSelectorKeepsSoundness)
+{
+    Rng rng(8);
+    const Graph g = erdos_renyi(28, 0.2, WeightRange{1, 2000}, rng);
+    const DistanceMatrix exact = exact_apsp(g);
+    const int h = std::max(2, shortest_path_hop_diameter(g));
+    // delta = 2.5x inflation, h-approximation since h >= 3 here.
+    ASSERT_GE(h, 3);
+    DistanceMatrix delta(exact.size());
+    for (NodeId u = 0; u < exact.size(); ++u)
+        for (NodeId v = 0; v < exact.size(); ++v) {
+            const Weight d = exact.at(u, v);
+            delta.at(u, v) =
+                is_finite(d) ? static_cast<Weight>(static_cast<double>(d) * 2.5) : kInfinity;
+        }
+
+    const Weight max_delta = weighted_diameter(delta);
+    const ScaledFamily family = build_scaled_family(g, max_delta, h, 0.5);
+    std::vector<DistanceMatrix> level_estimates;
+    for (const ScaledLevel& level : family.levels)
+        level_estimates.push_back(exact_apsp(level.graph));
+    const DistanceMatrix eta = combine_scaled_estimates(family, level_estimates, delta);
+    testing::expect_valid_approximation(exact, eta, 1.5, "approx-selector");
+}
+
+TEST(Scaling, RejectsBadParameters)
+{
+    Rng rng(9);
+    const Graph g = path_graph(4, WeightRange{1, 1}, rng);
+    EXPECT_THROW((void)build_scaled_family(g, 10, 0, 0.5), check_error);
+    EXPECT_THROW((void)build_scaled_family(g, 10, 2, 0.0), check_error);
+    EXPECT_THROW((void)build_scaled_family(g, -1, 2, 0.5), check_error);
+    const ScaledFamily family = build_scaled_family(g, 10, 2, 0.5);
+    std::vector<DistanceMatrix> wrong_count;
+    EXPECT_THROW((void)combine_scaled_estimates(family, wrong_count, DistanceMatrix(4)),
+                 check_error);
+}
+
+} // namespace
+} // namespace ccq

@@ -1,0 +1,159 @@
+// Tests for the spanner substrate (Lemma 7.1 via Baswana–Sen) and the
+// spanner-broadcast APSP of Corollaries 7.1 / 7.2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccq/spanner/baswana_sen.hpp"
+#include "ccq/spanner/spanner_apsp.hpp"
+#include "test_helpers.hpp"
+
+namespace ccq {
+namespace {
+
+using testing::InstanceSpec;
+using testing::expect_valid_approximation;
+
+class SpannerSweep : public ::testing::TestWithParam<InstanceSpec> {};
+
+// Property (Lemma 7.1): the (2k-1)-spanner bound holds for every pair,
+// and the size stays within O(k n^{1+1/k}).
+TEST_P(SpannerSweep, StretchAndSizeBoundsHold)
+{
+    const Graph g = make_instance(GetParam());
+    Rng rng(GetParam().seed + 1000);
+    for (const int k : {1, 2, 3, 5}) {
+        const SpannerResult result = baswana_sen_spanner(g, k, rng);
+        EXPECT_EQ(result.stretch_bound, 2 * k - 1);
+        EXPECT_EQ(result.spanner.node_count(), g.node_count());
+        const double measured = measured_spanner_stretch(g, result.spanner);
+        EXPECT_LE(measured, static_cast<double>(2 * k - 1) + 1e-9)
+            << family_name(GetParam().family) << " k=" << k;
+        const double size_bound =
+            8.0 * k *
+            std::pow(static_cast<double>(g.node_count()), 1.0 + 1.0 / k);
+        EXPECT_LE(static_cast<double>(result.spanner.edge_count()), size_bound)
+            << family_name(GetParam().family) << " k=" << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, SpannerSweep,
+    ::testing::Values(
+        InstanceSpec{GraphFamily::path, 48, 1, 100},
+        InstanceSpec{GraphFamily::cycle, 48, 2, 100},
+        InstanceSpec{GraphFamily::star, 48, 3, 100},
+        InstanceSpec{GraphFamily::grid, 49, 4, 100},
+        InstanceSpec{GraphFamily::tree, 48, 5, 100},
+        InstanceSpec{GraphFamily::erdos_renyi_sparse, 64, 6, 100},
+        InstanceSpec{GraphFamily::erdos_renyi_dense, 64, 7, 100},
+        InstanceSpec{GraphFamily::geometric, 64, 8, 100},
+        InstanceSpec{GraphFamily::barabasi_albert, 64, 9, 100},
+        InstanceSpec{GraphFamily::clustered, 64, 10, 100},
+        InstanceSpec{GraphFamily::erdos_renyi_dense, 64, 11, 1},
+        InstanceSpec{GraphFamily::erdos_renyi_sparse, 64, 12, 100000}),
+    testing::InstanceSpecName{});
+
+TEST(Spanner, KOneReturnsWholeGraph)
+{
+    Rng rng(1);
+    const Graph g = erdos_renyi(20, 0.3, WeightRange{1, 9}, rng);
+    const SpannerResult result = baswana_sen_spanner(g, 1, rng);
+    EXPECT_EQ(result.spanner.edge_count(), g.simplified().edge_count());
+    EXPECT_DOUBLE_EQ(measured_spanner_stretch(g, result.spanner), 1.0);
+}
+
+TEST(Spanner, SpannerIsSubgraph)
+{
+    Rng rng(2);
+    const Graph g = erdos_renyi(40, 0.3, WeightRange{1, 50}, rng);
+    const SpannerResult result = baswana_sen_spanner(g, 3, rng);
+    // Every spanner edge must exist in g with the same weight.
+    for (const WeightedEdge& e : result.spanner.edge_list()) {
+        bool found = false;
+        for (const Edge& orig : g.neighbors(e.u))
+            if (orig.to == e.v && orig.weight == e.weight) found = true;
+        EXPECT_TRUE(found) << e.u << "-" << e.v << " w=" << e.weight;
+    }
+}
+
+TEST(Spanner, PreservesConnectivityPerComponent)
+{
+    Rng rng(3);
+    Graph g = Graph::undirected(20);
+    // Two separate dense blobs.
+    for (NodeId u = 0; u < 10; ++u)
+        for (NodeId v = u + 1; v < 10; ++v) g.add_edge(u, v, 1 + (u * 7 + v) % 5);
+    for (NodeId u = 10; u < 20; ++u)
+        for (NodeId v = u + 1; v < 20; ++v) g.add_edge(u, v, 1 + (u * 3 + v) % 5);
+    const SpannerResult result = baswana_sen_spanner(g, 2, rng);
+    // measured_spanner_stretch CCQ_CHECKs connectivity preservation.
+    EXPECT_LE(measured_spanner_stretch(g, result.spanner), 3.0 + 1e-9);
+}
+
+TEST(Spanner, RejectsBadInput)
+{
+    Rng rng(1);
+    const Graph directed = Graph::directed(4);
+    EXPECT_THROW((void)baswana_sen_spanner(directed, 2, rng), check_error);
+    const Graph g = Graph::undirected(4);
+    EXPECT_THROW((void)baswana_sen_spanner(g, 0, rng), check_error);
+}
+
+TEST(SpannerApsp, Corollary71ValidApproximation)
+{
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+        Rng rng(seed);
+        const Graph g = erdos_renyi(60, 0.1, WeightRange{1, 80}, rng);
+        RoundLedger ledger;
+        CliqueTransport transport(60, CostModel::standard(), ledger);
+        for (const int b : {1, 2, 4}) {
+            const SubgraphApspResult result = apsp_via_spanner(g, b, rng, transport, "t");
+            EXPECT_DOUBLE_EQ(result.claimed_stretch, 2.0 * b - 1.0);
+            expect_valid_approximation(exact_apsp(g), result.estimate, result.claimed_stretch,
+                                       "cor7.1 b=" + std::to_string(b));
+        }
+        EXPECT_GT(ledger.total_rounds(), 0.0);
+    }
+}
+
+TEST(SpannerApsp, FullBroadcastIsExact)
+{
+    Rng rng(4);
+    const Graph g = erdos_renyi(30, 0.2, WeightRange{1, 30}, rng);
+    RoundLedger ledger;
+    CliqueTransport transport(30, CostModel::standard(), ledger);
+    const SubgraphApspResult result = apsp_via_full_broadcast(g, transport, "t");
+    EXPECT_EQ(result.estimate, exact_apsp(g));
+    EXPECT_DOUBLE_EQ(result.claimed_stretch, 1.0);
+}
+
+TEST(SpannerApsp, LognParameterGrowsWithN)
+{
+    EXPECT_EQ(logn_spanner_parameter(2), 1);
+    EXPECT_GE(logn_spanner_parameter(1 << 12), 4);  // log = 12 -> b = 4
+    EXPECT_GE(logn_spanner_parameter(1 << 30), logn_spanner_parameter(1 << 12));
+    // The resulting stretch 2b-1 is within alpha*log n.
+    for (const int n : {64, 1024, 1 << 20}) {
+        const int b = logn_spanner_parameter(n);
+        EXPECT_LE(2 * b - 1, static_cast<int>(std::ceil(std::log2(n))));
+    }
+}
+
+TEST(SpannerApsp, BroadcastChargedAtCitedBound)
+{
+    // A dense graph with b=1 keeps all edges; the broadcast charge must
+    // be capped at the cited 4 * n^{1+1/b} size, not the actual m.
+    Rng rng(5);
+    const int n = 48;
+    const Graph g = complete_graph(n, WeightRange{1, 5}, rng);
+    RoundLedger ledger;
+    CliqueTransport transport(n, CostModel::standard(), ledger);
+    (void)apsp_via_spanner(g, 1, rng, transport, "t");
+    const double cap_rounds =
+        2.0 * std::ceil(3.0 * 4.0 * n * n / static_cast<double>(n)); // words/(n*bw)
+    EXPECT_LE(ledger.total_rounds(), cap_rounds + 8.0);
+}
+
+} // namespace
+} // namespace ccq

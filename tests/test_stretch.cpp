@@ -1,0 +1,103 @@
+// Unit tests for the stretch evaluator (ccq/core/stretch.hpp) — the
+// measurement instrument every other test relies on, so its edge cases
+// get their own coverage.
+#include <gtest/gtest.h>
+
+#include "ccq/core/stretch.hpp"
+
+namespace ccq {
+namespace {
+
+DistanceMatrix matrix2(Weight d01, Weight d10)
+{
+    DistanceMatrix m(2);
+    m.set_diagonal_zero();
+    m.at(0, 1) = d01;
+    m.at(1, 0) = d10;
+    return m;
+}
+
+TEST(Stretch, PerfectEstimate)
+{
+    const DistanceMatrix exact = matrix2(5, 5);
+    const StretchReport report = evaluate_stretch(exact, exact);
+    EXPECT_DOUBLE_EQ(report.max_stretch, 1.0);
+    EXPECT_DOUBLE_EQ(report.avg_stretch, 1.0);
+    EXPECT_EQ(report.finite_pairs, 2u);
+    EXPECT_TRUE(report.sound());
+}
+
+TEST(Stretch, InflationMeasured)
+{
+    const StretchReport report = evaluate_stretch(matrix2(4, 4), matrix2(8, 6));
+    EXPECT_DOUBLE_EQ(report.max_stretch, 2.0);
+    EXPECT_DOUBLE_EQ(report.avg_stretch, 1.75);
+    EXPECT_TRUE(report.sound());
+}
+
+TEST(Stretch, LowerBoundViolationDetected)
+{
+    const StretchReport report = evaluate_stretch(matrix2(4, 4), matrix2(3, 4));
+    EXPECT_EQ(report.lower_bound_violations, 1u);
+    EXPECT_FALSE(report.sound());
+}
+
+TEST(Stretch, ReachabilityMismatchDetected)
+{
+    const StretchReport finite_vs_inf =
+        evaluate_stretch(matrix2(4, 4), matrix2(kInfinity, 4));
+    EXPECT_EQ(finite_vs_inf.reachability_mismatches, 1u);
+    EXPECT_FALSE(finite_vs_inf.sound());
+
+    const StretchReport inf_vs_finite =
+        evaluate_stretch(matrix2(kInfinity, 4), matrix2(9, 4));
+    EXPECT_EQ(inf_vs_finite.reachability_mismatches, 1u);
+}
+
+TEST(Stretch, AgreedInfinityIsFine)
+{
+    const StretchReport report =
+        evaluate_stretch(matrix2(kInfinity, kInfinity), matrix2(kInfinity, kInfinity));
+    EXPECT_TRUE(report.sound());
+    EXPECT_EQ(report.finite_pairs, 0u);
+    EXPECT_DOUBLE_EQ(report.avg_stretch, 1.0);
+}
+
+TEST(Stretch, ZeroDistancesMustStayZero)
+{
+    // exact d(0,1) = 0 (zero-weight edge); any nonzero estimate breaks
+    // every multiplicative guarantee.
+    const StretchReport ok = evaluate_stretch(matrix2(0, 0), matrix2(0, 0));
+    EXPECT_TRUE(ok.sound());
+    const StretchReport bad = evaluate_stretch(matrix2(0, 0), matrix2(1, 0));
+    EXPECT_EQ(bad.lower_bound_violations, 1u);
+    EXPECT_FALSE(bad.sound());
+}
+
+TEST(Stretch, DiagonalIgnored)
+{
+    DistanceMatrix exact(2), estimate(2);
+    exact.set_diagonal_zero();
+    estimate.set_diagonal_zero();
+    exact.at(0, 1) = exact.at(1, 0) = 3;
+    estimate.at(0, 1) = estimate.at(1, 0) = 3;
+    estimate.at(0, 0) = 17; // bogus diagonal must not be scored
+    const StretchReport report = evaluate_stretch(exact, estimate);
+    EXPECT_TRUE(report.sound());
+    EXPECT_EQ(report.finite_pairs, 2u);
+}
+
+TEST(Stretch, SizeMismatchRejected)
+{
+    EXPECT_THROW((void)evaluate_stretch(DistanceMatrix(2), DistanceMatrix(3)), check_error);
+}
+
+TEST(Stretch, EmptyMatrices)
+{
+    const StretchReport report = evaluate_stretch(DistanceMatrix(0), DistanceMatrix(0));
+    EXPECT_TRUE(report.sound());
+    EXPECT_EQ(report.finite_pairs, 0u);
+}
+
+} // namespace
+} // namespace ccq

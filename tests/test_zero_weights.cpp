@@ -1,0 +1,170 @@
+// Tests for the zero-weight reduction (Theorem 2.1): component
+// contraction correctness and stretch preservation through the wrapper.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ccq/core/baselines.hpp"
+#include "ccq/core/general_apsp.hpp"
+#include "ccq/core/zero_weights.hpp"
+#include "test_helpers.hpp"
+
+namespace ccq {
+namespace {
+
+using testing::expect_valid_approximation;
+
+/// Adds a zero-weight clique over `members`.
+void add_zero_cluster(Graph& g, std::initializer_list<NodeId> members)
+{
+    for (auto it = members.begin(); it != members.end(); ++it)
+        for (auto jt = std::next(it); jt != members.end(); ++jt) g.add_edge(*it, *jt, 0);
+}
+
+Graph make_zero_weight_instance(std::uint64_t seed, int n = 36)
+{
+    Rng rng(seed);
+    Graph g = erdos_renyi(n, 0.12, WeightRange{1, 40}, rng);
+    add_zero_cluster(g, {0, 1, 2});
+    add_zero_cluster(g, {5, 6});
+    add_zero_cluster(g, {10, 11, 12, 13});
+    return g;
+}
+
+/// Oracle: zero-components via union-find over zero edges directly.
+std::vector<int> zero_components_oracle(const Graph& g)
+{
+    const int n = g.node_count();
+    std::vector<NodeId> parent(static_cast<std::size_t>(n));
+    std::iota(parent.begin(), parent.end(), 0);
+    const auto find = [&](NodeId v) {
+        while (parent[static_cast<std::size_t>(v)] != v)
+            v = parent[static_cast<std::size_t>(v)] =
+                parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])];
+        return v;
+    };
+    for (NodeId u = 0; u < n; ++u)
+        for (const Edge& e : g.neighbors(u))
+            if (e.weight == 0) {
+                const NodeId a = find(u), b = find(e.to);
+                if (a != b) parent[static_cast<std::size_t>(std::max(a, b))] = std::min(a, b);
+            }
+    std::vector<int> label(static_cast<std::size_t>(n));
+    std::vector<int> next(static_cast<std::size_t>(n), -1);
+    int count = 0;
+    for (NodeId v = 0; v < n; ++v) {
+        const NodeId root = find(v);
+        if (next[static_cast<std::size_t>(root)] < 0) next[static_cast<std::size_t>(root)] = count++;
+        label[static_cast<std::size_t>(v)] = next[static_cast<std::size_t>(root)];
+    }
+    return label;
+}
+
+TEST(ZeroWeights, ComponentsMatchDirectUnionFind)
+{
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+        const Graph g = make_zero_weight_instance(seed);
+        RoundLedger ledger;
+        CliqueTransport transport(g.node_count(), CostModel::standard(), ledger);
+        const ZeroWeightReduction reduction =
+            build_zero_weight_reduction(g, transport, "zw");
+        EXPECT_EQ(reduction.component, zero_components_oracle(g)) << "seed " << seed;
+    }
+}
+
+TEST(ZeroWeights, CompressedGraphDistancesMatchOriginal)
+{
+    const Graph g = make_zero_weight_instance(4);
+    RoundLedger ledger;
+    CliqueTransport transport(g.node_count(), CostModel::standard(), ledger);
+    const ZeroWeightReduction reduction = build_zero_weight_reduction(g, transport, "zw");
+
+    const DistanceMatrix original = exact_apsp(g);
+    const DistanceMatrix compressed = exact_apsp(reduction.compressed);
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+        for (NodeId v = 0; v < g.node_count(); ++v) {
+            const int cu = reduction.component[static_cast<std::size_t>(u)];
+            const int cv = reduction.component[static_cast<std::size_t>(v)];
+            const Weight expected =
+                cu == cv ? 0 : compressed.at(static_cast<NodeId>(cu), static_cast<NodeId>(cv));
+            EXPECT_EQ(original.at(u, v), expected) << u << "," << v;
+        }
+    }
+}
+
+TEST(ZeroWeights, WrapperPreservesStretchWithExactInner)
+{
+    const Graph g = make_zero_weight_instance(5);
+    const ApspResult result = apsp_with_zero_weights(
+        g, ApspOptions{},
+        [](const Graph& inner, const ApspOptions& options) {
+            return exact_apsp_clique(inner, options);
+        });
+    EXPECT_EQ(result.estimate, exact_apsp(g));
+    EXPECT_DOUBLE_EQ(result.claimed_stretch, 1.0);
+}
+
+TEST(ZeroWeights, WrapperWithGeneralAlgorithm)
+{
+    for (const std::uint64_t seed : {6u, 7u}) {
+        const Graph g = make_zero_weight_instance(seed, 48);
+        ApspOptions options;
+        options.seed = seed;
+        const ApspResult result = apsp_with_zero_weights(
+            g, options,
+            [](const Graph& inner, const ApspOptions& inner_options) {
+                return apsp_general(inner, inner_options);
+            });
+        expect_valid_approximation(exact_apsp(g), result.estimate, result.claimed_stretch,
+                                   "zw-general seed=" + std::to_string(seed));
+        // Zero-distance pairs must be answered exactly (any multiplicative
+        // approximation maps 0 to 0).
+        EXPECT_EQ(result.estimate.at(0, 2), 0);
+        EXPECT_EQ(result.estimate.at(10, 13), 0);
+    }
+}
+
+TEST(ZeroWeights, AllZeroGraphCompressesToOneNode)
+{
+    Graph g = Graph::undirected(6);
+    add_zero_cluster(g, {0, 1, 2, 3, 4, 5});
+    RoundLedger ledger;
+    CliqueTransport transport(6, CostModel::standard(), ledger);
+    const ZeroWeightReduction reduction = build_zero_weight_reduction(g, transport, "zw");
+    EXPECT_EQ(reduction.compressed.node_count(), 1);
+    const ApspResult result = apsp_with_zero_weights(
+        g, ApspOptions{},
+        [](const Graph& inner, const ApspOptions& options) {
+            return exact_apsp_clique(inner, options);
+        });
+    for (NodeId u = 0; u < 6; ++u)
+        for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(result.estimate.at(u, v), 0);
+}
+
+TEST(ZeroWeights, NoZeroEdgesIsIdentityCompression)
+{
+    Rng rng(8);
+    const Graph g = erdos_renyi(20, 0.2, WeightRange{1, 9}, rng);
+    RoundLedger ledger;
+    CliqueTransport transport(20, CostModel::standard(), ledger);
+    const ZeroWeightReduction reduction = build_zero_weight_reduction(g, transport, "zw");
+    EXPECT_EQ(reduction.compressed.node_count(), 20);
+    EXPECT_EQ(exact_apsp(reduction.compressed), exact_apsp(g.simplified()));
+}
+
+TEST(ZeroWeights, ReductionCostIsConstantOnTop)
+{
+    const Graph g = make_zero_weight_instance(9);
+    const ApspResult wrapped = apsp_with_zero_weights(
+        g, ApspOptions{},
+        [](const Graph& inner, const ApspOptions& options) {
+            return exact_apsp_clique(inner, options);
+        });
+    const ApspResult bare = exact_apsp_clique(g);
+    // f(n) + O(1): the wrapper's overhead beyond the inner run is a small
+    // constant number of rounds (MST + two O(1) routing steps).
+    EXPECT_LE(wrapped.ledger.total_rounds(), bare.ledger.total_rounds() + 16.0);
+}
+
+} // namespace
+} // namespace ccq
