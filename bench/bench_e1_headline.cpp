@@ -26,6 +26,26 @@ void BM_ExactBaseline(benchmark::State& state)
 }
 BENCHMARK(BM_ExactBaseline)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
 
+// Serial-vs-parallel ablation of the min-plus engine under the exact
+// baseline: same graph, same simulated round charges, different
+// EngineConfig.  Only the wall-time column may move.
+void BM_ExactBaselineEngineAblation(benchmark::State& state)
+{
+    const Graph g = make_graph(256);
+    ApspOptions options;
+    options.engine = EngineConfig{static_cast<int>(state.range(0)),
+                                  static_cast<int>(state.range(1))};
+    ApspResult result;
+    for (auto _ : state) result = exact_apsp_clique(g, options);
+    report_apsp(state, g, result);
+    state.counters["threads"] = static_cast<double>(options.engine.threads);
+    state.counters["block_size"] = static_cast<double>(options.engine.block_size);
+}
+BENCHMARK(BM_ExactBaselineEngineAblation)
+    ->ArgNames({"threads", "block"})
+    ->ArgsProduct({{1, 4}, {64}})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_LognBaselineCZ22(benchmark::State& state)
 {
     const Graph g = make_graph(static_cast<int>(state.range(0)));

@@ -9,9 +9,46 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "ccq/apsp.hpp"
 
 namespace ccq::bench {
+
+/// Entry point shared by every bench binary (bench_main.cpp).
+///
+/// Adds a `--json out.json` flag on top of the standard Google Benchmark
+/// flags: it expands to `--benchmark_out=out.json` +
+/// `--benchmark_out_format=json`, so CI and future PRs can append runs to
+/// the BENCH_*.json perf trajectory without remembering the long
+/// spellings.  Everything else is passed through untouched.
+inline int run_benchmarks(int argc, char** argv)
+{
+    std::vector<std::string> args;
+    args.reserve(static_cast<std::size_t>(argc) + 1);
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            args.push_back("--benchmark_out=" + std::string(argv[++i]));
+            args.push_back("--benchmark_out_format=json");
+        } else if (arg.rfind("--json=", 0) == 0) {
+            args.push_back("--benchmark_out=" + arg.substr(7));
+            args.push_back("--benchmark_out_format=json");
+        } else {
+            args.push_back(arg);
+        }
+    }
+    std::vector<char*> translated;
+    translated.reserve(args.size());
+    for (std::string& arg : args) translated.push_back(arg.data());
+    int translated_argc = static_cast<int>(translated.size());
+    benchmark::Initialize(&translated_argc, translated.data());
+    if (benchmark::ReportUnrecognizedArguments(translated_argc, translated.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
 
 /// Deterministic bench instance: Erdős–Rényi with average degree ~6
 /// unless a family is specified.

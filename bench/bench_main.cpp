@@ -1,0 +1,5 @@
+// Shared main for every bench executable; see run_benchmarks for the
+// `--json out.json` convenience flag.
+#include "bench_helpers.hpp"
+
+int main(int argc, char** argv) { return ccq::bench::run_benchmarks(argc, argv); }

@@ -7,6 +7,7 @@
 
 #include "ccq/clique/ledger.hpp"
 #include "ccq/clique/transport.hpp"
+#include "ccq/common/parallel.hpp"
 #include "ccq/matrix/dense.hpp"
 
 namespace ccq {
@@ -23,6 +24,10 @@ struct ApspOptions {
     ParamProfile profile = ParamProfile::practical;
     std::uint64_t seed = 1;
     CostModel cost = CostModel::standard();
+    /// Local-execution strategy of the min-plus engine (threads, dense
+    /// block size).  Orthogonal to `cost`: results and simulated round
+    /// charges are identical for every setting; only wall-clock changes.
+    EngineConfig engine;
     /// eps of the weight-scaling lemma and the final stretch slack.
     double eps = 0.25;
     /// Theorem 1.2's t: maximum applications of the Lemma 3.1 reduction

@@ -1,6 +1,7 @@
 #include "ccq/core/baselines.hpp"
 
 #include "ccq/graph/exact.hpp"
+#include "ccq/matrix/engine.hpp"
 #include "ccq/spanner/spanner_apsp.hpp"
 
 namespace ccq {
@@ -12,7 +13,7 @@ ApspResult exact_apsp_clique(const Graph& g, const ApspOptions& options)
     CliqueTransport transport(std::max(1, g.node_count()), options.cost, result.ledger);
 
     int products = 0;
-    DistanceMatrix closure = min_plus_closure(adjacency_matrix(g), &products);
+    DistanceMatrix closure = min_plus_closure(adjacency_matrix(g), &products, options.engine);
     transport.charge_dense_products("minplus-squaring", products);
 
     result.estimate = std::move(closure);
@@ -21,10 +22,11 @@ ApspResult exact_apsp_clique(const Graph& g, const ApspOptions& options)
 }
 
 DistanceMatrix bootstrap_logn_approx(const Graph& g, Rng& rng, CliqueTransport& transport,
-                                     std::string_view phase, double* claimed)
+                                     std::string_view phase, double* claimed,
+                                     const EngineConfig& engine)
 {
     const int b = logn_spanner_parameter(g.node_count());
-    SubgraphApspResult approx = apsp_via_spanner(g, b, rng, transport, phase);
+    SubgraphApspResult approx = apsp_via_spanner(g, b, rng, transport, phase, engine);
     if (claimed != nullptr) *claimed = approx.claimed_stretch;
     return std::move(approx.estimate);
 }
@@ -35,8 +37,8 @@ ApspResult logn_approx_apsp(const Graph& g, const ApspOptions& options)
     result.algorithm = "logn-spanner";
     CliqueTransport transport(std::max(1, g.node_count()), options.cost, result.ledger);
     Rng rng(options.seed);
-    result.estimate =
-        bootstrap_logn_approx(g, rng, transport, "logn-approx", &result.claimed_stretch);
+    result.estimate = bootstrap_logn_approx(g, rng, transport, "logn-approx",
+                                            &result.claimed_stretch, options.engine);
     return result;
 }
 

@@ -26,7 +26,8 @@ namespace ccq {
 /// existing transport and reports the claimed factor via `claimed`.
 [[nodiscard]] DistanceMatrix bootstrap_logn_approx(const Graph& g, Rng& rng,
                                                    CliqueTransport& transport,
-                                                   std::string_view phase, double* claimed);
+                                                   std::string_view phase, double* claimed,
+                                                   const EngineConfig& engine = {});
 
 } // namespace ccq
 

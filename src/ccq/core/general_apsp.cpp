@@ -29,22 +29,26 @@ Weight max_finite_entry(const DistanceMatrix& m)
 }
 
 /// Rows of the k smallest (eta, id) entries per node — the approximate
-/// nearest sets Ñk(u) of Theorem 8.1's skeleton stage.
-SparseMatrix nearest_rows_from_estimate(const DistanceMatrix& eta, int k)
+/// nearest sets Ñk(u) of Theorem 8.1's skeleton stage.  Rows are
+/// independent and selected in parallel per `engine`.
+SparseMatrix nearest_rows_from_estimate(const DistanceMatrix& eta, int k,
+                                        const EngineConfig& engine)
 {
     const int n = eta.size();
     SparseMatrix rows(static_cast<std::size_t>(n));
-    for (NodeId u = 0; u < n; ++u) {
-        SparseRow row;
-        row.reserve(static_cast<std::size_t>(n));
-        for (NodeId v = 0; v < n; ++v) {
-            const Weight w = eta.at(u, v);
-            if (is_finite(w)) row.push_back(SparseEntry{v, w});
+    parallel_chunks(engine.resolved_threads(), 0, n, 1, [&](int u0, int u1) {
+        for (NodeId u = u0; u < u1; ++u) {
+            SparseRow row;
+            row.reserve(static_cast<std::size_t>(n));
+            for (NodeId v = 0; v < n; ++v) {
+                const Weight w = eta.at(u, v);
+                if (is_finite(w)) row.push_back(SparseEntry{v, w});
+            }
+            std::sort(row.begin(), row.end(), entry_less);
+            if (std::cmp_less(k, row.size())) row.resize(static_cast<std::size_t>(k));
+            rows[static_cast<std::size_t>(u)] = std::move(row);
         }
-        std::sort(row.begin(), row.end(), entry_less);
-        if (std::cmp_less(k, row.size())) row.resize(static_cast<std::size_t>(k));
-        rows[static_cast<std::size_t>(u)] = std::move(row);
-    }
+    });
     return rows;
 }
 
@@ -68,17 +72,19 @@ DistanceMatrix large_bandwidth_impl(const Graph& g, const ApspOptions& options, 
     const int n = g.node_count();
 
     if (n <= 8) {
-        SubgraphApspResult exact = apsp_via_full_broadcast(g, transport, "tiny-exact");
+        SubgraphApspResult exact =
+            apsp_via_full_broadcast(g, transport, "tiny-exact", options.engine);
         if (claimed != nullptr) *claimed = 1.0;
         return std::move(exact.estimate);
     }
 
     // Step 1: O(log n)-approximation and sqrt(n)-nearest hopset.
     double a0 = 1.0;
-    const DistanceMatrix delta0 = bootstrap_logn_approx(g, rng, transport, "bootstrap", &a0);
+    const DistanceMatrix delta0 =
+        bootstrap_logn_approx(g, rng, transport, "bootstrap", &a0, options.engine);
     const Weight max_estimate = max_finite_entry(delta0);
     const Hopset hopset = build_knearest_hopset(g, delta0, a0, std::max<Weight>(2, max_estimate),
-                                                transport, "hopset");
+                                                transport, "hopset", /*k=*/-1, options.engine);
 
     // Step 2a: weight scaling on G ∪ H.  The selector delta0 is an
     // h-approximation for h = max(hop bound, a0).
@@ -111,11 +117,11 @@ DistanceMatrix large_bandwidth_impl(const Graph& g, const ApspOptions& options, 
     // Step 3: skeleton over the approximate sqrt(n)-nearest sets, solved
     // exactly (the widened bandwidth affords broadcasting G_S whole).
     const int k = std::max<int>(1, static_cast<int>(floor_sqrt(n)));
-    const SparseMatrix rows = nearest_rows_from_estimate(eta0, k);
+    const SparseMatrix rows = nearest_rows_from_estimate(eta0, k, options.engine);
     const SkeletonGraph skeleton =
-        build_skeleton(g, rows, eta0_stretch, rng, transport, "skeleton");
+        build_skeleton(g, rows, eta0_stretch, rng, transport, "skeleton", options.engine);
     const SubgraphApspResult skeleton_apsp =
-        apsp_via_full_broadcast(skeleton.graph, transport, "skeleton-apsp");
+        apsp_via_full_broadcast(skeleton.graph, transport, "skeleton-apsp", options.engine);
     const DistanceMatrix eta = extend_skeleton_estimate(skeleton, skeleton_apsp.estimate, rows,
                                                         transport, "extend");
 
@@ -148,7 +154,8 @@ ApspResult apsp_general(const Graph& g, const ApspOptions& options)
     PhaseScope scope(result.ledger, "general");
 
     if (n <= 8) {
-        SubgraphApspResult exact = apsp_via_full_broadcast(g, transport, "tiny-exact");
+        SubgraphApspResult exact =
+            apsp_via_full_broadcast(g, transport, "tiny-exact", options.engine);
         result.estimate = std::move(exact.estimate);
         result.claimed_stretch = 1.0;
         return result;
@@ -162,12 +169,13 @@ ApspResult apsp_general(const Graph& g, const ApspOptions& options)
     knn_options.h = 2;
     knn_options.faithful_bins = options.faithful_bin_scheme;
     knn_options.iterations = std::max(1, ceil_log2(std::max<std::int64_t>(2, k)));
+    knn_options.engine = options.engine;
     const KNearestResult nearest = compute_k_nearest(adjacency_rows(g, /*include_self=*/true),
                                                      knn_options, transport, "outer-k-nearest");
 
     // Step 2: skeleton with n/polylog nodes (Lemma 3.4, exact sets).
-    const SkeletonGraph skeleton =
-        build_skeleton(g, nearest.rows, /*a=*/1.0, rng, transport, "outer-skeleton");
+    const SkeletonGraph skeleton = build_skeleton(g, nearest.rows, /*a=*/1.0, rng, transport,
+                                                  "outer-skeleton", options.engine);
 
     // Degenerate protection: if the skeleton did not shrink the node set,
     // run Theorem 8.1 directly (correct; only the simulation trick is moot).

@@ -63,7 +63,7 @@ ReductionOutcome reduce_approximation(const Graph& g, const DistanceMatrix& delt
 
     // Step 1: sqrt(n)-nearest O(a log d)-hopset (Lemma 3.2).
     const Hopset hopset = build_knearest_hopset(g, delta, a, diameter_bound, transport,
-                                                "hopset");
+                                                "hopset", /*k=*/-1, options.engine);
     outcome.trace.hopset_hop_bound = hopset.claimed_hop_bound;
 
     // Step 2: exact distances to the k nearest (Lemma 3.3): iterate the
@@ -82,13 +82,14 @@ ReductionOutcome reduce_approximation(const Graph& g, const DistanceMatrix& delt
     knn_options.h = h;
     knn_options.iterations = iterations;
     knn_options.faithful_bins = options.faithful_bin_scheme;
+    knn_options.engine = options.engine;
     const KNearestResult nearest =
         compute_k_nearest(augmented_rows(g, hopset), knn_options, transport, "k-nearest");
 
     // Step 3: skeleton graph from the exact k-nearest sets (Lemma 3.4,
     // a = 1 because the distances are exact).
-    const SkeletonGraph skeleton =
-        build_skeleton(g, nearest.rows, /*a=*/1.0, rng, transport, "skeleton");
+    const SkeletonGraph skeleton = build_skeleton(g, nearest.rows, /*a=*/1.0, rng, transport,
+                                                  "skeleton", options.engine);
     outcome.trace.skeleton_size = skeleton.size();
 
     // Step 4: APSP on the skeleton.  Exact when all skeleton edges fit the
@@ -99,11 +100,13 @@ ReductionOutcome reduce_approximation(const Graph& g, const DistanceMatrix& delt
     SubgraphApspResult skeleton_apsp;
     if (options.wide_bandwidth ||
         3.0 * static_cast<double>(skeleton.graph.edge_count()) <= broadcast_budget_words) {
-        skeleton_apsp = apsp_via_full_broadcast(skeleton.graph, transport, "skeleton-apsp");
+        skeleton_apsp = apsp_via_full_broadcast(skeleton.graph, transport, "skeleton-apsp",
+                                                options.engine);
         outcome.trace.exact_skeleton_apsp = true;
     } else {
         const int b = choose_spanner_b(a, skeleton.size(), n);
-        skeleton_apsp = apsp_via_spanner(skeleton.graph, b, rng, transport, "skeleton-apsp");
+        skeleton_apsp = apsp_via_spanner(skeleton.graph, b, rng, transport, "skeleton-apsp",
+                                         options.engine);
         outcome.trace.spanner_b = b;
     }
 

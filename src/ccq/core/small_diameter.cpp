@@ -26,13 +26,15 @@ DistanceMatrix small_diameter_impl(const Graph& g, Weight diameter_bound,
 
     // Tiny instances: broadcast everything, solve exactly.
     if (n <= 8) {
-        SubgraphApspResult exact = apsp_via_full_broadcast(g, transport, "tiny-exact");
+        SubgraphApspResult exact =
+            apsp_via_full_broadcast(g, transport, "tiny-exact", options.engine);
         if (claimed != nullptr) *claimed = 1.0;
         return std::move(exact.estimate);
     }
 
     double a = 1.0;
-    DistanceMatrix delta = bootstrap_logn_approx(g, rng, transport, "bootstrap", &a);
+    DistanceMatrix delta =
+        bootstrap_logn_approx(g, rng, transport, "bootstrap", &a, options.engine);
 
     const int limit = options.max_reduction_iterations >= 0
                           ? std::min(options.max_reduction_iterations, kMaxUsefulReductions)

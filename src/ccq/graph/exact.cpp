@@ -34,14 +34,16 @@ std::vector<Weight> dijkstra_from(const Graph& g, NodeId source)
     return dist;
 }
 
-DistanceMatrix exact_apsp(const Graph& g)
+DistanceMatrix exact_apsp(const Graph& g, const EngineConfig& engine)
 {
     const int n = g.node_count();
     DistanceMatrix result(n);
-    for (NodeId s = 0; s < n; ++s) {
-        const std::vector<Weight> dist = dijkstra_from(g, s);
-        for (NodeId v = 0; v < n; ++v) result.at(s, v) = dist[static_cast<std::size_t>(v)];
-    }
+    parallel_chunks(engine.resolved_threads(), 0, n, 1, [&](int s0, int s1) {
+        for (NodeId s = s0; s < s1; ++s) {
+            const std::vector<Weight> dist = dijkstra_from(g, s);
+            for (NodeId v = 0; v < n; ++v) result.at(s, v) = dist[static_cast<std::size_t>(v)];
+        }
+    });
     return result;
 }
 
@@ -97,14 +99,16 @@ std::vector<Weight> hop_limited_from(const Graph& g, NodeId source, int max_hops
     return dist;
 }
 
-DistanceMatrix hop_limited_apsp(const Graph& g, int max_hops)
+DistanceMatrix hop_limited_apsp(const Graph& g, int max_hops, const EngineConfig& engine)
 {
     const int n = g.node_count();
     DistanceMatrix result(n);
-    for (NodeId s = 0; s < n; ++s) {
-        const std::vector<Weight> dist = hop_limited_from(g, s, max_hops);
-        for (NodeId v = 0; v < n; ++v) result.at(s, v) = dist[static_cast<std::size_t>(v)];
-    }
+    parallel_chunks(engine.resolved_threads(), 0, n, 1, [&](int s0, int s1) {
+        for (NodeId s = s0; s < s1; ++s) {
+            const std::vector<Weight> dist = hop_limited_from(g, s, max_hops);
+            for (NodeId v = 0; v < n; ++v) result.at(s, v) = dist[static_cast<std::size_t>(v)];
+        }
+    });
     return result;
 }
 

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "ccq/common/parallel.hpp"
 #include "ccq/graph/graph.hpp"
 #include "ccq/matrix/dense.hpp"
 
@@ -17,8 +18,9 @@ namespace ccq {
 /// Single-source shortest path lengths (works for both orientations).
 [[nodiscard]] std::vector<Weight> dijkstra_from(const Graph& g, NodeId source);
 
-/// All-pairs shortest paths via n Dijkstra runs.
-[[nodiscard]] DistanceMatrix exact_apsp(const Graph& g);
+/// All-pairs shortest paths via n Dijkstra runs; sources are independent
+/// and run in parallel per `engine`.
+[[nodiscard]] DistanceMatrix exact_apsp(const Graph& g, const EngineConfig& engine = {});
 
 /// All-pairs shortest paths via Floyd–Warshall (O(n^3), for cross-checks).
 [[nodiscard]] DistanceMatrix exact_apsp_floyd_warshall(const Graph& g);
@@ -27,8 +29,10 @@ namespace ccq {
 /// `max_hops` edges (Bellman–Ford truncated at `max_hops` rounds).
 [[nodiscard]] std::vector<Weight> hop_limited_from(const Graph& g, NodeId source, int max_hops);
 
-/// All-pairs h-hop distances (the matrix A^h of Section 2.1).
-[[nodiscard]] DistanceMatrix hop_limited_apsp(const Graph& g, int max_hops);
+/// All-pairs h-hop distances (the matrix A^h of Section 2.1); sources run
+/// in parallel per `engine`.
+[[nodiscard]] DistanceMatrix hop_limited_apsp(const Graph& g, int max_hops,
+                                              const EngineConfig& engine = {});
 
 /// For each node v: the minimum number of edges over all *shortest*
 /// source→v paths (kInfinity distance ⇒ hop count reported as -1).

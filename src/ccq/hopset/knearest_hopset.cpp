@@ -61,7 +61,7 @@ std::unordered_map<NodeId, Weight> local_dijkstra(
 
 Hopset build_knearest_hopset(const Graph& g, const DistanceMatrix& delta, double a,
                              Weight diameter_bound, CliqueTransport& transport,
-                             std::string_view phase, int k)
+                             std::string_view phase, int k, const EngineConfig& engine)
 {
     const int n = g.node_count();
     CCQ_EXPECT(delta.size() == n, "build_knearest_hopset: delta size mismatch");
@@ -70,10 +70,14 @@ Hopset build_knearest_hopset(const Graph& g, const DistanceMatrix& delta, double
     if (k < 0) k = static_cast<int>(floor_sqrt(n));
     k = std::clamp(k, 1, n);
     PhaseScope scope(transport.ledger(), phase);
+    const int threads = engine.resolved_threads();
 
     // Step 1 (local): approximate k-nearest sets by delta.
     std::vector<std::vector<NodeId>> nearest(static_cast<std::size_t>(n));
-    for (NodeId v = 0; v < n; ++v) nearest[static_cast<std::size_t>(v)] = approx_nearest_by_delta(delta, v, k);
+    parallel_chunks(threads, 0, n, 1, [&](int v0, int v1) {
+        for (NodeId v = v0; v < v1; ++v)
+            nearest[static_cast<std::size_t>(v)] = approx_nearest_by_delta(delta, v, k);
+    });
     transport.note_local_computation("select-approx-nearest");
 
     // Step 2: each v learns the k lightest out-edges of each u in its set.
@@ -93,22 +97,34 @@ Hopset build_knearest_hopset(const Graph& g, const DistanceMatrix& delta, double
                                           /*words_per_record=*/2, /*redundant=*/true);
 
     // Steps 3-4: local shortest paths; record shortcuts to the set members.
+    // The per-node subproblems are independent, so they run in parallel;
+    // the shortcut lists are then drained serially in node order, keeping
+    // edge order and message staging identical to a serial execution.
     Hopset hopset;
     hopset.k = k;
+    std::vector<std::vector<WeightedEdge>> shortcuts(static_cast<std::size_t>(n));
+    parallel_chunks(threads, 0, n, 1, [&](int v0, int v1) {
+        for (NodeId v = v0; v < v1; ++v) {
+            std::unordered_map<NodeId, std::vector<Edge>> adjacency;
+            for (const auto& routed : inboxes[static_cast<std::size_t>(v)])
+                adjacency[routed.payload.u].push_back(
+                    Edge{routed.payload.v, routed.payload.weight});
+            for (const Edge& e : g.neighbors(v)) adjacency[v].push_back(e);
+
+            const std::unordered_map<NodeId, Weight> local = local_dijkstra(adjacency, v);
+            for (const NodeId u : nearest[static_cast<std::size_t>(v)]) {
+                if (u == v) continue;
+                const auto it = local.find(u);
+                if (it == local.end() || !is_finite(it->second)) continue;
+                shortcuts[static_cast<std::size_t>(v)].push_back(WeightedEdge{v, u, it->second});
+            }
+        }
+    });
     MessageExchange<WeightedEdge> reverse_notify(n);
     for (NodeId v = 0; v < n; ++v) {
-        std::unordered_map<NodeId, std::vector<Edge>> adjacency;
-        for (const auto& routed : inboxes[static_cast<std::size_t>(v)])
-            adjacency[routed.payload.u].push_back(Edge{routed.payload.v, routed.payload.weight});
-        for (const Edge& e : g.neighbors(v)) adjacency[v].push_back(e);
-
-        const std::unordered_map<NodeId, Weight> local = local_dijkstra(adjacency, v);
-        for (const NodeId u : nearest[static_cast<std::size_t>(v)]) {
-            if (u == v) continue;
-            const auto it = local.find(u);
-            if (it == local.end() || !is_finite(it->second)) continue;
-            hopset.edges.push_back(WeightedEdge{v, u, it->second});
-            reverse_notify.send(v, u, WeightedEdge{v, u, it->second});
+        for (const WeightedEdge& shortcut : shortcuts[static_cast<std::size_t>(v)]) {
+            hopset.edges.push_back(shortcut);
+            reverse_notify.send(v, shortcut.v, shortcut);
         }
     }
     // Make each shortcut known to both endpoints (one Lenzen round).

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "ccq/clique/transport.hpp"
+#include "ccq/common/parallel.hpp"
 #include "ccq/graph/graph.hpp"
 #include "ccq/matrix/dense.hpp"
 #include "ccq/matrix/sparse.hpp"
@@ -39,10 +40,12 @@ struct Hopset {
 /// `k` defaults to floor(sqrt(n)) (the paper's headline instantiation).
 /// `diameter_bound` upper-bounds the weighted diameter d (pass the max
 /// finite delta entry if unknown; it is only used for the claimed bound).
+/// The per-node local computations (nearest-set selection, local
+/// shortest paths) are independent and run in parallel per `engine`.
 [[nodiscard]] Hopset build_knearest_hopset(const Graph& g, const DistanceMatrix& delta,
                                            double a, Weight diameter_bound,
                                            CliqueTransport& transport, std::string_view phase,
-                                           int k = -1);
+                                           int k = -1, const EngineConfig& engine = {});
 
 /// G ∪ H with the same orientation as `g`.  For undirected `g`, shortcut
 /// (v,u,w) becomes an undirected edge — valid because w is the length of

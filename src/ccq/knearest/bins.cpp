@@ -6,6 +6,7 @@
 
 #include "ccq/common/math.hpp"
 #include "ccq/knearest/knearest.hpp"
+#include "ccq/matrix/engine.hpp"
 
 namespace ccq {
 namespace {
@@ -112,7 +113,8 @@ SparseRow helper_candidates(const std::unordered_map<NodeId, std::vector<BinReco
 } // namespace
 
 SparseMatrix knearest_iteration_bins(const SparseMatrix& filtered, int k, int h,
-                                     CliqueTransport& transport, std::string_view phase)
+                                     CliqueTransport& transport, std::string_view phase,
+                                     const EngineConfig& engine)
 {
     const int n = static_cast<int>(filtered.size());
     CCQ_EXPECT(n >= 1 && k >= 1 && h >= 1, "knearest_iteration_bins: bad parameters");
@@ -123,7 +125,7 @@ SparseMatrix knearest_iteration_bins(const SparseMatrix& filtered, int k, int h,
         // Broadcast branch (paper Section 5.2 assumptions): every node
         // publishes its k-list, computation is local.
         transport.charge_broadcast_all("broadcast-k-lists", 2 * static_cast<std::uint64_t>(k));
-        return filter_k_smallest(hop_power(filtered, h, n), k);
+        return filtered_hop_power(filtered, h, k, n, engine);
     }
 
     const std::int64_t bin_size = params.bin_size;

@@ -11,6 +11,7 @@
 #include <string_view>
 
 #include "ccq/clique/transport.hpp"
+#include "ccq/common/parallel.hpp"
 #include "ccq/matrix/sparse.hpp"
 
 namespace ccq {
@@ -19,10 +20,12 @@ namespace ccq {
 /// `filtered` must already be filtered to k entries per row (with diagonal
 /// zeros).  Returns the k smallest entries per row of filtered^h.
 /// Falls back to the broadcast branch when the scheme is degenerate for
-/// (n, k, h), exactly as the paper prescribes (Section 5.2, assumptions).
+/// (n, k, h), exactly as the paper prescribes (Section 5.2, assumptions);
+/// `engine` drives the local filtered power of that branch.
 [[nodiscard]] SparseMatrix knearest_iteration_bins(const SparseMatrix& filtered, int k, int h,
                                                    CliqueTransport& transport,
-                                                   std::string_view phase);
+                                                   std::string_view phase,
+                                                   const EngineConfig& engine = {});
 
 } // namespace ccq
 

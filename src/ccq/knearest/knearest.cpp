@@ -4,6 +4,7 @@
 
 #include "ccq/common/math.hpp"
 #include "ccq/knearest/bins.hpp"
+#include "ccq/matrix/engine.hpp"
 
 namespace ccq {
 
@@ -93,8 +94,8 @@ KNearestResult compute_k_nearest(const SparseMatrix& adjacency, const KNearestOp
     result.used_degenerate_broadcast = params.degenerate;
     for (int iteration = 0; iteration < options.iterations; ++iteration) {
         if (options.faithful_bins) {
-            result.rows =
-                knearest_iteration_bins(result.rows, k, options.h, transport, "iteration");
+            result.rows = knearest_iteration_bins(result.rows, k, options.h, transport,
+                                                  "iteration", options.engine);
         } else {
             if (params.degenerate) {
                 // Broadcast branch: every node publishes its k-list.
@@ -103,8 +104,7 @@ KNearestResult compute_k_nearest(const SparseMatrix& adjacency, const KNearestOp
             } else {
                 charge_iteration_analytically(transport, params, n, k, options.h);
             }
-            result.rows =
-                filter_k_smallest(hop_power(result.rows, options.h, n), k);
+            result.rows = filtered_hop_power(result.rows, options.h, k, n, options.engine);
         }
     }
     result.hop_budget = saturating_pow(options.h, options.iterations);

@@ -21,6 +21,7 @@
 #include <string_view>
 
 #include "ccq/clique/transport.hpp"
+#include "ccq/common/parallel.hpp"
 #include "ccq/matrix/sparse.hpp"
 
 namespace ccq {
@@ -30,6 +31,7 @@ struct KNearestOptions {
     int h = 2;          ///< per-iteration hop base (k should be O(n^{1/h}))
     int iterations = 1; ///< i of Lemma 5.2; covers h^i hops total
     bool faithful_bins = false; ///< route the real Section 5.2 messages
+    EngineConfig engine;        ///< local min-plus execution strategy
 };
 
 /// Parameters of the Section 5.2 bin scheme for (n, k, h).

@@ -1,6 +1,9 @@
 #include "ccq/matrix/dense.hpp"
 
+#include <utility>
+
 #include "ccq/graph/graph.hpp"
+#include "ccq/matrix/engine.hpp"
 
 namespace ccq {
 
@@ -15,33 +18,12 @@ DistanceMatrix adjacency_matrix(const Graph& g)
 
 DistanceMatrix min_plus_product(const DistanceMatrix& a, const DistanceMatrix& b)
 {
-    CCQ_EXPECT(a.size() == b.size(), "min_plus_product: size mismatch");
-    const int n = a.size();
-    DistanceMatrix c(n);
-    for (NodeId i = 0; i < n; ++i) {
-        for (NodeId k = 0; k < n; ++k) {
-            const Weight aik = a.at(i, k);
-            if (!is_finite(aik)) continue;
-            for (NodeId j = 0; j < n; ++j) {
-                const Weight cand = saturating_add(aik, b.at(k, j));
-                c.relax(i, j, cand);
-            }
-        }
-    }
-    return c;
+    return min_plus_product(a, b, EngineConfig{});
 }
 
 DistanceMatrix min_plus_closure(DistanceMatrix a, int* products_used)
 {
-    int used = 0;
-    const int n = a.size();
-    // (n-1) hops suffice; square until the hop budget covers that.
-    for (std::int64_t hops = 1; hops < n - 1; hops *= 2) {
-        a = min_plus_product(a, a);
-        ++used;
-    }
-    if (products_used != nullptr) *products_used = used;
-    return a;
+    return min_plus_closure(std::move(a), products_used, EngineConfig{});
 }
 
 DistanceMatrix entrywise_min(const DistanceMatrix& a, const DistanceMatrix& b)

@@ -52,6 +52,11 @@ public:
 
     [[nodiscard]] bool in_range(NodeId u) const noexcept { return u >= 0 && u < n_; }
 
+    /// Row-major storage (n*n entries) for the blocked engine kernels;
+    /// all invariants (entries <= kInfinity) are the caller's to keep.
+    [[nodiscard]] Weight* data() noexcept { return cells_.data(); }
+    [[nodiscard]] const Weight* data() const noexcept { return cells_.data(); }
+
     friend bool operator==(const DistanceMatrix&, const DistanceMatrix&) = default;
 
 private:
@@ -68,7 +73,8 @@ private:
 /// Weighted adjacency matrix of `g` with zero diagonal (paper notation A).
 [[nodiscard]] DistanceMatrix adjacency_matrix(const Graph& g);
 
-/// Min-plus product C[i,j] = min_k A[i,k] + B[k,j].  O(n^3).
+/// Min-plus product C[i,j] = min_k A[i,k] + B[k,j].  O(n^3); runs on the
+/// blocked engine (matrix/engine.hpp) with the default EngineConfig.
 [[nodiscard]] DistanceMatrix min_plus_product(const DistanceMatrix& a, const DistanceMatrix& b);
 
 /// Min-plus closure A^(n-1) by repeated squaring; `products_used`, when

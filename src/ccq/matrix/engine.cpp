@@ -1,0 +1,195 @@
+#include "ccq/matrix/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace ccq {
+namespace {
+
+/// Dense band kernel: rows [i0, i1) of C, all of A and B, tiled by bs.
+/// Uses raw additions: every stored cell stays <= kInfinity, and with
+/// aik < kInfinity the sum aik + B[k,j] is < 2^63/2 (no overflow), so
+/// "store only if smaller than the current cell" reproduces the
+/// saturating_add / relax semantics of the reference kernel bit for bit.
+void dense_band(const Weight* a, const Weight* b, Weight* c, int n, int i0, int i1, int bs)
+{
+    for (int ii = i0; ii < i1; ii += bs) {
+        const int iend = std::min(ii + bs, i1);
+        for (int kk = 0; kk < n; kk += bs) {
+            const int kend = std::min(kk + bs, n);
+            for (int jj = 0; jj < n; jj += bs) {
+                const int jend = std::min(jj + bs, n);
+                for (int i = ii; i < iend; ++i) {
+                    const Weight* arow = a + static_cast<std::size_t>(i) * n;
+                    Weight* crow = c + static_cast<std::size_t>(i) * n;
+                    for (int k = kk; k < kend; ++k) {
+                        const Weight aik = arow[k];
+                        if (!is_finite(aik)) continue;
+                        const Weight* brow = b + static_cast<std::size_t>(k) * n;
+                        for (int j = jj; j < jend; ++j) {
+                            const Weight cand = aik + brow[j];
+                            if (cand < crow[j]) crow[j] = cand;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Relaxes row u of a*b into the dense scratch `best`, recording touched
+/// columns.  Byte-for-byte the reference row loop, shared by the plain
+/// and filtered sparse paths.
+void relax_sparse_row(const SparseMatrix& a, const SparseMatrix& b, std::size_t u,
+                      std::vector<Weight>& best, std::vector<NodeId>& touched)
+{
+    touched.clear();
+    for (const SparseEntry& via : a[u]) {
+        for (const SparseEntry& hop : b[static_cast<std::size_t>(via.node)]) {
+            const Weight cand = saturating_add(via.dist, hop.dist);
+            Weight& cell = best[static_cast<std::size_t>(hop.node)];
+            if (cell == kInfinity) touched.push_back(hop.node);
+            cell = min_weight(cell, cand);
+        }
+    }
+}
+
+/// Drains the scratch into a canonical row; keep >= 0 applies the
+/// Lemma 5.5 k-smallest filter before the final sort (nth_element on the
+/// total (dist, id) order selects exactly the entries the reference
+/// sort-then-resize keeps).
+SparseRow collect_sparse_row(std::vector<Weight>& best, std::vector<NodeId>& touched, int keep)
+{
+    SparseRow row;
+    row.reserve(touched.size());
+    for (const NodeId w : touched) {
+        row.push_back(SparseEntry{w, best[static_cast<std::size_t>(w)]});
+        best[static_cast<std::size_t>(w)] = kInfinity;
+    }
+    if (keep >= 0 && std::cmp_less(keep, row.size())) {
+        std::nth_element(row.begin(), row.begin() + keep, row.end(), entry_less);
+        row.resize(static_cast<std::size_t>(keep));
+    }
+    std::sort(row.begin(), row.end(), entry_less);
+    return row;
+}
+
+/// Shared driver for the plain (keep = -1) and filtered sparse products.
+SparseMatrix sparse_product_impl(const SparseMatrix& a, const SparseMatrix& b, int n, int keep,
+                                 const EngineConfig& engine)
+{
+    CCQ_EXPECT(a.size() == b.size(), "min_plus_product(sparse): size mismatch");
+    CCQ_EXPECT(std::cmp_less_equal(a.size(), static_cast<std::size_t>(n)),
+               "min_plus_product(sparse): n too small");
+    SparseMatrix result(a.size());
+    parallel_chunks(engine.resolved_threads(), 0, static_cast<int>(a.size()), 1,
+                    [&](int row_begin, int row_end) {
+                        std::vector<Weight> best(static_cast<std::size_t>(n), kInfinity);
+                        std::vector<NodeId> touched;
+                        for (int u = row_begin; u < row_end; ++u) {
+                            relax_sparse_row(a, b, static_cast<std::size_t>(u), best, touched);
+                            result[static_cast<std::size_t>(u)] =
+                                collect_sparse_row(best, touched, keep);
+                        }
+                    });
+    return result;
+}
+
+} // namespace
+
+DistanceMatrix min_plus_product(const DistanceMatrix& a, const DistanceMatrix& b,
+                                const EngineConfig& engine)
+{
+    CCQ_EXPECT(a.size() == b.size(), "min_plus_product: size mismatch");
+    const int n = a.size();
+    DistanceMatrix c(n);
+    if (n == 0) return c;
+    const int bs = std::min(engine.resolved_block_size(), n);
+    const Weight* ap = a.data();
+    const Weight* bp = b.data();
+    Weight* cp = c.data();
+    parallel_chunks(engine.resolved_threads(), 0, n, bs,
+                    [&](int i0, int i1) { dense_band(ap, bp, cp, n, i0, i1, bs); });
+    return c;
+}
+
+DistanceMatrix min_plus_closure(DistanceMatrix a, int* products_used, const EngineConfig& engine)
+{
+    int used = 0;
+    const int n = a.size();
+    // (n-1) hops suffice; square until the hop budget covers that.
+    for (std::int64_t hops = 1; hops < n - 1; hops *= 2) {
+        a = min_plus_product(a, a, engine);
+        ++used;
+    }
+    if (products_used != nullptr) *products_used = used;
+    return a;
+}
+
+SparseMatrix min_plus_product(const SparseMatrix& a, const SparseMatrix& b, int n,
+                              const EngineConfig& engine)
+{
+    return sparse_product_impl(a, b, n, /*keep=*/-1, engine);
+}
+
+SparseMatrix min_plus_product_filtered(const SparseMatrix& a, const SparseMatrix& b, int n,
+                                       int k, const EngineConfig& engine)
+{
+    CCQ_EXPECT(k >= 0, "min_plus_product_filtered: k must be >= 0");
+    return sparse_product_impl(a, b, n, k, engine);
+}
+
+SparseMatrix hop_power(const SparseMatrix& a, int h, int n, const EngineConfig& engine)
+{
+    CCQ_EXPECT(h >= 1, "hop_power: h must be >= 1");
+    SparseMatrix result = a;
+    for (int i = 1; i < h; ++i) result = min_plus_product(result, a, n, engine);
+    return result;
+}
+
+SparseMatrix filtered_hop_power(const SparseMatrix& a, int h, int k, int n,
+                                const EngineConfig& engine)
+{
+    CCQ_EXPECT(h >= 1, "filtered_hop_power: h must be >= 1");
+    CCQ_EXPECT(k >= 0, "filtered_hop_power: k must be >= 0");
+    if (h == 1) return filter_k_smallest(a, k);
+    SparseMatrix result = a;
+    for (int i = 1; i < h - 1; ++i) result = min_plus_product(result, a, n, engine);
+    return min_plus_product_filtered(result, a, n, k, engine);
+}
+
+DistanceMatrix min_plus_product_reference(const DistanceMatrix& a, const DistanceMatrix& b)
+{
+    CCQ_EXPECT(a.size() == b.size(), "min_plus_product: size mismatch");
+    const int n = a.size();
+    DistanceMatrix c(n);
+    for (NodeId i = 0; i < n; ++i) {
+        for (NodeId k = 0; k < n; ++k) {
+            const Weight aik = a.at(i, k);
+            if (!is_finite(aik)) continue;
+            for (NodeId j = 0; j < n; ++j) {
+                const Weight cand = saturating_add(aik, b.at(k, j));
+                c.relax(i, j, cand);
+            }
+        }
+    }
+    return c;
+}
+
+SparseMatrix min_plus_product_reference(const SparseMatrix& a, const SparseMatrix& b, int n)
+{
+    CCQ_EXPECT(a.size() == b.size(), "min_plus_product(sparse): size mismatch");
+    CCQ_EXPECT(std::cmp_less_equal(a.size(), static_cast<std::size_t>(n)),
+               "min_plus_product(sparse): n too small");
+    SparseMatrix result(a.size());
+    std::vector<Weight> best(static_cast<std::size_t>(n), kInfinity);
+    std::vector<NodeId> touched;
+    for (std::size_t u = 0; u < a.size(); ++u) {
+        relax_sparse_row(a, b, u, best, touched);
+        result[u] = collect_sparse_row(best, touched, /*keep=*/-1);
+    }
+    return result;
+}
+
+} // namespace ccq

@@ -1,0 +1,61 @@
+// Cache-blocked, multithreaded min-plus engine.
+//
+// Every algorithm in the paper bottoms out in min-plus products (dense
+// [CKK+19]-style squaring for the exact baseline, sparse/filtered
+// products for the k-nearest and skeleton stages), so they all share the
+// kernels below.  EngineConfig{threads, block_size} selects the local
+// execution strategy only: outputs are bitwise identical to the seed
+// (reference) kernels for every configuration — min is associative and
+// commutative, and the saturating arithmetic is replicated exactly — and
+// simulated round charges never depend on it.
+#ifndef CCQ_MATRIX_ENGINE_HPP
+#define CCQ_MATRIX_ENGINE_HPP
+
+#include "ccq/common/parallel.hpp"
+#include "ccq/matrix/dense.hpp"
+#include "ccq/matrix/sparse.hpp"
+
+namespace ccq {
+
+/// Blocked parallel C[i,j] = min_k A[i,k] + B[k,j].  Tiles all three loop
+/// dimensions by engine.block_size and parallelizes block rows of C.
+[[nodiscard]] DistanceMatrix min_plus_product(const DistanceMatrix& a, const DistanceMatrix& b,
+                                              const EngineConfig& engine);
+
+/// Min-plus closure A^(n-1) by repeated squaring on the blocked kernel.
+[[nodiscard]] DistanceMatrix min_plus_closure(DistanceMatrix a, int* products_used,
+                                              const EngineConfig& engine);
+
+/// Row-parallel sparse product (rows of the result are independent; each
+/// worker keeps its own dense scratch accumulator).
+[[nodiscard]] SparseMatrix min_plus_product(const SparseMatrix& a, const SparseMatrix& b, int n,
+                                            const EngineConfig& engine);
+
+/// Sparse product with the Lemma 5.5 row filter fused into the kernel:
+/// each result row keeps only its k smallest entries (ties by node id).
+/// Identical to filter_k_smallest(min_plus_product(a, b, n), k) but never
+/// materializes the unfiltered rows.
+[[nodiscard]] SparseMatrix min_plus_product_filtered(const SparseMatrix& a,
+                                                     const SparseMatrix& b, int n, int k,
+                                                     const EngineConfig& engine);
+
+/// a^h over min-plus on the parallel sparse kernel (h >= 1).
+[[nodiscard]] SparseMatrix hop_power(const SparseMatrix& a, int h, int n,
+                                     const EngineConfig& engine);
+
+/// filter_k_smallest(hop_power(a, h, n), k) with the final product run
+/// through the fused filtered kernel — the shape every Lemma 5.2 / 5.5
+/// filtered-power iteration uses.
+[[nodiscard]] SparseMatrix filtered_hop_power(const SparseMatrix& a, int h, int k, int n,
+                                              const EngineConfig& engine);
+
+/// Seed (naive triple-loop / per-row relax) kernels, kept as the ground
+/// truth for the randomized equivalence tests and the bench ablations.
+[[nodiscard]] DistanceMatrix min_plus_product_reference(const DistanceMatrix& a,
+                                                        const DistanceMatrix& b);
+[[nodiscard]] SparseMatrix min_plus_product_reference(const SparseMatrix& a,
+                                                      const SparseMatrix& b, int n);
+
+} // namespace ccq
+
+#endif // CCQ_MATRIX_ENGINE_HPP

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "ccq/matrix/engine.hpp"
+
 namespace ccq {
 
 double sparse_product_rounds(double rho_s, double rho_t, double rho_st_bound, int n)
@@ -16,12 +18,12 @@ double sparse_product_rounds(double rho_s, double rho_t, double rho_st_bound, in
 
 SparseMatrix charged_sparse_product(CliqueTransport& transport, std::string_view phase,
                                     const SparseMatrix& s, const SparseMatrix& t,
-                                    double rho_st_bound)
+                                    double rho_st_bound, const EngineConfig& engine)
 {
     const int n = transport.node_count();
     const double rho_s = average_density(s);
     const double rho_t = average_density(t);
-    SparseMatrix product = min_plus_product(s, t, n);
+    SparseMatrix product = min_plus_product(s, t, n, engine);
     const double rho_st = average_density(product);
     CCQ_CHECK(rho_st <= rho_st_bound + 1e-9,
               "charged_sparse_product: a-priori density bound violated");

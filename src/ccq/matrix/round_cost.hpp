@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "ccq/clique/transport.hpp"
+#include "ccq/common/parallel.hpp"
 #include "ccq/matrix/sparse.hpp"
 
 namespace ccq {
@@ -23,10 +24,12 @@ namespace ccq {
 /// Computes S*T and charges Theorem 6.1 rounds for it.  `rho_st_bound` is
 /// the caller's a-priori density bound on the product (must be known
 /// beforehand, per the theorem statement); the actual product density is
-/// verified against it.
+/// verified against it.  The round charge depends only on the densities,
+/// never on `engine`.
 [[nodiscard]] SparseMatrix charged_sparse_product(CliqueTransport& transport,
                                                   std::string_view phase, const SparseMatrix& s,
-                                                  const SparseMatrix& t, double rho_st_bound);
+                                                  const SparseMatrix& t, double rho_st_bound,
+                                                  const EngineConfig& engine = {});
 
 } // namespace ccq
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "ccq/matrix/engine.hpp"
+
 namespace ccq {
 
 void normalize_row(SparseRow& row)
@@ -46,39 +48,12 @@ SparseMatrix filter_k_smallest(const SparseMatrix& m, int k)
 
 SparseMatrix min_plus_product(const SparseMatrix& a, const SparseMatrix& b, int n)
 {
-    CCQ_EXPECT(a.size() == b.size(), "min_plus_product(sparse): size mismatch");
-    CCQ_EXPECT(std::cmp_less_equal(a.size(), static_cast<std::size_t>(n)),
-               "min_plus_product(sparse): n too small");
-    SparseMatrix result(a.size());
-    std::vector<Weight> best(static_cast<std::size_t>(n), kInfinity);
-    std::vector<NodeId> touched;
-    for (std::size_t u = 0; u < a.size(); ++u) {
-        touched.clear();
-        for (const SparseEntry& via : a[u]) {
-            for (const SparseEntry& hop : b[static_cast<std::size_t>(via.node)]) {
-                const Weight cand = saturating_add(via.dist, hop.dist);
-                Weight& cell = best[static_cast<std::size_t>(hop.node)];
-                if (cell == kInfinity) touched.push_back(hop.node);
-                cell = min_weight(cell, cand);
-            }
-        }
-        SparseRow& row = result[u];
-        row.reserve(touched.size());
-        for (const NodeId w : touched) {
-            row.push_back(SparseEntry{w, best[static_cast<std::size_t>(w)]});
-            best[static_cast<std::size_t>(w)] = kInfinity;
-        }
-        std::sort(row.begin(), row.end(), entry_less);
-    }
-    return result;
+    return min_plus_product(a, b, n, EngineConfig{});
 }
 
 SparseMatrix hop_power(const SparseMatrix& a, int h, int n)
 {
-    CCQ_EXPECT(h >= 1, "hop_power: h must be >= 1");
-    SparseMatrix result = a;
-    for (int i = 1; i < h; ++i) result = min_plus_product(result, a, n);
-    return result;
+    return hop_power(a, h, n, EngineConfig{});
 }
 
 double average_density(const SparseMatrix& m)

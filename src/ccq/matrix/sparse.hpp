@@ -51,7 +51,8 @@ void normalize_row(SparseRow& row);
 [[nodiscard]] SparseMatrix filter_k_smallest(const SparseMatrix& m, int k);
 
 /// Min-plus product: row u of the result relaxes through every (v, d1) in
-/// a[u] and (w, d2) in b[v].  `n` bounds node ids.
+/// a[u] and (w, d2) in b[v].  `n` bounds node ids.  Runs on the
+/// row-parallel engine (matrix/engine.hpp) with the default EngineConfig.
 [[nodiscard]] SparseMatrix min_plus_product(const SparseMatrix& a, const SparseMatrix& b, int n);
 
 /// a^h over min-plus (h >= 1).  Rows of `a` must contain their diagonal

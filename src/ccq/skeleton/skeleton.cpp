@@ -27,7 +27,8 @@ double skeleton_size_bound(int n, int k, double constant)
 }
 
 SkeletonGraph build_skeleton(const Graph& g, const SparseMatrix& nk_rows, double a, Rng& rng,
-                             CliqueTransport& transport, std::string_view phase)
+                             CliqueTransport& transport, std::string_view phase,
+                             const EngineConfig& engine)
 {
     const int n = g.node_count();
     CCQ_EXPECT(static_cast<int>(nk_rows.size()) == n, "build_skeleton: row count mismatch");
@@ -124,7 +125,8 @@ SkeletonGraph build_skeleton(const Graph& g, const SparseMatrix& nk_rows, double
     const double s_count = static_cast<double>(skeleton.members.size());
     const double rho_bound = s_count * s_count / static_cast<double>(n) + 1.0;
     const SparseMatrix weights =
-        charged_sparse_product(transport, "skeleton-product", x_rows, y_rows, rho_bound);
+        charged_sparse_product(transport, "skeleton-product", x_rows, y_rows, rho_bound,
+                               engine);
 
     // Materialize the undirected skeleton graph on compact indices.
     std::map<std::pair<int, int>, Weight> best_edge;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "ccq/clique/transport.hpp"
+#include "ccq/common/parallel.hpp"
 #include "ccq/common/rng.hpp"
 #include "ccq/graph/graph.hpp"
 #include "ccq/matrix/dense.hpp"
@@ -45,7 +46,8 @@ struct SkeletonGraph {
 /// approximation factor the rows satisfy (1 for exact k-nearest sets).
 [[nodiscard]] SkeletonGraph build_skeleton(const Graph& g, const SparseMatrix& nk_rows,
                                            double a, Rng& rng, CliqueTransport& transport,
-                                           std::string_view phase);
+                                           std::string_view phase,
+                                           const EngineConfig& engine = {});
 
 /// Extends an l-approximation `delta_gs` of APSP on G_S (indexed by the
 /// compact skeleton ids) to the full graph: the eta of Lemma 6.1.  The

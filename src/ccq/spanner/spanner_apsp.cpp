@@ -10,7 +10,8 @@
 namespace ccq {
 
 SubgraphApspResult apsp_via_spanner(const Graph& sub, int b, Rng& rng,
-                                    CliqueTransport& transport, std::string_view phase)
+                                    CliqueTransport& transport, std::string_view phase,
+                                    const EngineConfig& engine)
 {
     CCQ_EXPECT(b >= 1, "apsp_via_spanner: b must be >= 1");
     PhaseScope scope(transport.ledger(), phase);
@@ -29,7 +30,7 @@ SubgraphApspResult apsp_via_spanner(const Graph& sub, int b, Rng& rng,
 
     // Every node now solves shortest paths on the spanner locally.
     SubgraphApspResult result;
-    result.estimate = exact_apsp(spanner.spanner);
+    result.estimate = exact_apsp(spanner.spanner, engine);
     result.claimed_stretch = spanner.stretch_bound;
     result.spanner_edges = spanner.spanner.edge_count();
     transport.note_local_computation("local-dijkstra");
@@ -37,13 +38,14 @@ SubgraphApspResult apsp_via_spanner(const Graph& sub, int b, Rng& rng,
 }
 
 SubgraphApspResult apsp_via_full_broadcast(const Graph& sub, CliqueTransport& transport,
-                                           std::string_view phase)
+                                           std::string_view phase,
+                                           const EngineConfig& engine)
 {
     PhaseScope scope(transport.ledger(), phase);
     transport.charge_broadcast_from("broadcast-edges",
                                     3 * static_cast<std::uint64_t>(sub.edge_count()));
     SubgraphApspResult result;
-    result.estimate = exact_apsp(sub);
+    result.estimate = exact_apsp(sub, engine);
     result.claimed_stretch = 1.0;
     result.spanner_edges = sub.edge_count();
     transport.note_local_computation("local-dijkstra");

@@ -14,6 +14,7 @@
 #include <string_view>
 
 #include "ccq/clique/transport.hpp"
+#include "ccq/common/parallel.hpp"
 #include "ccq/common/rng.hpp"
 #include "ccq/graph/graph.hpp"
 #include "ccq/matrix/dense.hpp"
@@ -33,13 +34,15 @@ struct SubgraphApspResult {
 /// (DESIGN.md, documented substitutions).
 [[nodiscard]] SubgraphApspResult apsp_via_spanner(const Graph& sub, int b, Rng& rng,
                                                   CliqueTransport& transport,
-                                                  std::string_view phase);
+                                                  std::string_view phase,
+                                                  const EngineConfig& engine = {});
 
 /// Exact APSP on `sub` by broadcasting *all* its edges (used when the
 /// skeleton is small enough or bandwidth is widened; l = 1).
 [[nodiscard]] SubgraphApspResult apsp_via_full_broadcast(const Graph& sub,
                                                          CliqueTransport& transport,
-                                                         std::string_view phase);
+                                                         std::string_view phase,
+                                                         const EngineConfig& engine = {});
 
 /// Corollary 7.2: b for an (alpha log n)-approximation on an n-node graph.
 [[nodiscard]] int logn_spanner_parameter(int n, double alpha = 1.0);

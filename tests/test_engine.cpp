@@ -1,0 +1,227 @@
+// Randomized equivalence of the blocked/parallel min-plus engine against
+// the seed (naive) kernels: dense and sparse, INF / overflow-saturation
+// edges, the fused Lemma 5.5 filter, for thread counts {1, 4} and block
+// sizes {1, 8, 64}.  Every comparison is exact (operator==), i.e. the
+// engine must be bitwise identical to the reference for every config.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ccq/common/rng.hpp"
+#include "ccq/graph/generators.hpp"
+#include "ccq/matrix/engine.hpp"
+
+namespace ccq {
+namespace {
+
+const std::vector<EngineConfig> kConfigs = {
+    {1, 1}, {1, 8}, {1, 64}, {4, 1}, {4, 8}, {4, 64},
+};
+
+std::string config_label(const EngineConfig& config)
+{
+    return "threads=" + std::to_string(config.threads) +
+           " block=" + std::to_string(config.block_size);
+}
+
+/// Dense matrix with a mix of small weights, unreachable (kInfinity)
+/// cells, and near-saturation values whose sums overflow past kInfinity.
+DistanceMatrix random_dense(int n, Rng& rng, double inf_fraction, double huge_fraction)
+{
+    DistanceMatrix m(n);
+    for (NodeId i = 0; i < n; ++i) {
+        for (NodeId j = 0; j < n; ++j) {
+            const double coin = rng.uniform_real();
+            if (coin < inf_fraction) continue; // stays kInfinity
+            if (coin < inf_fraction + huge_fraction) {
+                m.at(i, j) = kInfinity - rng.uniform_int(1, 1000);
+            } else {
+                m.at(i, j) = rng.uniform_int(0, 500);
+            }
+        }
+    }
+    return m;
+}
+
+/// Sparse rows over [0, n) with the same mix; rows are canonicalized.
+SparseMatrix random_sparse(int n, int per_row, Rng& rng, double huge_fraction)
+{
+    SparseMatrix rows(static_cast<std::size_t>(n));
+    for (NodeId u = 0; u < n; ++u) {
+        SparseRow& row = rows[static_cast<std::size_t>(u)];
+        row.push_back(SparseEntry{u, 0});
+        for (int j = 1; j < per_row; ++j) {
+            const auto node = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+            const Weight dist = rng.uniform_real() < huge_fraction
+                                    ? kInfinity - rng.uniform_int(1, 1000)
+                                    : rng.uniform_int(0, 500);
+            row.push_back(SparseEntry{node, dist});
+        }
+        normalize_row(row);
+    }
+    return rows;
+}
+
+TEST(EngineDense, MatchesReferenceAcrossConfigs)
+{
+    for (const int n : {1, 2, 7, 33, 64, 97}) {
+        Rng rng(1000 + static_cast<std::uint64_t>(n));
+        const DistanceMatrix a = random_dense(n, rng, 0.2, 0.0);
+        const DistanceMatrix b = random_dense(n, rng, 0.2, 0.0);
+        const DistanceMatrix reference = min_plus_product_reference(a, b);
+        for (const EngineConfig& config : kConfigs) {
+            EXPECT_EQ(min_plus_product(a, b, config), reference)
+                << "n=" << n << " " << config_label(config);
+        }
+    }
+}
+
+TEST(EngineDense, SaturationStaysClampedAndIdentical)
+{
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+        Rng rng(seed);
+        const int n = 41;
+        const DistanceMatrix a = random_dense(n, rng, 0.3, 0.3);
+        const DistanceMatrix b = random_dense(n, rng, 0.3, 0.3);
+        const DistanceMatrix reference = min_plus_product_reference(a, b);
+        for (const EngineConfig& config : kConfigs) {
+            const DistanceMatrix c = min_plus_product(a, b, config);
+            EXPECT_EQ(c, reference) << "seed=" << seed << " " << config_label(config);
+            for (NodeId i = 0; i < n; ++i)
+                for (NodeId j = 0; j < n; ++j) ASSERT_LE(c.at(i, j), kInfinity);
+        }
+    }
+}
+
+TEST(EngineDense, ClosureMatchesReferenceSquaring)
+{
+    Rng rng(7);
+    const Graph g = erdos_renyi(40, 0.1, WeightRange{1, 50}, rng);
+    DistanceMatrix reference = adjacency_matrix(g);
+    int reference_products = 0;
+    for (std::int64_t hops = 1; hops < 40 - 1; hops *= 2) {
+        reference = min_plus_product_reference(reference, reference);
+        ++reference_products;
+    }
+    for (const EngineConfig& config : kConfigs) {
+        int products = 0;
+        EXPECT_EQ(min_plus_closure(adjacency_matrix(g), &products, config), reference)
+            << config_label(config);
+        EXPECT_EQ(products, reference_products);
+    }
+}
+
+TEST(EngineDense, LegacyEntryPointDelegatesToEngine)
+{
+    Rng rng(8);
+    const DistanceMatrix a = random_dense(23, rng, 0.2, 0.1);
+    const DistanceMatrix b = random_dense(23, rng, 0.2, 0.1);
+    EXPECT_EQ(min_plus_product(a, b), min_plus_product_reference(a, b));
+}
+
+TEST(EngineSparse, MatchesReferenceAcrossConfigs)
+{
+    for (const int n : {1, 5, 24, 60}) {
+        Rng rng(2000 + static_cast<std::uint64_t>(n));
+        const SparseMatrix a = random_sparse(n, std::min(n, 6), rng, 0.0);
+        const SparseMatrix b = random_sparse(n, std::min(n, 6), rng, 0.0);
+        const SparseMatrix reference = min_plus_product_reference(a, b, n);
+        for (const EngineConfig& config : kConfigs) {
+            EXPECT_EQ(min_plus_product(a, b, n, config), reference)
+                << "n=" << n << " " << config_label(config);
+        }
+    }
+}
+
+TEST(EngineSparse, SaturatedEntriesMatchReference)
+{
+    const int n = 30;
+    Rng rng(21);
+    const SparseMatrix a = random_sparse(n, 5, rng, 0.4);
+    const SparseMatrix b = random_sparse(n, 5, rng, 0.4);
+    const SparseMatrix reference = min_plus_product_reference(a, b, n);
+    for (const EngineConfig& config : kConfigs) {
+        EXPECT_EQ(min_plus_product(a, b, n, config), reference) << config_label(config);
+        for (const int k : {0, 2, 7}) {
+            EXPECT_EQ(min_plus_product_filtered(a, b, n, k, config),
+                      filter_k_smallest(reference, k))
+                << config_label(config) << " k=" << k;
+        }
+    }
+}
+
+TEST(EngineSparse, FilteredProductMatchesFilterOfProduct)
+{
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+        Rng rng(seed);
+        const Graph g = erdos_renyi(32, 0.2, WeightRange{1, 30}, rng);
+        const SparseMatrix rows = adjacency_rows(g);
+        const SparseMatrix reference = min_plus_product_reference(rows, rows, 32);
+        for (const EngineConfig& config : kConfigs) {
+            for (const int k : {0, 1, 4, 16, 100}) {
+                EXPECT_EQ(min_plus_product_filtered(rows, rows, 32, k, config),
+                          filter_k_smallest(reference, k))
+                    << "seed=" << seed << " k=" << k << " " << config_label(config);
+            }
+        }
+    }
+}
+
+// The Lemma 5.5 identity, executed entirely on the engine: filtering each
+// row to its k smallest entries before exponentiating preserves the k
+// smallest entries of the true power, for every engine configuration.
+TEST(EngineSparse, FilteredPowerIdentityLemma55)
+{
+    for (const std::uint64_t seed : {4u, 5u}) {
+        Rng rng(seed);
+        const Graph g = erdos_renyi(28, 0.25, WeightRange{1, 40}, rng);
+        const SparseMatrix rows = adjacency_rows(g);
+        for (const EngineConfig& config : kConfigs) {
+            for (const int k : {3, 8}) {
+                for (const int h : {1, 2, 3}) {
+                    const SparseMatrix truth =
+                        filter_k_smallest(hop_power(rows, h, 28), k);
+                    EXPECT_EQ(filtered_hop_power(rows, h, k, 28, config), truth)
+                        << "seed=" << seed << " k=" << k << " h=" << h << " "
+                        << config_label(config);
+                    EXPECT_EQ(
+                        filtered_hop_power(filter_k_smallest(rows, k), h, k, 28, config),
+                        truth)
+                        << "filtered operand, seed=" << seed << " k=" << k << " h=" << h;
+                }
+            }
+        }
+    }
+}
+
+TEST(EngineSparse, HopPowerMatchesSerialReference)
+{
+    Rng rng(31);
+    const Graph g = erdos_renyi(20, 0.15, WeightRange{1, 10}, rng);
+    const SparseMatrix rows = adjacency_rows(g);
+    for (const int h : {1, 2, 4}) {
+        SparseMatrix reference = rows;
+        for (int i = 1; i < h; ++i) reference = min_plus_product_reference(reference, rows, 20);
+        for (const EngineConfig& config : kConfigs) {
+            EXPECT_EQ(hop_power(rows, h, 20, config), reference)
+                << "h=" << h << " " << config_label(config);
+        }
+    }
+}
+
+TEST(EngineConfigValidation, RejectsBadParameters)
+{
+    const DistanceMatrix a(4);
+    EXPECT_THROW((void)min_plus_product(a, a, (EngineConfig{-1, 8})), check_error);
+    EXPECT_THROW((void)min_plus_product(a, a, (EngineConfig{1, 0})), check_error);
+    EXPECT_THROW((void)min_plus_product_filtered(SparseMatrix(4), SparseMatrix(4), 4, -1,
+                                                 EngineConfig{}),
+                 check_error);
+    EXPECT_THROW((void)filtered_hop_power(SparseMatrix(4), 0, 1, 4, EngineConfig{}),
+                 check_error);
+    const DistanceMatrix b(5);
+    EXPECT_THROW((void)min_plus_product(a, b, EngineConfig{}), check_error);
+}
+
+} // namespace
+} // namespace ccq
