@@ -9,6 +9,8 @@
 #include <cstdio>
 
 #include "ccq/apsp.hpp"
+#include "ccq/serve/query_engine.hpp"
+#include "ccq/serve/snapshot.hpp"
 #include "ccq/spanner/baswana_sen.hpp"
 
 int main()
@@ -62,5 +64,34 @@ int main()
         }
     std::printf("\nworst route stretch over all %d^2 flows: %.2f (bound %d)\n", n, global_worst,
                 backbone.stretch_bound);
-    return global_worst <= backbone.stretch_bound ? 0 : 1;
+    if (global_worst > backbone.stretch_bound) return 1;
+
+    // Build-once / serve-many: persist the oracle (distances + tables) as
+    // a snapshot, reload it, and re-answer the same flows from the copy.
+    ApspResult to_persist;
+    to_persist.estimate = exact;
+    to_persist.claimed_stretch = 1.0;
+    to_persist.algorithm = "exact+spanner-routing";
+    const char* snapshot_path = "routing_tables.snap";
+    save_snapshot(snapshot_path,
+                  OracleSnapshot::from_result(network, to_persist, /*build_seed=*/7, &tables));
+    const QueryEngine engine(load_snapshot(snapshot_path));
+    std::printf("\nsnapshot round-trip via %s (%d nodes, algorithm %s):\n", snapshot_path,
+                engine.node_count(), engine.meta().algorithm.c_str());
+
+    bool round_trip_ok = true;
+    for (const auto& [src, dst] : {std::pair<NodeId, NodeId>{0, 95}, {1, 50}, {7, 88}, {13, 41}}) {
+        const PathResult served = engine.path(src, dst);
+        const bool same_route = served.nodes == tables.route(src, dst);
+        const bool same_distance = engine.distance(src, dst) == exact.at(src, dst);
+        round_trip_ok = round_trip_ok && same_route && same_distance;
+        std::printf("%3d -> %-4d  served dist=%-6lld hops=%-3zu route %s, distance %s\n", src,
+                    dst, static_cast<long long>(served.distance),
+                    served.nodes.empty() ? 0 : served.nodes.size() - 1,
+                    same_route ? "identical" : "DIFFERS",
+                    same_distance ? "identical" : "DIFFERS");
+    }
+    std::remove(snapshot_path);
+    std::printf("round-trip: %s\n", round_trip_ok ? "every answer identical" : "MISMATCH");
+    return round_trip_ok ? 0 : 1;
 }

@@ -8,7 +8,20 @@
 //   // r.claimed_stretch:   guaranteed approximation factor
 //   // r.ledger:            Congested-Clique round accounting
 //
-// See DESIGN.md for the module map and EXPERIMENTS.md for the measured
+// Module map:
+//
+//   common/   scalar types, checks, RNG, thread pool
+//   clique/   Congested-Clique transport + round ledger (the cost model)
+//   matrix/   dense/sparse min-plus algebra and the blocked engine
+//   graph/    graph type, generators, exact oracles, IO, metrics
+//   hopset/ knearest/ skeleton/ spanner/ scaling/ mst/   paper stages
+//   core/     composed algorithms (Theorems 1.1/1.2/7.1/8.1), baselines,
+//             the DistanceOracle facade, and next-hop routing tables
+//   serve/    build-once/serve-many layer: snapshot persistence
+//             (serve/snapshot.hpp) and the concurrent query engine
+//             (serve/query_engine.hpp), fronted by tools/ccq_serve.cpp
+//
+// See DESIGN.md for details and EXPERIMENTS.md for the measured
 // reproduction of every quantitative claim.
 #ifndef CCQ_APSP_HPP
 #define CCQ_APSP_HPP
@@ -29,5 +42,7 @@
 #include "ccq/graph/graph.hpp"
 #include "ccq/graph/io.hpp"
 #include "ccq/graph/metrics.hpp"
+#include "ccq/serve/query_engine.hpp"
+#include "ccq/serve/snapshot.hpp"
 
 #endif // CCQ_APSP_HPP

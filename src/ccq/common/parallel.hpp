@@ -18,6 +18,16 @@
 
 namespace ccq {
 
+/// The shared thread-count convention: 0 means "one per hardware
+/// thread", any positive value is taken literally.
+[[nodiscard]] inline int resolved_thread_count(int threads)
+{
+    CCQ_EXPECT(threads >= 0, "resolved_thread_count: threads must be >= 0");
+    if (threads > 0) return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
 /// Local-execution parameters of the min-plus engine.
 ///
 /// `threads == 0` means "one per hardware thread"; `threads == 1` runs
@@ -27,13 +37,7 @@ struct EngineConfig {
     int threads = 0;
     int block_size = 64;
 
-    [[nodiscard]] int resolved_threads() const
-    {
-        CCQ_EXPECT(threads >= 0, "EngineConfig: threads must be >= 0");
-        if (threads > 0) return threads;
-        const unsigned hw = std::thread::hardware_concurrency();
-        return hw == 0 ? 1 : static_cast<int>(hw);
-    }
+    [[nodiscard]] int resolved_threads() const { return resolved_thread_count(threads); }
 
     [[nodiscard]] int resolved_block_size() const
     {

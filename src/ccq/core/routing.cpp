@@ -12,11 +12,13 @@ std::vector<NodeId> RoutingTables::route(NodeId from, NodeId to) const
     CCQ_EXPECT(valid(from) && valid(to), "RoutingTables::route: out of range");
     std::vector<NodeId> path{from};
     NodeId current = from;
-    // A well-formed table never loops; n hops is a safe upper bound.
+    // A well-formed table reaches `to` within n-1 hops.  Tables can come
+    // from untrusted snapshots, so a longer walk (forwarding cycle) or an
+    // out-of-range hop means corruption: terminate and report unreachable.
     for (int steps = 0; current != to; ++steps) {
-        CCQ_CHECK(steps <= n_, "RoutingTables::route: forwarding loop detected");
+        if (steps >= n_) return {}; // forwarding cycle in a corrupted table
         const NodeId next = next_hop(current, to);
-        if (next < 0) return {}; // unreachable
+        if (!valid(next)) return {}; // unreachable (or corrupted hop id)
         path.push_back(next);
         current = next;
     }

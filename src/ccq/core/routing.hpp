@@ -44,7 +44,10 @@ public:
 
     /// Follows next hops from `from` to `to`.  Returns the node sequence
     /// (starting at `from`, ending at `to`), or an empty vector if the
-    /// destination is unreachable.  Throws if forwarding cycles.
+    /// destination is unreachable.  The walk is hardened for serving
+    /// against untrusted tables (e.g. loaded from disk): a forwarding
+    /// cycle, an out-of-range hop, or any walk longer than n hops is
+    /// reported as unreachable rather than looping or throwing.
     [[nodiscard]] std::vector<NodeId> route(NodeId from, NodeId to) const;
 
 private:

@@ -1,0 +1,156 @@
+// In-memory query engine over a loaded oracle snapshot: the serve-many
+// half of build-once/serve-many.
+//
+// The engine answers four query shapes against an immutable snapshot:
+// point distance (one matrix read), full path reconstruction (next-hop
+// walking over the snapshot's routing tables), k-nearest targets (row
+// scan with the library's (weight, id) tie order), and batched query
+// vectors, which are partitioned across the shared ccq::ThreadPool.
+//
+// All query methods are const and safe to call concurrently: the
+// snapshot is read-only after construction, and the only mutable state
+// — the LRU cache of reconstructed paths — is sharded by query key with
+// one mutex per shard so concurrent walkers rarely contend.
+#ifndef CCQ_SERVE_QUERY_ENGINE_HPP
+#define CCQ_SERVE_QUERY_ENGINE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ccq/common/parallel.hpp"
+#include "ccq/serve/snapshot.hpp"
+
+namespace ccq {
+
+/// A (source, destination) point query.
+struct PointQuery {
+    NodeId from = 0;
+    NodeId to = 0;
+
+    friend bool operator==(const PointQuery&, const PointQuery&) = default;
+};
+
+/// Result of a path-reconstruction query.
+struct PathResult {
+    bool reachable = false;
+    /// The snapshot's estimate for the pair; kInfinity whenever the walk
+    /// failed (true unreachability or a corrupted table).
+    Weight distance = kInfinity;
+    std::vector<NodeId> nodes;    ///< from -> ... -> to; empty when unreachable
+
+    friend bool operator==(const PathResult&, const PathResult&) = default;
+};
+
+/// One entry of a k-nearest-targets answer.
+struct NearTarget {
+    NodeId node = -1;
+    Weight distance = kInfinity;
+
+    friend bool operator==(const NearTarget&, const NearTarget&) = default;
+};
+
+struct QueryEngineConfig {
+    /// Concurrency of the batch entry points (0 = one per hardware
+    /// thread, 1 = strictly serial on the caller).
+    int threads = 0;
+    /// Total reconstructed-path cache capacity, split across shards.
+    /// 0 disables caching.
+    std::size_t path_cache_capacity = 4096;
+    /// Number of independent LRU shards (each with its own mutex).
+    int cache_shards = 16;
+};
+
+/// Aggregate cache counters (monotonic since construction).
+struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+class QueryEngine {
+public:
+    /// Takes ownership of the snapshot; the engine is immutable afterwards.
+    explicit QueryEngine(OracleSnapshot snapshot, QueryEngineConfig config = {});
+
+    [[nodiscard]] int node_count() const noexcept { return snapshot_.meta.node_count; }
+    [[nodiscard]] const SnapshotMeta& meta() const noexcept { return snapshot_.meta; }
+    [[nodiscard]] const OracleSnapshot& snapshot() const noexcept { return snapshot_; }
+    [[nodiscard]] bool has_routing() const noexcept { return snapshot_.has_routing; }
+
+    /// Distance estimate for (from, to); kInfinity when unreachable.
+    [[nodiscard]] Weight distance(NodeId from, NodeId to) const;
+
+    /// Full path reconstruction by next-hop walking (requires a snapshot
+    /// with routing tables).  Walks are hop-budgeted, so corrupted tables
+    /// report unreachable instead of looping.  Results are cached.
+    [[nodiscard]] PathResult path(NodeId from, NodeId to) const;
+
+    /// The k targets nearest to `from` (excluding `from` itself and
+    /// unreachable nodes), ordered by (distance, node id).  Returns fewer
+    /// than k when fewer are reachable.
+    [[nodiscard]] std::vector<NearTarget> nearest_targets(NodeId from, int k) const;
+
+    /// Batched entry points: answers queries[i] into result[i], executing
+    /// chunks of the batch concurrently on the shared ThreadPool.
+    [[nodiscard]] std::vector<Weight> batch_distances(std::span<const PointQuery> queries) const;
+    [[nodiscard]] std::vector<PathResult> batch_paths(std::span<const PointQuery> queries) const;
+
+    [[nodiscard]] CacheStats cache_stats() const noexcept
+    {
+        return {cache_hits_.load(std::memory_order_relaxed),
+                cache_misses_.load(std::memory_order_relaxed)};
+    }
+
+private:
+    using PathPtr = std::shared_ptr<const PathResult>;
+
+    /// One LRU shard: most-recent at the front of `order`.
+    struct CacheShard {
+        std::mutex mutex;
+        std::list<std::pair<std::uint64_t, PathPtr>> order;
+        std::unordered_map<std::uint64_t, std::list<std::pair<std::uint64_t, PathPtr>>::iterator>
+            index;
+    };
+
+    [[nodiscard]] bool valid(NodeId v) const noexcept
+    {
+        return v >= 0 && v < snapshot_.meta.node_count;
+    }
+    [[nodiscard]] std::uint64_t pair_key(NodeId from, NodeId to) const noexcept
+    {
+        return static_cast<std::uint64_t>(from) *
+                   static_cast<std::uint64_t>(snapshot_.meta.node_count) +
+               static_cast<std::uint64_t>(to);
+    }
+    [[nodiscard]] CacheShard& shard_for(std::uint64_t key) const noexcept
+    {
+        // splitmix64 finalizer: pair_key is from*n + to, so a bare modulo
+        // would pin every query for one destination to one shard whenever
+        // n is a multiple of the shard count.
+        std::uint64_t mixed = key + 0x9e3779b97f4a7c15ULL;
+        mixed = (mixed ^ (mixed >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        mixed = (mixed ^ (mixed >> 27)) * 0x94d049bb133111ebULL;
+        mixed ^= mixed >> 31;
+        return shards_[mixed % shards_.size()];
+    }
+    [[nodiscard]] PathPtr cache_lookup(std::uint64_t key) const;
+    void cache_insert(std::uint64_t key, PathPtr value) const;
+    [[nodiscard]] PathResult reconstruct_path(NodeId from, NodeId to) const;
+
+    OracleSnapshot snapshot_;
+    QueryEngineConfig config_;
+    std::size_t shard_capacity_ = 0; ///< max entries per shard (0 = caching off)
+    mutable std::vector<CacheShard> shards_;
+    mutable std::atomic<std::uint64_t> cache_hits_{0};
+    mutable std::atomic<std::uint64_t> cache_misses_{0};
+};
+
+} // namespace ccq
+
+#endif // CCQ_SERVE_QUERY_ENGINE_HPP

@@ -1,0 +1,309 @@
+#include "ccq/serve/snapshot.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace ccq {
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'C', 'C', 'Q', 'S', 'N', 'A', 'P', '\n'};
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+[[nodiscard]] std::uint64_t fnv1a(const std::string& bytes)
+{
+    std::uint64_t hash = kFnvOffset;
+    for (const char c : bytes) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+// --- little-endian primitive encoding ---------------------------------------
+
+void put_u64(std::string& out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_i64(std::string& out, std::int64_t v) { put_u64(out, static_cast<std::uint64_t>(v)); }
+void put_i32(std::string& out, std::int32_t v) { put_u32(out, static_cast<std::uint32_t>(v)); }
+
+void put_double(std::string& out, double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u64(out, bits);
+}
+
+void put_string(std::string& out, const std::string& s)
+{
+    CCQ_EXPECT(s.size() <= std::numeric_limits<std::uint32_t>::max(),
+               "write_snapshot: string too long");
+    put_u32(out, static_cast<std::uint32_t>(s.size()));
+    out += s;
+}
+
+/// Bounds-checked reader over the in-memory payload.
+class Reader {
+public:
+    explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+    [[nodiscard]] std::uint64_t u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    [[nodiscard]] std::uint32_t u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+    [[nodiscard]] double f64()
+    {
+        const std::uint64_t bits = u64();
+        double v = 0.0;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    [[nodiscard]] std::string str()
+    {
+        const std::uint32_t len = u32();
+        need(len);
+        std::string s = bytes_.substr(pos_, len);
+        pos_ += len;
+        return s;
+    }
+
+    [[nodiscard]] bool exhausted() const noexcept { return pos_ == bytes_.size(); }
+    [[nodiscard]] std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+
+private:
+    void need(std::size_t count) const
+    {
+        if (bytes_.size() - pos_ < count)
+            throw snapshot_io_error("read_snapshot: payload ends mid-field");
+    }
+
+    const std::string& bytes_;
+    std::size_t pos_ = 0;
+};
+
+[[nodiscard]] std::string encode_payload(const OracleSnapshot& snapshot)
+{
+    const SnapshotMeta& meta = snapshot.meta;
+    CCQ_EXPECT(meta.node_count == snapshot.estimate.size(),
+               "write_snapshot: meta/estimate node count mismatch");
+    CCQ_EXPECT(!snapshot.has_routing || snapshot.routing.size() == meta.node_count,
+               "write_snapshot: routing node count mismatch");
+
+    const int n = meta.node_count;
+    std::string payload;
+    const std::size_t cells = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+    payload.reserve(64 + meta.algorithm.size() + cells * (snapshot.has_routing ? 12 : 8));
+
+    put_i32(payload, n);
+    put_u64(payload, meta.edge_count);
+    put_u32(payload, meta.directed ? 1 : 0);
+    put_i64(payload, meta.max_weight);
+    put_string(payload, meta.algorithm);
+    put_double(payload, meta.claimed_stretch);
+    put_double(payload, meta.total_rounds);
+    put_u64(payload, meta.total_words);
+    put_u64(payload, meta.build_seed);
+
+    for (NodeId u = 0; u < n; ++u)
+        for (NodeId v = 0; v < n; ++v) put_i64(payload, snapshot.estimate.at(u, v));
+
+    put_u32(payload, snapshot.has_routing ? 1 : 0);
+    if (snapshot.has_routing)
+        for (NodeId u = 0; u < n; ++u)
+            for (NodeId v = 0; v < n; ++v) put_i32(payload, snapshot.routing.next_hop(u, v));
+    return payload;
+}
+
+[[nodiscard]] OracleSnapshot decode_payload(const std::string& payload)
+{
+    Reader reader(payload);
+    OracleSnapshot snapshot;
+    SnapshotMeta& meta = snapshot.meta;
+
+    meta.node_count = reader.i32();
+    if (meta.node_count < 0) throw snapshot_io_error("read_snapshot: negative node count");
+    meta.edge_count = reader.u64();
+    const std::uint32_t directed = reader.u32();
+    if (directed > 1) throw snapshot_io_error("read_snapshot: malformed orientation flag");
+    meta.directed = directed == 1;
+    meta.max_weight = reader.i64();
+    meta.algorithm = reader.str();
+    meta.claimed_stretch = reader.f64();
+    meta.total_rounds = reader.f64();
+    meta.total_words = reader.u64();
+    meta.build_seed = reader.u64();
+
+    // node_count is untrusted (FNV-1a detects accidents, not forgery):
+    // prove the payload actually holds n^2 cells before allocating n^2.
+    const int n = meta.node_count;
+    const std::uint64_t cells =
+        static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n);
+    if (cells > reader.remaining() / 8)
+        throw snapshot_io_error("read_snapshot: node count exceeds payload size");
+    snapshot.estimate = DistanceMatrix(n);
+    for (NodeId u = 0; u < n; ++u)
+        for (NodeId v = 0; v < n; ++v) snapshot.estimate.at(u, v) = reader.i64();
+
+    const std::uint32_t has_routing = reader.u32();
+    if (has_routing > 1) throw snapshot_io_error("read_snapshot: malformed routing flag");
+    snapshot.has_routing = has_routing == 1;
+    if (snapshot.has_routing) {
+        if (cells > reader.remaining() / 4)
+            throw snapshot_io_error("read_snapshot: routing table exceeds payload size");
+        std::vector<NodeId> next_hops(static_cast<std::size_t>(cells));
+        for (NodeId& hop : next_hops) hop = reader.i32();
+        snapshot.routing = RoutingTables(n, std::move(next_hops));
+    }
+    if (!reader.exhausted())
+        throw snapshot_io_error("read_snapshot: trailing bytes after payload");
+    return snapshot;
+}
+
+} // namespace
+
+OracleSnapshot OracleSnapshot::from_result(const Graph& source, const ApspResult& result,
+                                           std::uint64_t build_seed,
+                                           const RoutingTables* routing)
+{
+    CCQ_EXPECT(source.node_count() == result.estimate.size(),
+               "OracleSnapshot::from_result: graph/result size mismatch");
+    OracleSnapshot snapshot;
+    snapshot.meta.node_count = source.node_count();
+    snapshot.meta.edge_count = source.edge_count();
+    snapshot.meta.directed = source.is_directed();
+    snapshot.meta.max_weight = source.max_weight();
+    snapshot.meta.algorithm = result.algorithm;
+    snapshot.meta.claimed_stretch = result.claimed_stretch;
+    snapshot.meta.total_rounds = result.ledger.total_rounds();
+    snapshot.meta.total_words = result.ledger.total_words();
+    snapshot.meta.build_seed = build_seed;
+    snapshot.estimate = result.estimate;
+    if (routing != nullptr) {
+        CCQ_EXPECT(routing->size() == source.node_count(),
+                   "OracleSnapshot::from_result: routing size mismatch");
+        snapshot.has_routing = true;
+        snapshot.routing = *routing;
+    }
+    return snapshot;
+}
+
+void write_snapshot(std::ostream& out, const OracleSnapshot& snapshot)
+{
+    const std::string payload = encode_payload(snapshot);
+
+    std::string header;
+    header.append(kMagic.data(), kMagic.size());
+    put_u32(header, kSnapshotFormatVersion);
+    put_u64(header, payload.size());
+
+    std::string footer;
+    put_u64(footer, fnv1a(payload));
+
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+    if (!out) throw snapshot_io_error("write_snapshot: stream write failed");
+}
+
+OracleSnapshot read_snapshot(std::istream& in)
+{
+    std::string header(kMagic.size() + 4 + 8, '\0');
+    in.read(header.data(), static_cast<std::streamsize>(header.size()));
+    if (static_cast<std::size_t>(in.gcount()) != header.size())
+        throw snapshot_io_error("read_snapshot: truncated header");
+    if (std::memcmp(header.data(), kMagic.data(), kMagic.size()) != 0)
+        throw snapshot_io_error("read_snapshot: bad magic (not a ccq snapshot)");
+
+    const std::string after_magic = header.substr(kMagic.size());
+    Reader fields(after_magic);
+    const std::uint32_t version = fields.u32();
+    if (version != kSnapshotFormatVersion)
+        throw snapshot_io_error("read_snapshot: unsupported format version " +
+                                std::to_string(version) + " (expected " +
+                                std::to_string(kSnapshotFormatVersion) + ")");
+    const std::uint64_t payload_size = fields.u64();
+
+    // The length field sits outside the checksummed payload, so it is
+    // untrusted: read in bounded chunks instead of allocating it upfront,
+    // so a corrupted huge length ends as "truncated payload" once the
+    // stream runs dry rather than as a multi-GB allocation.
+    std::string payload;
+    constexpr std::uint64_t kChunk = 1 << 20;
+    while (payload.size() < payload_size) {
+        const std::uint64_t want = std::min<std::uint64_t>(kChunk, payload_size - payload.size());
+        const std::size_t old_size = payload.size();
+        payload.resize(old_size + want);
+        in.read(payload.data() + old_size, static_cast<std::streamsize>(want));
+        if (static_cast<std::uint64_t>(in.gcount()) != want)
+            throw snapshot_io_error("read_snapshot: truncated payload");
+    }
+
+    std::string footer(8, '\0');
+    in.read(footer.data(), static_cast<std::streamsize>(footer.size()));
+    if (static_cast<std::size_t>(in.gcount()) != footer.size())
+        throw snapshot_io_error("read_snapshot: truncated checksum");
+    Reader footer_reader(footer);
+    const std::uint64_t stored = footer_reader.u64();
+    if (stored != fnv1a(payload))
+        throw snapshot_io_error("read_snapshot: checksum mismatch (corrupted snapshot)");
+
+    return decode_payload(payload);
+}
+
+void save_snapshot(const std::string& path, const OracleSnapshot& snapshot)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw snapshot_io_error("save_snapshot: cannot open " + path);
+    write_snapshot(out, snapshot);
+    out.flush();
+    if (!out) throw snapshot_io_error("save_snapshot: write to " + path + " failed");
+}
+
+OracleSnapshot load_snapshot(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw snapshot_io_error("load_snapshot: cannot open " + path);
+    return read_snapshot(in);
+}
+
+} // namespace ccq

@@ -1,0 +1,84 @@
+// Oracle snapshot persistence: the build-once half of build-once/serve-many.
+//
+// The paper motivates APSP by its "close connection to network routing"
+// (Section 1); related work (Bui et al. 2024, Censor-Hillel et al. 2019)
+// underlines that construction is the expensive one-time phase, after
+// which distance and path queries should be cheap lookups.  This layer
+// makes the expensive phase durable: everything a serving process needs
+// — graph metadata, the distance estimate, the claimed stretch, the
+// round-ledger summary, and (optionally) next-hop routing tables — is
+// serialized into one versioned, checksummed binary artifact.
+//
+// Format (all integers little-endian, fixed width):
+//
+//   magic    8 bytes  "CCQSNAP\n"
+//   version  u32      kSnapshotFormatVersion
+//   length   u64      payload byte count (truncation detection)
+//   payload  ...      meta + estimate cells + optional next hops
+//   checksum u64      FNV-1a 64 of the payload (corruption detection)
+//
+// Readers reject unknown versions, short files, and checksum mismatches
+// with snapshot_io_error; a successful load round-trips bitwise.
+#ifndef CCQ_SERVE_SNAPSHOT_HPP
+#define CCQ_SERVE_SNAPSHOT_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "ccq/core/apsp_result.hpp"
+#include "ccq/core/routing.hpp"
+#include "ccq/graph/graph.hpp"
+#include "ccq/matrix/dense.hpp"
+
+namespace ccq {
+
+/// Thrown on malformed, truncated, corrupted, or wrong-version input.
+class snapshot_io_error : public std::runtime_error {
+public:
+    explicit snapshot_io_error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// Bump on any layout change; readers reject every other value.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// Everything about the build that is not the bulk payload.
+struct SnapshotMeta {
+    int node_count = 0;
+    std::uint64_t edge_count = 0;   ///< of the source graph
+    bool directed = false;
+    Weight max_weight = 0;          ///< largest edge weight of the source graph
+    std::string algorithm;          ///< ApspResult::algorithm
+    double claimed_stretch = 1.0;   ///< ApspResult::claimed_stretch
+    double total_rounds = 0.0;      ///< ledger summary
+    std::uint64_t total_words = 0;  ///< ledger summary
+    std::uint64_t build_seed = 0;   ///< ApspOptions::seed used at build time
+
+    friend bool operator==(const SnapshotMeta&, const SnapshotMeta&) = default;
+};
+
+/// A persisted distance oracle: metadata, the estimate matrix, and
+/// optionally next-hop routing tables for path reconstruction.
+struct OracleSnapshot {
+    SnapshotMeta meta;
+    DistanceMatrix estimate;
+    bool has_routing = false;
+    RoutingTables routing; ///< meaningful only when has_routing
+
+    /// Assembles a snapshot from a finished build.  `routing`, when
+    /// non-null, must have the same node count as the estimate.
+    [[nodiscard]] static OracleSnapshot from_result(const Graph& source, const ApspResult& result,
+                                                    std::uint64_t build_seed,
+                                                    const RoutingTables* routing = nullptr);
+};
+
+void write_snapshot(std::ostream& out, const OracleSnapshot& snapshot);
+[[nodiscard]] OracleSnapshot read_snapshot(std::istream& in);
+
+void save_snapshot(const std::string& path, const OracleSnapshot& snapshot);
+[[nodiscard]] OracleSnapshot load_snapshot(const std::string& path);
+
+} // namespace ccq
+
+#endif // CCQ_SERVE_SNAPSHOT_HPP

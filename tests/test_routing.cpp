@@ -90,6 +90,40 @@ TEST(Routing, RouteLengthDetectsNonEdges)
     EXPECT_EQ(route_length(g, {}), kInfinity);
 }
 
+TEST(Routing, CorruptedTableWithForwardingCycleReportsUnreachable)
+{
+    // Adversarially-corrupted table (e.g. from an untrusted snapshot):
+    // hops toward destination 2 form the cycle 0 -> 1 -> 0.  The walk
+    // must terminate within the hop budget and report unreachable.
+    const int n = 3;
+    std::vector<NodeId> hops(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), -1);
+    hops[0 * 3 + 2] = 1;
+    hops[1 * 3 + 2] = 0;
+    hops[0 * 3 + 1] = 1; // a legitimate entry stays routable
+    const RoutingTables corrupted(n, std::move(hops));
+    EXPECT_TRUE(corrupted.route(0, 2).empty());
+    EXPECT_TRUE(corrupted.route(1, 2).empty());
+    EXPECT_EQ(corrupted.route(0, 1), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(Routing, CorruptedTableWithSelfLoopHopReportsUnreachable)
+{
+    const int n = 2;
+    std::vector<NodeId> hops(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), -1);
+    hops[0 * 2 + 1] = 0; // forwards to itself forever
+    const RoutingTables corrupted(n, std::move(hops));
+    EXPECT_TRUE(corrupted.route(0, 1).empty());
+}
+
+TEST(Routing, CorruptedTableWithOutOfRangeHopReportsUnreachable)
+{
+    const int n = 2;
+    std::vector<NodeId> hops(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), -1);
+    hops[0 * 2 + 1] = 7; // not a node
+    const RoutingTables corrupted(n, std::move(hops));
+    EXPECT_TRUE(corrupted.route(0, 1).empty());
+}
+
 TEST(Routing, BoundsChecked)
 {
     Graph g = Graph::undirected(2);

@@ -1,0 +1,227 @@
+// Tests for the oracle snapshot format: round-trip fidelity, version
+// gating, and corruption detection (truncation, bit flips, bad magic).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "ccq/core/baselines.hpp"
+#include "ccq/core/routing.hpp"
+#include "ccq/serve/snapshot.hpp"
+#include "test_helpers.hpp"
+
+namespace ccq {
+namespace {
+
+using testing::InstanceSpec;
+
+/// A small built oracle (with routing) for serialization tests.
+OracleSnapshot make_snapshot(const InstanceSpec& spec)
+{
+    const Graph g = testing::make_instance(spec);
+    ApspOptions options;
+    options.seed = spec.seed;
+    const ApspResult result = logn_approx_apsp(g, options);
+    const RoutingTables routing = build_routing_tables(g);
+    return OracleSnapshot::from_result(g, result, options.seed, &routing);
+}
+
+/// Serializes to an in-memory byte string.
+std::string to_bytes(const OracleSnapshot& snapshot)
+{
+    std::ostringstream out(std::ios::binary);
+    write_snapshot(out, snapshot);
+    return out.str();
+}
+
+OracleSnapshot from_bytes(const std::string& bytes)
+{
+    std::istringstream in(bytes, std::ios::binary);
+    return read_snapshot(in);
+}
+
+void expect_equal(const OracleSnapshot& a, const OracleSnapshot& b)
+{
+    EXPECT_EQ(a.meta, b.meta);
+    EXPECT_EQ(a.estimate, b.estimate);
+    ASSERT_EQ(a.has_routing, b.has_routing);
+    if (a.has_routing) {
+        ASSERT_EQ(a.routing.size(), b.routing.size());
+        for (NodeId u = 0; u < a.routing.size(); ++u)
+            for (NodeId v = 0; v < a.routing.size(); ++v)
+                EXPECT_EQ(a.routing.next_hop(u, v), b.routing.next_hop(u, v));
+    }
+}
+
+TEST(Snapshot, RoundTripsThroughStreamsOnRandomGraphs)
+{
+    for (const InstanceSpec spec :
+         {InstanceSpec{GraphFamily::erdos_renyi_sparse, 40, 3},
+          InstanceSpec{GraphFamily::clustered, 48, 5},
+          InstanceSpec{GraphFamily::tree, 24, 9}}) {
+        const OracleSnapshot original = make_snapshot(spec);
+        const OracleSnapshot loaded = from_bytes(to_bytes(original));
+        expect_equal(original, loaded);
+    }
+}
+
+TEST(Snapshot, RoundTripsThroughAFile)
+{
+    const OracleSnapshot original =
+        make_snapshot(InstanceSpec{GraphFamily::erdos_renyi_sparse, 32, 7});
+    const std::string path = ::testing::TempDir() + "ccq_snapshot_roundtrip.snap";
+    save_snapshot(path, original);
+    const OracleSnapshot loaded = load_snapshot(path);
+    expect_equal(original, loaded);
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, RoundTripsWithoutRouting)
+{
+    const Graph g = testing::make_instance(InstanceSpec{GraphFamily::grid, 25, 2});
+    const ApspResult result = logn_approx_apsp(g, {});
+    const OracleSnapshot original = OracleSnapshot::from_result(g, result, 1);
+    EXPECT_FALSE(original.has_routing);
+    const OracleSnapshot loaded = from_bytes(to_bytes(original));
+    expect_equal(original, loaded);
+}
+
+TEST(Snapshot, MetaRecordsTheBuild)
+{
+    const InstanceSpec spec{GraphFamily::erdos_renyi_sparse, 36, 11};
+    const Graph g = testing::make_instance(spec);
+    ApspOptions options;
+    options.seed = 77;
+    const ApspResult result = logn_approx_apsp(g, options);
+    const OracleSnapshot snapshot = OracleSnapshot::from_result(g, result, options.seed);
+    EXPECT_EQ(snapshot.meta.node_count, g.node_count());
+    EXPECT_EQ(snapshot.meta.edge_count, g.edge_count());
+    EXPECT_FALSE(snapshot.meta.directed);
+    EXPECT_EQ(snapshot.meta.max_weight, g.max_weight());
+    EXPECT_EQ(snapshot.meta.algorithm, result.algorithm);
+    EXPECT_DOUBLE_EQ(snapshot.meta.claimed_stretch, result.claimed_stretch);
+    EXPECT_DOUBLE_EQ(snapshot.meta.total_rounds, result.ledger.total_rounds());
+    EXPECT_EQ(snapshot.meta.total_words, result.ledger.total_words());
+    EXPECT_EQ(snapshot.meta.build_seed, 77u);
+}
+
+TEST(Snapshot, RejectsBadMagic)
+{
+    std::string bytes = to_bytes(make_snapshot(InstanceSpec{GraphFamily::tree, 12, 1}));
+    bytes[0] = 'X';
+    EXPECT_THROW((void)from_bytes(bytes), snapshot_io_error);
+}
+
+TEST(Snapshot, RejectsVersionMismatch)
+{
+    std::string bytes = to_bytes(make_snapshot(InstanceSpec{GraphFamily::tree, 12, 1}));
+    bytes[8] = static_cast<char>(kSnapshotFormatVersion + 1); // little-endian u32 after magic
+    try {
+        (void)from_bytes(bytes);
+        FAIL() << "expected snapshot_io_error";
+    } catch (const snapshot_io_error& error) {
+        EXPECT_NE(std::string(error.what()).find("version"), std::string::npos);
+    }
+}
+
+TEST(Snapshot, RejectsTruncationAtEveryRegion)
+{
+    const std::string bytes = to_bytes(make_snapshot(InstanceSpec{GraphFamily::tree, 12, 1}));
+    // Header, payload interior, and dropped checksum tail.
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{5}, std::size_t{19}, bytes.size() / 2, bytes.size() - 3}) {
+        EXPECT_THROW((void)from_bytes(bytes.substr(0, keep)), snapshot_io_error)
+            << "kept " << keep << " of " << bytes.size() << " bytes";
+    }
+}
+
+TEST(Snapshot, DetectsFlippedPayloadBytes)
+{
+    const std::string bytes = to_bytes(make_snapshot(InstanceSpec{GraphFamily::tree, 12, 1}));
+    const std::size_t header_size = 8 + 4 + 8;
+    // Flip a byte in several payload positions; the checksum must catch all.
+    for (const std::size_t offset :
+         {header_size, header_size + 9, (header_size + bytes.size() - 8) / 2, bytes.size() - 9}) {
+        std::string corrupted = bytes;
+        corrupted[offset] = static_cast<char>(corrupted[offset] ^ 0x40);
+        EXPECT_THROW((void)from_bytes(corrupted), snapshot_io_error)
+            << "flip at offset " << offset;
+    }
+}
+
+TEST(Snapshot, DetectsFlippedChecksumBytes)
+{
+    const std::string bytes = to_bytes(make_snapshot(InstanceSpec{GraphFamily::tree, 12, 1}));
+    std::string corrupted = bytes;
+    corrupted[bytes.size() - 1] = static_cast<char>(corrupted[bytes.size() - 1] ^ 0x01);
+    EXPECT_THROW((void)from_bytes(corrupted), snapshot_io_error);
+}
+
+TEST(Snapshot, RejectsTrailingGarbageInsidePayloadLength)
+{
+    // Corrupt the declared payload length so the reader sees extra bytes.
+    std::string bytes = to_bytes(make_snapshot(InstanceSpec{GraphFamily::tree, 12, 1}));
+    bytes[12] = static_cast<char>(bytes[12] + 1); // length field, low byte
+    EXPECT_THROW((void)from_bytes(bytes), snapshot_io_error);
+}
+
+TEST(Snapshot, CorruptedLengthFieldFailsCleanlyWithoutHugeAllocation)
+{
+    // The length field is outside the checksummed payload; flipping its
+    // high bytes must surface as snapshot_io_error, not std::bad_alloc.
+    const std::string bytes = to_bytes(make_snapshot(InstanceSpec{GraphFamily::tree, 12, 1}));
+    for (const std::size_t offset : {std::size_t{12}, std::size_t{18}, std::size_t{19}}) {
+        std::string corrupted = bytes;
+        corrupted[offset] = static_cast<char>(corrupted[offset] ^ 0x40);
+        EXPECT_THROW((void)from_bytes(corrupted), snapshot_io_error)
+            << "length byte at offset " << offset;
+    }
+}
+
+TEST(Snapshot, ForgedNodeCountIsRejectedBeforeAllocation)
+{
+    // FNV-1a detects accidents, not forgery: a crafted snapshot with a
+    // huge node_count and a recomputed checksum must be rejected by the
+    // payload-size bound, not by an n^2 allocation attempt.
+    std::string bytes = to_bytes(make_snapshot(InstanceSpec{GraphFamily::tree, 12, 1}));
+    const std::size_t header_size = 8 + 4 + 8;
+    // Payload starts with the little-endian node count; forge 2^30.
+    bytes[header_size + 0] = 0;
+    bytes[header_size + 1] = 0;
+    bytes[header_size + 2] = 0;
+    bytes[header_size + 3] = 0x40;
+    // Recompute the FNV-1a 64 checksum over the forged payload.
+    std::uint64_t hash = 14695981039346656037ULL;
+    for (std::size_t i = header_size; i < bytes.size() - 8; ++i) {
+        hash ^= static_cast<unsigned char>(bytes[i]);
+        hash *= 1099511628211ULL;
+    }
+    for (int i = 0; i < 8; ++i)
+        bytes[bytes.size() - 8 + static_cast<std::size_t>(i)] =
+            static_cast<char>((hash >> (8 * i)) & 0xff);
+    try {
+        (void)from_bytes(bytes);
+        FAIL() << "expected snapshot_io_error";
+    } catch (const snapshot_io_error& error) {
+        EXPECT_NE(std::string(error.what()).find("exceeds payload size"), std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(Snapshot, FromResultValidatesSizes)
+{
+    const Graph g = testing::make_instance(InstanceSpec{GraphFamily::tree, 12, 1});
+    const ApspResult result = logn_approx_apsp(g, {});
+    const Graph other = testing::make_instance(InstanceSpec{GraphFamily::tree, 8, 1});
+    EXPECT_THROW((void)OracleSnapshot::from_result(other, result, 1), check_error);
+    const RoutingTables wrong_size = build_routing_tables(other);
+    EXPECT_THROW((void)OracleSnapshot::from_result(g, result, 1, &wrong_size), check_error);
+}
+
+TEST(Snapshot, LoadFailsOnMissingFile)
+{
+    EXPECT_THROW((void)load_snapshot("/nonexistent/ccq.snap"), snapshot_io_error);
+}
+
+} // namespace
+} // namespace ccq

@@ -1,0 +1,534 @@
+// ccq_serve — the distance-oracle serving front-end.
+//
+// The build-once/serve-many workflow in three subcommands:
+//
+//   ccq_serve build  --graph wan.gr --algo general --out wan.snap
+//   ccq_serve query  --snapshot wan.snap --from 0 --to 95 --path --json
+//   ccq_serve bench  --snapshot wan.snap --threads 4 --out BENCH_serve.json
+//
+// `build` runs any of the library's APSP algorithms on a graph file (or
+// a generated instance via --random family:n:seed), attaches next-hop
+// routing tables, and persists the oracle as a snapshot.  `query`
+// answers one-shot or batch-file queries from a loaded snapshot.
+// `bench` is a closed-loop load generator: per-query latencies are
+// recorded on every worker and reported as queries/sec plus latency
+// percentiles, written to a BENCH_serve.json artifact.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ccq/apsp.hpp"
+#include "ccq/serve/query_engine.hpp"
+#include "ccq/serve/snapshot.hpp"
+
+namespace {
+
+using namespace ccq;
+
+int usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  %s build --out <snapshot> (--graph <file> | --random <family>:<n>:<seed>)\n"
+                 "       [--algo exact-minplus|logn-spanner|loglog|small-diameter|"
+                 "large-bandwidth|general]\n"
+                 "       [--seed <n>] [--eps <x>] [--threads <n>] [--no-routing]"
+                 " [--save-graph <file>]\n"
+                 "  %s query --snapshot <file> (--from <u> --to <v> | --batch <file>)\n"
+                 "       [--path] [--k <n>] [--json] [--threads <n>]\n"
+                 "  %s bench --snapshot <file> [--queries <n>] [--threads <n>]\n"
+                 "       [--mix distance|path|mixed] [--seed <n>] [--out <json>]\n",
+                 argv0, argv0, argv0);
+    return 1;
+}
+
+/// Tiny flag cursor: --name value pairs plus boolean --name flags.
+class Args {
+public:
+    Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+    [[nodiscard]] bool flag(const char* name)
+    {
+        for (int i = 0; i < argc_; ++i)
+            if (!taken_[static_cast<std::size_t>(i)] && std::strcmp(argv_[i], name) == 0) {
+                taken_[static_cast<std::size_t>(i)] = true;
+                return true;
+            }
+        return false;
+    }
+
+    [[nodiscard]] std::optional<std::string> value(const char* name)
+    {
+        for (int i = 0; i + 1 < argc_; ++i)
+            if (!taken_[static_cast<std::size_t>(i)] && std::strcmp(argv_[i], name) == 0) {
+                taken_[static_cast<std::size_t>(i)] = true;
+                taken_[static_cast<std::size_t>(i + 1)] = true;
+                return std::string(argv_[i + 1]);
+            }
+        return std::nullopt;
+    }
+
+    /// Call once all options are parsed, before any work happens, so a
+    /// typo'd flag fails fast instead of after a multi-second build.
+    void finish() const
+    {
+        for (int i = 0; i < argc_; ++i)
+            if (!taken_[static_cast<std::size_t>(i)])
+                throw std::runtime_error(std::string("unrecognized argument: ") + argv_[i]);
+    }
+
+private:
+    int argc_;
+    char** argv_;
+    std::vector<bool> taken_ = std::vector<bool>(static_cast<std::size_t>(argc_), false);
+};
+
+[[nodiscard]] long long require_ll(const std::optional<std::string>& text, const char* what)
+{
+    if (!text) throw std::runtime_error(std::string("missing required option ") + what);
+    return std::stoll(*text);
+}
+
+[[nodiscard]] std::optional<ApspAlgorithmKind> parse_algorithm(const std::string& name)
+{
+    for (const ApspAlgorithmKind kind :
+         {ApspAlgorithmKind::exact_baseline, ApspAlgorithmKind::logn_baseline,
+          ApspAlgorithmKind::loglog, ApspAlgorithmKind::small_diameter,
+          ApspAlgorithmKind::large_bandwidth, ApspAlgorithmKind::general})
+        if (name == algorithm_kind_name(kind)) return kind;
+    return std::nullopt;
+}
+
+[[nodiscard]] std::optional<GraphFamily> parse_family(const std::string& name)
+{
+    for (const GraphFamily family :
+         {GraphFamily::path, GraphFamily::cycle, GraphFamily::star, GraphFamily::grid,
+          GraphFamily::tree, GraphFamily::erdos_renyi_sparse, GraphFamily::erdos_renyi_dense,
+          GraphFamily::geometric, GraphFamily::barabasi_albert, GraphFamily::clustered})
+        if (name == family_name(family)) return family;
+    return std::nullopt;
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes) —
+/// snapshot metadata is untrusted input.
+[[nodiscard]] std::string json_escape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+            out += buffer;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/// "--random family:n:seed" -> a generated instance.
+[[nodiscard]] Graph generate_instance(const std::string& spec)
+{
+    std::istringstream fields(spec);
+    std::string family_text, n_text, seed_text;
+    if (!std::getline(fields, family_text, ':') || !std::getline(fields, n_text, ':') ||
+        !std::getline(fields, seed_text))
+        throw std::runtime_error("--random expects <family>:<n>:<seed>, got '" + spec + "'");
+    const std::optional<GraphFamily> family = parse_family(family_text);
+    if (!family) throw std::runtime_error("unknown graph family '" + family_text + "'");
+    Rng rng(static_cast<std::uint64_t>(std::stoull(seed_text)));
+    return make_family_instance(*family, std::stoi(n_text), WeightRange{1, 100}, rng);
+}
+
+// --- build ------------------------------------------------------------------
+
+int cmd_build(Args& args)
+{
+    const std::optional<std::string> out = args.value("--out");
+    if (!out) throw std::runtime_error("build: --out is required");
+    const std::optional<std::string> graph_path = args.value("--graph");
+    const std::optional<std::string> random_spec = args.value("--random");
+    if (graph_path.has_value() == random_spec.has_value())
+        throw std::runtime_error("build: exactly one of --graph / --random is required");
+    const std::optional<std::string> save = args.value("--save-graph");
+
+    ApspAlgorithmKind kind = ApspAlgorithmKind::general;
+    if (const std::optional<std::string> algo = args.value("--algo")) {
+        const std::optional<ApspAlgorithmKind> parsed = parse_algorithm(*algo);
+        if (!parsed) throw std::runtime_error("unknown algorithm '" + *algo + "'");
+        kind = *parsed;
+    }
+    ApspOptions options;
+    if (const std::optional<std::string> seed = args.value("--seed"))
+        options.seed = static_cast<std::uint64_t>(std::stoull(*seed));
+    if (const std::optional<std::string> eps = args.value("--eps")) options.eps = std::stod(*eps);
+    if (const std::optional<std::string> threads = args.value("--threads"))
+        options.engine.threads = std::stoi(*threads);
+    const bool no_routing = args.flag("--no-routing");
+    args.finish();
+
+    const Graph g = graph_path ? load_graph(*graph_path) : generate_instance(*random_spec);
+    if (save) save_graph(*save, g, "ccq_serve build instance");
+    const bool with_routing = !no_routing && !g.is_directed();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const DistanceOracle oracle(g, kind, options);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    std::optional<RoutingTables> routing;
+    if (with_routing) routing = build_routing_tables(g);
+    const OracleSnapshot snapshot = OracleSnapshot::from_result(
+        g, oracle.result(), options.seed, routing ? &*routing : nullptr);
+    save_snapshot(*out, snapshot);
+
+    const double build_s = std::chrono::duration<double>(t1 - t0).count();
+    std::printf("built %s oracle: n=%d m=%zu stretch<=%.2f rounds=%.1f (%.2fs)\n",
+                oracle.algorithm().c_str(), g.node_count(), g.edge_count(),
+                oracle.claimed_stretch(), oracle.simulated_rounds(), build_s);
+    std::printf("snapshot: %s (routing=%s)\n", out->c_str(), snapshot.has_routing ? "yes" : "no");
+    return 0;
+}
+
+// --- query ------------------------------------------------------------------
+
+void print_json_path(std::string& out, const std::vector<NodeId>& nodes)
+{
+    out += "[";
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(nodes[i]);
+    }
+    out += "]";
+}
+
+/// One answered query rendered as a JSON object or a plain-text line.
+/// When `path` is non-null the whole record (reachability, distance, and
+/// the node sequence) comes from the routing walk, so a corrupted table
+/// can never yield a self-contradictory "reachable with empty path".
+[[nodiscard]] std::string render_answer(NodeId from, NodeId to, Weight distance,
+                                        const PathResult* path, bool json)
+{
+    const bool reachable = path != nullptr ? path->reachable : is_finite(distance);
+    if (path != nullptr) distance = path->distance;
+    std::string out;
+    if (json) {
+        out += "{\"from\":";
+        out += std::to_string(from);
+        out += ",\"to\":";
+        out += std::to_string(to);
+        out += ",\"reachable\":";
+        out += reachable ? "true" : "false";
+        out += ",\"distance\":" + std::to_string(reachable ? distance : -1);
+        if (path != nullptr) {
+            out += ",\"path\":";
+            print_json_path(out, path->nodes);
+        }
+        out += "}";
+    } else {
+        out += std::to_string(from);
+        out += " -> ";
+        out += std::to_string(to);
+        out += "  ";
+        if (reachable) {
+            out += "dist=";
+            out += std::to_string(distance);
+        } else {
+            out += "unreachable";
+        }
+        if (path != nullptr && reachable) {
+            out += "  via";
+            for (const NodeId v : path->nodes) {
+                out += ' ';
+                out += std::to_string(v);
+            }
+        }
+    }
+    return out;
+}
+
+int cmd_query(Args& args)
+{
+    const std::optional<std::string> snapshot_path = args.value("--snapshot");
+    if (!snapshot_path) throw std::runtime_error("query: --snapshot is required");
+    const bool json = args.flag("--json");
+    const bool want_path = args.flag("--path");
+    QueryEngineConfig config;
+    if (const std::optional<std::string> threads = args.value("--threads"))
+        config.threads = std::stoi(*threads);
+    const std::optional<std::string> batch = args.value("--batch");
+    const std::optional<std::string> from_text = args.value("--from");
+    const std::optional<std::string> k_text = args.value("--k");
+    const std::optional<std::string> to_text = args.value("--to");
+    args.finish();
+
+    const QueryEngine engine(load_snapshot(*snapshot_path), config);
+    if (want_path && !engine.has_routing())
+        throw std::runtime_error(
+            "query: snapshot has no routing tables, cannot answer --path "
+            "(rebuild without --no-routing)");
+
+    if (batch) {
+        std::ifstream in(*batch);
+        if (!in) throw std::runtime_error("query: cannot open batch file " + *batch);
+        std::vector<PointQuery> queries;
+        long long u = 0, v = 0;
+        while (in >> u >> v) queries.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v)});
+        // Answer the whole batch concurrently, then render those answers
+        // in input order.
+        std::vector<PathResult> paths;
+        std::vector<Weight> distances;
+        if (want_path)
+            paths = engine.batch_paths(queries);
+        else
+            distances = engine.batch_distances(queries);
+        if (json) std::printf("[");
+        for (std::size_t i = 0; i < queries.size(); ++i) {
+            if (json && i > 0) std::printf(",");
+            const std::string line =
+                render_answer(queries[i].from, queries[i].to,
+                              want_path ? paths[i].distance : distances[i],
+                              want_path ? &paths[i] : nullptr, json);
+            std::printf(json ? "%s" : "%s\n", line.c_str());
+        }
+        if (json) std::printf("]\n");
+        return 0;
+    }
+
+    const NodeId from = static_cast<NodeId>(require_ll(from_text, "--from"));
+    if (k_text) {
+        const int k = std::stoi(*k_text);
+        const std::vector<NearTarget> nearest = engine.nearest_targets(from, k);
+        if (json) {
+            std::string out = "{\"from\":" + std::to_string(from) + ",\"nearest\":[";
+            for (std::size_t i = 0; i < nearest.size(); ++i) {
+                if (i > 0) out += ",";
+                out += "{\"node\":" + std::to_string(nearest[i].node) +
+                       ",\"distance\":" + std::to_string(nearest[i].distance) + "}";
+            }
+            out += "]}";
+            std::printf("%s\n", out.c_str());
+        } else {
+            for (const NearTarget& t : nearest)
+                std::printf("%d  dist=%lld\n", t.node, static_cast<long long>(t.distance));
+        }
+        return 0;
+    }
+    const NodeId to = static_cast<NodeId>(require_ll(to_text, "--to"));
+    if (want_path) {
+        const PathResult path = engine.path(from, to);
+        std::printf("%s\n", render_answer(from, to, path.distance, &path, json).c_str());
+    } else {
+        std::printf("%s\n",
+                    render_answer(from, to, engine.distance(from, to), nullptr, json).c_str());
+    }
+    return 0;
+}
+
+// --- bench ------------------------------------------------------------------
+
+/// What one generated query executes ("mixed" draws from all three).
+enum class QueryKind { distance, path, knearest };
+
+struct BenchRun {
+    int threads = 1;
+    double seconds = 0.0;
+    double qps = 0.0;
+    double p50_us = 0.0;
+    double p90_us = 0.0;
+    double p99_us = 0.0;
+    double max_us = 0.0;
+};
+
+[[nodiscard]] double percentile_us(const std::vector<double>& sorted_us, double p)
+{
+    if (sorted_us.empty()) return 0.0;
+    const double rank = p * static_cast<double>(sorted_us.size() - 1);
+    return sorted_us[static_cast<std::size_t>(rank + 0.5)];
+}
+
+/// Closed-loop run: `threads` workers each issue their queries serially,
+/// timing every query; the next query starts when the previous returns.
+[[nodiscard]] BenchRun run_load(const QueryEngine& engine,
+                                const std::vector<PointQuery>& queries,
+                                const std::vector<QueryKind>& kinds, int threads)
+{
+    const std::size_t total = queries.size();
+    std::vector<std::vector<double>> latencies(static_cast<std::size_t>(threads));
+    // Spawn the pool's workers before the clock starts; lazy spawn would
+    // otherwise show up as a multi-ms first-query latency outlier.
+    ThreadPool::shared().run(threads, threads, [](int) {});
+    const auto t0 = std::chrono::steady_clock::now();
+    ThreadPool::shared().run(threads, threads, [&](int worker) {
+        std::vector<double>& mine = latencies[static_cast<std::size_t>(worker)];
+        mine.reserve(total / static_cast<std::size_t>(threads) + 1);
+        for (std::size_t i = static_cast<std::size_t>(worker); i < total;
+             i += static_cast<std::size_t>(threads)) {
+            const PointQuery q = queries[i];
+            const auto q0 = std::chrono::steady_clock::now();
+            switch (kinds[i]) {
+            case QueryKind::distance: (void)engine.distance(q.from, q.to); break;
+            case QueryKind::path: (void)engine.path(q.from, q.to); break;
+            case QueryKind::knearest: (void)engine.nearest_targets(q.from, 8); break;
+            }
+            const auto q1 = std::chrono::steady_clock::now();
+            mine.push_back(std::chrono::duration<double, std::micro>(q1 - q0).count());
+        }
+    });
+    const auto t1 = std::chrono::steady_clock::now();
+
+    std::vector<double> all;
+    all.reserve(total);
+    for (const std::vector<double>& chunk : latencies) all.insert(all.end(), chunk.begin(), chunk.end());
+    std::sort(all.begin(), all.end());
+
+    BenchRun run;
+    run.threads = threads;
+    run.seconds = std::chrono::duration<double>(t1 - t0).count();
+    run.qps = run.seconds > 0.0 ? static_cast<double>(total) / run.seconds : 0.0;
+    run.p50_us = percentile_us(all, 0.50);
+    run.p90_us = percentile_us(all, 0.90);
+    run.p99_us = percentile_us(all, 0.99);
+    run.max_us = all.empty() ? 0.0 : all.back();
+    return run;
+}
+
+void append_run_json(std::string& out, const BenchRun& run)
+{
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  "{\"threads\":%d,\"seconds\":%.6f,\"qps\":%.1f,\"p50_us\":%.3f,"
+                  "\"p90_us\":%.3f,\"p99_us\":%.3f,\"max_us\":%.3f}",
+                  run.threads, run.seconds, run.qps, run.p50_us, run.p90_us, run.p99_us,
+                  run.max_us);
+    out += buffer;
+}
+
+int cmd_bench(Args& args)
+{
+    const std::optional<std::string> snapshot_path = args.value("--snapshot");
+    if (!snapshot_path) throw std::runtime_error("bench: --snapshot is required");
+    const std::string out_path = args.value("--out").value_or("BENCH_serve.json");
+    long long query_count = 50000;
+    if (const std::optional<std::string> q = args.value("--queries")) query_count = std::stoll(*q);
+    if (query_count < 1) throw std::runtime_error("bench: --queries must be >= 1");
+    int threads = 4;
+    if (const std::optional<std::string> t = args.value("--threads")) threads = std::stoi(*t);
+    std::uint64_t seed = 42;
+    if (const std::optional<std::string> s = args.value("--seed"))
+        seed = static_cast<std::uint64_t>(std::stoull(*s));
+    const std::string mix_name = args.value("--mix").value_or("mixed");
+    args.finish();
+    if (threads < 1) throw std::runtime_error("bench: --threads must be >= 1");
+
+    OracleSnapshot snapshot = load_snapshot(*snapshot_path);
+    const SnapshotMeta meta = snapshot.meta; // survives the final run's move
+    const int n = meta.node_count;
+    if (n < 2) throw std::runtime_error("bench: snapshot too small to query");
+    const bool can_path = snapshot.has_routing;
+    if (mix_name == "path" && !can_path)
+        throw std::runtime_error("bench: snapshot has no routing tables, cannot bench --mix path");
+
+    // Pre-generate the workload so every run replays identical queries.
+    Rng rng(seed);
+    std::vector<PointQuery> queries;
+    std::vector<QueryKind> kinds;
+    queries.reserve(static_cast<std::size_t>(query_count));
+    kinds.reserve(static_cast<std::size_t>(query_count));
+    for (long long i = 0; i < query_count; ++i) {
+        PointQuery q;
+        q.from = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+        q.to = static_cast<NodeId>(rng.uniform_int(0, n - 2));
+        if (q.to >= q.from) ++q.to; // distinct endpoints
+        queries.push_back(q);
+        if (mix_name == "distance")
+            kinds.push_back(QueryKind::distance);
+        else if (mix_name == "path")
+            kinds.push_back(QueryKind::path);
+        else if (mix_name == "mixed") {
+            const double r = rng.uniform_real();
+            if (can_path && r < 0.3)
+                kinds.push_back(QueryKind::path);
+            else if (r < 0.5)
+                kinds.push_back(QueryKind::knearest);
+            else
+                kinds.push_back(QueryKind::distance);
+        } else
+            throw std::runtime_error("bench: unknown --mix '" + mix_name + "'");
+    }
+
+    // Fresh engine per run so the path cache starts cold for each; the
+    // last run moves the snapshot instead of deep-copying the n^2 data.
+    std::vector<BenchRun> runs;
+    std::vector<int> thread_counts{1};
+    if (threads > 1) thread_counts.push_back(threads);
+    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+        const bool last = i + 1 == thread_counts.size();
+        const QueryEngine engine(last ? std::move(snapshot) : snapshot, QueryEngineConfig{});
+        runs.push_back(run_load(engine, queries, kinds, thread_counts[i]));
+        std::printf("threads=%d  %.0f queries/s  p50=%.1fus p99=%.1fus\n", runs.back().threads,
+                    runs.back().qps, runs.back().p50_us, runs.back().p99_us);
+    }
+    const bool measured_speedup = runs.size() == 2 && runs[0].qps > 0.0;
+    const double speedup = measured_speedup ? runs[1].qps / runs[0].qps : 1.0;
+
+    std::string json = "{\n  \"tool\": \"ccq_serve bench\",\n";
+    json += "  \"snapshot\": {\"nodes\": " + std::to_string(n) +
+            ", \"edges\": " + std::to_string(meta.edge_count) + ", \"algorithm\": \"" +
+            json_escape(meta.algorithm) + "\", \"claimed_stretch\": " +
+            std::to_string(meta.claimed_stretch) + ", \"routing\": " +
+            (can_path ? "true" : "false") + "},\n";
+    json += "  \"mix\": \"" + mix_name + "\",\n";
+    json += "  \"queries\": " + std::to_string(query_count) + ",\n";
+    const unsigned hw = std::thread::hardware_concurrency();
+    json += "  \"hardware_threads\": " + std::to_string(hw == 0 ? 1 : hw) + ",\n";
+    json += "  \"runs\": [";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (i > 0) json += ", ";
+        append_run_json(json, runs[i]);
+    }
+    json += "],\n";
+    // Honest reporting: with a single run there is no measured speedup.
+    std::string speedup_text = "null";
+    if (measured_speedup) {
+        char buffer[64];
+        std::snprintf(buffer, sizeof(buffer), "%.3f", speedup);
+        speedup_text = buffer;
+    }
+    json += "  \"speedup_vs_single_thread\": " + speedup_text + "\n}\n";
+
+    std::ofstream out(out_path);
+    if (!out) throw std::runtime_error("bench: cannot open " + out_path);
+    out << json;
+    std::printf("speedup %dx-thread vs 1-thread: %.2fx -> %s\n", threads, speedup,
+                out_path.c_str());
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    if (argc < 2) return usage(argv[0]);
+    const std::string command = argv[1];
+    Args args(argc - 2, argv + 2);
+    try {
+        if (command == "build") return cmd_build(args);
+        if (command == "query") return cmd_query(args);
+        if (command == "bench") return cmd_bench(args);
+        return usage(argv[0]);
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "ccq_serve %s: %s\n", command.c_str(), error.what());
+        return 2;
+    }
+}
