@@ -18,8 +18,14 @@
 //   core/     composed algorithms (Theorems 1.1/1.2/7.1/8.1), baselines,
 //             the DistanceOracle facade, and next-hop routing tables
 //   serve/    build-once/serve-many layer: snapshot persistence
-//             (serve/snapshot.hpp) and the concurrent query engine
-//             (serve/query_engine.hpp), fronted by tools/ccq_serve.cpp
+//             (serve/snapshot.hpp: codec v1/v2 + mmap-backed loading)
+//             and the concurrent query engine (serve/query_engine.hpp),
+//             fronted by tools/ccq_serve.cpp
+//   net/      networked serving: length-prefixed framed protocol
+//             (net/protocol.hpp, spec in docs/PROTOCOL.md), TCP/stdio
+//             transports (net/socket.hpp), the multiplexing Server
+//             (net/server.hpp) and Client library (net/client.hpp),
+//             fronted by tools/ccq_served.cpp + tools/ccq_client.cpp
 //
 // See DESIGN.md for details and EXPERIMENTS.md for the measured
 // reproduction of every quantitative claim.
@@ -42,6 +48,8 @@
 #include "ccq/graph/graph.hpp"
 #include "ccq/graph/io.hpp"
 #include "ccq/graph/metrics.hpp"
+#include "ccq/net/client.hpp"
+#include "ccq/net/server.hpp"
 #include "ccq/serve/query_engine.hpp"
 #include "ccq/serve/snapshot.hpp"
 

@@ -1,0 +1,132 @@
+#include "ccq/net/client.hpp"
+
+#include <utility>
+
+#include "ccq/common/bytes.hpp"
+#include "ccq/common/check.hpp"
+
+namespace ccq {
+
+Client::Client(std::unique_ptr<Stream> stream) : stream_(std::move(stream))
+{
+    CCQ_EXPECT(stream_ != nullptr, "Client: null stream");
+}
+
+Client Client::connect(const std::string& host, int port)
+{
+    return Client(TcpStream::connect(host, port));
+}
+
+std::string Client::roundtrip(const Request& request)
+{
+    write_frame(*stream_, encode_request(request));
+    std::optional<std::string> reply = read_frame(*stream_);
+    if (!reply.has_value()) throw net_error("server closed the connection");
+    const auto [status, payload] = split_reply(*reply);
+    if (status != Status::ok) {
+        std::string message;
+        try {
+            ByteReader reader(payload);
+            message = reader.str();
+        } catch (const decode_error&) {
+            message = "(garbled error message)";
+        }
+        throw rpc_error(status, message);
+    }
+    return std::string(payload);
+}
+
+std::uint32_t Client::ping()
+{
+    Request request;
+    request.op = Opcode::ping;
+    return decode_ping_reply(roundtrip(request));
+}
+
+Weight Client::distance(NodeId from, NodeId to)
+{
+    Request request;
+    request.op = Opcode::distance;
+    request.from = from;
+    request.to = to;
+    return decode_distance_reply(roundtrip(request));
+}
+
+PathResult Client::path(NodeId from, NodeId to)
+{
+    Request request;
+    request.op = Opcode::path;
+    request.from = from;
+    request.to = to;
+    return decode_path_reply(roundtrip(request));
+}
+
+std::vector<NearTarget> Client::nearest_targets(NodeId from, int k)
+{
+    Request request;
+    request.op = Opcode::k_nearest;
+    request.from = from;
+    request.k = k;
+    return decode_nearest_reply(roundtrip(request));
+}
+
+namespace {
+
+/// The reply's element count is server-controlled: callers index the
+/// result by their own query count, so a short reply must fail here,
+/// not as an out-of-bounds read later.
+template <class T>
+void check_batch_size(const std::vector<T>& results, std::size_t expected)
+{
+    if (results.size() != expected)
+        throw protocol_error("batch reply has " + std::to_string(results.size()) +
+                             " results for " + std::to_string(expected) + " queries");
+}
+
+} // namespace
+
+std::vector<Weight> Client::batch_distances(std::span<const PointQuery> queries)
+{
+    Request request;
+    request.op = Opcode::batch_distances;
+    request.pairs.assign(queries.begin(), queries.end());
+    std::vector<Weight> distances = decode_batch_distances_reply(roundtrip(request));
+    check_batch_size(distances, queries.size());
+    return distances;
+}
+
+std::vector<PathResult> Client::batch_paths(std::span<const PointQuery> queries)
+{
+    Request request;
+    request.op = Opcode::batch_paths;
+    request.pairs.assign(queries.begin(), queries.end());
+    std::vector<PathResult> paths = decode_batch_paths_reply(roundtrip(request));
+    check_batch_size(paths, queries.size());
+    return paths;
+}
+
+ServerStats Client::stats()
+{
+    Request request;
+    request.op = Opcode::stats;
+    return decode_stats_reply(roundtrip(request));
+}
+
+void Client::shutdown_server()
+{
+    Request request;
+    request.op = Opcode::shutdown;
+    (void)roundtrip(request);
+}
+
+std::string Client::json_request(const std::string& json)
+{
+    CCQ_EXPECT(!json.empty() && json.front() == '{',
+               "Client::json_request: body must be a JSON object");
+    write_frame(*stream_, json);
+    std::optional<std::string> reply = read_frame(*stream_);
+    if (!reply.has_value()) throw net_error("server closed the connection");
+    return *reply;
+}
+
+} // namespace ccq

@@ -1,0 +1,57 @@
+// Client half of the serving protocol: a typed request/response API
+// over any Stream, mirroring the QueryEngine surface one-to-one so
+// callers (ccq_client, the closed-loop bench) can swap between
+// in-process and over-the-wire serving without changing shape.
+//
+// A Client owns one connection and is strictly sequential (one frame in
+// flight); use one Client per concurrent worker.  Server-reported
+// failures throw rpc_error (carrying the status), transport failures
+// throw net_error, and undecodable responses throw protocol_error.
+#ifndef CCQ_NET_CLIENT_HPP
+#define CCQ_NET_CLIENT_HPP
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ccq/net/protocol.hpp"
+#include "ccq/net/socket.hpp"
+
+namespace ccq {
+
+class Client {
+public:
+    /// Wraps an already-connected stream (socketpair, stdio, ...).
+    explicit Client(std::unique_ptr<Stream> stream);
+
+    /// Connects over TCP ("localhost" or a numeric IPv4 address).
+    [[nodiscard]] static Client connect(const std::string& host, int port);
+
+    /// Liveness probe; returns the server's protocol version.
+    std::uint32_t ping();
+
+    [[nodiscard]] Weight distance(NodeId from, NodeId to);
+    [[nodiscard]] PathResult path(NodeId from, NodeId to);
+    [[nodiscard]] std::vector<NearTarget> nearest_targets(NodeId from, int k);
+    [[nodiscard]] std::vector<Weight> batch_distances(std::span<const PointQuery> queries);
+    [[nodiscard]] std::vector<PathResult> batch_paths(std::span<const PointQuery> queries);
+    [[nodiscard]] ServerStats stats();
+
+    /// Asks the server to shut down gracefully; returns once acknowledged.
+    void shutdown_server();
+
+    /// JSON debug mode passthrough: sends `json` (must be one object) as
+    /// a frame and returns the server's JSON reply verbatim.
+    [[nodiscard]] std::string json_request(const std::string& json);
+
+private:
+    /// Sends one request frame and returns the ok payload of the reply.
+    [[nodiscard]] std::string roundtrip(const Request& request);
+
+    std::unique_ptr<Stream> stream_;
+};
+
+} // namespace ccq
+
+#endif // CCQ_NET_CLIENT_HPP

@@ -1,0 +1,160 @@
+// Wire protocol of the serving subsystem: length-prefixed frames
+// carrying binary request/response bodies, with a JSON debug mode.
+//
+// Every message is one frame:
+//
+//   length  u32 little-endian   body byte count (<= kMaxFrameBytes)
+//   body    length bytes
+//
+// A request body is an opcode byte followed by its operands; a response
+// body is a status byte followed by either the op-specific payload
+// (status ok) or an error message string.  A request body whose first
+// byte is '{' is the JSON debug mode: the body is a flat JSON object
+// ({"op":"distance","from":0,"to":5}) and the response body is JSON
+// text.  docs/PROTOCOL.md is the authoritative spec.
+//
+// This header is transport-free: encoding/decoding works on byte
+// strings, framing works on any net/socket.hpp Stream.  Malformed bytes
+// throw protocol_error; a server-reported error status surfaces in the
+// client as rpc_error.
+#ifndef CCQ_NET_PROTOCOL_HPP
+#define CCQ_NET_PROTOCOL_HPP
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ccq/net/socket.hpp"
+#include "ccq/serve/query_engine.hpp"
+
+namespace ccq {
+
+/// Thrown on malformed or oversized protocol bytes.
+class protocol_error : public std::runtime_error {
+public:
+    explicit protocol_error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Frames larger than this are rejected unread: a garbage length prefix
+/// must not turn into a giant allocation.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class Opcode : std::uint8_t {
+    ping = 0x01,            ///< liveness + protocol version
+    distance = 0x02,        ///< point distance estimate
+    path = 0x03,            ///< full path reconstruction
+    k_nearest = 0x04,       ///< k nearest reachable targets
+    batch_distances = 0x05, ///< vector of point distances
+    batch_paths = 0x06,     ///< vector of path reconstructions
+    stats = 0x10,           ///< server + cache counters
+    shutdown = 0x1f,        ///< graceful server shutdown (control frame)
+    json = 0x7b,            ///< '{': body is a JSON debug request
+};
+
+enum class Status : std::uint8_t {
+    ok = 0,
+    malformed = 1,     ///< undecodable or unknown request
+    out_of_range = 2,  ///< node id / k outside the snapshot
+    unsupported = 3,   ///< e.g. path query against a snapshot without routing
+    shutting_down = 4, ///< request raced a graceful shutdown
+    internal = 5,      ///< unexpected server-side failure
+};
+
+[[nodiscard]] const char* status_name(Status status);
+
+/// Thrown by the Client when the server answers with a non-ok status.
+class rpc_error : public std::runtime_error {
+public:
+    rpc_error(Status status, const std::string& message)
+        : std::runtime_error(std::string(status_name(status)) + ": " + message),
+          status_(status)
+    {
+    }
+    [[nodiscard]] Status status() const noexcept { return status_; }
+
+private:
+    Status status_;
+};
+
+/// A decoded request (the union of every op's operands).
+struct Request {
+    Opcode op = Opcode::ping;
+    NodeId from = 0;
+    NodeId to = 0;
+    int k = 0;
+    std::vector<PointQuery> pairs; ///< batch ops
+    bool json = false;             ///< arrived via the JSON debug mode
+};
+
+/// Counters reported by the stats op.
+struct ServerStats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t active_connections = 0;
+    std::uint64_t frames_served = 0;   ///< ok responses
+    std::uint64_t errors = 0;          ///< non-ok responses
+    std::uint64_t distance_queries = 0;
+    std::uint64_t path_queries = 0;
+    std::uint64_t knearest_queries = 0;
+    std::uint64_t batch_items = 0;     ///< individual queries inside batches
+    std::uint64_t cache_hits = 0;      ///< QueryEngine path cache
+    std::uint64_t cache_misses = 0;
+    double uptime_seconds = 0.0;
+    std::int32_t node_count = 0;
+    bool has_routing = false;
+
+    friend bool operator==(const ServerStats&, const ServerStats&) = default;
+};
+
+// --- framing ----------------------------------------------------------------
+
+void write_frame(Stream& stream, std::string_view body);
+
+/// Reads one frame body; std::nullopt on clean EOF at a frame boundary.
+[[nodiscard]] std::optional<std::string> read_frame(Stream& stream);
+
+// --- request bodies ---------------------------------------------------------
+
+[[nodiscard]] std::string encode_request(const Request& request);
+[[nodiscard]] Request decode_request(std::string_view body); ///< throws protocol_error
+
+// --- response bodies --------------------------------------------------------
+
+[[nodiscard]] std::string encode_error_reply(Status status, std::string_view message);
+[[nodiscard]] std::string encode_ok_reply(); ///< bare ok (shutdown acknowledgement)
+[[nodiscard]] std::string encode_ping_reply();
+[[nodiscard]] std::string encode_distance_reply(Weight distance);
+[[nodiscard]] std::string encode_path_reply(const PathResult& path);
+[[nodiscard]] std::string encode_nearest_reply(std::span<const NearTarget> targets);
+[[nodiscard]] std::string encode_batch_distances_reply(std::span<const Weight> distances);
+[[nodiscard]] std::string encode_batch_paths_reply(std::span<const PathResult> paths);
+[[nodiscard]] std::string encode_stats_reply(const ServerStats& stats);
+
+/// Splits a response body into (status, rest).  The rest is the ok
+/// payload, or the error message for non-ok statuses.
+[[nodiscard]] std::pair<Status, std::string_view> split_reply(std::string_view body);
+
+[[nodiscard]] std::uint32_t decode_ping_reply(std::string_view payload);
+[[nodiscard]] Weight decode_distance_reply(std::string_view payload);
+[[nodiscard]] PathResult decode_path_reply(std::string_view payload);
+[[nodiscard]] std::vector<NearTarget> decode_nearest_reply(std::string_view payload);
+[[nodiscard]] std::vector<Weight> decode_batch_distances_reply(std::string_view payload);
+[[nodiscard]] std::vector<PathResult> decode_batch_paths_reply(std::string_view payload);
+[[nodiscard]] ServerStats decode_stats_reply(std::string_view payload);
+
+// --- JSON debug mode --------------------------------------------------------
+
+/// Parses a flat JSON request object ({"op":"distance","from":0,"to":5};
+/// batches use "pairs":[[u,v],...]).  Throws protocol_error.
+[[nodiscard]] Request parse_json_request(std::string_view body);
+
+/// Minimal JSON string escaping for untrusted text in rendered replies.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+} // namespace ccq
+
+#endif // CCQ_NET_PROTOCOL_HPP

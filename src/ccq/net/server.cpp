@@ -1,0 +1,392 @@
+#include "ccq/net/server.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace ccq {
+namespace {
+
+/// Raised inside request handling to produce a non-ok response without
+/// tearing the connection down.
+struct request_rejected {
+    Status status;
+    std::string message;
+};
+
+void append_json_path(std::string& out, const std::vector<NodeId>& nodes)
+{
+    out += '[';
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (i > 0) out += ',';
+        out += std::to_string(nodes[i]);
+    }
+    out += ']';
+}
+
+void append_json_path_result(std::string& out, NodeId from, NodeId to, const PathResult& path)
+{
+    out += "{\"from\":" + std::to_string(from) + ",\"to\":" + std::to_string(to) +
+           ",\"reachable\":" + (path.reachable ? "true" : "false") +
+           ",\"distance\":" + std::to_string(path.reachable ? path.distance : -1) +
+           ",\"path\":";
+    append_json_path(out, path.nodes);
+    out += '}';
+}
+
+[[nodiscard]] std::string json_error_reply(Status status, const std::string& message)
+{
+    return "{\"error\":{\"status\":\"" + std::string(status_name(status)) +
+           "\",\"message\":\"" + json_escape(message) + "\"}}";
+}
+
+} // namespace
+
+Server::Server(std::shared_ptr<const QueryEngine> engine, ServerConfig config)
+    : engine_(std::move(engine)), config_(std::move(config))
+{
+    CCQ_EXPECT(engine_ != nullptr, "Server: null engine");
+}
+
+Server::~Server()
+{
+    // Backstop for callers that never ran or whose run() threw before
+    // its own drain.  (If run() is still executing on another thread,
+    // outliving the Server is the caller's lifetime bug; the embedded
+    // pattern — tests, bench — joins the run() thread first.)
+    drain();
+}
+
+int Server::listen()
+{
+    CCQ_EXPECT(!listener_.has_value(), "Server::listen: already listening");
+    listener_.emplace(config_.host, config_.port);
+    return listener_->port();
+}
+
+int Server::port() const
+{
+    CCQ_EXPECT(listener_.has_value(), "Server::port: call listen() first");
+    return listener_->port();
+}
+
+void Server::request_stop() noexcept
+{
+    stop_.store(true, std::memory_order_release);
+    if (listener_.has_value()) listener_->close();
+}
+
+void Server::run()
+{
+    CCQ_EXPECT(listener_.has_value(), "Server::run: call listen() first");
+    try {
+        while (!stopping()) {
+            std::unique_ptr<TcpStream> stream = listener_->accept();
+            if (stream == nullptr) break; // listener closed
+            connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+            reap_finished_handlers();
+            std::lock_guard<std::mutex> lock(handlers_mutex_);
+            TcpStream* raw = stream.get();
+            auto done = std::make_shared<std::atomic<bool>>(false);
+            handlers_.push_back(
+                {std::thread([this, owned = std::move(stream), done]() mutable {
+                     handle_connection(std::move(owned));
+                     done->store(true, std::memory_order_release);
+                 }),
+                 done});
+            active_streams_.push_back(raw);
+        }
+    } catch (...) {
+        drain(); // an accept failure must not leave handlers unjoined
+        throw;
+    }
+    drain();
+}
+
+void Server::reap_finished_handlers()
+{
+    std::vector<std::thread> finished;
+    {
+        std::lock_guard<std::mutex> lock(handlers_mutex_);
+        std::erase_if(handlers_, [&](Handler& handler) {
+            if (!handler.done->load(std::memory_order_acquire)) return false;
+            finished.push_back(std::move(handler.thread));
+            return true;
+        });
+    }
+    // Joins are instant (the threads have finished) but still happen
+    // outside the lock, matching drain()'s ordering.
+    for (std::thread& thread : finished)
+        if (thread.joinable()) thread.join();
+}
+
+void Server::drain()
+{
+    request_stop();
+    {
+        std::lock_guard<std::mutex> lock(handlers_mutex_);
+        for (Stream* stream : active_streams_) stream->interrupt();
+    }
+    std::vector<Handler> handlers;
+    {
+        std::lock_guard<std::mutex> lock(handlers_mutex_);
+        handlers.swap(handlers_);
+    }
+    for (Handler& handler : handlers)
+        if (handler.thread.joinable()) handler.thread.join();
+}
+
+void Server::handle_connection(std::unique_ptr<TcpStream> stream)
+{
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    try {
+        while (serve_one(*stream)) {
+        }
+    } catch (const std::exception&) {
+        // Transport failure or framing desync: nothing sensible can be
+        // sent on this connection anymore; drop it.
+    }
+    active_connections_.fetch_sub(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(handlers_mutex_);
+    const auto it = std::find(active_streams_.begin(), active_streams_.end(), stream.get());
+    if (it != active_streams_.end()) active_streams_.erase(it);
+}
+
+void Server::serve_stream(Stream& stream)
+{
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    {
+        // Register so request_stop()/drain() can interrupt a blocked
+        // read on this connection too, exactly like accepted ones.
+        std::lock_guard<std::mutex> lock(handlers_mutex_);
+        active_streams_.push_back(&stream);
+    }
+    const auto deregister = [&] {
+        active_connections_.fetch_sub(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(handlers_mutex_);
+        const auto it = std::find(active_streams_.begin(), active_streams_.end(), &stream);
+        if (it != active_streams_.end()) active_streams_.erase(it);
+    };
+    try {
+        while (!stopping() && serve_one(stream)) {
+        }
+    } catch (...) {
+        deregister();
+        throw;
+    }
+    deregister();
+}
+
+bool Server::serve_one(Stream& stream)
+{
+    const std::optional<std::string> body = read_frame(stream); // throws on desync
+    if (!body.has_value()) return false;                        // clean EOF
+
+    Request request;
+    bool decoded = true;
+    std::string reply;
+    const bool json_body = !body->empty() && body->front() == '{';
+    try {
+        request = decode_request(*body);
+    } catch (const protocol_error& error) {
+        // The frame boundary is intact (read_frame consumed exactly the
+        // declared bytes), so answer the error — in the caller's own
+        // mode — and keep the connection.
+        decoded = false;
+        reply = json_body ? json_error_reply(Status::malformed, error.what())
+                          : encode_error_reply(Status::malformed, error.what());
+    }
+
+    if (decoded) {
+        try {
+            if (stopping() && request.op != Opcode::shutdown)
+                throw request_rejected{Status::shutting_down, "server is shutting down"};
+            reply = request.json ? answer_json(request) : answer(request);
+        } catch (const request_rejected& rejected) {
+            reply = request.json ? json_error_reply(rejected.status, rejected.message)
+                                 : encode_error_reply(rejected.status, rejected.message);
+        } catch (const std::exception& error) {
+            reply = request.json ? json_error_reply(Status::internal, error.what())
+                                 : encode_error_reply(Status::internal, error.what());
+        }
+    }
+
+    const bool ok = decoded && (request.json ? reply.rfind("{\"error\"", 0) != 0
+                                             : split_reply(reply).first == Status::ok);
+    (ok ? frames_served_ : errors_).fetch_add(1, std::memory_order_relaxed);
+
+    write_frame(stream, reply);
+    if (decoded && ok && request.op == Opcode::shutdown) {
+        request_stop();
+        return false;
+    }
+    return true;
+}
+
+namespace {
+
+void check_range(NodeId v, int n)
+{
+    if (v < 0 || v >= n)
+        throw request_rejected{Status::out_of_range,
+                               "node " + std::to_string(v) + " outside [0, " +
+                                   std::to_string(n) + ")"};
+}
+
+} // namespace
+
+std::string Server::answer(const Request& request)
+{
+    const int n = engine_->node_count();
+    switch (request.op) {
+    case Opcode::ping: return encode_ping_reply();
+    case Opcode::shutdown: return encode_ok_reply();
+    case Opcode::distance:
+        check_range(request.from, n);
+        check_range(request.to, n);
+        distance_queries_.fetch_add(1, std::memory_order_relaxed);
+        return encode_distance_reply(engine_->distance(request.from, request.to));
+    case Opcode::path:
+        check_range(request.from, n);
+        check_range(request.to, n);
+        if (!engine_->has_routing())
+            throw request_rejected{Status::unsupported,
+                                   "snapshot has no routing tables (rebuild with routing)"};
+        path_queries_.fetch_add(1, std::memory_order_relaxed);
+        return encode_path_reply(engine_->path(request.from, request.to));
+    case Opcode::k_nearest:
+        check_range(request.from, n);
+        if (request.k < 0)
+            throw request_rejected{Status::out_of_range, "k must be >= 0"};
+        knearest_queries_.fetch_add(1, std::memory_order_relaxed);
+        return encode_nearest_reply(engine_->nearest_targets(request.from, request.k));
+    case Opcode::batch_distances: {
+        for (const PointQuery& q : request.pairs) {
+            check_range(q.from, n);
+            check_range(q.to, n);
+        }
+        batch_items_.fetch_add(request.pairs.size(), std::memory_order_relaxed);
+        return encode_batch_distances_reply(engine_->batch_distances(request.pairs));
+    }
+    case Opcode::batch_paths: {
+        for (const PointQuery& q : request.pairs) {
+            check_range(q.from, n);
+            check_range(q.to, n);
+        }
+        if (!engine_->has_routing())
+            throw request_rejected{Status::unsupported,
+                                   "snapshot has no routing tables (rebuild with routing)"};
+        batch_items_.fetch_add(request.pairs.size(), std::memory_order_relaxed);
+        return encode_batch_paths_reply(engine_->batch_paths(request.pairs));
+    }
+    case Opcode::stats: return encode_stats_reply(stats());
+    case Opcode::json: break; // unreachable: decode never yields a bare json op
+    }
+    throw request_rejected{Status::malformed, "unhandled opcode"};
+}
+
+std::string Server::answer_json(const Request& request)
+{
+    // Compute through the same validation/dispatch as the binary path so
+    // both modes agree, then render the result as JSON.
+    switch (request.op) {
+    case Opcode::ping:
+        (void)answer(Request{});
+        return "{\"op\":\"ping\",\"protocol\":" + std::to_string(kProtocolVersion) + "}";
+    case Opcode::shutdown: return "{\"op\":\"shutdown\",\"ok\":true}";
+    case Opcode::distance: {
+        const Weight d = decode_distance_reply(split_reply(answer(request)).second);
+        const bool reachable = is_finite(d);
+        return "{\"op\":\"distance\",\"from\":" + std::to_string(request.from) +
+               ",\"to\":" + std::to_string(request.to) +
+               ",\"reachable\":" + (reachable ? "true" : "false") +
+               ",\"distance\":" + std::to_string(reachable ? d : -1) + "}";
+    }
+    case Opcode::path: {
+        const PathResult path = decode_path_reply(split_reply(answer(request)).second);
+        std::string out = "{\"op\":\"path\",\"result\":";
+        append_json_path_result(out, request.from, request.to, path);
+        out += '}';
+        return out;
+    }
+    case Opcode::k_nearest: {
+        const std::vector<NearTarget> nearest =
+            decode_nearest_reply(split_reply(answer(request)).second);
+        std::string out = "{\"op\":\"k_nearest\",\"from\":" + std::to_string(request.from) +
+                          ",\"nearest\":[";
+        for (std::size_t i = 0; i < nearest.size(); ++i) {
+            if (i > 0) out += ',';
+            out += "{\"node\":" + std::to_string(nearest[i].node) +
+                   ",\"distance\":" + std::to_string(nearest[i].distance) + "}";
+        }
+        out += "]}";
+        return out;
+    }
+    case Opcode::batch_distances: {
+        const std::vector<Weight> distances =
+            decode_batch_distances_reply(split_reply(answer(request)).second);
+        std::string out = "{\"op\":\"batch_distances\",\"results\":[";
+        for (std::size_t i = 0; i < distances.size(); ++i) {
+            if (i > 0) out += ',';
+            out += std::to_string(is_finite(distances[i]) ? distances[i] : -1);
+        }
+        out += "]}";
+        return out;
+    }
+    case Opcode::batch_paths: {
+        const std::vector<PathResult> paths =
+            decode_batch_paths_reply(split_reply(answer(request)).second);
+        std::string out = "{\"op\":\"batch_paths\",\"results\":[";
+        for (std::size_t i = 0; i < paths.size(); ++i) {
+            if (i > 0) out += ',';
+            append_json_path_result(out, request.pairs[i].from, request.pairs[i].to, paths[i]);
+        }
+        out += "]}";
+        return out;
+    }
+    case Opcode::stats: {
+        const ServerStats s = stats();
+        std::string out = "{\"op\":\"stats\"";
+        out += ",\"connections_accepted\":" + std::to_string(s.connections_accepted);
+        out += ",\"active_connections\":" + std::to_string(s.active_connections);
+        out += ",\"frames_served\":" + std::to_string(s.frames_served);
+        out += ",\"errors\":" + std::to_string(s.errors);
+        out += ",\"distance_queries\":" + std::to_string(s.distance_queries);
+        out += ",\"path_queries\":" + std::to_string(s.path_queries);
+        out += ",\"knearest_queries\":" + std::to_string(s.knearest_queries);
+        out += ",\"batch_items\":" + std::to_string(s.batch_items);
+        out += ",\"cache_hits\":" + std::to_string(s.cache_hits);
+        out += ",\"cache_misses\":" + std::to_string(s.cache_misses);
+        out += ",\"node_count\":" + std::to_string(s.node_count);
+        out += ",\"has_routing\":" + std::string(s.has_routing ? "true" : "false");
+        out += "}";
+        return out;
+    }
+    case Opcode::json: break;
+    }
+    throw request_rejected{Status::malformed, "unhandled opcode"};
+}
+
+ServerStats Server::stats() const
+{
+    ServerStats stats;
+    stats.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
+    stats.active_connections = active_connections_.load(std::memory_order_relaxed);
+    stats.frames_served = frames_served_.load(std::memory_order_relaxed);
+    stats.errors = errors_.load(std::memory_order_relaxed);
+    stats.distance_queries = distance_queries_.load(std::memory_order_relaxed);
+    stats.path_queries = path_queries_.load(std::memory_order_relaxed);
+    stats.knearest_queries = knearest_queries_.load(std::memory_order_relaxed);
+    stats.batch_items = batch_items_.load(std::memory_order_relaxed);
+    const CacheStats cache = engine_->cache_stats();
+    stats.cache_hits = cache.hits;
+    stats.cache_misses = cache.misses;
+    stats.uptime_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
+    stats.node_count = engine_->node_count();
+    stats.has_routing = engine_->has_routing();
+    return stats;
+}
+
+} // namespace ccq

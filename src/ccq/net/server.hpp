@@ -1,0 +1,115 @@
+// The serving front-end: a framed-protocol server over the QueryEngine.
+//
+// One Server multiplexes any number of client connections onto a single
+// immutable QueryEngine (whose own batch entry points fan out on the
+// shared ccq::ThreadPool).  Each accepted connection gets a handler
+// thread running the request/response loop; the engine's concurrency
+// guarantees make that safe without any per-query locking in this
+// layer.  A connection can also be served inline from any Stream —
+// that is the stdin/stdout mode of ccq_served.
+//
+// Shutdown is graceful and can come from three places: a shutdown
+// control frame on any connection, request_stop() (signal-handler safe),
+// or destroying the Server.  In every case the listener closes first,
+// in-flight requests finish, blocked reads are interrupted, and run()
+// joins every handler before returning.
+#ifndef CCQ_NET_SERVER_HPP
+#define CCQ_NET_SERVER_HPP
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ccq/net/protocol.hpp"
+#include "ccq/net/socket.hpp"
+#include "ccq/serve/query_engine.hpp"
+
+namespace ccq {
+
+struct ServerConfig {
+    std::string host = "127.0.0.1";
+    int port = 0; ///< 0 picks an ephemeral port (see Server::port())
+};
+
+class Server {
+public:
+    explicit Server(std::shared_ptr<const QueryEngine> engine, ServerConfig config = {});
+    ~Server(); ///< request_stop() + join (safe if run() already returned)
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Binds the listening socket; returns the bound port.
+    int listen();
+
+    /// The bound port; valid after listen().
+    [[nodiscard]] int port() const;
+
+    /// Accept loop: serves until a shutdown frame or request_stop(),
+    /// then drains handlers.  Call listen() first.
+    void run();
+
+    /// Serves one connection inline until EOF or shutdown (stdio mode).
+    void serve_stream(Stream& stream);
+
+    /// Initiates shutdown from any thread or a signal handler: only
+    /// touches atomics and shutdown(2).  run() performs the actual drain.
+    void request_stop() noexcept;
+
+    [[nodiscard]] bool stopping() const noexcept
+    {
+        return stop_.load(std::memory_order_acquire);
+    }
+
+    [[nodiscard]] ServerStats stats() const;
+
+private:
+    /// A connection-handler thread plus its completion marker, so the
+    /// accept loop can reap finished handlers without blocking on live
+    /// ones.
+    struct Handler {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+
+    void handle_connection(std::unique_ptr<TcpStream> stream);
+    /// One request/response exchange; returns false when the connection
+    /// should close (EOF or shutdown frame).
+    bool serve_one(Stream& stream);
+    [[nodiscard]] std::string answer(const Request& request);
+    [[nodiscard]] std::string answer_json(const Request& request);
+    /// Joins handlers that have already finished (cheap; called per
+    /// accept so a long-lived server does not accumulate dead threads).
+    void reap_finished_handlers();
+    /// Full teardown: stop, interrupt blocked reads, join every handler.
+    /// Joins happen outside handlers_mutex_ so finishing handlers can
+    /// still deregister themselves.
+    void drain();
+
+    std::shared_ptr<const QueryEngine> engine_;
+    ServerConfig config_;
+    std::optional<TcpListener> listener_;
+    std::atomic<bool> stop_{false};
+
+    std::mutex handlers_mutex_;
+    std::vector<Handler> handlers_;
+    std::vector<Stream*> active_streams_; ///< guarded by handlers_mutex_
+
+    std::chrono::steady_clock::time_point started_ = std::chrono::steady_clock::now();
+    std::atomic<std::uint64_t> connections_accepted_{0};
+    std::atomic<std::uint64_t> active_connections_{0};
+    std::atomic<std::uint64_t> frames_served_{0};
+    std::atomic<std::uint64_t> errors_{0};
+    std::atomic<std::uint64_t> distance_queries_{0};
+    std::atomic<std::uint64_t> path_queries_{0};
+    std::atomic<std::uint64_t> knearest_queries_{0};
+    std::atomic<std::uint64_t> batch_items_{0};
+};
+
+} // namespace ccq
+
+#endif // CCQ_NET_SERVER_HPP

@@ -1,0 +1,116 @@
+// Minimal blocking transport for the serving protocol: a byte-stream
+// abstraction plus POSIX TCP and file-descriptor implementations.
+//
+// The protocol layer (net/protocol.hpp) frames messages over a Stream;
+// the Server accepts TcpStreams from a TcpListener or serves a single
+// FdStream (stdin/stdout mode).  Everything is blocking — the server
+// multiplexes by handing each accepted connection to its own handler —
+// and shutdown is cooperative: interrupt() unblocks a peer stuck in
+// read()/write() so graceful teardown never hangs.
+//
+// IPv4 only, numeric addresses plus "localhost"; all errors surface as
+// net_error with errno context.
+#ifndef CCQ_NET_SOCKET_HPP
+#define CCQ_NET_SOCKET_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace ccq {
+
+/// Thrown on transport-level failures (connect/bind/read/write).
+class net_error : public std::runtime_error {
+public:
+    explicit net_error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// A blocking, bidirectional byte stream.
+class Stream {
+public:
+    virtual ~Stream() = default;
+
+    /// Reads up to `count` bytes; returns the number read, 0 on clean EOF.
+    [[nodiscard]] virtual std::size_t read_some(void* buffer, std::size_t count) = 0;
+
+    /// Writes all `count` bytes (looping over partial writes).
+    virtual void write_all(const void* buffer, std::size_t count) = 0;
+
+    /// Unblocks any thread stuck in read_some/write_all on this stream
+    /// (best effort; used for graceful server shutdown).
+    virtual void interrupt() noexcept = 0;
+
+    /// Reads exactly `count` bytes.  Returns false on clean EOF before the
+    /// first byte; throws net_error if the stream ends mid-read.
+    [[nodiscard]] bool read_exact(void* buffer, std::size_t count);
+};
+
+/// Stream over a pair of plain file descriptors (e.g. stdin/stdout, or a
+/// socketpair end).  Never closes borrowed descriptors.
+class FdStream : public Stream {
+public:
+    /// `owns` transfers ownership of both descriptors (close on destroy).
+    /// read_fd and write_fd may be equal (a socket) or distinct (pipes).
+    FdStream(int read_fd, int write_fd, bool owns);
+    ~FdStream() override;
+    FdStream(const FdStream&) = delete;
+    FdStream& operator=(const FdStream&) = delete;
+
+    [[nodiscard]] std::size_t read_some(void* buffer, std::size_t count) override;
+    void write_all(const void* buffer, std::size_t count) override;
+    void interrupt() noexcept override;
+
+private:
+    int read_fd_;
+    int write_fd_;
+    bool owns_;
+};
+
+/// A connected TCP socket.
+class TcpStream : public Stream {
+public:
+    explicit TcpStream(int fd); ///< takes ownership of a connected socket
+    ~TcpStream() override;
+    TcpStream(const TcpStream&) = delete;
+    TcpStream& operator=(const TcpStream&) = delete;
+
+    /// Connects to host:port ("localhost" or a numeric IPv4 address).
+    [[nodiscard]] static std::unique_ptr<TcpStream> connect(const std::string& host, int port);
+
+    [[nodiscard]] std::size_t read_some(void* buffer, std::size_t count) override;
+    void write_all(const void* buffer, std::size_t count) override;
+    void interrupt() noexcept override;
+
+private:
+    int fd_;
+};
+
+/// A listening TCP socket (SO_REUSEADDR; port 0 picks an ephemeral port).
+class TcpListener {
+public:
+    TcpListener(const std::string& host, int port);
+    ~TcpListener();
+    TcpListener(const TcpListener&) = delete;
+    TcpListener& operator=(const TcpListener&) = delete;
+
+    /// The bound port (useful after binding port 0).
+    [[nodiscard]] int port() const noexcept { return port_; }
+
+    /// Blocks for the next connection; returns nullptr once close() has
+    /// been called (from any thread, including a signal handler).
+    [[nodiscard]] std::unique_ptr<TcpStream> accept();
+
+    /// Unblocks accept() and stops accepting.  Async-signal-safe.
+    void close() noexcept;
+
+private:
+    int fd_ = -1;
+    int port_ = 0;
+    std::atomic<bool> closed_{false};
+};
+
+} // namespace ccq
+
+#endif // CCQ_NET_SOCKET_HPP

@@ -5,13 +5,42 @@
 namespace ccq {
 
 QueryEngine::QueryEngine(OracleSnapshot snapshot, QueryEngineConfig config)
+    : snapshot_(std::make_shared<const OracleSnapshot>(std::move(snapshot))), config_(config)
+{
+    init_from_snapshot();
+}
+
+QueryEngine::QueryEngine(std::shared_ptr<const OracleSnapshot> snapshot,
+                         QueryEngineConfig config)
     : snapshot_(std::move(snapshot)), config_(config)
 {
-    CCQ_EXPECT(snapshot_.meta.node_count == snapshot_.estimate.size(),
+    CCQ_EXPECT(snapshot_ != nullptr, "QueryEngine: null snapshot");
+    init_from_snapshot();
+}
+
+QueryEngine::QueryEngine(std::shared_ptr<const MappedSnapshot> mapped, QueryEngineConfig config)
+    : mapped_(std::move(mapped)), config_(config)
+{
+    CCQ_EXPECT(mapped_ != nullptr, "QueryEngine: null mapped snapshot");
+    meta_ = mapped_->meta();
+    has_routing_ = mapped_->has_routing();
+    init_cache();
+}
+
+void QueryEngine::init_from_snapshot()
+{
+    CCQ_EXPECT(snapshot_->meta.node_count == snapshot_->estimate.size(),
                "QueryEngine: snapshot meta/estimate mismatch");
-    CCQ_EXPECT(!snapshot_.has_routing ||
-                   snapshot_.routing.size() == snapshot_.meta.node_count,
+    CCQ_EXPECT(!snapshot_->has_routing ||
+                   snapshot_->routing.size() == snapshot_->meta.node_count,
                "QueryEngine: snapshot routing size mismatch");
+    meta_ = snapshot_->meta;
+    has_routing_ = snapshot_->has_routing;
+    init_cache();
+}
+
+void QueryEngine::init_cache()
+{
     CCQ_EXPECT(config_.cache_shards >= 1, "QueryEngine: cache_shards must be >= 1");
     const int shard_count = config_.path_cache_capacity == 0 ? 1 : config_.cache_shards;
     shard_capacity_ = config_.path_cache_capacity == 0
@@ -25,7 +54,7 @@ QueryEngine::QueryEngine(OracleSnapshot snapshot, QueryEngineConfig config)
 Weight QueryEngine::distance(NodeId from, NodeId to) const
 {
     CCQ_EXPECT(valid(from) && valid(to), "QueryEngine::distance: node out of range");
-    return snapshot_.estimate.at(from, to);
+    return estimate_at(from, to);
 }
 
 QueryEngine::PathPtr QueryEngine::cache_lookup(std::uint64_t key) const
@@ -60,8 +89,8 @@ void QueryEngine::cache_insert(std::uint64_t key, PathPtr value) const
 PathResult QueryEngine::reconstruct_path(NodeId from, NodeId to) const
 {
     PathResult result;
-    result.distance = snapshot_.estimate.at(from, to);
-    result.nodes = snapshot_.routing.route(from, to);
+    result.distance = estimate_at(from, to);
+    result.nodes = mapped_ ? mapped_->route(from, to) : snapshot_->routing.route(from, to);
     // A walkable route paired with an infinite estimate (or vice versa)
     // only arises from a corrupted snapshot; serve it as unreachable
     // rather than as a self-contradictory answer.
@@ -76,7 +105,7 @@ PathResult QueryEngine::reconstruct_path(NodeId from, NodeId to) const
 PathResult QueryEngine::path(NodeId from, NodeId to) const
 {
     CCQ_EXPECT(valid(from) && valid(to), "QueryEngine::path: node out of range");
-    CCQ_EXPECT(snapshot_.has_routing,
+    CCQ_EXPECT(has_routing_,
                "QueryEngine::path: snapshot has no routing tables (rebuild with routing)");
     const std::uint64_t key = pair_key(from, to);
     if (const PathPtr cached = cache_lookup(key)) return *cached;
@@ -90,10 +119,10 @@ std::vector<NearTarget> QueryEngine::nearest_targets(NodeId from, int k) const
     CCQ_EXPECT(valid(from), "QueryEngine::nearest_targets: node out of range");
     CCQ_EXPECT(k >= 0, "QueryEngine::nearest_targets: k must be >= 0");
     std::vector<NearTarget> candidates;
-    candidates.reserve(static_cast<std::size_t>(snapshot_.meta.node_count));
-    for (NodeId v = 0; v < snapshot_.meta.node_count; ++v) {
+    candidates.reserve(static_cast<std::size_t>(meta_.node_count));
+    for (NodeId v = 0; v < meta_.node_count; ++v) {
         if (v == from) continue;
-        const Weight d = snapshot_.estimate.at(from, v);
+        const Weight d = estimate_at(from, v);
         if (!is_finite(d)) continue;
         candidates.push_back({v, d});
     }

@@ -78,10 +78,23 @@ public:
     /// Takes ownership of the snapshot; the engine is immutable afterwards.
     explicit QueryEngine(OracleSnapshot snapshot, QueryEngineConfig config = {});
 
-    [[nodiscard]] int node_count() const noexcept { return snapshot_.meta.node_count; }
-    [[nodiscard]] const SnapshotMeta& meta() const noexcept { return snapshot_.meta; }
-    [[nodiscard]] const OracleSnapshot& snapshot() const noexcept { return snapshot_; }
-    [[nodiscard]] bool has_routing() const noexcept { return snapshot_.has_routing; }
+    /// Shares an already-loaded snapshot: several engines (e.g. one per
+    /// bench run, each with a cold cache) can serve the same n^2 data
+    /// without copying it.
+    explicit QueryEngine(std::shared_ptr<const OracleSnapshot> snapshot,
+                         QueryEngineConfig config = {});
+
+    /// Serves straight from an mmap'd snapshot (lazy row decode for the
+    /// compressed codec); the mapping is shared and must stay alive for
+    /// the engine's lifetime, which the shared_ptr guarantees.
+    explicit QueryEngine(std::shared_ptr<const MappedSnapshot> mapped,
+                         QueryEngineConfig config = {});
+
+    [[nodiscard]] int node_count() const noexcept { return meta_.node_count; }
+    [[nodiscard]] const SnapshotMeta& meta() const noexcept { return meta_; }
+    [[nodiscard]] bool has_routing() const noexcept { return has_routing_; }
+    /// True when serving from an mmap'd file instead of owned memory.
+    [[nodiscard]] bool is_mapped() const noexcept { return mapped_ != nullptr; }
 
     /// Distance estimate for (from, to); kInfinity when unreachable.
     [[nodiscard]] Weight distance(NodeId from, NodeId to) const;
@@ -120,12 +133,12 @@ private:
 
     [[nodiscard]] bool valid(NodeId v) const noexcept
     {
-        return v >= 0 && v < snapshot_.meta.node_count;
+        return v >= 0 && v < meta_.node_count;
     }
     [[nodiscard]] std::uint64_t pair_key(NodeId from, NodeId to) const noexcept
     {
         return static_cast<std::uint64_t>(from) *
-                   static_cast<std::uint64_t>(snapshot_.meta.node_count) +
+                   static_cast<std::uint64_t>(meta_.node_count) +
                static_cast<std::uint64_t>(to);
     }
     [[nodiscard]] CacheShard& shard_for(std::uint64_t key) const noexcept
@@ -142,8 +155,17 @@ private:
     [[nodiscard]] PathPtr cache_lookup(std::uint64_t key) const;
     void cache_insert(std::uint64_t key, PathPtr value) const;
     [[nodiscard]] PathResult reconstruct_path(NodeId from, NodeId to) const;
+    [[nodiscard]] Weight estimate_at(NodeId from, NodeId to) const
+    {
+        return mapped_ ? mapped_->distance(from, to) : snapshot_->estimate.at(from, to);
+    }
+    void init_from_snapshot();
+    void init_cache();
 
-    OracleSnapshot snapshot_;
+    std::shared_ptr<const OracleSnapshot> snapshot_; ///< owned/shared mode
+    std::shared_ptr<const MappedSnapshot> mapped_;   ///< mmap mode (null otherwise)
+    SnapshotMeta meta_;
+    bool has_routing_ = false;
     QueryEngineConfig config_;
     std::size_t shard_capacity_ = 0; ///< max entries per shard (0 = caching off)
     mutable std::vector<CacheShard> shards_;

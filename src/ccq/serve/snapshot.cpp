@@ -1,5 +1,10 @@
 #include "ccq/serve/snapshot.hpp"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
 #include <cstring>
@@ -7,19 +12,21 @@
 #include <istream>
 #include <limits>
 #include <ostream>
-#include <sstream>
 #include <utility>
-#include <vector>
+
+#include "ccq/common/bytes.hpp"
 
 namespace ccq {
 namespace {
 
 constexpr std::array<char, 8> kMagic = {'C', 'C', 'Q', 'S', 'N', 'A', 'P', '\n'};
+constexpr std::size_t kHeaderBytes = kMagic.size() + 4 + 8;
+constexpr std::size_t kFooterBytes = 8;
 
 constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
 constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
 
-[[nodiscard]] std::uint64_t fnv1a(const std::string& bytes)
+[[nodiscard]] std::uint64_t fnv1a(std::string_view bytes)
 {
     std::uint64_t hash = kFnvOffset;
     for (const char c : bytes) {
@@ -29,137 +36,24 @@ constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
     return hash;
 }
 
-// --- little-endian primitive encoding ---------------------------------------
+// --- shared payload pieces --------------------------------------------------
 
-void put_u64(std::string& out, std::uint64_t v)
+void encode_meta(std::string& payload, const SnapshotMeta& meta)
 {
-    for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-}
-
-void put_u32(std::string& out, std::uint32_t v)
-{
-    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-}
-
-void put_i64(std::string& out, std::int64_t v) { put_u64(out, static_cast<std::uint64_t>(v)); }
-void put_i32(std::string& out, std::int32_t v) { put_u32(out, static_cast<std::uint32_t>(v)); }
-
-void put_double(std::string& out, double v)
-{
-    std::uint64_t bits = 0;
-    static_assert(sizeof(bits) == sizeof(v));
-    std::memcpy(&bits, &v, sizeof(bits));
-    put_u64(out, bits);
-}
-
-void put_string(std::string& out, const std::string& s)
-{
-    CCQ_EXPECT(s.size() <= std::numeric_limits<std::uint32_t>::max(),
-               "write_snapshot: string too long");
-    put_u32(out, static_cast<std::uint32_t>(s.size()));
-    out += s;
-}
-
-/// Bounds-checked reader over the in-memory payload.
-class Reader {
-public:
-    explicit Reader(const std::string& bytes) : bytes_(bytes) {}
-
-    [[nodiscard]] std::uint64_t u64()
-    {
-        need(8);
-        std::uint64_t v = 0;
-        for (int i = 0; i < 8; ++i)
-            v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
-                 << (8 * i);
-        pos_ += 8;
-        return v;
-    }
-
-    [[nodiscard]] std::uint32_t u32()
-    {
-        need(4);
-        std::uint32_t v = 0;
-        for (int i = 0; i < 4; ++i)
-            v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
-                 << (8 * i);
-        pos_ += 4;
-        return v;
-    }
-
-    [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
-    [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
-
-    [[nodiscard]] double f64()
-    {
-        const std::uint64_t bits = u64();
-        double v = 0.0;
-        std::memcpy(&v, &bits, sizeof(v));
-        return v;
-    }
-
-    [[nodiscard]] std::string str()
-    {
-        const std::uint32_t len = u32();
-        need(len);
-        std::string s = bytes_.substr(pos_, len);
-        pos_ += len;
-        return s;
-    }
-
-    [[nodiscard]] bool exhausted() const noexcept { return pos_ == bytes_.size(); }
-    [[nodiscard]] std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
-
-private:
-    void need(std::size_t count) const
-    {
-        if (bytes_.size() - pos_ < count)
-            throw snapshot_io_error("read_snapshot: payload ends mid-field");
-    }
-
-    const std::string& bytes_;
-    std::size_t pos_ = 0;
-};
-
-[[nodiscard]] std::string encode_payload(const OracleSnapshot& snapshot)
-{
-    const SnapshotMeta& meta = snapshot.meta;
-    CCQ_EXPECT(meta.node_count == snapshot.estimate.size(),
-               "write_snapshot: meta/estimate node count mismatch");
-    CCQ_EXPECT(!snapshot.has_routing || snapshot.routing.size() == meta.node_count,
-               "write_snapshot: routing node count mismatch");
-
-    const int n = meta.node_count;
-    std::string payload;
-    const std::size_t cells = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
-    payload.reserve(64 + meta.algorithm.size() + cells * (snapshot.has_routing ? 12 : 8));
-
-    put_i32(payload, n);
+    put_i32(payload, meta.node_count);
     put_u64(payload, meta.edge_count);
     put_u32(payload, meta.directed ? 1 : 0);
     put_i64(payload, meta.max_weight);
     put_string(payload, meta.algorithm);
-    put_double(payload, meta.claimed_stretch);
-    put_double(payload, meta.total_rounds);
+    put_f64(payload, meta.claimed_stretch);
+    put_f64(payload, meta.total_rounds);
     put_u64(payload, meta.total_words);
     put_u64(payload, meta.build_seed);
-
-    for (NodeId u = 0; u < n; ++u)
-        for (NodeId v = 0; v < n; ++v) put_i64(payload, snapshot.estimate.at(u, v));
-
-    put_u32(payload, snapshot.has_routing ? 1 : 0);
-    if (snapshot.has_routing)
-        for (NodeId u = 0; u < n; ++u)
-            for (NodeId v = 0; v < n; ++v) put_i32(payload, snapshot.routing.next_hop(u, v));
-    return payload;
 }
 
-[[nodiscard]] OracleSnapshot decode_payload(const std::string& payload)
+[[nodiscard]] SnapshotMeta decode_meta(ByteReader& reader)
 {
-    Reader reader(payload);
-    OracleSnapshot snapshot;
-    SnapshotMeta& meta = snapshot.meta;
-
+    SnapshotMeta meta;
     meta.node_count = reader.i32();
     if (meta.node_count < 0) throw snapshot_io_error("read_snapshot: negative node count");
     meta.edge_count = reader.u64();
@@ -172,10 +66,44 @@ private:
     meta.total_rounds = reader.f64();
     meta.total_words = reader.u64();
     meta.build_seed = reader.u64();
+    return meta;
+}
+
+[[nodiscard]] bool decode_flag(ByteReader& reader, const char* what)
+{
+    const std::uint32_t flag = reader.u32();
+    if (flag > 1) throw snapshot_io_error(std::string("read_snapshot: malformed ") + what);
+    return flag == 1;
+}
+
+// --- version 1: fixed-width cells -------------------------------------------
+
+[[nodiscard]] std::string encode_payload_v1(const OracleSnapshot& snapshot)
+{
+    const int n = snapshot.meta.node_count;
+    std::string payload;
+    const std::size_t cells = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+    payload.reserve(64 + snapshot.meta.algorithm.size() + cells * (snapshot.has_routing ? 12 : 8));
+
+    encode_meta(payload, snapshot.meta);
+    for (NodeId u = 0; u < n; ++u)
+        for (NodeId v = 0; v < n; ++v) put_i64(payload, snapshot.estimate.at(u, v));
+    put_u32(payload, snapshot.has_routing ? 1 : 0);
+    if (snapshot.has_routing)
+        for (NodeId u = 0; u < n; ++u)
+            for (NodeId v = 0; v < n; ++v) put_i32(payload, snapshot.routing.next_hop(u, v));
+    return payload;
+}
+
+[[nodiscard]] OracleSnapshot decode_payload_v1(std::string_view payload)
+{
+    ByteReader reader(payload);
+    OracleSnapshot snapshot;
+    snapshot.meta = decode_meta(reader);
 
     // node_count is untrusted (FNV-1a detects accidents, not forgery):
     // prove the payload actually holds n^2 cells before allocating n^2.
-    const int n = meta.node_count;
+    const int n = snapshot.meta.node_count;
     const std::uint64_t cells =
         static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n);
     if (cells > reader.remaining() / 8)
@@ -184,9 +112,7 @@ private:
     for (NodeId u = 0; u < n; ++u)
         for (NodeId v = 0; v < n; ++v) snapshot.estimate.at(u, v) = reader.i64();
 
-    const std::uint32_t has_routing = reader.u32();
-    if (has_routing > 1) throw snapshot_io_error("read_snapshot: malformed routing flag");
-    snapshot.has_routing = has_routing == 1;
+    snapshot.has_routing = decode_flag(reader, "routing flag");
     if (snapshot.has_routing) {
         if (cells > reader.remaining() / 4)
             throw snapshot_io_error("read_snapshot: routing table exceeds payload size");
@@ -197,6 +123,190 @@ private:
     if (!reader.exhausted())
         throw snapshot_io_error("read_snapshot: trailing bytes after payload");
     return snapshot;
+}
+
+// --- version 2: per-row delta+varint behind a row-offset table --------------
+//
+// Section layout (used for the estimate and, when present, the routing
+// table):
+//
+//   offsets  (n+1) x u64   row i occupies blob[offsets[i], offsets[i+1])
+//   blob     offsets[n] bytes of concatenated rows
+//
+// Each row is delta-encoded from 0: cell_j = prev + zigzag-varint, with
+// prev starting at 0.  Every cell takes at least one byte, so a valid
+// section's blob holds at least n bytes per row — the pre-allocation
+// bound used against forged node counts.
+
+template <class Cell>
+void encode_v2_rows(std::string& payload, int n, const Cell* cells)
+{
+    std::string blob;
+    std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+    for (int u = 0; u < n; ++u) {
+        std::int64_t prev = 0;
+        const Cell* row = cells + static_cast<std::size_t>(u) * static_cast<std::size_t>(n);
+        for (int v = 0; v < n; ++v) {
+            const std::int64_t value = static_cast<std::int64_t>(row[v]);
+            put_varint_i64(blob, value - prev);
+            prev = value;
+        }
+        offsets[static_cast<std::size_t>(u) + 1] = blob.size();
+    }
+    for (const std::uint64_t offset : offsets) put_u64(payload, offset);
+    payload += blob;
+}
+
+/// A validated v2 section: absolute blob position plus row offsets.
+struct V2Section {
+    std::vector<std::size_t> row_offsets; ///< n+1 entries, relative to blob
+    std::size_t blob_offset = 0;          ///< absolute position in the payload
+};
+
+/// Reads and validates one section's offset table, advances the reader
+/// past the blob.  All bounds are proven before any n-sized allocation.
+[[nodiscard]] V2Section read_v2_section(ByteReader& reader, int n, const char* what)
+{
+    const std::uint64_t entries = static_cast<std::uint64_t>(n) + 1;
+    if (entries > reader.remaining() / 8)
+        throw snapshot_io_error(std::string("read_snapshot: node count exceeds payload size (") +
+                                what + " offsets)");
+    V2Section section;
+    section.row_offsets.resize(static_cast<std::size_t>(entries));
+    for (std::size_t i = 0; i < section.row_offsets.size(); ++i) {
+        const std::uint64_t offset = reader.u64();
+        if (offset > reader.remaining())
+            throw snapshot_io_error(std::string("read_snapshot: ") + what +
+                                    " row offset exceeds payload size");
+        section.row_offsets[i] = static_cast<std::size_t>(offset);
+    }
+    if (section.row_offsets.front() != 0)
+        throw snapshot_io_error(std::string("read_snapshot: ") + what +
+                                " offsets do not start at zero");
+    for (std::size_t i = 0; i + 1 < section.row_offsets.size(); ++i) {
+        if (section.row_offsets[i + 1] < section.row_offsets[i])
+            throw snapshot_io_error(std::string("read_snapshot: ") + what +
+                                    " row offsets not monotone");
+        // Every cell costs at least one varint byte: a shorter row can
+        // only come from a forged header, so reject before decoding.
+        if (section.row_offsets[i + 1] - section.row_offsets[i] < static_cast<std::size_t>(n))
+            throw snapshot_io_error(std::string("read_snapshot: ") + what +
+                                    " row shorter than the node count");
+    }
+    const std::size_t blob_size = section.row_offsets.back();
+    if (blob_size > reader.remaining())
+        throw snapshot_io_error(std::string("read_snapshot: ") + what +
+                                " blob exceeds payload size");
+    section.blob_offset = reader.position();
+    (void)reader.bytes(blob_size);
+    return section;
+}
+
+/// prev + delta with wrap-around semantics: a forged delta must reach
+/// the range check below as a deterministic (aliased) value, never as
+/// signed-overflow UB.  Unsigned wrap + the C++20 modular narrowing
+/// conversion back to int64 make the addition well-defined for every
+/// input.
+[[nodiscard]] std::int64_t wrapping_add(std::int64_t prev, std::int64_t delta)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(prev) +
+                                     static_cast<std::uint64_t>(delta));
+}
+
+void decode_weight_row(std::string_view row_bytes, int n, Weight* out)
+{
+    ByteReader reader(row_bytes);
+    std::int64_t prev = 0;
+    for (int v = 0; v < n; ++v) {
+        const std::int64_t value = wrapping_add(prev, reader.varint_i64());
+        if (value < 0 || value > kInfinity)
+            throw snapshot_io_error("read_snapshot: estimate cell out of range");
+        out[v] = value;
+        prev = value;
+    }
+    if (!reader.exhausted())
+        throw snapshot_io_error("read_snapshot: trailing bytes in estimate row");
+}
+
+void decode_hop_row(std::string_view row_bytes, int n, NodeId* out)
+{
+    ByteReader reader(row_bytes);
+    std::int64_t prev = 0;
+    for (int v = 0; v < n; ++v) {
+        const std::int64_t value = wrapping_add(prev, reader.varint_i64());
+        if (value < -1 || value >= n)
+            throw snapshot_io_error("read_snapshot: next hop out of range");
+        out[v] = static_cast<NodeId>(value);
+        prev = value;
+    }
+    if (!reader.exhausted())
+        throw snapshot_io_error("read_snapshot: trailing bytes in routing row");
+}
+
+[[nodiscard]] std::string_view section_row(std::string_view payload, const V2Section& section,
+                                           int u)
+{
+    const std::size_t begin = section.row_offsets[static_cast<std::size_t>(u)];
+    const std::size_t end = section.row_offsets[static_cast<std::size_t>(u) + 1];
+    return payload.substr(section.blob_offset + begin, end - begin);
+}
+
+[[nodiscard]] std::string encode_payload_v2(const OracleSnapshot& snapshot)
+{
+    const int n = snapshot.meta.node_count;
+    std::string payload;
+    encode_meta(payload, snapshot.meta);
+    encode_v2_rows(payload, n, snapshot.estimate.data());
+    put_u32(payload, snapshot.has_routing ? 1 : 0);
+    if (snapshot.has_routing) {
+        // RoutingTables exposes per-cell access only; gather rows once.
+        std::vector<NodeId> hops(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+        for (NodeId u = 0; u < n; ++u)
+            for (NodeId v = 0; v < n; ++v)
+                hops[static_cast<std::size_t>(u) * static_cast<std::size_t>(n) +
+                     static_cast<std::size_t>(v)] = snapshot.routing.next_hop(u, v);
+        encode_v2_rows(payload, n, hops.data());
+    }
+    return payload;
+}
+
+[[nodiscard]] OracleSnapshot decode_payload_v2(std::string_view payload)
+{
+    ByteReader reader(payload);
+    OracleSnapshot snapshot;
+    snapshot.meta = decode_meta(reader);
+    const int n = snapshot.meta.node_count;
+
+    const V2Section estimate = read_v2_section(reader, n, "estimate");
+    snapshot.estimate = DistanceMatrix(n);
+    for (NodeId u = 0; u < n; ++u)
+        decode_weight_row(section_row(payload, estimate, u), n,
+                          snapshot.estimate.data() + static_cast<std::size_t>(u) *
+                                                         static_cast<std::size_t>(n));
+
+    snapshot.has_routing = decode_flag(reader, "routing flag");
+    if (snapshot.has_routing) {
+        const V2Section routing = read_v2_section(reader, n, "routing");
+        std::vector<NodeId> hops(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+        for (NodeId u = 0; u < n; ++u)
+            decode_hop_row(section_row(payload, routing, u), n,
+                           hops.data() + static_cast<std::size_t>(u) *
+                                             static_cast<std::size_t>(n));
+        snapshot.routing = RoutingTables(n, std::move(hops));
+    }
+    if (!reader.exhausted())
+        throw snapshot_io_error("read_snapshot: trailing bytes after payload");
+    return snapshot;
+}
+
+[[nodiscard]] OracleSnapshot decode_payload(std::uint32_t version, std::string_view payload)
+{
+    try {
+        return version == kSnapshotVersionRaw ? decode_payload_v1(payload)
+                                              : decode_payload_v2(payload);
+    } catch (const decode_error& error) {
+        throw snapshot_io_error(std::string("read_snapshot: ") + error.what());
+    }
 }
 
 } // namespace
@@ -227,13 +337,22 @@ OracleSnapshot OracleSnapshot::from_result(const Graph& source, const ApspResult
     return snapshot;
 }
 
-void write_snapshot(std::ostream& out, const OracleSnapshot& snapshot)
+void write_snapshot(std::ostream& out, const OracleSnapshot& snapshot, SnapshotCodec codec)
 {
-    const std::string payload = encode_payload(snapshot);
+    const SnapshotMeta& meta = snapshot.meta;
+    CCQ_EXPECT(meta.node_count == snapshot.estimate.size(),
+               "write_snapshot: meta/estimate node count mismatch");
+    CCQ_EXPECT(!snapshot.has_routing || snapshot.routing.size() == meta.node_count,
+               "write_snapshot: routing node count mismatch");
+    CCQ_EXPECT(codec == SnapshotCodec::raw || codec == SnapshotCodec::compressed,
+               "write_snapshot: unknown codec");
+
+    const std::string payload = codec == SnapshotCodec::raw ? encode_payload_v1(snapshot)
+                                                            : encode_payload_v2(snapshot);
 
     std::string header;
     header.append(kMagic.data(), kMagic.size());
-    put_u32(header, kSnapshotFormatVersion);
+    put_u32(header, static_cast<std::uint32_t>(codec));
     put_u64(header, payload.size());
 
     std::string footer;
@@ -247,19 +366,18 @@ void write_snapshot(std::ostream& out, const OracleSnapshot& snapshot)
 
 OracleSnapshot read_snapshot(std::istream& in)
 {
-    std::string header(kMagic.size() + 4 + 8, '\0');
+    std::string header(kHeaderBytes, '\0');
     in.read(header.data(), static_cast<std::streamsize>(header.size()));
     if (static_cast<std::size_t>(in.gcount()) != header.size())
         throw snapshot_io_error("read_snapshot: truncated header");
     if (std::memcmp(header.data(), kMagic.data(), kMagic.size()) != 0)
         throw snapshot_io_error("read_snapshot: bad magic (not a ccq snapshot)");
 
-    const std::string after_magic = header.substr(kMagic.size());
-    Reader fields(after_magic);
+    ByteReader fields(std::string_view(header).substr(kMagic.size()));
     const std::uint32_t version = fields.u32();
-    if (version != kSnapshotFormatVersion)
+    if (version != kSnapshotVersionRaw && version != kSnapshotVersionCompressed)
         throw snapshot_io_error("read_snapshot: unsupported format version " +
-                                std::to_string(version) + " (expected " +
+                                std::to_string(version) + " (this reader understands 1.." +
                                 std::to_string(kSnapshotFormatVersion) + ")");
     const std::uint64_t payload_size = fields.u64();
 
@@ -278,23 +396,23 @@ OracleSnapshot read_snapshot(std::istream& in)
             throw snapshot_io_error("read_snapshot: truncated payload");
     }
 
-    std::string footer(8, '\0');
+    std::string footer(kFooterBytes, '\0');
     in.read(footer.data(), static_cast<std::streamsize>(footer.size()));
     if (static_cast<std::size_t>(in.gcount()) != footer.size())
         throw snapshot_io_error("read_snapshot: truncated checksum");
-    Reader footer_reader(footer);
+    ByteReader footer_reader(footer);
     const std::uint64_t stored = footer_reader.u64();
     if (stored != fnv1a(payload))
         throw snapshot_io_error("read_snapshot: checksum mismatch (corrupted snapshot)");
 
-    return decode_payload(payload);
+    return decode_payload(version, payload);
 }
 
-void save_snapshot(const std::string& path, const OracleSnapshot& snapshot)
+void save_snapshot(const std::string& path, const OracleSnapshot& snapshot, SnapshotCodec codec)
 {
     std::ofstream out(path, std::ios::binary);
     if (!out) throw snapshot_io_error("save_snapshot: cannot open " + path);
-    write_snapshot(out, snapshot);
+    write_snapshot(out, snapshot, codec);
     out.flush();
     if (!out) throw snapshot_io_error("save_snapshot: write to " + path + " failed");
 }
@@ -304,6 +422,204 @@ OracleSnapshot load_snapshot(const std::string& path)
     std::ifstream in(path, std::ios::binary);
     if (!in) throw snapshot_io_error("load_snapshot: cannot open " + path);
     return read_snapshot(in);
+}
+
+// --- MappedSnapshot ---------------------------------------------------------
+
+MappedSnapshot::MappedSnapshot(const std::string& path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) throw snapshot_io_error("MappedSnapshot: cannot open " + path);
+    struct stat info = {};
+    if (::fstat(fd, &info) != 0) {
+        ::close(fd);
+        throw snapshot_io_error("MappedSnapshot: cannot stat " + path);
+    }
+    map_size_ = static_cast<std::size_t>(info.st_size);
+    file_bytes_ = static_cast<std::uint64_t>(info.st_size);
+    if (map_size_ < kHeaderBytes + kFooterBytes) {
+        ::close(fd);
+        throw snapshot_io_error("MappedSnapshot: truncated header");
+    }
+    map_ = ::mmap(nullptr, map_size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // the mapping keeps its own reference
+    if (map_ == MAP_FAILED) {
+        map_ = nullptr;
+        throw snapshot_io_error("MappedSnapshot: mmap failed for " + path);
+    }
+
+    try {
+        const char* bytes = static_cast<const char*>(map_);
+        if (std::memcmp(bytes, kMagic.data(), kMagic.size()) != 0)
+            throw snapshot_io_error("MappedSnapshot: bad magic (not a ccq snapshot)");
+        ByteReader header(std::string_view(bytes + kMagic.size(), 4 + 8));
+        version_ = header.u32();
+        if (version_ != kSnapshotVersionRaw && version_ != kSnapshotVersionCompressed)
+            throw snapshot_io_error("MappedSnapshot: unsupported format version " +
+                                    std::to_string(version_));
+        const std::uint64_t payload_size = header.u64();
+        if (payload_size != map_size_ - kHeaderBytes - kFooterBytes)
+            throw snapshot_io_error(
+                "MappedSnapshot: payload length does not match the file size");
+        payload_ = bytes + kHeaderBytes;
+        payload_size_ = static_cast<std::size_t>(payload_size);
+
+        // One sequential pass at open: afterwards every lazily decoded row
+        // is covered by the verified checksum.
+        ByteReader footer(std::string_view(payload_ + payload_size_, kFooterBytes));
+        if (footer.u64() != fnv1a(std::string_view(payload_, payload_size_)))
+            throw snapshot_io_error("MappedSnapshot: checksum mismatch (corrupted snapshot)");
+
+        const std::string_view payload(payload_, payload_size_);
+        ByteReader reader(payload);
+        try {
+            meta_ = decode_meta(reader);
+            const int n = meta_.node_count;
+            const std::uint64_t cells =
+                static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n);
+            if (version_ == kSnapshotVersionRaw) {
+                if (cells > reader.remaining() / 8)
+                    throw snapshot_io_error(
+                        "read_snapshot: node count exceeds payload size");
+                v1_estimate_offset_ = reader.position();
+                (void)reader.bytes(static_cast<std::size_t>(cells) * 8);
+                has_routing_ = decode_flag(reader, "routing flag");
+                if (has_routing_) {
+                    if (cells > reader.remaining() / 4)
+                        throw snapshot_io_error(
+                            "read_snapshot: routing table exceeds payload size");
+                    v1_routing_offset_ = reader.position();
+                    (void)reader.bytes(static_cast<std::size_t>(cells) * 4);
+                }
+            } else {
+                const V2Section estimate = read_v2_section(reader, n, "estimate");
+                est_row_offsets_.assign(estimate.row_offsets.begin(),
+                                        estimate.row_offsets.end());
+                est_blob_offset_ = estimate.blob_offset;
+                est_rows_ = std::make_unique<WeightRowSlot[]>(static_cast<std::size_t>(n));
+                has_routing_ = decode_flag(reader, "routing flag");
+                if (has_routing_) {
+                    const V2Section routing = read_v2_section(reader, n, "routing");
+                    hop_row_offsets_.assign(routing.row_offsets.begin(),
+                                            routing.row_offsets.end());
+                    hop_blob_offset_ = routing.blob_offset;
+                    hop_rows_ = std::make_unique<HopRowSlot[]>(static_cast<std::size_t>(n));
+                }
+            }
+            if (!reader.exhausted())
+                throw snapshot_io_error("read_snapshot: trailing bytes after payload");
+        } catch (const decode_error& error) {
+            throw snapshot_io_error(std::string("MappedSnapshot: ") + error.what());
+        }
+    } catch (...) {
+        ::munmap(map_, map_size_);
+        map_ = nullptr;
+        throw;
+    }
+}
+
+MappedSnapshot::~MappedSnapshot()
+{
+    if (map_ != nullptr) ::munmap(map_, map_size_);
+}
+
+void MappedSnapshot::check_node(NodeId v, const char* what) const
+{
+    CCQ_EXPECT(v >= 0 && v < meta_.node_count, what);
+}
+
+const std::vector<Weight>& MappedSnapshot::estimate_row(NodeId u) const
+{
+    WeightRowSlot& slot = est_rows_[static_cast<std::size_t>(u)];
+    std::call_once(slot.once, [&] {
+        const int n = meta_.node_count;
+        const std::size_t begin = est_row_offsets_[static_cast<std::size_t>(u)];
+        const std::size_t end = est_row_offsets_[static_cast<std::size_t>(u) + 1];
+        std::vector<Weight> cells(static_cast<std::size_t>(n));
+        try {
+            decode_weight_row(
+                std::string_view(payload_ + est_blob_offset_ + begin, end - begin), n,
+                cells.data());
+        } catch (const decode_error& error) {
+            throw snapshot_io_error(std::string("MappedSnapshot: ") + error.what());
+        }
+        slot.cells = std::move(cells);
+    });
+    return slot.cells;
+}
+
+const std::vector<NodeId>& MappedSnapshot::hop_row(NodeId u) const
+{
+    HopRowSlot& slot = hop_rows_[static_cast<std::size_t>(u)];
+    std::call_once(slot.once, [&] {
+        const int n = meta_.node_count;
+        const std::size_t begin = hop_row_offsets_[static_cast<std::size_t>(u)];
+        const std::size_t end = hop_row_offsets_[static_cast<std::size_t>(u) + 1];
+        std::vector<NodeId> hops(static_cast<std::size_t>(n));
+        try {
+            decode_hop_row(std::string_view(payload_ + hop_blob_offset_ + begin, end - begin),
+                           n, hops.data());
+        } catch (const decode_error& error) {
+            throw snapshot_io_error(std::string("MappedSnapshot: ") + error.what());
+        }
+        slot.hops = std::move(hops);
+    });
+    return slot.hops;
+}
+
+Weight MappedSnapshot::distance(NodeId from, NodeId to) const
+{
+    check_node(from, "MappedSnapshot::distance: node out of range");
+    check_node(to, "MappedSnapshot::distance: node out of range");
+    if (version_ == kSnapshotVersionRaw) {
+        const std::size_t cell = static_cast<std::size_t>(from) *
+                                     static_cast<std::size_t>(meta_.node_count) +
+                                 static_cast<std::size_t>(to);
+        ByteReader reader(std::string_view(payload_ + v1_estimate_offset_ + cell * 8, 8));
+        return reader.i64();
+    }
+    return estimate_row(from)[static_cast<std::size_t>(to)];
+}
+
+NodeId MappedSnapshot::next_hop(NodeId from, NodeId to) const
+{
+    check_node(from, "MappedSnapshot::next_hop: node out of range");
+    check_node(to, "MappedSnapshot::next_hop: node out of range");
+    CCQ_EXPECT(has_routing_, "MappedSnapshot::next_hop: snapshot has no routing tables");
+    if (version_ == kSnapshotVersionRaw) {
+        const std::size_t cell = static_cast<std::size_t>(from) *
+                                     static_cast<std::size_t>(meta_.node_count) +
+                                 static_cast<std::size_t>(to);
+        ByteReader reader(std::string_view(payload_ + v1_routing_offset_ + cell * 4, 4));
+        return reader.i32();
+    }
+    return hop_row(from)[static_cast<std::size_t>(to)];
+}
+
+std::vector<NodeId> MappedSnapshot::route(NodeId from, NodeId to) const
+{
+    check_node(from, "MappedSnapshot::route: node out of range");
+    check_node(to, "MappedSnapshot::route: node out of range");
+    CCQ_EXPECT(has_routing_, "MappedSnapshot::route: snapshot has no routing tables");
+    const int n = meta_.node_count;
+    std::vector<NodeId> path{from};
+    NodeId current = from;
+    // Same hardening as RoutingTables::route: mapped tables are untrusted
+    // too (v1 cells are read unvalidated), so cycles and bad hop ids end
+    // the walk as unreachable instead of looping or throwing.
+    for (int steps = 0; current != to; ++steps) {
+        if (steps >= n) return {};
+        const NodeId next = next_hop(current, to);
+        if (next < 0 || next >= n) return {};
+        path.push_back(next);
+        current = next;
+    }
+    return path;
+}
+
+OracleSnapshot MappedSnapshot::materialize() const
+{
+    return decode_payload(version_, std::string_view(payload_, payload_size_));
 }
 
 } // namespace ccq

@@ -9,23 +9,35 @@
 // round-ledger summary, and (optionally) next-hop routing tables — is
 // serialized into one versioned, checksummed binary artifact.
 //
-// Format (all integers little-endian, fixed width):
+// Envelope (all integers little-endian, fixed width):
 //
 //   magic    8 bytes  "CCQSNAP\n"
-//   version  u32      kSnapshotFormatVersion
+//   version  u32      1 (raw codec) or 2 (compressed codec)
 //   length   u64      payload byte count (truncation detection)
-//   payload  ...      meta + estimate cells + optional next hops
+//   payload  ...      meta + estimate + optional next hops
 //   checksum u64      FNV-1a 64 of the payload (corruption detection)
 //
-// Readers reject unknown versions, short files, and checksum mismatches
-// with snapshot_io_error; a successful load round-trips bitwise.
+// Version 1 stores every estimate cell as a fixed 8-byte integer and
+// every next hop as 4 bytes.  Version 2 ("codec v2") stores each row
+// delta-encoded as zigzag varints behind a row-offset table, which both
+// shrinks the file (neighboring estimates are close; unreachable runs
+// collapse to one byte per cell) and enables lazy per-row decoding.
+//
+// Readers accept both versions and reject unknown versions, short
+// files, and checksum mismatches with snapshot_io_error; a successful
+// load round-trips bitwise.  MappedSnapshot serves either version
+// straight from an mmap'd file: integrity is verified once at open, and
+// v2 rows are decoded on first touch (decode-once, thread-safe).
 #ifndef CCQ_SERVE_SNAPSHOT_HPP
 #define CCQ_SERVE_SNAPSHOT_HPP
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "ccq/core/apsp_result.hpp"
 #include "ccq/core/routing.hpp"
@@ -40,8 +52,16 @@ public:
     explicit snapshot_io_error(const std::string& what_arg) : std::runtime_error(what_arg) {}
 };
 
-/// Bump on any layout change; readers reject every other value.
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+/// On-disk encodings; the envelope version field is the codec.
+enum class SnapshotCodec : std::uint32_t {
+    raw = 1,        ///< fixed-width cells (format version 1)
+    compressed = 2, ///< per-row delta+varint behind offset tables (version 2)
+};
+
+inline constexpr std::uint32_t kSnapshotVersionRaw = 1;
+inline constexpr std::uint32_t kSnapshotVersionCompressed = 2;
+/// Highest format version this reader understands.
+inline constexpr std::uint32_t kSnapshotFormatVersion = kSnapshotVersionCompressed;
 
 /// Everything about the build that is not the bulk payload.
 struct SnapshotMeta {
@@ -73,11 +93,87 @@ struct OracleSnapshot {
                                                     const RoutingTables* routing = nullptr);
 };
 
-void write_snapshot(std::ostream& out, const OracleSnapshot& snapshot);
+void write_snapshot(std::ostream& out, const OracleSnapshot& snapshot,
+                    SnapshotCodec codec = SnapshotCodec::raw);
 [[nodiscard]] OracleSnapshot read_snapshot(std::istream& in);
 
-void save_snapshot(const std::string& path, const OracleSnapshot& snapshot);
+void save_snapshot(const std::string& path, const OracleSnapshot& snapshot,
+                   SnapshotCodec codec = SnapshotCodec::raw);
 [[nodiscard]] OracleSnapshot load_snapshot(const std::string& path);
+
+/// An oracle served directly from an mmap'd snapshot file.
+///
+/// Opening verifies the full envelope (magic, version, length, FNV-1a
+/// checksum) and validates the row-offset tables, but does not
+/// materialize the n^2 estimate: version-1 cells are read in place, and
+/// version-2 rows are decoded on first touch into a per-row cache
+/// (std::call_once, so concurrent readers are safe and each row is
+/// decoded exactly once).  All accessors are const and thread-safe.
+class MappedSnapshot {
+public:
+    explicit MappedSnapshot(const std::string& path);
+    ~MappedSnapshot();
+    MappedSnapshot(const MappedSnapshot&) = delete;
+    MappedSnapshot& operator=(const MappedSnapshot&) = delete;
+
+    [[nodiscard]] const SnapshotMeta& meta() const noexcept { return meta_; }
+    [[nodiscard]] int node_count() const noexcept { return meta_.node_count; }
+    [[nodiscard]] bool has_routing() const noexcept { return has_routing_; }
+    [[nodiscard]] std::uint32_t format_version() const noexcept { return version_; }
+    [[nodiscard]] std::uint64_t file_bytes() const noexcept { return file_bytes_; }
+
+    /// Distance estimate for (from, to); kInfinity when unreachable.
+    [[nodiscard]] Weight distance(NodeId from, NodeId to) const;
+
+    /// Next hop of `from` toward `to` (-1 when none); requires routing.
+    [[nodiscard]] NodeId next_hop(NodeId from, NodeId to) const;
+
+    /// Hop-budgeted next-hop walk with the same hardening as
+    /// RoutingTables::route: cycles, out-of-range hops, and walks longer
+    /// than n hops report unreachable (empty) instead of looping.
+    [[nodiscard]] std::vector<NodeId> route(NodeId from, NodeId to) const;
+
+    /// Full eager decode into an in-memory snapshot (for tests and for
+    /// re-encoding under a different codec).
+    [[nodiscard]] OracleSnapshot materialize() const;
+
+private:
+    struct WeightRowSlot {
+        std::once_flag once;
+        std::vector<Weight> cells;
+    };
+    struct HopRowSlot {
+        std::once_flag once;
+        std::vector<NodeId> hops;
+    };
+
+    [[nodiscard]] const std::vector<Weight>& estimate_row(NodeId u) const;
+    [[nodiscard]] const std::vector<NodeId>& hop_row(NodeId u) const;
+    void check_node(NodeId v, const char* what) const;
+
+    // The mapped file; payload_ points into it.
+    void* map_ = nullptr;
+    std::size_t map_size_ = 0;
+    std::uint64_t file_bytes_ = 0;
+    const char* payload_ = nullptr;
+    std::size_t payload_size_ = 0;
+    std::uint32_t version_ = 0;
+
+    SnapshotMeta meta_;
+    bool has_routing_ = false;
+
+    // v1: byte offsets of the fixed-width cell blocks inside the payload.
+    std::size_t v1_estimate_offset_ = 0;
+    std::size_t v1_routing_offset_ = 0;
+
+    // v2: row-offset tables (validated at open) and decode-once caches.
+    std::vector<std::size_t> est_row_offsets_; ///< n+1 offsets into est blob
+    std::size_t est_blob_offset_ = 0;
+    std::vector<std::size_t> hop_row_offsets_;
+    std::size_t hop_blob_offset_ = 0;
+    mutable std::unique_ptr<WeightRowSlot[]> est_rows_;
+    mutable std::unique_ptr<HopRowSlot[]> hop_rows_;
+};
 
 } // namespace ccq
 

@@ -1,0 +1,235 @@
+// Tests for the serving wire protocol: framing over in-memory streams,
+// request/response codec round trips, malformed-input rejection, and
+// the JSON debug-mode request grammar.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <deque>
+
+#include "ccq/net/protocol.hpp"
+
+namespace ccq {
+namespace {
+
+/// An in-memory Stream: everything written becomes readable.
+class LoopbackStream : public Stream {
+public:
+    std::size_t read_some(void* buffer, std::size_t count) override
+    {
+        if (bytes_.empty()) return 0; // EOF once drained
+        const std::size_t take = std::min(count, bytes_.size());
+        for (std::size_t i = 0; i < take; ++i) {
+            static_cast<char*>(buffer)[i] = bytes_.front();
+            bytes_.pop_front();
+        }
+        return take;
+    }
+
+    void write_all(const void* buffer, std::size_t count) override
+    {
+        const char* bytes = static_cast<const char*>(buffer);
+        bytes_.insert(bytes_.end(), bytes, bytes + count);
+    }
+
+    void interrupt() noexcept override {}
+
+private:
+    std::deque<char> bytes_;
+};
+
+TEST(Protocol, FramesRoundTripThroughAStream)
+{
+    LoopbackStream stream;
+    write_frame(stream, "hello");
+    write_frame(stream, ""); // empty frames are legal
+    write_frame(stream, std::string(1000, 'x'));
+    EXPECT_EQ(read_frame(stream), "hello");
+    EXPECT_EQ(read_frame(stream), "");
+    EXPECT_EQ(read_frame(stream), std::string(1000, 'x'));
+    EXPECT_EQ(read_frame(stream), std::nullopt); // clean EOF
+}
+
+TEST(Protocol, OversizedFrameLengthIsRejectedUnread)
+{
+    LoopbackStream stream;
+    const std::uint32_t huge = kMaxFrameBytes + 1;
+    char prefix[4];
+    std::memcpy(prefix, &huge, 4); // test host is little-endian like the wire
+    stream.write_all(prefix, 4);
+    EXPECT_THROW((void)read_frame(stream), protocol_error);
+}
+
+TEST(Protocol, TruncatedFrameBodyThrowsNetError)
+{
+    LoopbackStream stream;
+    write_frame(stream, "full frame");
+    LoopbackStream truncated;
+    const std::uint32_t claimed = 100;
+    char prefix[4];
+    std::memcpy(prefix, &claimed, 4);
+    truncated.write_all(prefix, 4);
+    truncated.write_all("short", 5);
+    EXPECT_THROW((void)read_frame(truncated), net_error);
+}
+
+TEST(Protocol, RequestsRoundTripForEveryOpcode)
+{
+    for (const Opcode op : {Opcode::ping, Opcode::distance, Opcode::path, Opcode::k_nearest,
+                            Opcode::stats, Opcode::shutdown}) {
+        Request request;
+        request.op = op;
+        request.from = 3;
+        request.to = 17;
+        request.k = 5;
+        const Request decoded = decode_request(encode_request(request));
+        EXPECT_EQ(decoded.op, op);
+        if (op == Opcode::distance || op == Opcode::path) {
+            EXPECT_EQ(decoded.from, 3);
+            EXPECT_EQ(decoded.to, 17);
+        }
+        if (op == Opcode::k_nearest) {
+            EXPECT_EQ(decoded.from, 3);
+            EXPECT_EQ(decoded.k, 5);
+        }
+        EXPECT_FALSE(decoded.json);
+    }
+}
+
+TEST(Protocol, BatchRequestsCarryTheirPairs)
+{
+    Request request;
+    request.op = Opcode::batch_paths;
+    request.pairs = {{0, 1}, {5, 9}, {2, 2}};
+    const Request decoded = decode_request(encode_request(request));
+    EXPECT_EQ(decoded.op, Opcode::batch_paths);
+    ASSERT_EQ(decoded.pairs.size(), 3u);
+    EXPECT_EQ(decoded.pairs[1].from, 5);
+    EXPECT_EQ(decoded.pairs[1].to, 9);
+}
+
+TEST(Protocol, MalformedRequestsAreRejected)
+{
+    EXPECT_THROW((void)decode_request(""), protocol_error);
+    EXPECT_THROW((void)decode_request("\xff"), protocol_error);         // unknown opcode
+    EXPECT_THROW((void)decode_request("\x02\x01"), protocol_error);     // truncated operands
+    EXPECT_THROW((void)decode_request(std::string("\x01\x00", 2)), protocol_error); // trailing
+    // A batch whose count field promises more pairs than the frame holds
+    // must fail before allocating that count.
+    std::string body;
+    body += static_cast<char>(0x05);
+    const std::uint32_t count = 1u << 30;
+    body.append(reinterpret_cast<const char*>(&count), 4);
+    EXPECT_THROW((void)decode_request(body), protocol_error);
+}
+
+TEST(Protocol, RepliesRoundTrip)
+{
+    EXPECT_EQ(decode_ping_reply(split_reply(encode_ping_reply()).second), kProtocolVersion);
+    EXPECT_EQ(decode_distance_reply(split_reply(encode_distance_reply(12345)).second), 12345);
+
+    PathResult path;
+    path.reachable = true;
+    path.distance = 42;
+    path.nodes = {0, 3, 9};
+    EXPECT_EQ(decode_path_reply(split_reply(encode_path_reply(path)).second), path);
+
+    const std::vector<NearTarget> targets{{4, 10}, {7, 11}};
+    EXPECT_EQ(decode_nearest_reply(split_reply(encode_nearest_reply(targets)).second), targets);
+
+    const std::vector<Weight> distances{1, kInfinity, 7};
+    EXPECT_EQ(
+        decode_batch_distances_reply(split_reply(encode_batch_distances_reply(distances)).second),
+        distances);
+
+    const std::vector<PathResult> paths{path, PathResult{}};
+    EXPECT_EQ(decode_batch_paths_reply(split_reply(encode_batch_paths_reply(paths)).second),
+              paths);
+
+    ServerStats stats;
+    stats.connections_accepted = 3;
+    stats.frames_served = 99;
+    stats.cache_hits = 7;
+    stats.uptime_seconds = 1.5;
+    stats.node_count = 96;
+    stats.has_routing = true;
+    EXPECT_EQ(decode_stats_reply(split_reply(encode_stats_reply(stats)).second), stats);
+}
+
+TEST(Protocol, ErrorRepliesCarryStatusAndMessage)
+{
+    const std::string body = encode_error_reply(Status::out_of_range, "node 200");
+    const auto [status, payload] = split_reply(body);
+    EXPECT_EQ(status, Status::out_of_range);
+    EXPECT_NE(std::string(payload).find("node 200"), std::string::npos);
+    EXPECT_THROW((void)split_reply(""), protocol_error);
+    EXPECT_THROW((void)split_reply("\x63"), protocol_error); // unknown status byte
+}
+
+TEST(Protocol, TruncatedRepliesAreRejected)
+{
+    const std::string good = encode_path_reply(PathResult{true, 9, {0, 1}});
+    const auto [status, payload] = split_reply(good);
+    ASSERT_EQ(status, Status::ok);
+    for (std::size_t keep = 0; keep < payload.size(); ++keep)
+        EXPECT_THROW((void)decode_path_reply(payload.substr(0, keep)), protocol_error)
+            << "kept " << keep << " of " << payload.size();
+    // A count field larger than the remaining bytes must not allocate.
+    const std::uint32_t huge = 1u << 30;
+    std::string forged(reinterpret_cast<const char*>(&huge), 4);
+    EXPECT_THROW((void)decode_batch_paths_reply(forged), protocol_error);
+}
+
+TEST(Protocol, JsonRequestsParse)
+{
+    const Request distance = decode_request(R"({"op":"distance","from":4,"to":9})");
+    EXPECT_EQ(distance.op, Opcode::distance);
+    EXPECT_EQ(distance.from, 4);
+    EXPECT_EQ(distance.to, 9);
+    EXPECT_TRUE(distance.json);
+
+    const Request nearest = parse_json_request(R"({ "op" : "k_nearest" , "from": 2, "k": 8 })");
+    EXPECT_EQ(nearest.op, Opcode::k_nearest);
+    EXPECT_EQ(nearest.k, 8);
+
+    const Request batch =
+        parse_json_request(R"({"op":"batch_distances","pairs":[[0,1],[2,3]]})");
+    ASSERT_EQ(batch.pairs.size(), 2u);
+    EXPECT_EQ(batch.pairs[1].from, 2);
+    EXPECT_EQ(batch.pairs[1].to, 3);
+
+    const Request bare = parse_json_request(R"({"op":"stats"})");
+    EXPECT_EQ(bare.op, Opcode::stats);
+}
+
+TEST(Protocol, MalformedJsonRequestsAreRejected)
+{
+    for (const char* bad : {
+             "{",                                  // unterminated
+             "{}",                                 // missing op
+             R"({"op":"no_such_op"})",             // unknown op
+             R"({"op":"distance","from":"x"})",    // non-numeric operand
+             R"({"op":"distance"} trailing)",      // trailing characters
+             R"({"unknown_key":1,"op":"ping"})",   // unknown key
+             R"({"op":"batch_paths","pairs":[0]})", // pairs not pairs
+             // Overflowing numbers must be a protocol_error (answered as
+             // malformed), not an escaping std::out_of_range that tears
+             // the connection down.
+             R"({"op":"distance","from":99999999999999999999999,"to":1})",
+             // Fits a long long but not the wire's i32 node ids: a silent
+             // truncation would alias onto a valid node (4294967296 -> 0)
+             // and serve a wrong answer instead of an error.
+             R"({"op":"distance","from":4294967296,"to":5})",
+             R"({"op":"k_nearest","from":0,"k":2147483648})"
+         })
+        EXPECT_THROW((void)parse_json_request(bad), protocol_error) << bad;
+}
+
+TEST(Protocol, JsonEscapeHandlesControlBytesAndQuotes)
+{
+    EXPECT_EQ(json_escape("plain"), "plain");
+    EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(json_escape(std::string("x\ny", 3)), "x\\u000ay");
+}
+
+} // namespace
+} // namespace ccq

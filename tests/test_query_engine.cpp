@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
 
 #include "ccq/core/oracle.hpp"
 #include "ccq/serve/query_engine.hpp"
@@ -115,6 +118,75 @@ TEST(QueryEngine, PathCacheEvictsAtCapacityAndStaysCorrect)
                 ASSERT_EQ(engine.path(u, v), uncached.path(u, v)) << u << "->" << v;
     EXPECT_EQ(uncached.cache_stats().hits, 0u);
     EXPECT_EQ(uncached.cache_stats().misses, 0u);
+}
+
+TEST(QueryEngine, PathCacheLruEvictionOrderIsDeterministic)
+{
+    // One shard with room for exactly two entries makes LRU observable
+    // through the hit/miss counters.
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::erdos_renyi_sparse, 32, 5});
+    QueryEngineConfig config;
+    config.path_cache_capacity = 2;
+    config.cache_shards = 1;
+    const QueryEngine engine(built.snapshot, config);
+
+    (void)engine.path(0, 1); // cache: {0->1}
+    (void)engine.path(0, 2); // cache: {0->2, 0->1}
+    (void)engine.path(0, 1); // touch: {0->1, 0->2}
+    EXPECT_EQ(engine.cache_stats().hits, 1u);
+    (void)engine.path(0, 3); // evicts the least-recent entry, 0->2
+    (void)engine.path(0, 1); // still cached
+    EXPECT_EQ(engine.cache_stats().hits, 2u);
+    const std::uint64_t misses_before = engine.cache_stats().misses;
+    (void)engine.path(0, 2); // was evicted: must miss again
+    EXPECT_EQ(engine.cache_stats().misses, misses_before + 1);
+    EXPECT_EQ(engine.cache_stats().hits, 2u);
+}
+
+TEST(QueryEngine, ShardedCacheStaysCorrectUnderConcurrentBatches)
+{
+    // Many concurrent batched path queries against a cache far smaller
+    // than the working set: heavy insert/evict churn across shards.
+    // Every answer must match an uncached reference engine, and the
+    // hit/miss counters must account for exactly one lookup per query.
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::clustered, 40, 21});
+    QueryEngineConfig config;
+    config.path_cache_capacity = 16;
+    config.cache_shards = 4;
+    config.threads = 4;
+    const QueryEngine engine(built.snapshot, config);
+    QueryEngineConfig uncached_config;
+    uncached_config.path_cache_capacity = 0;
+    const QueryEngine uncached(built.snapshot, uncached_config);
+
+    Rng rng(9);
+    std::vector<PointQuery> queries;
+    for (int i = 0; i < 2000; ++i)
+        queries.push_back({static_cast<NodeId>(rng.uniform_int(0, 39)),
+                           static_cast<NodeId>(rng.uniform_int(0, 39))});
+
+    constexpr int kThreads = 4;
+    constexpr int kRounds = 3;
+    std::vector<std::thread> workers;
+    std::atomic<int> failures{0};
+    for (int w = 0; w < kThreads; ++w)
+        workers.emplace_back([&] {
+            for (int round = 0; round < kRounds; ++round) {
+                const std::vector<PathResult> paths = engine.batch_paths(queries);
+                for (std::size_t i = 0; i < queries.size(); ++i)
+                    if (paths[i] != uncached.path(queries[i].from, queries[i].to))
+                        failures.fetch_add(1);
+            }
+        });
+    for (std::thread& worker : workers) worker.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    // Exactly one cache lookup per path query, hit or miss.
+    const CacheStats stats = engine.cache_stats();
+    EXPECT_EQ(stats.hits + stats.misses,
+              static_cast<std::uint64_t>(kThreads) * kRounds * queries.size());
+    EXPECT_GT(stats.misses, 0u);
+    EXPECT_GT(stats.hits, 0u);
 }
 
 TEST(QueryEngine, NearestTargetsAreOrderedAndComplete)

@@ -1,0 +1,299 @@
+// Tests for the networked serving subsystem: Server + Client over real
+// loopback TCP sockets and over socketpair streams (the stdio mode).
+//
+// The load-bearing test is round-trip equivalence: every answer served
+// over the socket protocol — against the compressed codec-v2 snapshot,
+// mmap-loaded — must be bitwise identical to the in-process QueryEngine
+// answer against the raw v1 snapshot.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "ccq/core/oracle.hpp"
+#include "ccq/net/client.hpp"
+#include "ccq/net/server.hpp"
+#include "test_helpers.hpp"
+
+namespace ccq {
+namespace {
+
+using testing::InstanceSpec;
+
+// A dead peer mid-write must surface as net_error, not SIGPIPE.
+struct IgnoreSigpipe {
+    IgnoreSigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+} const g_ignore_sigpipe;
+
+struct BuiltOracle {
+    Graph graph;
+    OracleSnapshot snapshot;
+};
+
+BuiltOracle build(const InstanceSpec& spec)
+{
+    BuiltOracle built;
+    built.graph = testing::make_instance(spec);
+    ApspOptions options;
+    options.seed = spec.seed;
+    const ApspResult result =
+        DistanceOracle(built.graph, ApspAlgorithmKind::logn_baseline, options).result();
+    const RoutingTables routing = build_routing_tables(built.graph);
+    built.snapshot = OracleSnapshot::from_result(built.graph, result, options.seed, &routing);
+    return built;
+}
+
+/// A listening server plus the thread running its accept loop.
+class RunningServer {
+public:
+    explicit RunningServer(std::shared_ptr<const QueryEngine> engine)
+        : server_(std::move(engine))
+    {
+        port_ = server_.listen();
+        thread_ = std::thread([this] { server_.run(); });
+    }
+
+    ~RunningServer()
+    {
+        server_.request_stop();
+        if (thread_.joinable()) thread_.join();
+    }
+
+    [[nodiscard]] int port() const { return port_; }
+    [[nodiscard]] Server& server() { return server_; }
+    [[nodiscard]] Client connect() { return Client::connect("127.0.0.1", port_); }
+
+private:
+    Server server_;
+    int port_ = 0;
+    std::thread thread_;
+};
+
+TEST(Server, AnswersBitwiseIdenticalToTheEngine)
+{
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::erdos_renyi_sparse, 40, 13});
+    const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
+    RunningServer running(engine);
+    Client client = running.connect();
+
+    EXPECT_EQ(client.ping(), kProtocolVersion);
+    for (NodeId u = 0; u < 40; u += 3) {
+        for (NodeId v = 0; v < 40; v += 5) {
+            ASSERT_EQ(client.distance(u, v), engine->distance(u, v)) << u << "->" << v;
+            ASSERT_EQ(client.path(u, v), engine->path(u, v)) << u << "->" << v;
+        }
+        ASSERT_EQ(client.nearest_targets(u, 7), engine->nearest_targets(u, 7)) << u;
+    }
+
+    std::vector<PointQuery> batch;
+    for (NodeId u = 0; u < 40; ++u) batch.push_back({u, static_cast<NodeId>(39 - u)});
+    EXPECT_EQ(client.batch_distances(batch), engine->batch_distances(batch));
+    EXPECT_EQ(client.batch_paths(batch), engine->batch_paths(batch));
+}
+
+TEST(Server, RoundTripEquivalenceAcrossCodecV2AndMmap)
+{
+    // The acceptance criterion of the serving subsystem: socket protocol
+    // + compressed snapshot + mmap loading vs in-process v1 answers.
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::clustered, 48, 3});
+
+    const std::string v1_path = ::testing::TempDir() + "ccq_server_equiv_v1.snap";
+    const std::string v2_path = ::testing::TempDir() + "ccq_server_equiv_v2.snap";
+    save_snapshot(v1_path, built.snapshot, SnapshotCodec::raw);
+    save_snapshot(v2_path, built.snapshot, SnapshotCodec::compressed);
+
+    const QueryEngine reference(load_snapshot(v1_path));
+    const auto mapped = std::make_shared<const MappedSnapshot>(v2_path);
+    EXPECT_EQ(mapped->format_version(), kSnapshotVersionCompressed);
+    RunningServer running(std::make_shared<const QueryEngine>(mapped));
+    Client client = running.connect();
+
+    for (NodeId u = 0; u < 48; ++u)
+        for (NodeId v = 0; v < 48; v += 3) {
+            ASSERT_EQ(client.distance(u, v), reference.distance(u, v)) << u << "->" << v;
+            ASSERT_EQ(client.path(u, v), reference.path(u, v)) << u << "->" << v;
+        }
+    std::remove(v1_path.c_str());
+    std::remove(v2_path.c_str());
+}
+
+TEST(Server, ConcurrentClientsGetConsistentAnswers)
+{
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::erdos_renyi_sparse, 32, 5});
+    const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
+    RunningServer running(engine);
+
+    constexpr int kClients = 4;
+    std::vector<std::thread> workers;
+    std::atomic<int> failures{0};
+    for (int w = 0; w < kClients; ++w)
+        workers.emplace_back([&, w] {
+            Client client = running.connect();
+            Rng rng(static_cast<std::uint64_t>(w) + 1);
+            for (int i = 0; i < 200; ++i) {
+                const NodeId u = static_cast<NodeId>(rng.uniform_int(0, 31));
+                const NodeId v = static_cast<NodeId>(rng.uniform_int(0, 31));
+                if (client.distance(u, v) != engine->distance(u, v) ||
+                    client.path(u, v) != engine->path(u, v))
+                    failures.fetch_add(1);
+            }
+        });
+    for (std::thread& worker : workers) worker.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    const ServerStats stats = running.server().stats();
+    EXPECT_EQ(stats.connections_accepted, static_cast<std::uint64_t>(kClients));
+    EXPECT_GE(stats.frames_served, static_cast<std::uint64_t>(kClients) * 400);
+    EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(Server, RejectsBadRequestsWithTypedStatuses)
+{
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
+    const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
+    RunningServer running(engine);
+    Client client = running.connect();
+
+    try {
+        (void)client.distance(200, 0);
+        FAIL() << "expected rpc_error";
+    } catch (const rpc_error& error) {
+        EXPECT_EQ(error.status(), Status::out_of_range);
+    }
+    try {
+        (void)client.nearest_targets(0, -1);
+        FAIL() << "expected rpc_error";
+    } catch (const rpc_error& error) {
+        EXPECT_EQ(error.status(), Status::out_of_range);
+    }
+    // The connection survives a rejected request.
+    EXPECT_EQ(client.distance(0, 5), engine->distance(0, 5));
+    EXPECT_GE(running.server().stats().errors, 2u);
+}
+
+TEST(Server, PathAgainstRoutinglessSnapshotIsUnsupported)
+{
+    const Graph g = testing::make_instance(InstanceSpec{GraphFamily::tree, 12, 2});
+    const ApspResult result = DistanceOracle(g, ApspAlgorithmKind::logn_baseline).result();
+    const auto engine = std::make_shared<const QueryEngine>(
+        OracleSnapshot::from_result(g, result, 1)); // no routing tables
+    RunningServer running(engine);
+    Client client = running.connect();
+    try {
+        (void)client.path(0, 5);
+        FAIL() << "expected rpc_error";
+    } catch (const rpc_error& error) {
+        EXPECT_EQ(error.status(), Status::unsupported);
+    }
+    EXPECT_EQ(client.distance(0, 5), engine->distance(0, 5));
+}
+
+TEST(Server, MalformedFrameGetsAnErrorAndTheConnectionSurvives)
+{
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
+    RunningServer running(std::make_shared<const QueryEngine>(built.snapshot));
+
+    std::unique_ptr<TcpStream> raw = TcpStream::connect("127.0.0.1", running.port());
+    write_frame(*raw, "\xee\xee\xee"); // unknown opcode + garbage
+    const std::optional<std::string> error_reply = read_frame(*raw);
+    ASSERT_TRUE(error_reply.has_value());
+    EXPECT_EQ(split_reply(*error_reply).first, Status::malformed);
+
+    // Framing is intact, so a well-formed request still succeeds.
+    Request request;
+    request.op = Opcode::ping;
+    write_frame(*raw, encode_request(request));
+    const std::optional<std::string> ok_reply = read_frame(*raw);
+    ASSERT_TRUE(ok_reply.has_value());
+    EXPECT_EQ(split_reply(*ok_reply).first, Status::ok);
+}
+
+TEST(Server, JsonDebugModeAnswersJson)
+{
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
+    const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
+    RunningServer running(engine);
+    Client client = running.connect();
+
+    const Weight expected = engine->distance(0, 5);
+    const std::string reply = client.json_request(R"({"op":"distance","from":0,"to":5})");
+    EXPECT_EQ(reply, "{\"op\":\"distance\",\"from\":0,\"to\":5,\"reachable\":true,"
+                     "\"distance\":" + std::to_string(expected) + "}");
+
+    const std::string error = client.json_request(R"({"op":"distance","from":99,"to":0})");
+    EXPECT_EQ(error.rfind("{\"error\"", 0), 0u) << error;
+
+    // A JSON body that fails to even parse (overflowing number) must
+    // still be answered in JSON, on a surviving connection.
+    const std::string overflow =
+        client.json_request(R"({"op":"distance","from":99999999999999999999999,"to":1})");
+    EXPECT_EQ(overflow.rfind("{\"error\"", 0), 0u) << overflow;
+    EXPECT_NE(overflow.find("malformed"), std::string::npos) << overflow;
+
+    const std::string stats = client.json_request(R"({"op":"stats"})");
+    EXPECT_NE(stats.find("\"node_count\":12"), std::string::npos) << stats;
+}
+
+TEST(Server, ShutdownFrameStopsTheAcceptLoopGracefully)
+{
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
+    Server server(std::make_shared<const QueryEngine>(built.snapshot));
+    const int port = server.listen();
+    std::thread accept_thread([&server] { server.run(); });
+
+    {
+        Client client = Client::connect("127.0.0.1", port);
+        EXPECT_EQ(client.distance(0, 5) >= 0, true);
+        client.shutdown_server(); // acknowledged before the server stops
+    }
+    accept_thread.join(); // run() must return on its own
+    EXPECT_TRUE(server.stopping());
+    EXPECT_THROW((void)Client::connect("127.0.0.1", port), net_error);
+}
+
+TEST(Server, RequestStopUnblocksIdleConnections)
+{
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
+    Server server(std::make_shared<const QueryEngine>(built.snapshot));
+    const int port = server.listen();
+    std::thread accept_thread([&server] { server.run(); });
+
+    // An idle client parks a handler in a blocking read; request_stop
+    // must still drain everything without hanging.
+    Client idle = Client::connect("127.0.0.1", port);
+    EXPECT_EQ(idle.ping(), kProtocolVersion);
+    server.request_stop();
+    accept_thread.join();
+}
+
+TEST(Server, ServeStreamSpeaksTheProtocolOverASocketpair)
+{
+    // The stdio mode without process games: one socketpair, the server
+    // serving one end inline, a Client on the other.
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::clustered, 24, 7});
+    const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
+    Server server(engine);
+
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    std::thread serving([&server, fd = fds[0]] {
+        FdStream stream(fd, fd, /*owns=*/true);
+        server.serve_stream(stream);
+    });
+    {
+        Client client(std::make_unique<FdStream>(fds[1], fds[1], /*owns=*/true));
+        for (NodeId u = 0; u < 24; u += 4)
+            for (NodeId v = 0; v < 24; v += 4) {
+                ASSERT_EQ(client.distance(u, v), engine->distance(u, v));
+                ASSERT_EQ(client.path(u, v), engine->path(u, v));
+            }
+    } // Client destruction closes the socket: EOF ends serve_stream.
+    serving.join();
+    EXPECT_EQ(server.stats().connections_accepted, 1u);
+}
+
+} // namespace
+} // namespace ccq

@@ -1,0 +1,167 @@
+// ccq_client — command-line client for a running ccq_served.
+//
+//   ccq_client --port 7465 --from 0 --to 50 --path --json
+//   ccq_client --port 7465 --from 3 --k 8
+//   ccq_client --port 7465 --batch queries.txt --json
+//   ccq_client --port 7465 --stats --json
+//   ccq_client --port 7465 --ping
+//   ccq_client --port 7465 --shutdown
+//   ccq_client --port 7465 --raw-json '{"op":"distance","from":0,"to":5}'
+//
+// Speaks the binary framed protocol through ccq::Client and renders
+// answers as text or JSON (the same shapes ccq_serve query prints, so
+// scripts can swap between in-process and networked serving).
+// --raw-json exercises the wire-level JSON debug mode instead and
+// prints the server's JSON reply verbatim.
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ccq/net/client.hpp"
+#include "tool_common.hpp"
+
+namespace {
+
+using namespace ccq;
+using ccq_tools::Args;
+using ccq_tools::render_answer;
+using ccq_tools::require_ll;
+
+int usage()
+{
+    std::fprintf(stderr,
+                 "usage: ccq_client [--host <ip>] --port <n> [--json] <command>\n"
+                 "commands:\n"
+                 "  --from <u> --to <v> [--path]   point distance / path query\n"
+                 "  --from <u> --k <n>             k nearest targets\n"
+                 "  --batch <file> [--path]        one query per 'u v' line\n"
+                 "  --stats | --ping | --shutdown  control frames\n"
+                 "  --raw-json <object>            JSON debug mode passthrough\n");
+    return 1;
+}
+
+int run(Args& args)
+{
+    const std::string host = args.value("--host").value_or("127.0.0.1");
+    const int port = static_cast<int>(require_ll(args.value("--port"), "--port"));
+    const bool json = args.flag("--json");
+    const bool want_path = args.flag("--path");
+    const bool want_stats = args.flag("--stats");
+    const bool want_ping = args.flag("--ping");
+    const bool want_shutdown = args.flag("--shutdown");
+    const std::optional<std::string> raw_json = args.value("--raw-json");
+    const std::optional<std::string> batch = args.value("--batch");
+    const std::optional<std::string> from_text = args.value("--from");
+    const std::optional<std::string> to_text = args.value("--to");
+    const std::optional<std::string> k_text = args.value("--k");
+    args.finish();
+
+    Client client = Client::connect(host, port);
+
+    if (raw_json) {
+        std::printf("%s\n", client.json_request(*raw_json).c_str());
+        return 0;
+    }
+    if (want_ping) {
+        const std::uint32_t version = client.ping();
+        if (json)
+            std::printf("{\"ok\":true,\"protocol\":%u}\n", version);
+        else
+            std::printf("ok (protocol %u)\n", version);
+        return 0;
+    }
+    if (want_shutdown) {
+        client.shutdown_server();
+        if (json)
+            std::printf("{\"ok\":true,\"shutdown\":true}\n");
+        else
+            std::printf("server acknowledged shutdown\n");
+        return 0;
+    }
+    if (want_stats) {
+        const ServerStats s = client.stats();
+        if (json) {
+            std::printf("{\"connections_accepted\":%llu,\"active_connections\":%llu,"
+                        "\"frames_served\":%llu,\"errors\":%llu,\"distance_queries\":%llu,"
+                        "\"path_queries\":%llu,\"knearest_queries\":%llu,\"batch_items\":%llu,"
+                        "\"cache_hits\":%llu,\"cache_misses\":%llu,\"uptime_seconds\":%.3f,"
+                        "\"node_count\":%d,\"has_routing\":%s}\n",
+                        static_cast<unsigned long long>(s.connections_accepted),
+                        static_cast<unsigned long long>(s.active_connections),
+                        static_cast<unsigned long long>(s.frames_served),
+                        static_cast<unsigned long long>(s.errors),
+                        static_cast<unsigned long long>(s.distance_queries),
+                        static_cast<unsigned long long>(s.path_queries),
+                        static_cast<unsigned long long>(s.knearest_queries),
+                        static_cast<unsigned long long>(s.batch_items),
+                        static_cast<unsigned long long>(s.cache_hits),
+                        static_cast<unsigned long long>(s.cache_misses), s.uptime_seconds,
+                        s.node_count, s.has_routing ? "true" : "false");
+        } else {
+            std::printf("n=%d routing=%s up=%.1fs\n", s.node_count,
+                        s.has_routing ? "yes" : "no", s.uptime_seconds);
+            std::printf("connections: %llu accepted, %llu active\n",
+                        static_cast<unsigned long long>(s.connections_accepted),
+                        static_cast<unsigned long long>(s.active_connections));
+            std::printf("frames: %llu ok, %llu errors (%llu distance, %llu path, "
+                        "%llu k-nearest, %llu batch items)\n",
+                        static_cast<unsigned long long>(s.frames_served),
+                        static_cast<unsigned long long>(s.errors),
+                        static_cast<unsigned long long>(s.distance_queries),
+                        static_cast<unsigned long long>(s.path_queries),
+                        static_cast<unsigned long long>(s.knearest_queries),
+                        static_cast<unsigned long long>(s.batch_items));
+            std::printf("path cache: %llu hits, %llu misses\n",
+                        static_cast<unsigned long long>(s.cache_hits),
+                        static_cast<unsigned long long>(s.cache_misses));
+        }
+        return 0;
+    }
+
+    if (batch) {
+        const std::vector<PointQuery> queries = ccq_tools::read_batch_file(*batch);
+        std::vector<PathResult> paths;
+        std::vector<Weight> distances;
+        if (want_path)
+            paths = client.batch_paths(queries);
+        else
+            distances = client.batch_distances(queries);
+        ccq_tools::print_batch_answers(queries, distances, paths, want_path, json);
+        return 0;
+    }
+
+    const NodeId from = static_cast<NodeId>(require_ll(from_text, "--from"));
+    if (k_text) {
+        const int k = std::stoi(*k_text);
+        ccq_tools::print_nearest(from, client.nearest_targets(from, k), json);
+        return 0;
+    }
+    const NodeId to = static_cast<NodeId>(require_ll(to_text, "--to"));
+    if (want_path) {
+        const PathResult path = client.path(from, to);
+        std::printf("%s\n", render_answer(from, to, path.distance, &path, json).c_str());
+    } else {
+        std::printf("%s\n",
+                    render_answer(from, to, client.distance(from, to), nullptr, json).c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    if (argc < 2) return usage();
+    Args args(argc - 1, argv + 1);
+    try {
+        return run(args);
+    } catch (const rpc_error& error) {
+        std::fprintf(stderr, "ccq_client: server rejected the request — %s\n", error.what());
+        return 3;
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "ccq_client: %s\n", error.what());
+        return 2;
+    }
+}

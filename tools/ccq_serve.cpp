@@ -2,22 +2,28 @@
 //
 // The build-once/serve-many workflow in three subcommands:
 //
-//   ccq_serve build  --graph wan.gr --algo general --out wan.snap
+//   ccq_serve build  --graph wan.gr --algo general --out wan.snap --compress
 //   ccq_serve query  --snapshot wan.snap --from 0 --to 95 --path --json
-//   ccq_serve bench  --snapshot wan.snap --threads 4 --out BENCH_serve.json
+//   ccq_serve bench  --snapshot wan.snap --threads 4 --net 4 --out BENCH_serve.json
 //
 // `build` runs any of the library's APSP algorithms on a graph file (or
 // a generated instance via --random family:n:seed), attaches next-hop
-// routing tables, and persists the oracle as a snapshot.  `query`
-// answers one-shot or batch-file queries from a loaded snapshot.
-// `bench` is a closed-loop load generator: per-query latencies are
+// routing tables, and persists the oracle as a snapshot — codec v1 by
+// default, the compressed codec v2 with --compress.  `query` answers
+// one-shot or batch-file queries from a loaded snapshot (--mmap serves
+// straight from the mapped file).  `bench` is a closed-loop load
+// generator: after --warmup untimed iterations, per-query latencies are
 // recorded on every worker and reported as queries/sec plus latency
-// percentiles, written to a BENCH_serve.json artifact.
+// percentiles; --net additionally drives the same workload through a
+// real loopback TCP edge (in-process Server + one Client per
+// connection).  Everything — including snapshot file size, load time,
+// and both codecs' encoded sizes — lands in a BENCH_serve.json artifact.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -25,12 +31,18 @@
 #include <vector>
 
 #include "ccq/apsp.hpp"
+#include "ccq/net/client.hpp"
+#include "ccq/net/server.hpp"
 #include "ccq/serve/query_engine.hpp"
 #include "ccq/serve/snapshot.hpp"
+#include "tool_common.hpp"
 
 namespace {
 
 using namespace ccq;
+using ccq_tools::Args;
+using ccq_tools::render_answer;
+using ccq_tools::require_ll;
 
 int usage(const char* argv0)
 {
@@ -40,60 +52,14 @@ int usage(const char* argv0)
                  "       [--algo exact-minplus|logn-spanner|loglog|small-diameter|"
                  "large-bandwidth|general]\n"
                  "       [--seed <n>] [--eps <x>] [--threads <n>] [--no-routing]"
-                 " [--save-graph <file>]\n"
+                 " [--compress] [--save-graph <file>]\n"
                  "  %s query --snapshot <file> (--from <u> --to <v> | --batch <file>)\n"
-                 "       [--path] [--k <n>] [--json] [--threads <n>]\n"
-                 "  %s bench --snapshot <file> [--queries <n>] [--threads <n>]\n"
-                 "       [--mix distance|path|mixed] [--seed <n>] [--out <json>]\n",
+                 "       [--path] [--k <n>] [--json] [--threads <n>] [--mmap]\n"
+                 "  %s bench --snapshot <file> [--queries <n>] [--warmup <n>] [--threads <n>]\n"
+                 "       [--net <connections>] [--mmap] [--no-recode]"
+                 " [--mix distance|path|mixed] [--seed <n>] [--out <json>]\n",
                  argv0, argv0, argv0);
     return 1;
-}
-
-/// Tiny flag cursor: --name value pairs plus boolean --name flags.
-class Args {
-public:
-    Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
-
-    [[nodiscard]] bool flag(const char* name)
-    {
-        for (int i = 0; i < argc_; ++i)
-            if (!taken_[static_cast<std::size_t>(i)] && std::strcmp(argv_[i], name) == 0) {
-                taken_[static_cast<std::size_t>(i)] = true;
-                return true;
-            }
-        return false;
-    }
-
-    [[nodiscard]] std::optional<std::string> value(const char* name)
-    {
-        for (int i = 0; i + 1 < argc_; ++i)
-            if (!taken_[static_cast<std::size_t>(i)] && std::strcmp(argv_[i], name) == 0) {
-                taken_[static_cast<std::size_t>(i)] = true;
-                taken_[static_cast<std::size_t>(i + 1)] = true;
-                return std::string(argv_[i + 1]);
-            }
-        return std::nullopt;
-    }
-
-    /// Call once all options are parsed, before any work happens, so a
-    /// typo'd flag fails fast instead of after a multi-second build.
-    void finish() const
-    {
-        for (int i = 0; i < argc_; ++i)
-            if (!taken_[static_cast<std::size_t>(i)])
-                throw std::runtime_error(std::string("unrecognized argument: ") + argv_[i]);
-    }
-
-private:
-    int argc_;
-    char** argv_;
-    std::vector<bool> taken_ = std::vector<bool>(static_cast<std::size_t>(argc_), false);
-};
-
-[[nodiscard]] long long require_ll(const std::optional<std::string>& text, const char* what)
-{
-    if (!text) throw std::runtime_error(std::string("missing required option ") + what);
-    return std::stoll(*text);
 }
 
 [[nodiscard]] std::optional<ApspAlgorithmKind> parse_algorithm(const std::string& name)
@@ -114,27 +80,6 @@ private:
           GraphFamily::geometric, GraphFamily::barabasi_albert, GraphFamily::clustered})
         if (name == family_name(family)) return family;
     return std::nullopt;
-}
-
-/// Minimal JSON string escaping (quotes, backslashes, control bytes) —
-/// snapshot metadata is untrusted input.
-[[nodiscard]] std::string json_escape(const std::string& text)
-{
-    std::string out;
-    out.reserve(text.size());
-    for (const char c : text) {
-        if (c == '"' || c == '\\') {
-            out += '\\';
-            out += c;
-        } else if (static_cast<unsigned char>(c) < 0x20) {
-            char buffer[8];
-            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-            out += buffer;
-        } else {
-            out += c;
-        }
-    }
-    return out;
 }
 
 /// "--random family:n:seed" -> a generated instance.
@@ -176,6 +121,8 @@ int cmd_build(Args& args)
     if (const std::optional<std::string> threads = args.value("--threads"))
         options.engine.threads = std::stoi(*threads);
     const bool no_routing = args.flag("--no-routing");
+    const SnapshotCodec codec =
+        args.flag("--compress") ? SnapshotCodec::compressed : SnapshotCodec::raw;
     args.finish();
 
     const Graph g = graph_path ? load_graph(*graph_path) : generate_instance(*random_spec);
@@ -190,72 +137,20 @@ int cmd_build(Args& args)
     if (with_routing) routing = build_routing_tables(g);
     const OracleSnapshot snapshot = OracleSnapshot::from_result(
         g, oracle.result(), options.seed, routing ? &*routing : nullptr);
-    save_snapshot(*out, snapshot);
+    save_snapshot(*out, snapshot, codec);
 
     const double build_s = std::chrono::duration<double>(t1 - t0).count();
     std::printf("built %s oracle: n=%d m=%zu stretch<=%.2f rounds=%.1f (%.2fs)\n",
                 oracle.algorithm().c_str(), g.node_count(), g.edge_count(),
                 oracle.claimed_stretch(), oracle.simulated_rounds(), build_s);
-    std::printf("snapshot: %s (routing=%s)\n", out->c_str(), snapshot.has_routing ? "yes" : "no");
+    std::printf("snapshot: %s (codec=v%u, %llu bytes, routing=%s)\n", out->c_str(),
+                static_cast<std::uint32_t>(codec),
+                static_cast<unsigned long long>(std::filesystem::file_size(*out)),
+                snapshot.has_routing ? "yes" : "no");
     return 0;
 }
 
 // --- query ------------------------------------------------------------------
-
-void print_json_path(std::string& out, const std::vector<NodeId>& nodes)
-{
-    out += "[";
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-        if (i > 0) out += ",";
-        out += std::to_string(nodes[i]);
-    }
-    out += "]";
-}
-
-/// One answered query rendered as a JSON object or a plain-text line.
-/// When `path` is non-null the whole record (reachability, distance, and
-/// the node sequence) comes from the routing walk, so a corrupted table
-/// can never yield a self-contradictory "reachable with empty path".
-[[nodiscard]] std::string render_answer(NodeId from, NodeId to, Weight distance,
-                                        const PathResult* path, bool json)
-{
-    const bool reachable = path != nullptr ? path->reachable : is_finite(distance);
-    if (path != nullptr) distance = path->distance;
-    std::string out;
-    if (json) {
-        out += "{\"from\":";
-        out += std::to_string(from);
-        out += ",\"to\":";
-        out += std::to_string(to);
-        out += ",\"reachable\":";
-        out += reachable ? "true" : "false";
-        out += ",\"distance\":" + std::to_string(reachable ? distance : -1);
-        if (path != nullptr) {
-            out += ",\"path\":";
-            print_json_path(out, path->nodes);
-        }
-        out += "}";
-    } else {
-        out += std::to_string(from);
-        out += " -> ";
-        out += std::to_string(to);
-        out += "  ";
-        if (reachable) {
-            out += "dist=";
-            out += std::to_string(distance);
-        } else {
-            out += "unreachable";
-        }
-        if (path != nullptr && reachable) {
-            out += "  via";
-            for (const NodeId v : path->nodes) {
-                out += ' ';
-                out += std::to_string(v);
-            }
-        }
-    }
-    return out;
-}
 
 int cmd_query(Args& args)
 {
@@ -263,6 +158,7 @@ int cmd_query(Args& args)
     if (!snapshot_path) throw std::runtime_error("query: --snapshot is required");
     const bool json = args.flag("--json");
     const bool want_path = args.flag("--path");
+    const bool use_mmap = args.flag("--mmap");
     QueryEngineConfig config;
     if (const std::optional<std::string> threads = args.value("--threads"))
         config.threads = std::stoi(*threads);
@@ -272,18 +168,16 @@ int cmd_query(Args& args)
     const std::optional<std::string> to_text = args.value("--to");
     args.finish();
 
-    const QueryEngine engine(load_snapshot(*snapshot_path), config);
+    const QueryEngine engine =
+        use_mmap ? QueryEngine(std::make_shared<const MappedSnapshot>(*snapshot_path), config)
+                 : QueryEngine(load_snapshot(*snapshot_path), config);
     if (want_path && !engine.has_routing())
         throw std::runtime_error(
             "query: snapshot has no routing tables, cannot answer --path "
             "(rebuild without --no-routing)");
 
     if (batch) {
-        std::ifstream in(*batch);
-        if (!in) throw std::runtime_error("query: cannot open batch file " + *batch);
-        std::vector<PointQuery> queries;
-        long long u = 0, v = 0;
-        while (in >> u >> v) queries.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v)});
+        const std::vector<PointQuery> queries = ccq_tools::read_batch_file(*batch);
         // Answer the whole batch concurrently, then render those answers
         // in input order.
         std::vector<PathResult> paths;
@@ -292,36 +186,14 @@ int cmd_query(Args& args)
             paths = engine.batch_paths(queries);
         else
             distances = engine.batch_distances(queries);
-        if (json) std::printf("[");
-        for (std::size_t i = 0; i < queries.size(); ++i) {
-            if (json && i > 0) std::printf(",");
-            const std::string line =
-                render_answer(queries[i].from, queries[i].to,
-                              want_path ? paths[i].distance : distances[i],
-                              want_path ? &paths[i] : nullptr, json);
-            std::printf(json ? "%s" : "%s\n", line.c_str());
-        }
-        if (json) std::printf("]\n");
+        ccq_tools::print_batch_answers(queries, distances, paths, want_path, json);
         return 0;
     }
 
     const NodeId from = static_cast<NodeId>(require_ll(from_text, "--from"));
     if (k_text) {
         const int k = std::stoi(*k_text);
-        const std::vector<NearTarget> nearest = engine.nearest_targets(from, k);
-        if (json) {
-            std::string out = "{\"from\":" + std::to_string(from) + ",\"nearest\":[";
-            for (std::size_t i = 0; i < nearest.size(); ++i) {
-                if (i > 0) out += ",";
-                out += "{\"node\":" + std::to_string(nearest[i].node) +
-                       ",\"distance\":" + std::to_string(nearest[i].distance) + "}";
-            }
-            out += "]}";
-            std::printf("%s\n", out.c_str());
-        } else {
-            for (const NearTarget& t : nearest)
-                std::printf("%d  dist=%lld\n", t.node, static_cast<long long>(t.distance));
-        }
+        ccq_tools::print_nearest(from, engine.nearest_targets(from, k), json);
         return 0;
     }
     const NodeId to = static_cast<NodeId>(require_ll(to_text, "--to"));
@@ -357,17 +229,57 @@ struct BenchRun {
     return sorted_us[static_cast<std::size_t>(rank + 0.5)];
 }
 
-/// Closed-loop run: `threads` workers each issue their queries serially,
-/// timing every query; the next query starts when the previous returns.
+[[nodiscard]] BenchRun summarize(std::vector<std::vector<double>>& latencies, int threads,
+                                 double seconds)
+{
+    std::vector<double> all;
+    for (const std::vector<double>& chunk : latencies)
+        all.insert(all.end(), chunk.begin(), chunk.end());
+    std::sort(all.begin(), all.end());
+
+    BenchRun run;
+    run.threads = threads;
+    run.seconds = seconds;
+    run.qps = seconds > 0.0 ? static_cast<double>(all.size()) / seconds : 0.0;
+    run.p50_us = percentile_us(all, 0.50);
+    run.p90_us = percentile_us(all, 0.90);
+    run.p99_us = percentile_us(all, 0.99);
+    run.max_us = all.empty() ? 0.0 : all.back();
+    return run;
+}
+
+void execute_query(const QueryEngine& engine, const PointQuery& q, QueryKind kind)
+{
+    switch (kind) {
+    case QueryKind::distance: (void)engine.distance(q.from, q.to); break;
+    case QueryKind::path: (void)engine.path(q.from, q.to); break;
+    case QueryKind::knearest: (void)engine.nearest_targets(q.from, 8); break;
+    }
+}
+
+/// Closed-loop run: an untimed pass over the first `warmup` queries
+/// (caches, branch predictors, lazily decoded mmap rows), then `threads`
+/// workers replay and time the whole workload — the warmed prefix
+/// included — each issuing its queries serially (the next query starts
+/// when the previous returns).
 [[nodiscard]] BenchRun run_load(const QueryEngine& engine,
                                 const std::vector<PointQuery>& queries,
-                                const std::vector<QueryKind>& kinds, int threads)
+                                const std::vector<QueryKind>& kinds, std::size_t warmup,
+                                int threads)
 {
     const std::size_t total = queries.size();
+    warmup = std::min(warmup, total);
     std::vector<std::vector<double>> latencies(static_cast<std::size_t>(threads));
     // Spawn the pool's workers before the clock starts; lazy spawn would
     // otherwise show up as a multi-ms first-query latency outlier.
     ThreadPool::shared().run(threads, threads, [](int) {});
+    // Untimed warmup pass over the workload prefix (caches, branch
+    // predictors, lazily decoded mmap rows).
+    ThreadPool::shared().run(threads, threads, [&](int worker) {
+        for (std::size_t i = static_cast<std::size_t>(worker); i < warmup;
+             i += static_cast<std::size_t>(threads))
+            execute_query(engine, queries[i], kinds[i]);
+    });
     const auto t0 = std::chrono::steady_clock::now();
     ThreadPool::shared().run(threads, threads, [&](int worker) {
         std::vector<double>& mine = latencies[static_cast<std::size_t>(worker)];
@@ -376,31 +288,63 @@ struct BenchRun {
              i += static_cast<std::size_t>(threads)) {
             const PointQuery q = queries[i];
             const auto q0 = std::chrono::steady_clock::now();
-            switch (kinds[i]) {
-            case QueryKind::distance: (void)engine.distance(q.from, q.to); break;
-            case QueryKind::path: (void)engine.path(q.from, q.to); break;
-            case QueryKind::knearest: (void)engine.nearest_targets(q.from, 8); break;
-            }
+            execute_query(engine, q, kinds[i]);
             const auto q1 = std::chrono::steady_clock::now();
             mine.push_back(std::chrono::duration<double, std::micro>(q1 - q0).count());
         }
     });
     const auto t1 = std::chrono::steady_clock::now();
+    return summarize(latencies, threads, std::chrono::duration<double>(t1 - t0).count());
+}
 
-    std::vector<double> all;
-    all.reserve(total);
-    for (const std::vector<double>& chunk : latencies) all.insert(all.end(), chunk.begin(), chunk.end());
-    std::sort(all.begin(), all.end());
+/// The same closed loop through a real network edge: one TCP connection
+/// per worker against an in-process loopback server.
+[[nodiscard]] BenchRun run_net_load(const std::string& host, int port,
+                                    const std::vector<PointQuery>& queries,
+                                    const std::vector<QueryKind>& kinds, std::size_t warmup,
+                                    int connections)
+{
+    const std::size_t total = queries.size();
+    warmup = std::min(warmup, total);
+    std::vector<Client> clients;
+    clients.reserve(static_cast<std::size_t>(connections));
+    for (int c = 0; c < connections; ++c) clients.push_back(Client::connect(host, port));
 
-    BenchRun run;
-    run.threads = threads;
-    run.seconds = std::chrono::duration<double>(t1 - t0).count();
-    run.qps = run.seconds > 0.0 ? static_cast<double>(total) / run.seconds : 0.0;
-    run.p50_us = percentile_us(all, 0.50);
-    run.p90_us = percentile_us(all, 0.90);
-    run.p99_us = percentile_us(all, 0.99);
-    run.max_us = all.empty() ? 0.0 : all.back();
-    return run;
+    std::vector<std::vector<double>> latencies(static_cast<std::size_t>(connections));
+    const auto run_phase = [&](std::size_t begin, std::size_t end, bool timed) {
+        std::vector<std::thread> workers;
+        workers.reserve(static_cast<std::size_t>(connections));
+        for (int worker = 0; worker < connections; ++worker)
+            workers.emplace_back([&, worker] {
+                Client& client = clients[static_cast<std::size_t>(worker)];
+                std::vector<double>& mine = latencies[static_cast<std::size_t>(worker)];
+                for (std::size_t i = begin + static_cast<std::size_t>(worker); i < end;
+                     i += static_cast<std::size_t>(connections)) {
+                    const PointQuery q = queries[i];
+                    const auto q0 = std::chrono::steady_clock::now();
+                    switch (kinds[i]) {
+                    case QueryKind::distance: (void)client.distance(q.from, q.to); break;
+                    case QueryKind::path: (void)client.path(q.from, q.to); break;
+                    case QueryKind::knearest: (void)client.nearest_targets(q.from, 8); break;
+                    }
+                    if (timed) {
+                        const auto q1 = std::chrono::steady_clock::now();
+                        mine.push_back(
+                            std::chrono::duration<double, std::micro>(q1 - q0).count());
+                    }
+                }
+            });
+        for (std::thread& worker : workers) worker.join();
+    };
+
+    // Same methodology as run_load: untimed pass over the warmup prefix,
+    // then the timed pass replays the whole workload.
+    run_phase(0, warmup, /*timed=*/false);
+    const auto t0 = std::chrono::steady_clock::now();
+    run_phase(0, total, /*timed=*/true);
+    const auto t1 = std::chrono::steady_clock::now();
+    return summarize(latencies, connections,
+                     std::chrono::duration<double>(t1 - t0).count());
 }
 
 void append_run_json(std::string& out, const BenchRun& run)
@@ -414,6 +358,28 @@ void append_run_json(std::string& out, const BenchRun& run)
     out += buffer;
 }
 
+/// The byte size of `snapshot` re-encoded under `codec` (no file IO).
+[[nodiscard]] std::uint64_t encoded_bytes(const OracleSnapshot& snapshot, SnapshotCodec codec)
+{
+    std::ostringstream out(std::ios::binary);
+    write_snapshot(out, snapshot, codec);
+    return static_cast<std::uint64_t>(out.str().size());
+}
+
+/// The format version straight from the envelope header (magic + u32).
+[[nodiscard]] std::uint32_t peek_format_version(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    char header[12] = {};
+    in.read(header, sizeof(header));
+    if (!in) throw std::runtime_error("bench: cannot read snapshot header of " + path);
+    std::uint32_t version = 0;
+    for (int i = 0; i < 4; ++i)
+        version |= static_cast<std::uint32_t>(static_cast<unsigned char>(header[8 + i]))
+                   << (8 * i);
+    return version;
+}
+
 int cmd_bench(Args& args)
 {
     const std::optional<std::string> snapshot_path = args.value("--snapshot");
@@ -422,8 +388,17 @@ int cmd_bench(Args& args)
     long long query_count = 50000;
     if (const std::optional<std::string> q = args.value("--queries")) query_count = std::stoll(*q);
     if (query_count < 1) throw std::runtime_error("bench: --queries must be >= 1");
+    long long warmup_count = 2000;
+    if (const std::optional<std::string> w = args.value("--warmup")) warmup_count = std::stoll(*w);
+    if (warmup_count < 0) throw std::runtime_error("bench: --warmup must be >= 0");
     int threads = 4;
     if (const std::optional<std::string> t = args.value("--threads")) threads = std::stoi(*t);
+    int net_connections = 0;
+    if (const std::optional<std::string> c = args.value("--net"))
+        net_connections = std::stoi(*c);
+    if (net_connections < 0) throw std::runtime_error("bench: --net must be >= 0");
+    const bool use_mmap = args.flag("--mmap");
+    const bool no_recode = args.flag("--no-recode");
     std::uint64_t seed = 42;
     if (const std::optional<std::string> s = args.value("--seed"))
         seed = static_cast<std::uint64_t>(std::stoull(*s));
@@ -431,13 +406,49 @@ int cmd_bench(Args& args)
     args.finish();
     if (threads < 1) throw std::runtime_error("bench: --threads must be >= 1");
 
-    OracleSnapshot snapshot = load_snapshot(*snapshot_path);
-    const SnapshotMeta meta = snapshot.meta; // survives the final run's move
+    // Load (timed): eagerly, or just the mmap open + integrity pass.
+    const std::uint64_t file_bytes =
+        static_cast<std::uint64_t>(std::filesystem::file_size(*snapshot_path));
+    const auto load0 = std::chrono::steady_clock::now();
+    std::shared_ptr<const MappedSnapshot> mapped;
+    OracleSnapshot snapshot;
+    if (use_mmap)
+        mapped = std::make_shared<const MappedSnapshot>(*snapshot_path);
+    else
+        snapshot = load_snapshot(*snapshot_path);
+    const auto load1 = std::chrono::steady_clock::now();
+    const double load_seconds = std::chrono::duration<double>(load1 - load0).count();
+
+    const SnapshotMeta meta = use_mmap ? mapped->meta() : snapshot.meta;
+    const std::uint32_t format_version =
+        use_mmap ? mapped->format_version() : peek_format_version(*snapshot_path);
     const int n = meta.node_count;
     if (n < 2) throw std::runtime_error("bench: snapshot too small to query");
-    const bool can_path = snapshot.has_routing;
+    const bool can_path = use_mmap ? mapped->has_routing() : snapshot.has_routing;
     if (mix_name == "path" && !can_path)
         throw std::runtime_error("bench: snapshot has no routing tables, cannot bench --mix path");
+
+    // Codec comparison on the bench instance: re-encode the same oracle
+    // under both codecs (in memory, no temp files).  The materialized
+    // copy is scoped: in --mmap mode it exists only for the re-encode,
+    // so the serving runs keep the lazy-decode memory profile — and
+    // --no-recode skips the O(n^2) materialization entirely for large
+    // artifacts where only qps/latency matter.  In eager mode the copy
+    // becomes the one shared snapshot every engine serves from (fresh
+    // engine per run = cold cache, without re-copying n^2 cells).
+    std::shared_ptr<const OracleSnapshot> shared_snapshot;
+    std::optional<std::uint64_t> v1_bytes;
+    std::optional<std::uint64_t> v2_bytes;
+    if (!use_mmap || !no_recode) {
+        OracleSnapshot materialized = use_mmap ? mapped->materialize() : std::move(snapshot);
+        if (!no_recode) {
+            v1_bytes = encoded_bytes(materialized, SnapshotCodec::raw);
+            v2_bytes = encoded_bytes(materialized, SnapshotCodec::compressed);
+        }
+        if (!use_mmap)
+            shared_snapshot =
+                std::make_shared<const OracleSnapshot>(std::move(materialized));
+    }
 
     // Pre-generate the workload so every run replays identical queries.
     Rng rng(seed);
@@ -466,21 +477,54 @@ int cmd_bench(Args& args)
         } else
             throw std::runtime_error("bench: unknown --mix '" + mix_name + "'");
     }
+    const std::size_t warmup = static_cast<std::size_t>(warmup_count);
 
-    // Fresh engine per run so the path cache starts cold for each; the
-    // last run moves the snapshot instead of deep-copying the n^2 data.
+    // Fresh engine per run so the path cache starts cold for each; both
+    // modes share the underlying data (shared_ptr), so engines are cheap.
+    const auto make_engine = [&](QueryEngineConfig config) {
+        return use_mmap ? QueryEngine(mapped, config) : QueryEngine(shared_snapshot, config);
+    };
+
     std::vector<BenchRun> runs;
     std::vector<int> thread_counts{1};
     if (threads > 1) thread_counts.push_back(threads);
-    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
-        const bool last = i + 1 == thread_counts.size();
-        const QueryEngine engine(last ? std::move(snapshot) : snapshot, QueryEngineConfig{});
-        runs.push_back(run_load(engine, queries, kinds, thread_counts[i]));
-        std::printf("threads=%d  %.0f queries/s  p50=%.1fus p99=%.1fus\n", runs.back().threads,
-                    runs.back().qps, runs.back().p50_us, runs.back().p99_us);
+    for (const int count : thread_counts) {
+        const QueryEngine engine = make_engine(QueryEngineConfig{});
+        runs.push_back(run_load(engine, queries, kinds, warmup, count));
+        std::printf("in-process threads=%d  %.0f queries/s  p50=%.1fus p99=%.1fus\n",
+                    runs.back().threads, runs.back().qps, runs.back().p50_us,
+                    runs.back().p99_us);
     }
     const bool measured_speedup = runs.size() == 2 && runs[0].qps > 0.0;
     const double speedup = measured_speedup ? runs[1].qps / runs[0].qps : 1.0;
+
+    // The network edge: same workload, one in-process loopback server per
+    // run (fresh engine, cold cache), one Client connection per worker.
+    std::vector<BenchRun> net_runs;
+    if (net_connections > 0) {
+        std::vector<int> connection_counts{1};
+        if (net_connections > 1) connection_counts.push_back(net_connections);
+        for (const int count : connection_counts) {
+            // In-place construction: QueryEngine is deliberately immovable
+            // (mutex shards), so build it inside the shared_ptr directly.
+            const std::shared_ptr<const QueryEngine> engine =
+                use_mmap ? std::make_shared<const QueryEngine>(mapped, QueryEngineConfig{})
+                         : std::make_shared<const QueryEngine>(shared_snapshot,
+                                                               QueryEngineConfig{});
+            Server server(engine);
+            const int port = server.listen();
+            std::thread accept_thread([&server] { server.run(); });
+            net_runs.push_back(run_net_load("127.0.0.1", port, queries, kinds, warmup, count));
+            {
+                Client control = Client::connect("127.0.0.1", port);
+                control.shutdown_server();
+            }
+            accept_thread.join();
+            std::printf("network connections=%d  %.0f queries/s  p50=%.1fus p99=%.1fus\n",
+                        net_runs.back().threads, net_runs.back().qps, net_runs.back().p50_us,
+                        net_runs.back().p99_us);
+        }
+    }
 
     std::string json = "{\n  \"tool\": \"ccq_serve bench\",\n";
     json += "  \"snapshot\": {\"nodes\": " + std::to_string(n) +
@@ -488,8 +532,17 @@ int cmd_bench(Args& args)
             json_escape(meta.algorithm) + "\", \"claimed_stretch\": " +
             std::to_string(meta.claimed_stretch) + ", \"routing\": " +
             (can_path ? "true" : "false") + "},\n";
+    json += "  \"snapshot_file\": {\"path\": \"" + json_escape(*snapshot_path) +
+            "\", \"bytes\": " + std::to_string(file_bytes) +
+            ", \"format_version\": " + std::to_string(format_version) +
+            ", \"load_mode\": \"" + (use_mmap ? "mmap" : "eager") +
+            "\", \"load_seconds\": " + std::to_string(load_seconds) +
+            ", \"codec_v1_bytes\": " + (v1_bytes ? std::to_string(*v1_bytes) : "null") +
+            ", \"codec_v2_bytes\": " + (v2_bytes ? std::to_string(*v2_bytes) : "null") +
+            "},\n";
     json += "  \"mix\": \"" + mix_name + "\",\n";
     json += "  \"queries\": " + std::to_string(query_count) + ",\n";
+    json += "  \"warmup\": " + std::to_string(warmup_count) + ",\n";
     const unsigned hw = std::thread::hardware_concurrency();
     json += "  \"hardware_threads\": " + std::to_string(hw == 0 ? 1 : hw) + ",\n";
     json += "  \"runs\": [";
@@ -505,13 +558,28 @@ int cmd_bench(Args& args)
         std::snprintf(buffer, sizeof(buffer), "%.3f", speedup);
         speedup_text = buffer;
     }
-    json += "  \"speedup_vs_single_thread\": " + speedup_text + "\n}\n";
+    json += "  \"speedup_vs_single_thread\": " + speedup_text + ",\n";
+    if (net_runs.empty()) {
+        json += "  \"net\": null\n}\n";
+    } else {
+        json += "  \"net\": {\"connections\": " + std::to_string(net_connections) +
+                ", \"runs\": [";
+        for (std::size_t i = 0; i < net_runs.size(); ++i) {
+            if (i > 0) json += ", ";
+            append_run_json(json, net_runs[i]);
+        }
+        json += "]}\n}\n";
+    }
 
     std::ofstream out(out_path);
     if (!out) throw std::runtime_error("bench: cannot open " + out_path);
     out << json;
-    std::printf("speedup %dx-thread vs 1-thread: %.2fx -> %s\n", threads, speedup,
-                out_path.c_str());
+    const std::string codec_text =
+        v1_bytes ? "codec v1=" + std::to_string(*v1_bytes) + " v2=" +
+                       std::to_string(*v2_bytes) + " bytes"
+                 : std::string("codec sizes skipped (--no-recode)");
+    std::printf("speedup %dx-thread vs 1-thread: %.2fx; %s -> %s\n", threads, speedup,
+                codec_text.c_str(), out_path.c_str());
     return 0;
 }
 

@@ -1,0 +1,125 @@
+// ccq_served — the long-running distance-oracle server.
+//
+//   ccq_served --snapshot wan.snap --port 7465
+//   ccq_served --snapshot wan.snap --port 0 --port-file port.txt --mmap
+//   ccq_served --snapshot wan.snap --stdio
+//
+// Loads a snapshot (eagerly, or mmap-backed with --mmap so the process
+// starts serving before touching the n^2 payload) and speaks the framed
+// protocol of docs/PROTOCOL.md: over TCP by default, or over
+// stdin/stdout with --stdio (one connection, ends at EOF).  Graceful
+// shutdown on SIGINT/SIGTERM or a shutdown control frame; --port-file
+// writes the bound port for scripts that bind an ephemeral port.
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ccq/net/server.hpp"
+#include "ccq/net/socket.hpp"
+#include "ccq/serve/query_engine.hpp"
+#include "ccq/serve/snapshot.hpp"
+#include "tool_common.hpp"
+
+namespace {
+
+using namespace ccq;
+using ccq_tools::Args;
+
+Server* g_server = nullptr;
+
+void handle_signal(int)
+{
+    // Only atomics and shutdown(2) behind this call: async-signal-safe.
+    if (g_server != nullptr) g_server->request_stop();
+}
+
+int usage()
+{
+    std::fprintf(stderr,
+                 "usage: ccq_served --snapshot <file> [--host <ip>] [--port <n>]\n"
+                 "       [--port-file <file>] [--mmap] [--stdio] [--threads <n>]\n"
+                 "       [--cache <entries>]\n");
+    return 1;
+}
+
+int run(Args& args)
+{
+    const std::optional<std::string> snapshot_path = args.value("--snapshot");
+    if (!snapshot_path) throw std::runtime_error("--snapshot is required");
+    ServerConfig config;
+    if (const std::optional<std::string> host = args.value("--host")) config.host = *host;
+    if (const std::optional<std::string> port = args.value("--port"))
+        config.port = std::stoi(*port);
+    const std::optional<std::string> port_file = args.value("--port-file");
+    const bool use_mmap = args.flag("--mmap");
+    const bool stdio = args.flag("--stdio");
+    QueryEngineConfig engine_config;
+    if (const std::optional<std::string> threads = args.value("--threads"))
+        engine_config.threads = std::stoi(*threads);
+    if (const std::optional<std::string> cache = args.value("--cache"))
+        engine_config.path_cache_capacity = static_cast<std::size_t>(std::stoull(*cache));
+    args.finish();
+
+    std::shared_ptr<const QueryEngine> engine;
+    if (use_mmap) {
+        auto mapped = std::make_shared<const MappedSnapshot>(*snapshot_path);
+        std::fprintf(stderr, "ccq_served: mapped %s (v%u, %llu bytes, n=%d, routing=%s)\n",
+                     snapshot_path->c_str(), mapped->format_version(),
+                     static_cast<unsigned long long>(mapped->file_bytes()),
+                     mapped->node_count(), mapped->has_routing() ? "yes" : "no");
+        engine = std::make_shared<const QueryEngine>(std::move(mapped), engine_config);
+    } else {
+        OracleSnapshot snapshot = load_snapshot(*snapshot_path);
+        std::fprintf(stderr, "ccq_served: loaded %s (n=%d, routing=%s)\n",
+                     snapshot_path->c_str(), snapshot.meta.node_count,
+                     snapshot.has_routing ? "yes" : "no");
+        engine = std::make_shared<const QueryEngine>(std::move(snapshot), engine_config);
+    }
+
+    Server server(engine, config);
+    if (stdio) {
+        FdStream stream(0, 1, /*owns=*/false);
+        server.serve_stream(stream);
+        return 0;
+    }
+
+    // Bind before installing the handlers: request_stop() from a signal
+    // must never race listener construction inside listen().
+    const int port = server.listen();
+    g_server = &server;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    if (port_file) {
+        std::ofstream out(*port_file);
+        if (!out) throw std::runtime_error("cannot write port file " + *port_file);
+        out << port << "\n";
+    }
+    std::printf("ccq_served: listening on %s:%d\n", config.host.c_str(), port);
+    std::fflush(stdout);
+    server.run();
+
+    const ServerStats stats = server.stats();
+    std::printf("ccq_served: shut down after %.1fs — %llu connections, %llu ok, %llu errors\n",
+                stats.uptime_seconds,
+                static_cast<unsigned long long>(stats.connections_accepted),
+                static_cast<unsigned long long>(stats.frames_served),
+                static_cast<unsigned long long>(stats.errors));
+    g_server = nullptr;
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    Args args(argc - 1, argv + 1);
+    try {
+        return run(args);
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "ccq_served: %s\n", error.what());
+        return argc < 2 ? usage() : 2;
+    }
+}

@@ -1,0 +1,177 @@
+// Helpers shared by the command-line tools (ccq_serve, ccq_served,
+// ccq_client): flag parsing and answer rendering.  Tools are built
+// one-executable-per-file, so this stays header-only.  The rendering
+// helpers are shared on purpose: CI asserts that ccq_serve (in-process)
+// and ccq_client (over the wire) print bitwise-identical JSON.
+#ifndef CCQ_TOOLS_TOOL_COMMON_HPP
+#define CCQ_TOOLS_TOOL_COMMON_HPP
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ccq/serve/query_engine.hpp"
+
+namespace ccq_tools {
+
+/// Tiny flag cursor: --name value pairs plus boolean --name flags.
+class Args {
+public:
+    Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+    [[nodiscard]] bool flag(const char* name)
+    {
+        for (int i = 0; i < argc_; ++i)
+            if (!taken_[static_cast<std::size_t>(i)] && std::strcmp(argv_[i], name) == 0) {
+                taken_[static_cast<std::size_t>(i)] = true;
+                return true;
+            }
+        return false;
+    }
+
+    [[nodiscard]] std::optional<std::string> value(const char* name)
+    {
+        for (int i = 0; i + 1 < argc_; ++i)
+            if (!taken_[static_cast<std::size_t>(i)] && std::strcmp(argv_[i], name) == 0) {
+                taken_[static_cast<std::size_t>(i)] = true;
+                taken_[static_cast<std::size_t>(i + 1)] = true;
+                return std::string(argv_[i + 1]);
+            }
+        return std::nullopt;
+    }
+
+    /// Call once all options are parsed, before any work happens, so a
+    /// typo'd flag fails fast instead of after a multi-second build.
+    void finish() const
+    {
+        for (int i = 0; i < argc_; ++i)
+            if (!taken_[static_cast<std::size_t>(i)])
+                throw std::runtime_error(std::string("unrecognized argument: ") + argv_[i]);
+    }
+
+private:
+    int argc_;
+    char** argv_;
+    std::vector<bool> taken_ = std::vector<bool>(static_cast<std::size_t>(argc_), false);
+};
+
+[[nodiscard]] inline long long require_ll(const std::optional<std::string>& text,
+                                          const char* what)
+{
+    if (!text) throw std::runtime_error(std::string("missing required option ") + what);
+    return std::stoll(*text);
+}
+
+inline void print_json_path(std::string& out, const std::vector<ccq::NodeId>& nodes)
+{
+    out += "[";
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(nodes[i]);
+    }
+    out += "]";
+}
+
+/// One answered query rendered as a JSON object or a plain-text line.
+/// When `path` is non-null the whole record (reachability, distance, and
+/// the node sequence) comes from the routing walk, so a corrupted table
+/// can never yield a self-contradictory "reachable with empty path".
+[[nodiscard]] inline std::string render_answer(ccq::NodeId from, ccq::NodeId to,
+                                               ccq::Weight distance,
+                                               const ccq::PathResult* path, bool json)
+{
+    const bool reachable = path != nullptr ? path->reachable : ccq::is_finite(distance);
+    if (path != nullptr) distance = path->distance;
+    std::string out;
+    if (json) {
+        out += "{\"from\":";
+        out += std::to_string(from);
+        out += ",\"to\":";
+        out += std::to_string(to);
+        out += ",\"reachable\":";
+        out += reachable ? "true" : "false";
+        out += ",\"distance\":" + std::to_string(reachable ? distance : -1);
+        if (path != nullptr) {
+            out += ",\"path\":";
+            print_json_path(out, path->nodes);
+        }
+        out += "}";
+    } else {
+        out += std::to_string(from);
+        out += " -> ";
+        out += std::to_string(to);
+        out += "  ";
+        if (reachable) {
+            out += "dist=";
+            out += std::to_string(distance);
+        } else {
+            out += "unreachable";
+        }
+        if (path != nullptr && reachable) {
+            out += "  via";
+            for (const ccq::NodeId v : path->nodes) {
+                out += ' ';
+                out += std::to_string(v);
+            }
+        }
+    }
+    return out;
+}
+
+/// Prints a k-nearest answer: one JSON object, or one text line per target.
+inline void print_nearest(ccq::NodeId from, const std::vector<ccq::NearTarget>& nearest,
+                          bool json)
+{
+    if (json) {
+        std::string out = "{\"from\":" + std::to_string(from) + ",\"nearest\":[";
+        for (std::size_t i = 0; i < nearest.size(); ++i) {
+            if (i > 0) out += ",";
+            out += "{\"node\":" + std::to_string(nearest[i].node) +
+                   ",\"distance\":" + std::to_string(nearest[i].distance) + "}";
+        }
+        out += "]}";
+        std::printf("%s\n", out.c_str());
+    } else {
+        for (const ccq::NearTarget& t : nearest)
+            std::printf("%d  dist=%lld\n", t.node, static_cast<long long>(t.distance));
+    }
+}
+
+/// Reads a batch file of one "u v" query per line.
+[[nodiscard]] inline std::vector<ccq::PointQuery> read_batch_file(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open batch file " + path);
+    std::vector<ccq::PointQuery> queries;
+    long long u = 0, v = 0;
+    while (in >> u >> v)
+        queries.push_back({static_cast<ccq::NodeId>(u), static_cast<ccq::NodeId>(v)});
+    return queries;
+}
+
+/// Prints batch answers in input order: a JSON array, or one line each.
+/// Exactly one of `paths`/`distances` is consulted, per `want_path`.
+inline void print_batch_answers(const std::vector<ccq::PointQuery>& queries,
+                                const std::vector<ccq::Weight>& distances,
+                                const std::vector<ccq::PathResult>& paths, bool want_path,
+                                bool json)
+{
+    if (json) std::printf("[");
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        if (json && i > 0) std::printf(",");
+        const std::string line =
+            render_answer(queries[i].from, queries[i].to,
+                          want_path ? paths[i].distance : distances[i],
+                          want_path ? &paths[i] : nullptr, json);
+        std::printf(json ? "%s" : "%s\n", line.c_str());
+    }
+    if (json) std::printf("]\n");
+}
+
+} // namespace ccq_tools
+
+#endif // CCQ_TOOLS_TOOL_COMMON_HPP
