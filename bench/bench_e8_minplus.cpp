@@ -11,8 +11,10 @@
 #include <chrono>
 #include <cmath>
 #include <map>
+#include <optional>
 
 #include "ccq/matrix/engine.hpp"
+#include "ccq/matrix/kernels/kernels.hpp"
 #include "ccq/matrix/round_cost.hpp"
 
 namespace {
@@ -165,6 +167,84 @@ BENCHMARK(BM_DenseMinPlusEngine)
     ->ArgNames({"n", "threads", "block"})
     ->ArgsProduct({{128, 512}, {1, 2, 4}, {8, 64, 128}})
     ->Unit(benchmark::kMillisecond);
+
+// ---- per-ISA kernel ablation ----------------------------------------------
+//
+// One benchmark per ISA the host supports (scalar always; AVX2/AVX-512
+// when the CPU has them), single-threaded so the counters isolate the
+// kernel itself.  The acceptance bar: at n = 512 the widest available
+// SIMD kernel must beat the blocked scalar kernel (speedup_vs_scalar_kernel
+// > 1) with bitwise-identical output (identical == 1).
+
+/// Blocked scalar-kernel wall time (milliseconds), best of 3; cached.
+double scalar_kernel_ms(int n)
+{
+    static std::map<int, double> cache;
+    auto it = cache.find(n);
+    if (it == cache.end()) {
+        const DistanceMatrix& a = bench_operand(n);
+        kernels::set_isa_override(kernels::Isa::scalar);
+        double best_ms = 0.0;
+        for (int attempt = 0; attempt < 3; ++attempt) {
+            const auto start = std::chrono::steady_clock::now();
+            const DistanceMatrix c = min_plus_product(a, a, EngineConfig{1, 64});
+            const auto stop = std::chrono::steady_clock::now();
+            benchmark::DoNotOptimize(c.data());
+            const double ms =
+                std::chrono::duration<double, std::milli>(stop - start).count();
+            if (attempt == 0 || ms < best_ms) best_ms = ms;
+        }
+        kernels::set_isa_override(std::nullopt);
+        it = cache.emplace(n, best_ms).first;
+    }
+    return it->second;
+}
+
+void BM_DenseMinPlusKernel(benchmark::State& state, kernels::Isa isa)
+{
+    const int n = static_cast<int>(state.range(0));
+    const DistanceMatrix& a = bench_operand(n);
+    const EngineConfig config{1, 64};
+    kernels::set_isa_override(isa);
+    const bool identical = min_plus_product(a, a, config) == seed_product(n);
+    DistanceMatrix c;
+    const auto start = std::chrono::steady_clock::now();
+    std::int64_t iterations = 0;
+    for (auto _ : state) {
+        c = min_plus_product(a, a, config);
+        ++iterations;
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(c);
+    kernels::set_isa_override(std::nullopt);
+    const double kernel_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count() /
+        static_cast<double>(iterations > 0 ? iterations : 1);
+
+    state.counters["n"] = n;
+    state.counters["isa"] = static_cast<double>(isa);
+    state.counters["identical"] = identical ? 1.0 : 0.0;
+    state.counters["speedup_vs_seed"] = seed_serial_ms(n) / kernel_ms;
+    state.counters["speedup_vs_scalar_kernel"] = scalar_kernel_ms(n) / kernel_ms;
+}
+
+/// Registers the ablation for exactly the ISAs this host can run, so a
+/// non-AVX runner produces a JSON without fake zero rows.
+const int g_register_kernel_benchmarks = [] {
+    for (const kernels::Isa isa : kernels::supported_isas()) {
+        const std::string name =
+            std::string("BM_DenseMinPlusKernel/isa:") + kernels::isa_name(isa);
+        benchmark::RegisterBenchmark(name.c_str(),
+                                     [isa](benchmark::State& state) {
+                                         BM_DenseMinPlusKernel(state, isa);
+                                     })
+            ->ArgName("n")
+            ->Arg(128)
+            ->Arg(512)
+            ->Unit(benchmark::kMillisecond);
+    }
+    return 0;
+}();
 
 void BM_SparseMinPlusEngineThreads(benchmark::State& state)
 {

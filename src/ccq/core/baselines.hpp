@@ -1,7 +1,11 @@
 // Baseline APSP algorithms the paper compares against (experiment E1).
 //
 //  * exact_apsp_clique — distance-product exponentiation ([CKK+19]:
-//    O(n^{1/3}) rounds per dense product, ceil(log2(n-1)) products).
+//    O(n^{1/3}) rounds per dense product, at most ceil(log2(n-1))
+//    products; the ledger charges the squarings actually run, since the
+//    closure stops at the min-plus fixed point — in the clique model,
+//    global convergence detection is a 1-bit aggregate per product,
+//    which the word-level cost model already treats as free).
 //  * logn_approx_apsp — the CZ22-style O(1)-round O(log n)-approximation
 //    via spanner broadcast (Corollary 7.2).  Also the bootstrap stage of
 //    every composed algorithm.

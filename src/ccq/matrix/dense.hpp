@@ -6,6 +6,7 @@
 #ifndef CCQ_MATRIX_DENSE_HPP
 #define CCQ_MATRIX_DENSE_HPP
 
+#include <memory>
 #include <vector>
 
 #include "ccq/common/check.hpp"
@@ -15,6 +16,33 @@ namespace ccq {
 
 class Graph;
 
+namespace detail {
+
+/// std::allocator that leaves value-less constructions default-
+/// initialized (i.e. uninitialized for Weight), so the engine can defer
+/// the first write of each C band to the worker thread that owns it —
+/// the NUMA first-touch policy.  Explicit fills (vector(n, value)) are
+/// unaffected.
+template <class T>
+struct uninit_allocator : std::allocator<T> {
+    template <class U>
+    struct rebind {
+        using other = uninit_allocator<U>;
+    };
+    template <class U>
+    void construct(U* p) noexcept(noexcept(::new (static_cast<void*>(p)) U))
+    {
+        ::new (static_cast<void*>(p)) U;
+    }
+    template <class U, class... Args>
+    void construct(U* p, Args&&... args)
+    {
+        std::construct_at(p, std::forward<Args>(args)...);
+    }
+};
+
+} // namespace detail
+
 /// Square matrix of path lengths with kInfinity as "no path".
 class DistanceMatrix {
 public:
@@ -23,6 +51,18 @@ public:
         : n_(n), cells_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), fill)
     {
         CCQ_EXPECT(n >= 0, "DistanceMatrix: negative size");
+    }
+
+    /// A matrix whose cells are allocated but NOT initialized.  Only for
+    /// the engine's first-touch path: every cell must be written (by the
+    /// worker that owns its band) before any read.
+    [[nodiscard]] static DistanceMatrix uninitialized(int n)
+    {
+        CCQ_EXPECT(n >= 0, "DistanceMatrix: negative size");
+        DistanceMatrix m;
+        m.n_ = n;
+        m.cells_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+        return m;
     }
 
     [[nodiscard]] int size() const noexcept { return n_; }
@@ -67,7 +107,7 @@ private:
     }
 
     int n_ = 0;
-    std::vector<Weight> cells_;
+    std::vector<Weight, detail::uninit_allocator<Weight>> cells_;
 };
 
 /// Weighted adjacency matrix of `g` with zero diagonal (paper notation A).

@@ -4,39 +4,10 @@
 #include <utility>
 #include <vector>
 
+#include "ccq/matrix/kernels/kernels.hpp"
+
 namespace ccq {
 namespace {
-
-/// Dense band kernel: rows [i0, i1) of C, all of A and B, tiled by bs.
-/// Uses raw additions: every stored cell stays <= kInfinity, and with
-/// aik < kInfinity the sum aik + B[k,j] is < 2^63/2 (no overflow), so
-/// "store only if smaller than the current cell" reproduces the
-/// saturating_add / relax semantics of the reference kernel bit for bit.
-void dense_band(const Weight* a, const Weight* b, Weight* c, int n, int i0, int i1, int bs)
-{
-    for (int ii = i0; ii < i1; ii += bs) {
-        const int iend = std::min(ii + bs, i1);
-        for (int kk = 0; kk < n; kk += bs) {
-            const int kend = std::min(kk + bs, n);
-            for (int jj = 0; jj < n; jj += bs) {
-                const int jend = std::min(jj + bs, n);
-                for (int i = ii; i < iend; ++i) {
-                    const Weight* arow = a + static_cast<std::size_t>(i) * n;
-                    Weight* crow = c + static_cast<std::size_t>(i) * n;
-                    for (int k = kk; k < kend; ++k) {
-                        const Weight aik = arow[k];
-                        if (!is_finite(aik)) continue;
-                        const Weight* brow = b + static_cast<std::size_t>(k) * n;
-                        for (int j = jj; j < jend; ++j) {
-                            const Weight cand = aik + brow[j];
-                            if (cand < crow[j]) crow[j] = cand;
-                        }
-                    }
-                }
-            }
-        }
-    }
-}
 
 /// Relaxes row u of a*b into the dense scratch `best`, recording touched
 /// columns.  Byte-for-byte the reference row loop, shared by the plain
@@ -103,14 +74,25 @@ DistanceMatrix min_plus_product(const DistanceMatrix& a, const DistanceMatrix& b
 {
     CCQ_EXPECT(a.size() == b.size(), "min_plus_product: size mismatch");
     const int n = a.size();
-    DistanceMatrix c(n);
-    if (n == 0) return c;
+    if (n == 0) return DistanceMatrix(0);
     const int bs = std::min(engine.resolved_block_size(), n);
     const Weight* ap = a.data();
     const Weight* bp = b.data();
+    // The band kernel for the dispatched ISA (cpuid + CCQ_SIMD override),
+    // resolved once per product.  Every ISA is bitwise identical.
+    const kernels::DenseBandFn band = kernels::dense_band_kernel(kernels::dispatch_isa());
+    // C starts uninitialized; each strided band task first-touches its
+    // own rows (fill = the kInfinity the old constructor wrote) before
+    // relaxing them, so with pinned workers the pages of band i live on
+    // the NUMA node that computes band i — for this product and, thanks
+    // to the stable strided mapping, every later one.
+    DistanceMatrix c = DistanceMatrix::uninitialized(n);
     Weight* cp = c.data();
-    parallel_chunks(engine.resolved_threads(), 0, n, bs,
-                    [&](int i0, int i1) { dense_band(ap, bp, cp, n, i0, i1, bs); });
+    parallel_chunks_pinned(engine.resolved_threads(), 0, n, bs, [&](int i0, int i1) {
+        std::fill(cp + static_cast<std::size_t>(i0) * n,
+                  cp + static_cast<std::size_t>(i1) * n, kInfinity);
+        band(ap, bp, cp, n, i0, i1, bs);
+    });
     return c;
 }
 
@@ -118,10 +100,16 @@ DistanceMatrix min_plus_closure(DistanceMatrix a, int* products_used, const Engi
 {
     int used = 0;
     const int n = a.size();
-    // (n-1) hops suffice; square until the hop budget covers that.
+    // (n-1) hops suffice; square until the hop budget covers that — or
+    // until a squaring changes nothing.  At a fixed point A*A == A every
+    // further squaring is the identity, so stopping early returns the
+    // exact matrix the full ceil(log2(n-1)) schedule would.
     for (std::int64_t hops = 1; hops < n - 1; hops *= 2) {
-        a = min_plus_product(a, a, engine);
+        DistanceMatrix next = min_plus_product(a, a, engine);
         ++used;
+        const bool fixed_point = next == a;
+        a = std::move(next);
+        if (fixed_point) break;
     }
     if (products_used != nullptr) *products_used = used;
     return a;

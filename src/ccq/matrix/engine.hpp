@@ -18,11 +18,18 @@
 namespace ccq {
 
 /// Blocked parallel C[i,j] = min_k A[i,k] + B[k,j].  Tiles all three loop
-/// dimensions by engine.block_size and parallelizes block rows of C.
+/// dimensions by engine.block_size and parallelizes block rows of C on
+/// the ISA-dispatched SIMD band kernels (matrix/kernels/), with
+/// first-touch C initialization and a stable band->thread mapping for
+/// NUMA locality.  docs/ENGINE.md describes the full execution model.
 [[nodiscard]] DistanceMatrix min_plus_product(const DistanceMatrix& a, const DistanceMatrix& b,
                                               const EngineConfig& engine);
 
 /// Min-plus closure A^(n-1) by repeated squaring on the blocked kernel.
+/// Stops as soon as a squaring reaches the fixed point (A*A == A), so
+/// `products_used` reports the squarings actually run — at most
+/// ceil(log2(n-1)), often fewer on low-diameter instances — with output
+/// bitwise identical to the full schedule.
 [[nodiscard]] DistanceMatrix min_plus_closure(DistanceMatrix a, int* products_used,
                                               const EngineConfig& engine);
 

@@ -1,0 +1,57 @@
+#include "ccq/matrix/kernels/kernels.hpp"
+
+#ifdef CCQ_KERNELS_X86
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace ccq::kernels {
+
+// AVX2 has no 64-bit min instruction, so min(cur, cand) is a signed
+// compare + byte blend.  All cells are in [0, 2*kInfinity) < 2^63, so
+// the signed compare is exact — the same total order the scalar kernel
+// uses — and the result is bitwise identical to dense_band_scalar.
+__attribute__((target("avx2"))) void dense_band_avx2(const Weight* a, const Weight* b,
+                                                     Weight* c, int n, int i0, int i1, int bs)
+{
+    for (int ii = i0; ii < i1; ii += bs) {
+        const int iend = std::min(ii + bs, i1);
+        for (int kk = 0; kk < n; kk += bs) {
+            const int kend = std::min(kk + bs, n);
+            for (int jj = 0; jj < n; jj += bs) {
+                const int jend = std::min(jj + bs, n);
+                for (int i = ii; i < iend; ++i) {
+                    const Weight* arow = a + static_cast<std::size_t>(i) * n;
+                    Weight* crow = c + static_cast<std::size_t>(i) * n;
+                    for (int k = kk; k < kend; ++k) {
+                        const Weight aik = arow[k];
+                        if (!is_finite(aik)) continue; // INF-skip, hoisted off the j-loop
+                        const Weight* brow = b + static_cast<std::size_t>(k) * n;
+                        const __m256i vaik = _mm256_set1_epi64x(aik);
+                        int j = jj;
+                        for (; j + 4 <= jend; j += 4) {
+                            const __m256i vb = _mm256_loadu_si256(
+                                reinterpret_cast<const __m256i*>(brow + j));
+                            const __m256i vc =
+                                _mm256_loadu_si256(reinterpret_cast<__m256i*>(crow + j));
+                            const __m256i cand = _mm256_add_epi64(vaik, vb);
+                            // cur > cand ? cand : cur, lane-wise signed.
+                            const __m256i take = _mm256_cmpgt_epi64(vc, cand);
+                            const __m256i best = _mm256_blendv_epi8(vc, cand, take);
+                            _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow + j), best);
+                        }
+                        for (; j < jend; ++j) {
+                            const Weight cand = aik + brow[j];
+                            if (cand < crow[j]) crow[j] = cand;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace ccq::kernels
+
+#endif // CCQ_KERNELS_X86

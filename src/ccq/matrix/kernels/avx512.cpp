@@ -1,0 +1,64 @@
+#include "ccq/matrix/kernels/kernels.hpp"
+
+#ifdef CCQ_KERNELS_X86
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+#if defined(__GNUC__) && !defined(__clang__)
+// _mm512_min_epi64 passes _mm512_undefined_epi32() as the (fully masked
+// out) merge source; GCC's -Wmaybe-uninitialized cannot see the mask
+// (GCC PR105593).
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace ccq::kernels {
+
+// AVX-512F: 8 x 64-bit lanes with a native signed min (vpminsq) and a
+// masked tail, so every block width runs branch-free.  Same raw-add /
+// signed-min algebra as the scalar kernel — bitwise identical output.
+__attribute__((target("avx512f"))) void dense_band_avx512(const Weight* a, const Weight* b,
+                                                          Weight* c, int n, int i0, int i1,
+                                                          int bs)
+{
+    for (int ii = i0; ii < i1; ii += bs) {
+        const int iend = std::min(ii + bs, i1);
+        for (int kk = 0; kk < n; kk += bs) {
+            const int kend = std::min(kk + bs, n);
+            for (int jj = 0; jj < n; jj += bs) {
+                const int jend = std::min(jj + bs, n);
+                for (int i = ii; i < iend; ++i) {
+                    const Weight* arow = a + static_cast<std::size_t>(i) * n;
+                    Weight* crow = c + static_cast<std::size_t>(i) * n;
+                    for (int k = kk; k < kend; ++k) {
+                        const Weight aik = arow[k];
+                        if (!is_finite(aik)) continue; // INF-skip, hoisted off the j-loop
+                        const Weight* brow = b + static_cast<std::size_t>(k) * n;
+                        const __m512i vaik = _mm512_set1_epi64(aik);
+                        int j = jj;
+                        for (; j + 8 <= jend; j += 8) {
+                            const __m512i vb = _mm512_loadu_si512(brow + j);
+                            const __m512i vc = _mm512_loadu_si512(crow + j);
+                            const __m512i cand = _mm512_add_epi64(vaik, vb);
+                            _mm512_storeu_si512(crow + j, _mm512_min_epi64(vc, cand));
+                        }
+                        if (j < jend) {
+                            const __mmask8 tail =
+                                static_cast<__mmask8>((1u << (jend - j)) - 1u);
+                            const __m512i vb = _mm512_maskz_loadu_epi64(tail, brow + j);
+                            const __m512i vc = _mm512_maskz_loadu_epi64(tail, crow + j);
+                            const __m512i cand = _mm512_add_epi64(vaik, vb);
+                            _mm512_mask_storeu_epi64(crow + j, tail,
+                                                     _mm512_min_epi64(vc, cand));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace ccq::kernels
+
+#endif // CCQ_KERNELS_X86

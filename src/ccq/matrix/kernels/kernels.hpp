@@ -1,0 +1,88 @@
+// ISA-dispatched dense min-plus micro-kernels.
+//
+// The blocked dense engine (matrix/engine.cpp) spends essentially all of
+// its time in one loop: for a finite A[i,k], relax C[i, jj..jend) with
+// A[i,k] + B[k, jj..jend).  That loop vectorizes cleanly over 64-bit
+// lanes (broadcast-add + lane-wise signed min; the INF-skip on A[i,k] is
+// hoisted out of the j-loop), so this subsystem provides one band kernel
+// per instruction set — scalar reference, AVX2, AVX-512 — selected at
+// runtime via cpuid.
+//
+// Contract: every kernel computes, for rows [i0, i1) of C,
+//
+//   C[i,j] = min(C[i,j], min_{k, A[i,k] finite} A[i,k] + B[k,j])
+//
+// with raw (non-saturating) additions, byte-for-byte identical to the
+// scalar reference for every input whose cells are all <= kInfinity.
+// 64-bit integer add and min are exact, each C cell depends only on its
+// own column, and the k-order of relaxations is preserved, so SIMD width
+// cannot change a single output bit.  tests/test_kernels.cpp enforces
+// this pairwise across every compiled ISA.
+//
+// Selection order: the programmatic override (set_isa_override, used by
+// tests and bench ablations), then the CCQ_SIMD environment variable
+// ("scalar" | "avx2" | "avx512" | "auto"; unsupported values fall back
+// to auto), then the widest ISA the CPU supports.  Building with
+// -DCCQ_SIMD=OFF compiles the scalar kernel only; non-x86 targets do the
+// same automatically.
+#ifndef CCQ_MATRIX_KERNELS_KERNELS_HPP
+#define CCQ_MATRIX_KERNELS_KERNELS_HPP
+
+#include <optional>
+#include <vector>
+
+#include "ccq/common/types.hpp"
+
+namespace ccq::kernels {
+
+/// Instruction sets a dense band kernel can target, narrowest first.
+enum class Isa {
+    scalar = 0, ///< portable reference kernel (always available)
+    avx2 = 1,   ///< 4 x 64-bit lanes, compare+blend min
+    avx512 = 2, ///< 8 x 64-bit lanes, native vpminsq + masked tail
+};
+
+[[nodiscard]] const char* isa_name(Isa isa);
+
+/// Dense band kernel: rows [i0, i1) of C, all of A and B, tiled by bs.
+/// See the file header for the exact semantics contract.
+using DenseBandFn = void (*)(const Weight* a, const Weight* b, Weight* c, int n, int i0,
+                             int i1, int bs);
+
+/// True if this binary contains a kernel for `isa` (CCQ_SIMD=ON and an
+/// x86-64 toolchain; scalar is always compiled).
+[[nodiscard]] bool isa_compiled(Isa isa);
+
+/// True if `isa` is compiled in AND the running CPU supports it.
+[[nodiscard]] bool isa_supported(Isa isa);
+
+/// Every ISA usable on this host, narrowest first (never empty).
+[[nodiscard]] std::vector<Isa> supported_isas();
+
+/// The ISA the engine will use: override > CCQ_SIMD env > widest
+/// supported.  Always returns a supported ISA.
+[[nodiscard]] Isa dispatch_isa();
+
+/// The band kernel for `isa`; requires isa_supported(isa).
+[[nodiscard]] DenseBandFn dense_band_kernel(Isa isa);
+
+/// Forces dispatch_isa() to `isa` (must be supported); nullopt restores
+/// automatic dispatch.  For tests and bench ablations.
+void set_isa_override(std::optional<Isa> isa);
+
+// Per-ISA entry points (dispatch.cpp wires them up; exposed so the
+// differential tests can call an ISA directly).  Calling an entry point
+// whose ISA the CPU lacks is undefined (SIGILL); gate on isa_supported.
+void dense_band_scalar(const Weight* a, const Weight* b, Weight* c, int n, int i0, int i1,
+                       int bs);
+#if !defined(CCQ_SIMD_DISABLED) && defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CCQ_KERNELS_X86 1
+void dense_band_avx2(const Weight* a, const Weight* b, Weight* c, int n, int i0, int i1,
+                     int bs);
+void dense_band_avx512(const Weight* a, const Weight* b, Weight* c, int n, int i0, int i1,
+                       int bs);
+#endif
+
+} // namespace ccq::kernels
+
+#endif // CCQ_MATRIX_KERNELS_KERNELS_HPP

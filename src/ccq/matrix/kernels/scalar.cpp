@@ -1,0 +1,41 @@
+#include <algorithm>
+
+#include "ccq/matrix/kernels/kernels.hpp"
+
+namespace ccq::kernels {
+
+/// Portable reference band kernel (the PR-1 blocked loop, unchanged).
+/// Uses raw additions: every stored cell stays <= kInfinity, and with
+/// aik < kInfinity the sum aik + B[k,j] is < 2^63/2 (no overflow), so
+/// "store only if smaller than the current cell" reproduces the
+/// saturating_add / relax semantics of the seed kernel bit for bit.
+/// The SIMD kernels replicate exactly this loop nest; only the j-loop
+/// body is widened.
+void dense_band_scalar(const Weight* a, const Weight* b, Weight* c, int n, int i0, int i1,
+                       int bs)
+{
+    for (int ii = i0; ii < i1; ii += bs) {
+        const int iend = std::min(ii + bs, i1);
+        for (int kk = 0; kk < n; kk += bs) {
+            const int kend = std::min(kk + bs, n);
+            for (int jj = 0; jj < n; jj += bs) {
+                const int jend = std::min(jj + bs, n);
+                for (int i = ii; i < iend; ++i) {
+                    const Weight* arow = a + static_cast<std::size_t>(i) * n;
+                    Weight* crow = c + static_cast<std::size_t>(i) * n;
+                    for (int k = kk; k < kend; ++k) {
+                        const Weight aik = arow[k];
+                        if (!is_finite(aik)) continue; // INF-skip, hoisted off the j-loop
+                        const Weight* brow = b + static_cast<std::size_t>(k) * n;
+                        for (int j = jj; j < jend; ++j) {
+                            const Weight cand = aik + brow[j];
+                            if (cand < crow[j]) crow[j] = cand;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace ccq::kernels

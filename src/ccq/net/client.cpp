@@ -112,10 +112,11 @@ ServerStats Client::stats()
     return decode_stats_reply(roundtrip(request));
 }
 
-void Client::shutdown_server()
+void Client::shutdown_server(const std::string& token)
 {
     Request request;
     request.op = Opcode::shutdown;
+    request.token = token;
     (void)roundtrip(request);
 }
 

@@ -39,7 +39,9 @@ public:
     [[nodiscard]] ServerStats stats();
 
     /// Asks the server to shut down gracefully; returns once acknowledged.
-    void shutdown_server();
+    /// Token-protected servers (ccq_served --shutdown-token) answer
+    /// rpc_error(Status::forbidden) unless `token` matches.
+    void shutdown_server(const std::string& token = {});
 
     /// JSON debug mode passthrough: sends `json` (must be one object) as
     /// a frame and returns the server's JSON reply verbatim.

@@ -62,6 +62,7 @@ const char* status_name(Status status)
     case Status::unsupported: return "unsupported";
     case Status::shutting_down: return "shutting_down";
     case Status::internal: return "internal";
+    case Status::forbidden: return "forbidden";
     }
     return "unknown";
 }
@@ -103,8 +104,14 @@ std::string encode_request(const Request& request)
     put_u8(body, static_cast<std::uint8_t>(request.op));
     switch (request.op) {
     case Opcode::ping:
-    case Opcode::stats:
-    case Opcode::shutdown: break;
+    case Opcode::stats: break;
+    case Opcode::shutdown:
+        // Token operand, omitted entirely when empty so unauthenticated
+        // frames keep the pre-token wire shape (old servers reject a
+        // token-bearing frame as trailing bytes, which is the correct
+        // failure for version skew).
+        if (!request.token.empty()) put_string(body, request.token);
+        break;
     case Opcode::distance:
     case Opcode::path:
         put_i32(body, request.from);
@@ -133,8 +140,10 @@ Request decode_request(std::string_view body)
         const std::uint8_t op = reader.u8();
         switch (static_cast<Opcode>(op)) {
         case Opcode::ping:
-        case Opcode::stats:
-        case Opcode::shutdown: break;
+        case Opcode::stats: break;
+        case Opcode::shutdown:
+            if (!reader.exhausted()) request.token = reader.str();
+            break;
         case Opcode::distance:
         case Opcode::path:
             request.from = reader.i32();
@@ -259,7 +268,7 @@ std::pair<Status, std::string_view> split_reply(std::string_view body)
 {
     if (body.empty()) throw protocol_error("empty response body");
     const std::uint8_t status = static_cast<std::uint8_t>(body.front());
-    if (status > static_cast<std::uint8_t>(Status::internal))
+    if (status > static_cast<std::uint8_t>(Status::forbidden))
         throw protocol_error("unknown response status " + std::to_string(status));
     return {static_cast<Status>(status), body.substr(1)};
 }
@@ -514,6 +523,8 @@ Request parse_json_request(std::string_view body)
                 request.k = cursor.i32_value("k");
             } else if (key == "pairs") {
                 request.pairs = cursor.pairs_value();
+            } else if (key == "token") {
+                request.token = cursor.string_value();
             } else {
                 throw protocol_error("json request: unknown key '" + key + "'");
             }

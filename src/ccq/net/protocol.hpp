@@ -63,6 +63,7 @@ enum class Status : std::uint8_t {
     unsupported = 3,   ///< e.g. path query against a snapshot without routing
     shutting_down = 4, ///< request raced a graceful shutdown
     internal = 5,      ///< unexpected server-side failure
+    forbidden = 6,     ///< control frame without the required auth token
 };
 
 [[nodiscard]] const char* status_name(Status status);
@@ -88,6 +89,7 @@ struct Request {
     NodeId to = 0;
     int k = 0;
     std::vector<PointQuery> pairs; ///< batch ops
+    std::string token;             ///< shutdown auth token (may be empty)
     bool json = false;             ///< arrived via the JSON debug mode
 };
 

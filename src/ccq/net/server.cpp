@@ -234,6 +234,17 @@ void check_range(NodeId v, int n)
                                    std::to_string(n) + ")"};
 }
 
+/// The shutdown auth gate: with a configured token, a control frame
+/// missing it (or carrying the wrong one) is rejected as `forbidden` and
+/// never reaches the request_stop() path in serve_one (which only fires
+/// on an ok shutdown reply).
+void check_shutdown_token(const ServerConfig& config, const Request& request)
+{
+    if (!config.shutdown_token.empty() && request.token != config.shutdown_token)
+        throw request_rejected{Status::forbidden,
+                               "shutdown requires the server's shutdown token"};
+}
+
 } // namespace
 
 std::string Server::answer(const Request& request)
@@ -241,7 +252,9 @@ std::string Server::answer(const Request& request)
     const int n = engine_->node_count();
     switch (request.op) {
     case Opcode::ping: return encode_ping_reply();
-    case Opcode::shutdown: return encode_ok_reply();
+    case Opcode::shutdown:
+        check_shutdown_token(config_, request);
+        return encode_ok_reply();
     case Opcode::distance:
         check_range(request.from, n);
         check_range(request.to, n);
@@ -294,7 +307,9 @@ std::string Server::answer_json(const Request& request)
     case Opcode::ping:
         (void)answer(Request{});
         return "{\"op\":\"ping\",\"protocol\":" + std::to_string(kProtocolVersion) + "}";
-    case Opcode::shutdown: return "{\"op\":\"shutdown\",\"ok\":true}";
+    case Opcode::shutdown:
+        check_shutdown_token(config_, request);
+        return "{\"op\":\"shutdown\",\"ok\":true}";
     case Opcode::distance: {
         const Weight d = decode_distance_reply(split_reply(answer(request)).second);
         const bool reachable = is_finite(d);

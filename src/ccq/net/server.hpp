@@ -34,6 +34,12 @@ namespace ccq {
 struct ServerConfig {
     std::string host = "127.0.0.1";
     int port = 0; ///< 0 picks an ephemeral port (see Server::port())
+    /// When non-empty, a `shutdown` control frame must carry exactly
+    /// this token; a missing or wrong token answers `forbidden` and the
+    /// server keeps serving.  Empty keeps the historical open-shutdown
+    /// behavior (fine for stdio/loopback embeddings, not for shared
+    /// ports — see docs/PROTOCOL.md).
+    std::string shutdown_token;
 };
 
 class Server {

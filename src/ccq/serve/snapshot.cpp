@@ -95,6 +95,25 @@ void encode_meta(std::string& payload, const SnapshotMeta& meta)
     return payload;
 }
 
+// Decoded-cell invariants, enforced by BOTH codecs at load time.  The
+// dense engine's raw-add kernels assume every stored cell is in
+// [0, kInfinity] (the no-overflow argument in matrix/kernels/), so a
+// crafted or corrupted snapshot must never hand an out-of-range cell
+// back to anything that might feed the engine — reject at the decode
+// boundary instead.
+
+void check_estimate_cell(std::int64_t value)
+{
+    if (value < 0 || value > kInfinity)
+        throw snapshot_io_error("read_snapshot: estimate cell out of range");
+}
+
+void check_next_hop(std::int64_t value, int n)
+{
+    if (value < -1 || value >= n)
+        throw snapshot_io_error("read_snapshot: next hop out of range");
+}
+
 [[nodiscard]] OracleSnapshot decode_payload_v1(std::string_view payload)
 {
     ByteReader reader(payload);
@@ -110,14 +129,21 @@ void encode_meta(std::string& payload, const SnapshotMeta& meta)
         throw snapshot_io_error("read_snapshot: node count exceeds payload size");
     snapshot.estimate = DistanceMatrix(n);
     for (NodeId u = 0; u < n; ++u)
-        for (NodeId v = 0; v < n; ++v) snapshot.estimate.at(u, v) = reader.i64();
+        for (NodeId v = 0; v < n; ++v) {
+            const Weight value = reader.i64();
+            check_estimate_cell(value);
+            snapshot.estimate.at(u, v) = value;
+        }
 
     snapshot.has_routing = decode_flag(reader, "routing flag");
     if (snapshot.has_routing) {
         if (cells > reader.remaining() / 4)
             throw snapshot_io_error("read_snapshot: routing table exceeds payload size");
         std::vector<NodeId> next_hops(static_cast<std::size_t>(cells));
-        for (NodeId& hop : next_hops) hop = reader.i32();
+        for (NodeId& hop : next_hops) {
+            hop = reader.i32();
+            check_next_hop(hop, n);
+        }
         snapshot.routing = RoutingTables(n, std::move(next_hops));
     }
     if (!reader.exhausted())
@@ -219,8 +245,7 @@ void decode_weight_row(std::string_view row_bytes, int n, Weight* out)
     std::int64_t prev = 0;
     for (int v = 0; v < n; ++v) {
         const std::int64_t value = wrapping_add(prev, reader.varint_i64());
-        if (value < 0 || value > kInfinity)
-            throw snapshot_io_error("read_snapshot: estimate cell out of range");
+        check_estimate_cell(value);
         out[v] = value;
         prev = value;
     }
@@ -234,8 +259,7 @@ void decode_hop_row(std::string_view row_bytes, int n, NodeId* out)
     std::int64_t prev = 0;
     for (int v = 0; v < n; ++v) {
         const std::int64_t value = wrapping_add(prev, reader.varint_i64());
-        if (value < -1 || value >= n)
-            throw snapshot_io_error("read_snapshot: next hop out of range");
+        check_next_hop(value, n);
         out[v] = static_cast<NodeId>(value);
         prev = value;
     }
@@ -482,6 +506,17 @@ MappedSnapshot::MappedSnapshot(const std::string& path)
                     throw snapshot_io_error(
                         "read_snapshot: node count exceeds payload size");
                 v1_estimate_offset_ = reader.position();
+                // v1 cells are later read in place with no per-read
+                // validation, so the load-time invariant check happens
+                // here: one extra sequential pass over bytes the
+                // checksum pass above already paged in.
+                {
+                    ByteReader cells_reader(
+                        payload.substr(v1_estimate_offset_,
+                                       static_cast<std::size_t>(cells) * 8));
+                    for (std::uint64_t i = 0; i < cells; ++i)
+                        check_estimate_cell(cells_reader.i64());
+                }
                 (void)reader.bytes(static_cast<std::size_t>(cells) * 8);
                 has_routing_ = decode_flag(reader, "routing flag");
                 if (has_routing_) {
@@ -489,6 +524,11 @@ MappedSnapshot::MappedSnapshot(const std::string& path)
                         throw snapshot_io_error(
                             "read_snapshot: routing table exceeds payload size");
                     v1_routing_offset_ = reader.position();
+                    ByteReader hops_reader(
+                        payload.substr(v1_routing_offset_,
+                                       static_cast<std::size_t>(cells) * 4));
+                    for (std::uint64_t i = 0; i < cells; ++i)
+                        check_next_hop(hops_reader.i32(), n);
                     (void)reader.bytes(static_cast<std::size_t>(cells) * 4);
                 }
             } else {
@@ -604,9 +644,10 @@ std::vector<NodeId> MappedSnapshot::route(NodeId from, NodeId to) const
     const int n = meta_.node_count;
     std::vector<NodeId> path{from};
     NodeId current = from;
-    // Same hardening as RoutingTables::route: mapped tables are untrusted
-    // too (v1 cells are read unvalidated), so cycles and bad hop ids end
-    // the walk as unreachable instead of looping or throwing.
+    // Same hardening as RoutingTables::route: hop ranges are validated
+    // at load time in both codecs, but in-range hops can still form a
+    // cycle, so the walk stays hop-budgeted and ends as unreachable
+    // instead of looping.
     for (int steps = 0; current != to; ++steps) {
         if (steps >= n) return {};
         const NodeId next = next_hop(current, to);

@@ -107,8 +107,43 @@ TEST(EngineDense, ClosureMatchesReferenceSquaring)
         int products = 0;
         EXPECT_EQ(min_plus_closure(adjacency_matrix(g), &products, config), reference)
             << config_label(config);
-        EXPECT_EQ(products, reference_products);
+        // The closure may stop squaring once it hits the fixed point;
+        // the result above is still bitwise identical to the full
+        // ceil(log2(n-1)) schedule.
+        EXPECT_GE(products, 1);
+        EXPECT_LE(products, reference_products);
     }
+}
+
+TEST(EngineDense, ClosureEarlyExitsAtTheFixedPoint)
+{
+    // A closed matrix (a finished closure) squares to itself, so one
+    // product must detect the fixed point regardless of n.
+    Rng rng(9);
+    const Graph g = erdos_renyi(33, 0.3, WeightRange{1, 20}, rng);
+    const DistanceMatrix closed = min_plus_closure(adjacency_matrix(g), nullptr,
+                                                   EngineConfig::serial());
+    for (const EngineConfig& config : kConfigs) {
+        int products = 0;
+        EXPECT_EQ(min_plus_closure(closed, &products, config), closed)
+            << config_label(config);
+        EXPECT_EQ(products, 1) << config_label(config);
+    }
+
+    // A path graph is the adversarial opposite: distances keep changing
+    // until the hop budget covers n-1, so every squaring must run and
+    // the count must match the full schedule exactly.
+    Graph path = Graph::undirected(9);
+    for (NodeId u = 0; u + 1 < 9; ++u) path.add_edge(u, u + 1, 1);
+    DistanceMatrix full = adjacency_matrix(path);
+    int full_products = 0;
+    for (std::int64_t hops = 1; hops < 9 - 1; hops *= 2) {
+        full = min_plus_product_reference(full, full);
+        ++full_products;
+    }
+    int products = 0;
+    EXPECT_EQ(min_plus_closure(adjacency_matrix(path), &products, EngineConfig{4, 8}), full);
+    EXPECT_EQ(products, full_products);
 }
 
 TEST(EngineDense, LegacyEntryPointDelegatesToEngine)

@@ -1,0 +1,188 @@
+// Differential tests for the ISA-dispatched dense min-plus kernels:
+// every compiled-and-supported ISA (scalar, AVX2, AVX-512) must produce
+// bitwise identical products for every {threads, block_size}
+// configuration, including adversarial all-INF and near-saturation
+// rows.  ISAs the host CPU lacks are skipped, never failed.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "ccq/common/rng.hpp"
+#include "ccq/matrix/engine.hpp"
+#include "ccq/matrix/kernels/kernels.hpp"
+
+namespace ccq {
+namespace {
+
+using kernels::Isa;
+
+/// RAII ISA force for one test scope.
+struct ScopedIsa {
+    explicit ScopedIsa(Isa isa) { kernels::set_isa_override(isa); }
+    ~ScopedIsa() { kernels::set_isa_override(std::nullopt); }
+};
+
+const std::vector<EngineConfig> kConfigs = {
+    {1, 1}, {1, 8}, {1, 64}, {4, 1}, {4, 8}, {4, 64},
+};
+
+std::string label(Isa isa, const EngineConfig& config)
+{
+    return std::string(kernels::isa_name(isa)) + " threads=" + std::to_string(config.threads) +
+           " block=" + std::to_string(config.block_size);
+}
+
+DistanceMatrix random_dense(int n, Rng& rng, double inf_fraction, double huge_fraction)
+{
+    DistanceMatrix m(n);
+    for (NodeId i = 0; i < n; ++i) {
+        for (NodeId j = 0; j < n; ++j) {
+            const double coin = rng.uniform_real();
+            if (coin < inf_fraction) continue; // stays kInfinity
+            if (coin < inf_fraction + huge_fraction) {
+                m.at(i, j) = kInfinity - rng.uniform_int(1, 1000);
+            } else {
+                m.at(i, j) = rng.uniform_int(0, 500);
+            }
+        }
+    }
+    return m;
+}
+
+TEST(KernelDispatch, ScalarIsAlwaysSupported)
+{
+    EXPECT_TRUE(kernels::isa_compiled(Isa::scalar));
+    EXPECT_TRUE(kernels::isa_supported(Isa::scalar));
+    const std::vector<Isa> isas = kernels::supported_isas();
+    ASSERT_FALSE(isas.empty());
+    EXPECT_EQ(isas.front(), Isa::scalar);
+    for (const Isa isa : isas) EXPECT_TRUE(kernels::isa_supported(isa));
+    EXPECT_TRUE(kernels::isa_supported(kernels::dispatch_isa()));
+}
+
+TEST(KernelDispatch, NamesAreStable)
+{
+    EXPECT_STREQ(kernels::isa_name(Isa::scalar), "scalar");
+    EXPECT_STREQ(kernels::isa_name(Isa::avx2), "avx2");
+    EXPECT_STREQ(kernels::isa_name(Isa::avx512), "avx512");
+}
+
+TEST(KernelDispatch, OverrideForcesTheIsa)
+{
+    for (const Isa isa : kernels::supported_isas()) {
+        ScopedIsa forced(isa);
+        EXPECT_EQ(kernels::dispatch_isa(), isa);
+    }
+    // Cleared override returns to automatic dispatch (a supported ISA).
+    EXPECT_TRUE(kernels::isa_supported(kernels::dispatch_isa()));
+}
+
+TEST(KernelDispatch, UnsupportedIsaIsRejected)
+{
+    for (const Isa isa : {Isa::avx2, Isa::avx512}) {
+        if (kernels::isa_supported(isa)) continue;
+        EXPECT_THROW((void)kernels::dense_band_kernel(isa), check_error);
+        EXPECT_THROW(kernels::set_isa_override(isa), check_error);
+    }
+}
+
+// The dispatch matrix: every supported ISA, threads {1,4} x block
+// {1,8,64}, random operands with unreachable cells — all bitwise equal
+// to the seed reference kernel.
+TEST(KernelDifferential, EveryIsaMatchesReferenceAcrossConfigs)
+{
+    for (const int n : {1, 2, 7, 33, 64, 97}) {
+        Rng rng(4000 + static_cast<std::uint64_t>(n));
+        const DistanceMatrix a = random_dense(n, rng, 0.2, 0.0);
+        const DistanceMatrix b = random_dense(n, rng, 0.2, 0.0);
+        const DistanceMatrix reference = min_plus_product_reference(a, b);
+        for (const Isa isa : kernels::supported_isas()) {
+            ScopedIsa forced(isa);
+            for (const EngineConfig& config : kConfigs) {
+                EXPECT_EQ(min_plus_product(a, b, config), reference)
+                    << "n=" << n << " " << label(isa, config);
+            }
+        }
+    }
+}
+
+// Adversarial rows: whole rows of kInfinity (the INF-skip path must fire
+// for complete rows), whole rows of near-saturation weights (raw adds
+// just below the overflow argument's ceiling), and a mixed random tail.
+TEST(KernelDifferential, AdversarialInfinityAndSaturationRows)
+{
+    const int n = 37;
+    Rng rng(77);
+    DistanceMatrix a = random_dense(n, rng, 0.3, 0.3);
+    DistanceMatrix b = random_dense(n, rng, 0.3, 0.3);
+    for (NodeId j = 0; j < n; ++j) {
+        a.at(3, j) = kInfinity;     // fully unreachable row in A
+        b.at(5, j) = kInfinity;     // fully unreachable row in B
+        a.at(7, j) = kInfinity - 1; // saturation row: sums overflow past kInfinity
+        b.at(9, j) = kInfinity - 1;
+    }
+    const DistanceMatrix reference = min_plus_product_reference(a, b);
+    for (const Isa isa : kernels::supported_isas()) {
+        ScopedIsa forced(isa);
+        for (const EngineConfig& config : kConfigs) {
+            const DistanceMatrix c = min_plus_product(a, b, config);
+            EXPECT_EQ(c, reference) << label(isa, config);
+            for (NodeId i = 0; i < n; ++i)
+                for (NodeId j = 0; j < n; ++j) ASSERT_LE(c.at(i, j), kInfinity);
+        }
+    }
+}
+
+// Direct band-kernel calls (no engine, no pool): partial bands and every
+// tail length 1..width must agree with the scalar kernel.
+TEST(KernelDifferential, RawBandCallsAgreeOnPartialBandsAndTails)
+{
+    for (const int n : {5, 8, 11, 16, 23}) {
+        Rng rng(600 + static_cast<std::uint64_t>(n));
+        const DistanceMatrix a = random_dense(n, rng, 0.25, 0.1);
+        const DistanceMatrix b = random_dense(n, rng, 0.25, 0.1);
+        for (const auto& [i0, i1] : std::vector<std::pair<int, int>>{
+                 {0, n}, {0, 1}, {n / 2, n}, {1, n - 1}}) {
+            if (i0 >= i1) continue;
+            for (const int bs : {1, 3, 8, 64}) {
+                DistanceMatrix expected(n);
+                kernels::dense_band_scalar(a.data(), b.data(), expected.data(), n, i0, i1,
+                                           bs);
+                for (const Isa isa : kernels::supported_isas()) {
+                    DistanceMatrix actual(n);
+                    kernels::dense_band_kernel(isa)(a.data(), b.data(), actual.data(), n,
+                                                    i0, i1, bs);
+                    EXPECT_EQ(actual, expected) << kernels::isa_name(isa) << " n=" << n
+                                                << " band=[" << i0 << "," << i1
+                                                << ") bs=" << bs;
+                }
+            }
+        }
+    }
+}
+
+// The closure (repeated squaring + early exit) through every ISA: the
+// full pipeline stays bitwise stable, not just one product.
+TEST(KernelDifferential, ClosureIsIsaInvariant)
+{
+    Rng rng(91);
+    const DistanceMatrix a = random_dense(48, rng, 0.6, 0.05);
+    std::optional<DistanceMatrix> expected;
+    std::optional<int> expected_products;
+    for (const Isa isa : kernels::supported_isas()) {
+        ScopedIsa forced(isa);
+        int products = 0;
+        const DistanceMatrix closure = min_plus_closure(a, &products, EngineConfig{4, 8});
+        if (!expected.has_value()) {
+            expected = closure;
+            expected_products = products;
+        } else {
+            EXPECT_EQ(closure, *expected) << kernels::isa_name(isa);
+            EXPECT_EQ(products, *expected_products) << kernels::isa_name(isa);
+        }
+    }
+}
+
+} // namespace
+} // namespace ccq

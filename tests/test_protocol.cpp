@@ -95,6 +95,45 @@ TEST(Protocol, RequestsRoundTripForEveryOpcode)
     }
 }
 
+TEST(Protocol, ShutdownTokenRoundTrips)
+{
+    // Tokenless: the legacy one-byte frame, decoding to an empty token.
+    Request bare;
+    bare.op = Opcode::shutdown;
+    EXPECT_EQ(encode_request(bare).size(), 1u);
+    EXPECT_TRUE(decode_request(encode_request(bare)).token.empty());
+
+    Request request;
+    request.op = Opcode::shutdown;
+    request.token = "s3cret";
+    const Request decoded = decode_request(encode_request(request));
+    EXPECT_EQ(decoded.op, Opcode::shutdown);
+    EXPECT_EQ(decoded.token, "s3cret");
+
+    // JSON debug mode carries the same operand.
+    const Request json = parse_json_request(R"({"op":"shutdown","token":"abc"})");
+    EXPECT_EQ(json.op, Opcode::shutdown);
+    EXPECT_EQ(json.token, "abc");
+
+    // A truncated token string is malformed, not a silent empty token.
+    std::string truncated;
+    truncated += static_cast<char>(0x1f);
+    const std::uint32_t length = 100;
+    truncated.append(reinterpret_cast<const char*>(&length), 4);
+    truncated += "short";
+    EXPECT_THROW((void)decode_request(truncated), protocol_error);
+}
+
+TEST(Protocol, ForbiddenStatusIsNamedAndSplits)
+{
+    const std::string reply = encode_error_reply(Status::forbidden, "no token");
+    const auto [status, rest] = split_reply(reply);
+    EXPECT_EQ(status, Status::forbidden);
+    EXPECT_STREQ(status_name(Status::forbidden), "forbidden");
+    // One past the last defined status must still be rejected.
+    EXPECT_THROW((void)split_reply(std::string(1, static_cast<char>(7))), protocol_error);
+}
+
 TEST(Protocol, BatchRequestsCarryTheirPairs)
 {
     Request request;

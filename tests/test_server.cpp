@@ -49,8 +49,9 @@ BuiltOracle build(const InstanceSpec& spec)
 /// A listening server plus the thread running its accept loop.
 class RunningServer {
 public:
-    explicit RunningServer(std::shared_ptr<const QueryEngine> engine)
-        : server_(std::move(engine))
+    explicit RunningServer(std::shared_ptr<const QueryEngine> engine,
+                           ServerConfig config = {})
+        : server_(std::move(engine), std::move(config))
     {
         port_ = server_.listen();
         thread_ = std::thread([this] { server_.run(); });
@@ -252,6 +253,91 @@ TEST(Server, ShutdownFrameStopsTheAcceptLoopGracefully)
     accept_thread.join(); // run() must return on its own
     EXPECT_TRUE(server.stopping());
     EXPECT_THROW((void)Client::connect("127.0.0.1", port), net_error);
+}
+
+TEST(Server, ShutdownTokenRejectsUnauthenticatedFrames)
+{
+    // The ROADMAP-flagged hole: anyone who could connect could stop the
+    // server.  With a configured token, a tokenless or wrong-token
+    // shutdown must answer `forbidden` and leave the server serving.
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
+    const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
+    ServerConfig config;
+    config.shutdown_token = "s3cret";
+    RunningServer running(engine, config);
+    Client client = running.connect();
+
+    try {
+        client.shutdown_server(); // legacy tokenless frame
+        FAIL() << "expected rpc_error";
+    } catch (const rpc_error& error) {
+        EXPECT_EQ(error.status(), Status::forbidden);
+    }
+    try {
+        client.shutdown_server("wrong");
+        FAIL() << "expected rpc_error";
+    } catch (const rpc_error& error) {
+        EXPECT_EQ(error.status(), Status::forbidden);
+    }
+
+    // The server is still up and the same connection still answers.
+    EXPECT_FALSE(running.server().stopping());
+    EXPECT_EQ(client.distance(0, 5), engine->distance(0, 5));
+    // A fresh connection also still lands (the listener is alive).
+    Client fresh = running.connect();
+    EXPECT_EQ(fresh.ping(), kProtocolVersion);
+    EXPECT_GE(running.server().stats().errors, 2u);
+
+    // The JSON debug mode goes through the same gate.
+    const std::string denied = fresh.json_request(R"({"op":"shutdown"})");
+    EXPECT_EQ(denied.rfind("{\"error\"", 0), 0u) << denied;
+    EXPECT_NE(denied.find("forbidden"), std::string::npos) << denied;
+    EXPECT_FALSE(running.server().stopping());
+}
+
+TEST(Server, ShutdownTokenAcceptsTheRightToken)
+{
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
+    ServerConfig config;
+    config.shutdown_token = "s3cret";
+    Server server(std::make_shared<const QueryEngine>(built.snapshot), config);
+    const int port = server.listen();
+    std::thread accept_thread([&server] { server.run(); });
+
+    Client client = Client::connect("127.0.0.1", port);
+    client.shutdown_server("s3cret"); // acknowledged before the server stops
+    accept_thread.join();             // run() must return on its own
+    EXPECT_TRUE(server.stopping());
+}
+
+TEST(Server, JsonShutdownWithTokenStopsTheServer)
+{
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
+    ServerConfig config;
+    config.shutdown_token = "tok";
+    Server server(std::make_shared<const QueryEngine>(built.snapshot), config);
+    const int port = server.listen();
+    std::thread accept_thread([&server] { server.run(); });
+
+    Client client = Client::connect("127.0.0.1", port);
+    const std::string reply = client.json_request(R"({"op":"shutdown","token":"tok"})");
+    EXPECT_EQ(reply, "{\"op\":\"shutdown\",\"ok\":true}");
+    accept_thread.join();
+    EXPECT_TRUE(server.stopping());
+}
+
+TEST(Server, TokenlessServerKeepsOpenShutdown)
+{
+    // Back-compat: no configured token means any shutdown frame —
+    // including one that carries a token — still stops the server.
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
+    Server server(std::make_shared<const QueryEngine>(built.snapshot));
+    const int port = server.listen();
+    std::thread accept_thread([&server] { server.run(); });
+    Client client = Client::connect("127.0.0.1", port);
+    client.shutdown_server("ignored");
+    accept_thread.join();
+    EXPECT_TRUE(server.stopping());
 }
 
 TEST(Server, RequestStopUnblocksIdleConnections)

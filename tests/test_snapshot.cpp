@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <thread>
 
@@ -224,6 +225,60 @@ TEST(Snapshot, ForgedNodeCountIsRejectedBeforeAllocation)
     } catch (const snapshot_io_error& error) {
         EXPECT_NE(std::string(error.what()).find("exceeds payload size"), std::string::npos)
             << error.what();
+    }
+}
+
+// --- decoded-cell range validation (both codecs) ----------------------------
+//
+// The dense engine's raw-add kernels require every cell in
+// [0, kInfinity]; the writer trusts its callers, so a crafted snapshot
+// can carry anything.  Both codecs must reject out-of-range cells at
+// load time instead of handing them back to the engine.
+
+/// A structurally valid snapshot whose estimate holds one illegal cell.
+OracleSnapshot snapshot_with_bad_cell(Weight bad)
+{
+    OracleSnapshot snapshot = make_snapshot(InstanceSpec{GraphFamily::tree, 10, 4});
+    snapshot.estimate.at(2, 7) = bad;
+    return snapshot;
+}
+
+TEST(SnapshotCellValidation, OutOfRangeEstimateCellsAreRejectedByBothCodecs)
+{
+    for (const Weight bad : {kInfinity + 1, kInfinity + 12345, Weight{-1},
+                             std::numeric_limits<Weight>::max(),
+                             std::numeric_limits<Weight>::min()}) {
+        const OracleSnapshot forged = snapshot_with_bad_cell(bad);
+        for (const SnapshotCodec codec : {SnapshotCodec::raw, SnapshotCodec::compressed}) {
+            try {
+                (void)from_bytes(to_bytes(forged, codec));
+                FAIL() << "codec " << static_cast<int>(codec) << " accepted cell " << bad;
+            } catch (const snapshot_io_error& error) {
+                EXPECT_NE(std::string(error.what()).find("out of range"), std::string::npos)
+                    << error.what();
+            }
+        }
+    }
+    // kInfinity itself (unreachable) stays legal in both codecs.
+    const OracleSnapshot legal = snapshot_with_bad_cell(kInfinity);
+    for (const SnapshotCodec codec : {SnapshotCodec::raw, SnapshotCodec::compressed})
+        EXPECT_EQ(from_bytes(to_bytes(legal, codec)).estimate.at(2, 7), kInfinity);
+}
+
+TEST(SnapshotCellValidation, OutOfRangeNextHopsAreRejectedByBothCodecs)
+{
+    OracleSnapshot forged = make_snapshot(InstanceSpec{GraphFamily::tree, 10, 4});
+    std::vector<NodeId> hops(100, -1);
+    hops[5] = 10; // one past the node range
+    forged.routing = RoutingTables(10, std::move(hops));
+    for (const SnapshotCodec codec : {SnapshotCodec::raw, SnapshotCodec::compressed}) {
+        try {
+            (void)from_bytes(to_bytes(forged, codec));
+            FAIL() << "codec " << static_cast<int>(codec) << " accepted a bad hop";
+        } catch (const snapshot_io_error& error) {
+            EXPECT_NE(std::string(error.what()).find("out of range"), std::string::npos)
+                << error.what();
+        }
     }
 }
 
@@ -467,6 +522,28 @@ TEST_F(SnapshotMmap, RejectsCorruptionTruncationAndBadMagicAtOpen)
 
     EXPECT_THROW((void)MappedSnapshot("/nonexistent/ccq.snap"), snapshot_io_error);
     std::remove(path.c_str());
+}
+
+TEST_F(SnapshotMmap, OutOfRangeCellsAreRejectedInBothCodecs)
+{
+    OracleSnapshot forged = make_snapshot(InstanceSpec{GraphFamily::tree, 10, 4});
+    forged.estimate.at(2, 7) = kInfinity + 99;
+
+    // v1 cells are served straight from the mapping, so the invariant
+    // scan runs at open and the constructor itself must reject.
+    const std::string v1 = write_file(forged, SnapshotCodec::raw, "ccq_mmap_badcell_v1.snap");
+    EXPECT_THROW((void)MappedSnapshot(v1), snapshot_io_error);
+
+    // v2 rows decode lazily: the open validates structure, the poisoned
+    // row is rejected on first touch, and clean rows still answer.
+    const std::string v2 =
+        write_file(forged, SnapshotCodec::compressed, "ccq_mmap_badcell_v2.snap");
+    const MappedSnapshot mapped(v2);
+    EXPECT_EQ(mapped.distance(0, 7), forged.estimate.at(0, 7));
+    EXPECT_THROW((void)mapped.distance(2, 7), snapshot_io_error);
+    EXPECT_THROW((void)mapped.materialize(), snapshot_io_error);
+    std::remove(v1.c_str());
+    std::remove(v2.c_str());
 }
 
 TEST_F(SnapshotMmap, QueryEngineOverMmapMatchesInMemoryEngine)

@@ -38,6 +38,7 @@ int usage()
                  "  --from <u> --k <n>             k nearest targets\n"
                  "  --batch <file> [--path]        one query per 'u v' line\n"
                  "  --stats | --ping | --shutdown  control frames\n"
+                 "  --token <t>                    auth token for --shutdown\n"
                  "  --raw-json <object>            JSON debug mode passthrough\n");
     return 1;
 }
@@ -51,6 +52,7 @@ int run(Args& args)
     const bool want_stats = args.flag("--stats");
     const bool want_ping = args.flag("--ping");
     const bool want_shutdown = args.flag("--shutdown");
+    const std::string token = args.value("--token").value_or("");
     const std::optional<std::string> raw_json = args.value("--raw-json");
     const std::optional<std::string> batch = args.value("--batch");
     const std::optional<std::string> from_text = args.value("--from");
@@ -73,7 +75,7 @@ int run(Args& args)
         return 0;
     }
     if (want_shutdown) {
-        client.shutdown_server();
+        client.shutdown_server(token);
         if (json)
             std::printf("{\"ok\":true,\"shutdown\":true}\n");
         else

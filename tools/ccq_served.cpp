@@ -41,7 +41,7 @@ int usage()
     std::fprintf(stderr,
                  "usage: ccq_served --snapshot <file> [--host <ip>] [--port <n>]\n"
                  "       [--port-file <file>] [--mmap] [--stdio] [--threads <n>]\n"
-                 "       [--cache <entries>]\n");
+                 "       [--cache <entries>] [--shutdown-token <t>]\n");
     return 1;
 }
 
@@ -53,6 +53,8 @@ int run(Args& args)
     if (const std::optional<std::string> host = args.value("--host")) config.host = *host;
     if (const std::optional<std::string> port = args.value("--port"))
         config.port = std::stoi(*port);
+    if (const std::optional<std::string> token = args.value("--shutdown-token"))
+        config.shutdown_token = *token;
     const std::optional<std::string> port_file = args.value("--port-file");
     const bool use_mmap = args.flag("--mmap");
     const bool stdio = args.flag("--stdio");
