@@ -24,8 +24,10 @@
 //   net/      networked serving: length-prefixed framed protocol
 //             (net/protocol.hpp, spec in docs/PROTOCOL.md), TCP/stdio
 //             transports (net/socket.hpp), the multiplexing Server
-//             (net/server.hpp) and Client library (net/client.hpp),
-//             fronted by tools/ccq_served.cpp + tools/ccq_client.cpp
+//             (net/server.hpp; thread-per-connection or the epoll
+//             event loop of net/epoll_server.hpp) and the pipelining
+//             Client/ClientPool library (net/client.hpp), fronted by
+//             tools/ccq_served.cpp + tools/ccq_client.cpp
 //
 // See DESIGN.md for details and EXPERIMENTS.md for the measured
 // reproduction of every quantitative claim.

@@ -112,6 +112,93 @@ ServerStats Client::stats()
     return decode_stats_reply(roundtrip(request));
 }
 
+namespace {
+
+[[nodiscard]] std::string error_message_of(std::string_view payload)
+{
+    try {
+        ByteReader reader(payload);
+        return reader.str();
+    } catch (const decode_error&) {
+        return "(garbled error message)";
+    }
+}
+
+/// The shared pipelining engine: keeps up to `window` frames in flight,
+/// coalescing each window top-up into one write, and consumes replies in
+/// arrival order.  After a non-ok reply the remaining in-flight replies
+/// are drained so the connection ends at a frame boundary, then the
+/// first error is thrown.
+template <class MakeRequest, class OnPayload>
+void run_pipeline(Stream& stream, std::size_t count, int window, MakeRequest make_request,
+                  OnPayload on_payload)
+{
+    CCQ_EXPECT(window >= 1, "pipelined batch: window must be >= 1");
+    std::size_t sent = 0;
+    std::size_t received = 0;
+    std::optional<std::pair<Status, std::string>> failure;
+    std::string burst;
+    while (failure.has_value() ? received < sent : received < count) {
+        if (!failure.has_value()) {
+            burst.clear();
+            while (sent < count && sent - received < static_cast<std::size_t>(window)) {
+                burst += encode_frame(encode_request(make_request(sent)));
+                ++sent;
+            }
+            if (!burst.empty()) stream.write_all(burst.data(), burst.size());
+        }
+        std::optional<std::string> reply = read_frame(stream);
+        if (!reply.has_value())
+            throw net_error("server closed the connection mid-pipeline");
+        const std::size_t index = received++;
+        const auto [status, payload] = split_reply(*reply);
+        if (status != Status::ok) {
+            if (!failure.has_value()) failure.emplace(status, error_message_of(payload));
+            continue;
+        }
+        if (!failure.has_value()) on_payload(index, payload);
+    }
+    if (failure.has_value()) throw rpc_error(failure->first, failure->second);
+}
+
+} // namespace
+
+std::vector<Weight> Client::pipelined_distances(std::span<const PointQuery> queries, int window)
+{
+    std::vector<Weight> distances(queries.size());
+    run_pipeline(
+        *stream_, queries.size(), window,
+        [&](std::size_t i) {
+            Request request;
+            request.op = Opcode::distance;
+            request.from = queries[i].from;
+            request.to = queries[i].to;
+            return request;
+        },
+        [&](std::size_t i, std::string_view payload) {
+            distances[i] = decode_distance_reply(payload);
+        });
+    return distances;
+}
+
+std::vector<PathResult> Client::pipelined_paths(std::span<const PointQuery> queries, int window)
+{
+    std::vector<PathResult> paths(queries.size());
+    run_pipeline(
+        *stream_, queries.size(), window,
+        [&](std::size_t i) {
+            Request request;
+            request.op = Opcode::path;
+            request.from = queries[i].from;
+            request.to = queries[i].to;
+            return request;
+        },
+        [&](std::size_t i, std::string_view payload) {
+            paths[i] = decode_path_reply(payload);
+        });
+    return paths;
+}
+
 void Client::shutdown_server(const std::string& token)
 {
     Request request;
@@ -128,6 +215,48 @@ std::string Client::json_request(const std::string& json)
     std::optional<std::string> reply = read_frame(*stream_);
     if (!reply.has_value()) throw net_error("server closed the connection");
     return *reply;
+}
+
+// --- ClientPool -------------------------------------------------------------
+
+ClientPool::ClientPool(std::string host, int port, std::size_t max_idle)
+    : host_(std::move(host)), port_(port), max_idle_(max_idle)
+{
+}
+
+ClientPool::Lease ClientPool::acquire()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!idle_.empty()) {
+            std::unique_ptr<Client> client = std::move(idle_.back());
+            idle_.pop_back();
+            return Lease(*this, std::move(client));
+        }
+    }
+    return Lease(*this, std::make_unique<Client>(TcpStream::connect(host_, port_)));
+}
+
+std::size_t ClientPool::idle_count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return idle_.size();
+}
+
+void ClientPool::give_back(std::unique_ptr<Client> client) noexcept
+{
+    try {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (idle_.size() < max_idle_) idle_.push_back(std::move(client));
+    } catch (...) {
+        // Dropping the connection on allocation failure is safe: the
+        // pool just dials a fresh one next time.
+    }
+}
+
+ClientPool::Lease::~Lease()
+{
+    if (pool_ != nullptr && client_ != nullptr) pool_->give_back(std::move(client_));
 }
 
 } // namespace ccq

@@ -3,14 +3,18 @@
 // callers (ccq_client, the closed-loop bench) can swap between
 // in-process and over-the-wire serving without changing shape.
 //
-// A Client owns one connection and is strictly sequential (one frame in
-// flight); use one Client per concurrent worker.  Server-reported
-// failures throw rpc_error (carrying the status), transport failures
-// throw net_error, and undecodable responses throw protocol_error.
+// A Client owns one connection.  The typed calls are sequential (one
+// frame in flight); the pipelined_* batch entry points keep a bounded
+// window of request frames in flight on the same connection and match
+// replies in order — the server guarantees arrival-order responses, so
+// no correlation ids are needed.  Server-reported failures throw
+// rpc_error (carrying the status), transport failures throw net_error,
+// and undecodable responses throw protocol_error.
 #ifndef CCQ_NET_CLIENT_HPP
 #define CCQ_NET_CLIENT_HPP
 
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -38,6 +42,19 @@ public:
     [[nodiscard]] std::vector<PathResult> batch_paths(std::span<const PointQuery> queries);
     [[nodiscard]] ServerStats stats();
 
+    /// Point-distance queries pipelined over this connection: up to
+    /// `window` request frames in flight at once, replies consumed in
+    /// order.  One round-trip per window instead of one per query.  On a
+    /// non-ok reply the remaining in-flight replies are drained (the
+    /// connection stays usable) and the first error is rethrown as
+    /// rpc_error.
+    [[nodiscard]] std::vector<Weight>
+    pipelined_distances(std::span<const PointQuery> queries, int window = 32);
+
+    /// Path reconstructions with the same pipelining discipline.
+    [[nodiscard]] std::vector<PathResult>
+    pipelined_paths(std::span<const PointQuery> queries, int window = 32);
+
     /// Asks the server to shut down gracefully; returns once acknowledged.
     /// Token-protected servers (ccq_served --shutdown-token) answer
     /// rpc_error(Status::forbidden) unless `token` matches.
@@ -52,6 +69,58 @@ private:
     [[nodiscard]] std::string roundtrip(const Request& request);
 
     std::unique_ptr<Stream> stream_;
+};
+
+/// A pool of ready connections to one server, for callers that issue
+/// bursts of requests from many threads (the network bench, tools).
+/// acquire() reuses an idle pooled connection or dials a new one; the
+/// returned Lease gives the connection back on destruction — unless the
+/// caller discard()s it after an error that may have desynced the
+/// stream.  Thread-safe.
+class ClientPool {
+public:
+    ClientPool(std::string host, int port, std::size_t max_idle = 16);
+
+    /// RAII handle on a pooled connection.
+    class Lease {
+    public:
+        Lease(ClientPool& pool, std::unique_ptr<Client> client) noexcept
+            : pool_(&pool), client_(std::move(client))
+        {
+        }
+        ~Lease();
+        Lease(Lease&& other) noexcept = default;
+        Lease& operator=(Lease&&) = delete;
+        Lease(const Lease&) = delete;
+        Lease& operator=(const Lease&) = delete;
+
+        [[nodiscard]] Client& operator*() noexcept { return *client_; }
+        [[nodiscard]] Client* operator->() noexcept { return client_.get(); }
+
+        /// Drops the connection instead of pooling it (call after any
+        /// net_error/protocol_error: the stream position is unknown).
+        void discard() noexcept { client_.reset(); }
+
+    private:
+        ClientPool* pool_;
+        std::unique_ptr<Client> client_;
+    };
+
+    /// An idle pooled connection, or a freshly dialed one (may throw
+    /// net_error like Client::connect).
+    [[nodiscard]] Lease acquire();
+
+    /// Connections currently parked in the pool.
+    [[nodiscard]] std::size_t idle_count() const;
+
+private:
+    void give_back(std::unique_ptr<Client> client) noexcept;
+
+    std::string host_;
+    int port_;
+    std::size_t max_idle_;
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Client>> idle_;
 };
 
 } // namespace ccq

@@ -1,0 +1,456 @@
+#ifdef __linux__
+
+#include "ccq/net/epoll_server.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "ccq/common/check.hpp"
+#include "ccq/common/parallel.hpp"
+#include "ccq/net/server.hpp"
+
+namespace ccq {
+namespace {
+
+// epoll_event.data.u64 identities below the first connection id.
+constexpr std::uint64_t kListenerId = 0;
+constexpr std::uint64_t kWakeupId = 1;
+
+constexpr auto kListenerBackoff = std::chrono::milliseconds(50);
+constexpr auto kDrainTimeout = std::chrono::seconds(5);
+constexpr std::size_t kReadChunk = 64 * 1024;
+/// Per-readiness-event read budget: level-triggered epoll re-reports a
+/// socket with leftover bytes, so bounding one event's reads keeps a
+/// firehose connection from starving the rest.
+constexpr std::size_t kReadBudget = 4 * kReadChunk;
+
+[[nodiscard]] std::string errno_text(const char* what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+void epoll_apply(int epoll_fd, int op, int fd, std::uint32_t events, std::uint64_t id)
+{
+    epoll_event event = {};
+    event.events = events;
+    event.data.u64 = id;
+    if (::epoll_ctl(epoll_fd, op, fd, &event) != 0)
+        throw net_error(errno_text("epoll_ctl"));
+}
+
+[[nodiscard]] int timeout_ms_until(std::chrono::steady_clock::time_point when)
+{
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        when - std::chrono::steady_clock::now());
+    return left.count() <= 0 ? 0 : static_cast<int>(left.count());
+}
+
+} // namespace
+
+EpollLoop::EpollLoop(Server& server) : server_(server)
+{
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) throw net_error(errno_text("epoll_create1"));
+    wakeup_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (wakeup_fd_ < 0) {
+        const std::string text = errno_text("eventfd");
+        ::close(epoll_fd_);
+        epoll_fd_ = -1;
+        throw net_error(text);
+    }
+}
+
+EpollLoop::~EpollLoop()
+{
+    // run() joins the workers on every path; this is the constructor-
+    // failure / never-ran backstop.
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        workers_stop_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& worker : workers_)
+        if (worker.joinable()) worker.join();
+    for (auto& [id, conn] : conns_)
+        if (conn->fd >= 0) ::close(conn->fd);
+    if (wakeup_fd_ >= 0) ::close(wakeup_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EpollLoop::run()
+{
+    CCQ_EXPECT(server_.listener_.has_value(), "EpollLoop::run: server is not listening");
+    listener_fd_ = server_.listener_->native_handle();
+    server_.listener_->set_nonblocking(true);
+    epoll_apply(epoll_fd_, EPOLL_CTL_ADD, listener_fd_, EPOLLIN, kListenerId);
+    listener_armed_ = true;
+    epoll_apply(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, EPOLLIN, kWakeupId);
+
+    const int worker_count = resolved_thread_count(server_.config_.workers);
+    workers_.reserve(static_cast<std::size_t>(worker_count));
+    for (int i = 0; i < worker_count; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+
+    // Publish the wakeup fd, then re-check: a request_stop() that ran
+    // just before the store could not have written the eventfd.
+    server_.loop_wakeup_fd_.store(wakeup_fd_, std::memory_order_release);
+    if (server_.stopping()) begin_drain();
+
+    try {
+        epoll_event events[128];
+        while (!(draining_ && conns_.empty())) {
+            int timeout = -1;
+            if (draining_)
+                timeout = timeout_ms_until(drain_deadline_);
+            else if (!listener_armed_)
+                timeout = timeout_ms_until(listener_rearm_at_);
+
+            const int ready =
+                ::epoll_wait(epoll_fd_, events, static_cast<int>(sizeof(events) / sizeof(events[0])), timeout);
+            if (ready < 0) {
+                if (errno == EINTR) continue;
+                throw net_error(errno_text("epoll_wait"));
+            }
+            for (int i = 0; i < ready; ++i) {
+                const std::uint64_t id = events[i].data.u64;
+                const std::uint32_t what = events[i].events;
+                if (id == kWakeupId) {
+                    std::uint64_t drained = 0;
+                    while (::read(wakeup_fd_, &drained, sizeof(drained)) > 0) {
+                    }
+                    apply_completions();
+                } else if (id == kListenerId) {
+                    accept_ready();
+                } else {
+                    // Re-look up per event: an earlier event in this very
+                    // batch (a completion, a listener error) may have
+                    // closed this connection already.
+                    const auto it = conns_.find(id);
+                    if (it == conns_.end()) continue;
+                    Conn& conn = *it->second;
+                    if ((what & (EPOLLERR | EPOLLHUP)) != 0)
+                        conn.broken = true;
+                    else if ((what & (EPOLLIN | EPOLLRDHUP)) != 0)
+                        conn_readable(conn);
+                    update_conn(conn);
+                }
+            }
+
+            if (server_.stopping() && !draining_) begin_drain();
+            if (!draining_ && !listener_armed_ &&
+                std::chrono::steady_clock::now() >= listener_rearm_at_) {
+                epoll_apply(epoll_fd_, EPOLL_CTL_ADD, listener_fd_, EPOLLIN, kListenerId);
+                listener_armed_ = true;
+            }
+            if (draining_ && !conns_.empty() &&
+                std::chrono::steady_clock::now() >= drain_deadline_) {
+                // Drain timeout: whoever has not taken their reply by now
+                // is not going to.
+                std::vector<std::uint64_t> ids;
+                ids.reserve(conns_.size());
+                for (const auto& [conn_id, conn] : conns_) ids.push_back(conn_id);
+                for (const std::uint64_t conn_id : ids) {
+                    const auto it = conns_.find(conn_id);
+                    if (it != conns_.end()) close_conn(*it->second);
+                }
+            }
+        }
+    } catch (...) {
+        server_.loop_wakeup_fd_.store(-1, std::memory_order_release);
+        server_.request_stop();
+        {
+            std::lock_guard<std::mutex> lock(queue_mutex_);
+            workers_stop_ = true;
+        }
+        queue_cv_.notify_all();
+        for (std::thread& worker : workers_)
+            if (worker.joinable()) worker.join();
+        throw;
+    }
+
+    server_.loop_wakeup_fd_.store(-1, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        workers_stop_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& worker : workers_)
+        if (worker.joinable()) worker.join();
+}
+
+void EpollLoop::begin_drain()
+{
+    draining_ = true;
+    drain_deadline_ = std::chrono::steady_clock::now() + kDrainTimeout;
+    server_.listener_->close(); // idempotent; also done by request_stop()
+    if (listener_armed_) {
+        epoll_apply(epoll_fd_, EPOLL_CTL_DEL, listener_fd_, 0, kListenerId);
+        listener_armed_ = false;
+    }
+    // Stop reading everywhere; already-buffered complete frames still get
+    // dispatched (and answered `shutting_down` by process_frame), queued
+    // replies still flush.  update_conn closes whoever is already idle.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (const auto& [conn_id, conn] : conns_) ids.push_back(conn_id);
+    for (const std::uint64_t conn_id : ids) {
+        const auto it = conns_.find(conn_id);
+        if (it != conns_.end()) update_conn(*it->second);
+    }
+}
+
+void EpollLoop::accept_ready()
+{
+    while (!draining_) {
+        const int fd = ::accept4(listener_fd_, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+            if (errno == EINTR || errno == ECONNABORTED) continue;
+            if (errno == EMFILE || errno == ENFILE) {
+                // Out of descriptors: connections close and free some up,
+                // so log and back off instead of spinning on a listener
+                // that stays readable (level-triggered) the whole time.
+                std::fprintf(stderr,
+                             "ccq server: accept failed (%s); still listening\n",
+                             std::strerror(errno));
+                epoll_apply(epoll_fd_, EPOLL_CTL_DEL, listener_fd_, 0, kListenerId);
+                listener_armed_ = false;
+                listener_rearm_at_ = std::chrono::steady_clock::now() + kListenerBackoff;
+                return;
+            }
+            if (server_.stopping()) return; // closed listener fails accept
+            throw net_error(errno_text("accept4"));
+        }
+        auto stream = std::make_unique<TcpStream>(fd); // owns fd, sets TCP_NODELAY
+        if (server_.config_.max_connections > 0 &&
+            conns_.size() >= static_cast<std::size_t>(server_.config_.max_connections)) {
+            // Fresh socket, empty send buffer: the busy frame fits
+            // without blocking even though the fd is nonblocking.
+            server_.shed_connection(*stream);
+            continue; // stream destruction closes the shed socket
+        }
+        server_.connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+        server_.active_connections_.fetch_add(1, std::memory_order_relaxed);
+        auto conn = std::make_unique<Conn>();
+        conn->fd = fd;
+        conn->id = next_conn_id_++;
+        conn->armed_events = EPOLLIN | EPOLLRDHUP;
+        epoll_apply(epoll_fd_, EPOLL_CTL_ADD, fd, conn->armed_events, conn->id);
+        (void)stream.release(); // the Conn owns the fd from here on
+        conns_.emplace(conn->id, std::move(conn));
+    }
+}
+
+void EpollLoop::conn_readable(Conn& conn)
+{
+    if (conn.paused || conn.peer_eof || conn.poisoned || conn.broken || draining_) return;
+    char buffer[kReadChunk];
+    std::size_t taken = 0;
+    while (taken < kReadBudget) {
+        const ssize_t got = ::recv(conn.fd, buffer, sizeof(buffer), 0);
+        if (got > 0) {
+            conn.decoder.feed(std::string_view(buffer, static_cast<std::size_t>(got)));
+            taken += static_cast<std::size_t>(got);
+            continue;
+        }
+        if (got == 0) {
+            conn.peer_eof = true;
+            return;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        conn.broken = true;
+        return;
+    }
+}
+
+void EpollLoop::drain_decoder(Conn& conn)
+{
+    while (conn.inflight < server_.config_.max_pipeline_depth &&
+           conn.out.size() - conn.out_offset < server_.config_.max_output_bytes) {
+        std::optional<std::string> body = conn.decoder.next();
+        if (!body.has_value()) return;
+        dispatch(conn, std::move(*body));
+    }
+}
+
+void EpollLoop::dispatch(Conn& conn, std::string body)
+{
+    Task task;
+    task.conn_id = conn.id;
+    task.seq = conn.next_dispatch_seq++;
+    task.body = std::move(body);
+    ++conn.inflight;
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        queue_.push_back(std::move(task));
+    }
+    queue_cv_.notify_one();
+}
+
+void EpollLoop::worker_loop()
+{
+    while (true) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock, [this] { return !queue_.empty() || workers_stop_; });
+            if (queue_.empty()) return; // workers_stop_, queue drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        Completion completion;
+        completion.conn_id = task.conn_id;
+        completion.seq = task.seq;
+        try {
+            completion.reply = server_.process_frame(task.body, completion.shutdown_now);
+        } catch (const std::exception& error) {
+            // process_frame answers its own failures; this is the
+            // out-of-memory / logic-bug backstop.
+            completion.reply = encode_error_reply(Status::internal, error.what());
+        }
+        {
+            std::lock_guard<std::mutex> lock(completion_mutex_);
+            completions_.push_back(std::move(completion));
+        }
+        const std::uint64_t one = 1;
+        [[maybe_unused]] const ssize_t ignored = ::write(wakeup_fd_, &one, sizeof(one));
+    }
+}
+
+void EpollLoop::apply_completions()
+{
+    std::vector<Completion> batch;
+    {
+        std::lock_guard<std::mutex> lock(completion_mutex_);
+        batch.swap(completions_);
+    }
+    bool shutdown_now = false;
+    for (Completion& completion : batch) {
+        shutdown_now = shutdown_now || completion.shutdown_now;
+        const auto it = conns_.find(completion.conn_id);
+        if (it == conns_.end()) continue; // connection died while queued
+        Conn& conn = *it->second;
+        conn.ready.emplace(completion.seq, std::move(completion.reply));
+        // Flush the in-order prefix: the protocol answers requests in
+        // arrival order no matter which worker finished first.
+        for (auto ready_it = conn.ready.begin();
+             ready_it != conn.ready.end() && ready_it->first == conn.next_write_seq;
+             ready_it = conn.ready.erase(ready_it)) {
+            conn.out += encode_frame(ready_it->second);
+            ++conn.next_write_seq;
+            --conn.inflight;
+        }
+        update_conn(conn);
+    }
+    if (shutdown_now) server_.request_stop();
+}
+
+void EpollLoop::flush(Conn& conn)
+{
+    while (conn.out_offset < conn.out.size()) {
+        const ssize_t wrote = ::send(conn.fd, conn.out.data() + conn.out_offset,
+                                     conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+        if (wrote > 0) {
+            conn.out_offset += static_cast<std::size_t>(wrote);
+            continue;
+        }
+        if (wrote < 0 && errno == EINTR) continue;
+        if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        conn.broken = true; // EPIPE, ECONNRESET, ...
+        return;
+    }
+    if (conn.out_offset == conn.out.size()) {
+        conn.out.clear();
+        conn.out_offset = 0;
+    } else if (conn.out_offset >= kReadChunk) {
+        conn.out.erase(0, conn.out_offset);
+        conn.out_offset = 0;
+    }
+}
+
+bool EpollLoop::conn_finished(const Conn& conn) const
+{
+    // Once reads have ended (EOF, desync, or server drain), the
+    // connection lives only to deliver what it is still owed.  With no
+    // request in flight and the output flushed, the decoder cannot be
+    // holding a complete frame either (update_conn drains it whenever
+    // there is headroom, and an empty pipeline is all headroom) — at
+    // most a partial frame, which EOF legitimately truncates.
+    const bool reads_over = conn.peer_eof || conn.poisoned || draining_;
+    return reads_over && conn.inflight == 0 && conn.ready.empty() &&
+           conn.out_offset == conn.out.size();
+}
+
+void EpollLoop::update_conn(Conn& conn)
+{
+    if (!conn.broken) {
+        if (!conn.poisoned) {
+            try {
+                drain_decoder(conn);
+            } catch (const protocol_error&) {
+                // Framing desync (oversized length prefix): like the
+                // blocking backend, answer everything before the bad
+                // frame, then drop the connection.
+                conn.poisoned = true;
+            }
+        }
+        if (conn.out_offset < conn.out.size()) flush(conn);
+    }
+    if (conn.broken) {
+        close_conn(conn);
+        return;
+    }
+
+    const std::size_t pending_out = conn.out.size() - conn.out_offset;
+    const bool over = conn.inflight >= server_.config_.max_pipeline_depth ||
+                      pending_out >= server_.config_.max_output_bytes;
+    const bool under =
+        conn.inflight <= server_.config_.max_pipeline_depth / 2 &&
+        pending_out <= server_.config_.max_output_bytes / 2;
+    if (!conn.paused && over && !conn.peer_eof && !conn.poisoned && !draining_) {
+        conn.paused = true;
+        server_.backpressure_pauses_.fetch_add(1, std::memory_order_relaxed);
+    } else if (conn.paused && under) {
+        conn.paused = false;
+    }
+
+    if (conn_finished(conn)) {
+        close_conn(conn);
+        return;
+    }
+    set_interest(conn);
+}
+
+void EpollLoop::set_interest(Conn& conn)
+{
+    std::uint32_t wanted = EPOLLRDHUP;
+    if (!conn.paused && !conn.peer_eof && !conn.poisoned && !draining_)
+        wanted |= EPOLLIN;
+    if (conn.out_offset < conn.out.size()) wanted |= EPOLLOUT;
+    if (wanted == conn.armed_events) return;
+    epoll_apply(epoll_fd_, EPOLL_CTL_MOD, conn.fd, wanted, conn.id);
+    conn.armed_events = wanted;
+}
+
+void EpollLoop::close_conn(Conn& conn)
+{
+    const std::uint64_t id = conn.id;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+    ::close(conn.fd);
+    conn.fd = -1;
+    server_.active_connections_.fetch_sub(1, std::memory_order_relaxed);
+    conns_.erase(id); // destroys `conn`
+}
+
+} // namespace ccq
+
+#endif // __linux__

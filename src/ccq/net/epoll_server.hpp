@@ -1,0 +1,128 @@
+// The event-loop backend of the serving front-end (Linux only).
+//
+// One EpollLoop multiplexes every connection of a Server through a
+// single epoll readiness loop: sockets are nonblocking, each connection
+// reassembles frames incrementally (a frame may arrive across many
+// EPOLLIN events), decoded requests are dispatched to a fixed pool of
+// worker threads, and replies are queued per connection and flushed on
+// writability — in request order, whatever order the workers finish in.
+//
+// Backpressure is the congested-clique discipline applied to one host:
+// a connection may have at most `max_pipeline_depth` requests in flight
+// and at most `max_output_bytes` of queued response bytes; beyond
+// either bound the loop simply stops reading that socket (the kernel's
+// receive window then pushes back on the peer) until the queue drains.
+// Slow readers therefore cost one bounded buffer, not unbounded memory.
+//
+// The loop produces byte-identical responses to the threads backend by
+// construction: both call the same Server::process_frame.
+#ifndef CCQ_NET_EPOLL_SERVER_HPP
+#define CCQ_NET_EPOLL_SERVER_HPP
+
+#ifdef __linux__
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "ccq/net/protocol.hpp"
+
+namespace ccq {
+
+class Server;
+
+class EpollLoop {
+public:
+    /// Binds to a listening Server (friend access to its counters,
+    /// config, and process_frame).  run() serves until the server stops.
+    explicit EpollLoop(Server& server);
+    ~EpollLoop();
+    EpollLoop(const EpollLoop&) = delete;
+    EpollLoop& operator=(const EpollLoop&) = delete;
+
+    /// The readiness loop: accept, read, dispatch, flush — until
+    /// Server::request_stop(), then drain in-flight requests and return.
+    void run();
+
+private:
+    /// Per-connection state, owned exclusively by the loop thread.
+    struct Conn {
+        int fd = -1;
+        std::uint64_t id = 0;
+        FrameDecoder decoder;
+        std::string out;             ///< framed replies awaiting the socket
+        std::size_t out_offset = 0;  ///< flushed prefix of `out`
+        std::uint64_t next_dispatch_seq = 0; ///< seq given to the next request
+        std::uint64_t next_write_seq = 0;    ///< seq whose reply flushes next
+        std::map<std::uint64_t, std::string> ready; ///< out-of-order replies
+        int inflight = 0;     ///< dispatched requests without a flushed reply
+        bool paused = false;  ///< reads stopped for backpressure
+        bool peer_eof = false;  ///< peer sent EOF; flush replies, then close
+        bool poisoned = false;  ///< framing desync; stop reading, flush, close
+        bool broken = false;    ///< transport error; close immediately
+        std::uint32_t armed_events = 0; ///< epoll interest currently registered
+    };
+
+    struct Task {
+        std::uint64_t conn_id = 0;
+        std::uint64_t seq = 0;
+        std::string body;
+    };
+    struct Completion {
+        std::uint64_t conn_id = 0;
+        std::uint64_t seq = 0;
+        std::string reply;
+        bool shutdown_now = false;
+    };
+
+    void accept_ready();
+    void conn_readable(Conn& conn);
+    void conn_writable(Conn& conn);
+    /// Pops complete frames from the decoder and dispatches them while
+    /// the connection has pipeline/output headroom.
+    void drain_decoder(Conn& conn);
+    void dispatch(Conn& conn, std::string body);
+    void apply_completions();
+    void flush(Conn& conn);
+    /// Reconciles epoll interest + pause state with the connection's
+    /// queue sizes; closes it when it has nothing left to live for.
+    void update_conn(Conn& conn);
+    void close_conn(Conn& conn);
+    [[nodiscard]] bool conn_finished(const Conn& conn) const;
+    void set_interest(Conn& conn);
+    void begin_drain();
+    void worker_loop();
+
+    Server& server_;
+    int epoll_fd_ = -1;
+    int wakeup_fd_ = -1; ///< eventfd: request_stop + worker completions
+    int listener_fd_ = -1;
+    bool listener_armed_ = false;
+    std::chrono::steady_clock::time_point listener_rearm_at_{};
+    bool draining_ = false;
+    std::chrono::steady_clock::time_point drain_deadline_{};
+
+    std::uint64_t next_conn_id_ = 2; ///< 0 = listener, 1 = wakeup eventfd
+    std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+
+    std::vector<std::thread> workers_;
+    std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<Task> queue_;
+    bool workers_stop_ = false; ///< guarded by queue_mutex_
+    std::mutex completion_mutex_;
+    std::vector<Completion> completions_;
+};
+
+} // namespace ccq
+
+#endif // __linux__
+#endif // CCQ_NET_EPOLL_SERVER_HPP

@@ -63,21 +63,29 @@ const char* status_name(Status status)
     case Status::shutting_down: return "shutting_down";
     case Status::internal: return "internal";
     case Status::forbidden: return "forbidden";
+    case Status::busy: return "busy";
     }
     return "unknown";
 }
 
 // --- framing ----------------------------------------------------------------
 
+std::string encode_frame(std::string_view body)
+{
+    if (body.size() > kMaxFrameBytes) throw protocol_error("encode_frame: body too large");
+    std::string frame;
+    frame.reserve(4 + body.size());
+    put_u32(frame, static_cast<std::uint32_t>(body.size()));
+    frame.append(body);
+    return frame;
+}
+
 void write_frame(Stream& stream, std::string_view body)
 {
-    if (body.size() > kMaxFrameBytes) throw protocol_error("write_frame: body too large");
-    std::string header;
-    put_u32(header, static_cast<std::uint32_t>(body.size()));
     // One write per frame keeps concurrent writers (none today, but the
     // Stream contract allows them) from interleaving header and body.
-    header.append(body);
-    stream.write_all(header.data(), header.size());
+    const std::string frame = encode_frame(body);
+    stream.write_all(frame.data(), frame.size());
 }
 
 std::optional<std::string> read_frame(Stream& stream)
@@ -93,6 +101,38 @@ std::optional<std::string> read_frame(Stream& stream)
     std::string body(length, '\0');
     if (length > 0 && !stream.read_exact(body.data(), body.size()))
         throw net_error("connection closed mid-message");
+    return body;
+}
+
+void FrameDecoder::feed(std::string_view bytes)
+{
+    // Compact before growing: once everything buffered has been consumed
+    // (the steady state between frames) the buffer restarts from zero, so
+    // a long-lived connection never accumulates dead prefix bytes.
+    if (pos_ == buffer_.size()) {
+        buffer_.clear();
+        pos_ = 0;
+    } else if (pos_ >= 64 * 1024) {
+        buffer_.erase(0, pos_);
+        pos_ = 0;
+    }
+    buffer_.append(bytes);
+}
+
+std::optional<std::string> FrameDecoder::next()
+{
+    if (buffer_.size() - pos_ < 4) return std::nullopt;
+    std::uint32_t length = 0;
+    for (int i = 0; i < 4; ++i)
+        length |= static_cast<std::uint32_t>(
+                      static_cast<unsigned char>(buffer_[pos_ + static_cast<std::size_t>(i)]))
+                  << (8 * i);
+    if (length > kMaxFrameBytes)
+        throw protocol_error("frame of " + std::to_string(length) + " bytes exceeds the " +
+                             std::to_string(kMaxFrameBytes) + "-byte limit");
+    if (buffer_.size() - pos_ - 4 < length) return std::nullopt;
+    std::string body = buffer_.substr(pos_ + 4, length);
+    pos_ += 4 + static_cast<std::size_t>(length);
     return body;
 }
 
@@ -249,6 +289,7 @@ std::string encode_stats_reply(const ServerStats& stats)
 {
     std::string body = ok_body();
     put_u64(body, stats.connections_accepted);
+    put_u64(body, stats.connections_rejected);
     put_u64(body, stats.active_connections);
     put_u64(body, stats.frames_served);
     put_u64(body, stats.errors);
@@ -268,7 +309,7 @@ std::pair<Status, std::string_view> split_reply(std::string_view body)
 {
     if (body.empty()) throw protocol_error("empty response body");
     const std::uint8_t status = static_cast<std::uint8_t>(body.front());
-    if (status > static_cast<std::uint8_t>(Status::forbidden))
+    if (status > static_cast<std::uint8_t>(Status::busy))
         throw protocol_error("unknown response status " + std::to_string(status));
     return {static_cast<Status>(status), body.substr(1)};
 }
@@ -356,6 +397,7 @@ ServerStats decode_stats_reply(std::string_view payload)
         ByteReader reader(payload);
         ServerStats stats;
         stats.connections_accepted = reader.u64();
+        stats.connections_rejected = reader.u64();
         stats.active_connections = reader.u64();
         stats.frames_served = reader.u64();
         stats.errors = reader.u64();

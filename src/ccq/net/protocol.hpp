@@ -64,6 +64,7 @@ enum class Status : std::uint8_t {
     shutting_down = 4, ///< request raced a graceful shutdown
     internal = 5,      ///< unexpected server-side failure
     forbidden = 6,     ///< control frame without the required auth token
+    busy = 7,          ///< connection shed by the --max-connections guard
 };
 
 [[nodiscard]] const char* status_name(Status status);
@@ -96,6 +97,7 @@ struct Request {
 /// Counters reported by the stats op.
 struct ServerStats {
     std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_rejected = 0; ///< shed by --max-connections (busy)
     std::uint64_t active_connections = 0;
     std::uint64_t frames_served = 0;   ///< ok responses
     std::uint64_t errors = 0;          ///< non-ok responses
@@ -118,6 +120,38 @@ void write_frame(Stream& stream, std::string_view body);
 
 /// Reads one frame body; std::nullopt on clean EOF at a frame boundary.
 [[nodiscard]] std::optional<std::string> read_frame(Stream& stream);
+
+/// One frame (length prefix + body) as a byte string, for writers that
+/// batch several frames into one send (the event loop, pipelined clients).
+[[nodiscard]] std::string encode_frame(std::string_view body);
+
+/// Incremental frame reassembly for nonblocking transports: feed() the
+/// bytes each readiness event delivers (a frame may arrive across many
+/// events, or many frames in one event) and pop complete bodies with
+/// next().  An oversized length prefix throws protocol_error as soon as
+/// the prefix itself is readable — the body is never buffered.
+class FrameDecoder {
+public:
+    /// Appends raw stream bytes to the reassembly buffer.
+    void feed(std::string_view bytes);
+
+    /// Pops the next complete frame body, or std::nullopt if more bytes
+    /// are needed.  Throws protocol_error on an oversized length prefix.
+    [[nodiscard]] std::optional<std::string> next();
+
+    /// Bytes buffered but not yet returned by next().
+    [[nodiscard]] std::size_t buffered_bytes() const noexcept
+    {
+        return buffer_.size() - pos_;
+    }
+
+    /// True when EOF now would cut a frame in half (partial bytes pending).
+    [[nodiscard]] bool mid_frame() const noexcept { return buffered_bytes() > 0; }
+
+private:
+    std::string buffer_;
+    std::size_t pos_ = 0; ///< consumed prefix of buffer_ (compacted lazily)
+};
 
 // --- request bodies ---------------------------------------------------------
 

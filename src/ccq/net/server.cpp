@@ -1,8 +1,15 @@
 #include "ccq/net/server.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <exception>
 #include <utility>
+
+#include "ccq/net/epoll_server.hpp"
 
 namespace ccq {
 namespace {
@@ -42,6 +49,18 @@ void append_json_path_result(std::string& out, NodeId from, NodeId to, const Pat
 
 } // namespace
 
+IoBackend parse_io_backend(const std::string& name)
+{
+    if (name == "threads") return IoBackend::threads;
+    if (name == "epoll") return IoBackend::epoll;
+    throw std::runtime_error("unknown io backend '" + name + "' (threads|epoll)");
+}
+
+const char* io_backend_name(IoBackend backend) noexcept
+{
+    return backend == IoBackend::epoll ? "epoll" : "threads";
+}
+
 Server::Server(std::shared_ptr<const QueryEngine> engine, ServerConfig config)
     : engine_(std::move(engine)), config_(std::move(config))
 {
@@ -74,15 +93,67 @@ void Server::request_stop() noexcept
 {
     stop_.store(true, std::memory_order_release);
     if (listener_.has_value()) listener_->close();
+    // Wake the epoll backend's loop too: write(2) is async-signal-safe,
+    // exactly like the shutdown(2) inside listener close.
+    const int wake = loop_wakeup_fd_.load(std::memory_order_acquire);
+    if (wake >= 0) {
+        const std::uint64_t one = 1;
+        [[maybe_unused]] const ssize_t ignored = ::write(wake, &one, sizeof(one));
+    }
 }
 
 void Server::run()
 {
     CCQ_EXPECT(listener_.has_value(), "Server::run: call listen() first");
+    if (config_.io == IoBackend::epoll)
+        run_epoll();
+    else
+        run_threads();
+}
+
+void Server::run_epoll()
+{
+#ifdef __linux__
+    EpollLoop loop(*this);
+    loop.run();
+#else
+    throw net_error("the epoll backend requires Linux (use IoBackend::threads)");
+#endif
+}
+
+void Server::shed_connection(TcpStream& stream)
+{
+    connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+    try {
+        write_frame(stream, encode_error_reply(
+                                Status::busy, "server is at its connection limit, retry later"));
+    } catch (const std::exception&) {
+        // Best effort: the peer may already be gone; shedding must not
+        // take the accept loop down.
+    }
+}
+
+void Server::run_threads()
+{
     try {
         while (!stopping()) {
-            std::unique_ptr<TcpStream> stream = listener_->accept();
-            if (stream == nullptr) break; // listener closed
+            int transient_errno = 0;
+            std::unique_ptr<TcpStream> stream = listener_->accept_transient(transient_errno);
+            if (stream == nullptr) {
+                if (transient_errno == 0) break; // listener closed
+                // EMFILE/ENFILE: descriptors free up as connections
+                // close; log, breathe, keep the listener alive.
+                std::fprintf(stderr, "ccq server: accept failed (%s); still listening\n",
+                             std::strerror(transient_errno));
+                std::this_thread::sleep_for(std::chrono::milliseconds(50));
+                continue;
+            }
+            if (config_.max_connections > 0 &&
+                active_connections_.load(std::memory_order_acquire) >=
+                    static_cast<std::uint64_t>(config_.max_connections)) {
+                shed_connection(*stream);
+                continue; // stream destruction closes the shed socket
+            }
             connections_accepted_.fetch_add(1, std::memory_order_relaxed);
             reap_finished_handlers();
             std::lock_guard<std::mutex> lock(handlers_mutex_);
@@ -178,19 +249,18 @@ void Server::serve_stream(Stream& stream)
     deregister();
 }
 
-bool Server::serve_one(Stream& stream)
+std::string Server::process_frame(const std::string& body, bool& shutdown_now)
 {
-    const std::optional<std::string> body = read_frame(stream); // throws on desync
-    if (!body.has_value()) return false;                        // clean EOF
+    shutdown_now = false;
 
     Request request;
     bool decoded = true;
     std::string reply;
-    const bool json_body = !body->empty() && body->front() == '{';
+    const bool json_body = !body.empty() && body.front() == '{';
     try {
-        request = decode_request(*body);
+        request = decode_request(body);
     } catch (const protocol_error& error) {
-        // The frame boundary is intact (read_frame consumed exactly the
+        // The frame boundary is intact (the caller consumed exactly the
         // declared bytes), so answer the error — in the caller's own
         // mode — and keep the connection.
         decoded = false;
@@ -216,8 +286,19 @@ bool Server::serve_one(Stream& stream)
                                              : split_reply(reply).first == Status::ok);
     (ok ? frames_served_ : errors_).fetch_add(1, std::memory_order_relaxed);
 
+    shutdown_now = decoded && ok && request.op == Opcode::shutdown;
+    return reply;
+}
+
+bool Server::serve_one(Stream& stream)
+{
+    const std::optional<std::string> body = read_frame(stream); // throws on desync
+    if (!body.has_value()) return false;                        // clean EOF
+
+    bool shutdown_now = false;
+    const std::string reply = process_frame(*body, shutdown_now);
     write_frame(stream, reply);
-    if (decoded && ok && request.op == Opcode::shutdown) {
+    if (shutdown_now) {
         request_stop();
         return false;
     }
@@ -364,6 +445,7 @@ std::string Server::answer_json(const Request& request)
         const ServerStats s = stats();
         std::string out = "{\"op\":\"stats\"";
         out += ",\"connections_accepted\":" + std::to_string(s.connections_accepted);
+        out += ",\"connections_rejected\":" + std::to_string(s.connections_rejected);
         out += ",\"active_connections\":" + std::to_string(s.active_connections);
         out += ",\"frames_served\":" + std::to_string(s.frames_served);
         out += ",\"errors\":" + std::to_string(s.errors);
@@ -387,6 +469,7 @@ ServerStats Server::stats() const
 {
     ServerStats stats;
     stats.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
+    stats.connections_rejected = connections_rejected_.load(std::memory_order_relaxed);
     stats.active_connections = active_connections_.load(std::memory_order_relaxed);
     stats.frames_served = frames_served_.load(std::memory_order_relaxed);
     stats.errors = errors_.load(std::memory_order_relaxed);

@@ -31,6 +31,29 @@
 
 namespace ccq {
 
+class EpollLoop;
+
+/// How Server::run() multiplexes connections.
+enum class IoBackend {
+    threads, ///< one blocking handler thread per connection (portable)
+    epoll,   ///< one readiness loop + fixed worker pool (Linux only)
+};
+
+/// epoll where it exists (the ~100k-connection backend), threads elsewhere.
+[[nodiscard]] constexpr IoBackend default_io_backend() noexcept
+{
+#ifdef __linux__
+    return IoBackend::epoll;
+#else
+    return IoBackend::threads;
+#endif
+}
+
+/// Parses "threads" / "epoll" (the ccq_served/--io spelling); throws
+/// std::runtime_error on anything else.
+[[nodiscard]] IoBackend parse_io_backend(const std::string& name);
+[[nodiscard]] const char* io_backend_name(IoBackend backend) noexcept;
+
 struct ServerConfig {
     std::string host = "127.0.0.1";
     int port = 0; ///< 0 picks an ephemeral port (see Server::port())
@@ -40,6 +63,25 @@ struct ServerConfig {
     /// behavior (fine for stdio/loopback embeddings, not for shared
     /// ports — see docs/PROTOCOL.md).
     std::string shutdown_token;
+    /// Connection multiplexing backend; both speak the identical
+    /// protocol and produce identical bytes for identical requests.
+    IoBackend io = default_io_backend();
+    /// Load shedding: beyond this many concurrent connections a new
+    /// connection is answered with one `busy` error frame and closed.
+    /// 0 = unlimited.
+    int max_connections = 0;
+    /// Worker threads of the epoll backend's fixed pool (0 = one per
+    /// hardware thread).  Ignored by the threads backend, which is
+    /// per-connection by construction.
+    int workers = 0;
+    /// Backpressure (epoll backend): a connection with this many decoded
+    /// requests awaiting their response stops being read until responses
+    /// drain — pipelining depth, not a hard protocol limit.
+    int max_pipeline_depth = 128;
+    /// Backpressure (epoll backend): once this many response bytes are
+    /// queued toward a slow reader, the connection stops being read
+    /// until the queue drains below half.
+    std::size_t max_output_bytes = 4u << 20;
 };
 
 class Server {
@@ -73,7 +115,17 @@ public:
 
     [[nodiscard]] ServerStats stats() const;
 
+    /// Times the epoll backend paused a connection's reads for
+    /// backpressure (pipelining depth or output-queue bytes).  Test /
+    /// observability hook, not part of the wire stats.
+    [[nodiscard]] std::uint64_t backpressure_pauses() const noexcept
+    {
+        return backpressure_pauses_.load(std::memory_order_relaxed);
+    }
+
 private:
+    friend class EpollLoop;
+
     /// A connection-handler thread plus its completion marker, so the
     /// accept loop can reap finished handlers without blocking on live
     /// ones.
@@ -82,10 +134,20 @@ private:
         std::shared_ptr<std::atomic<bool>> done;
     };
 
+    void run_threads();
+    void run_epoll();
     void handle_connection(std::unique_ptr<TcpStream> stream);
     /// One request/response exchange; returns false when the connection
     /// should close (EOF or shutdown frame).
     bool serve_one(Stream& stream);
+    /// The whole request pipeline for one intact frame body: decode,
+    /// validate, dispatch, render — identical for every backend, so the
+    /// threads and epoll paths cannot diverge byte-wise.  Sets
+    /// `shutdown_now` when the frame was an authorized shutdown whose
+    /// ok acknowledgement is the returned reply.
+    [[nodiscard]] std::string process_frame(const std::string& body, bool& shutdown_now);
+    /// Sheds one over-limit connection: best-effort busy frame + close.
+    void shed_connection(TcpStream& stream);
     [[nodiscard]] std::string answer(const Request& request);
     [[nodiscard]] std::string answer_json(const Request& request);
     /// Joins handlers that have already finished (cheap; called per
@@ -100,6 +162,11 @@ private:
     ServerConfig config_;
     std::optional<TcpListener> listener_;
     std::atomic<bool> stop_{false};
+    /// The epoll backend's wakeup eventfd while run() is inside the
+    /// loop; request_stop() writes it (async-signal-safe) so a signal
+    /// interrupts epoll_wait the way listener_->close() interrupts
+    /// accept().  -1 outside the loop.
+    std::atomic<int> loop_wakeup_fd_{-1};
 
     std::mutex handlers_mutex_;
     std::vector<Handler> handlers_;
@@ -107,6 +174,8 @@ private:
 
     std::chrono::steady_clock::time_point started_ = std::chrono::steady_clock::now();
     std::atomic<std::uint64_t> connections_accepted_{0};
+    std::atomic<std::uint64_t> connections_rejected_{0};
+    std::atomic<std::uint64_t> backpressure_pauses_{0};
     std::atomic<std::uint64_t> active_connections_{0};
     std::atomic<std::uint64_t> frames_served_{0};
     std::atomic<std::uint64_t> errors_{0};

@@ -1,11 +1,14 @@
 #include "ccq/net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstring>
@@ -151,6 +154,31 @@ void TcpStream::write_all(const void* buffer, std::size_t count)
 
 void TcpStream::interrupt() noexcept { ::shutdown(fd_, SHUT_RDWR); }
 
+void TcpStream::set_nonblocking(bool nonblocking) { set_fd_nonblocking(fd_, nonblocking); }
+
+void set_fd_nonblocking(int fd, bool nonblocking)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0) throw net_error(errno_text("fcntl(F_GETFL)"));
+    const int wanted = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    if (wanted != flags && ::fcntl(fd, F_SETFL, wanted) != 0)
+        throw net_error(errno_text("fcntl(F_SETFL)"));
+}
+
+bool raise_fd_limit(std::size_t need) noexcept
+{
+    rlimit limit = {};
+    if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return false;
+    if (limit.rlim_cur == RLIM_INFINITY || limit.rlim_cur >= need) return true;
+    rlimit raised = limit;
+    raised.rlim_cur = limit.rlim_max == RLIM_INFINITY
+                          ? static_cast<rlim_t>(need)
+                          : std::min(static_cast<rlim_t>(need), limit.rlim_max);
+    if (raised.rlim_cur <= limit.rlim_cur) return false;
+    if (::setrlimit(RLIMIT_NOFILE, &raised) != 0) return false;
+    return raised.rlim_cur >= need;
+}
+
 // --- TcpListener ------------------------------------------------------------
 
 TcpListener::TcpListener(const std::string& host, int port)
@@ -191,19 +219,36 @@ TcpListener::~TcpListener()
 
 std::unique_ptr<TcpStream> TcpListener::accept()
 {
+    int transient_errno = 0;
+    std::unique_ptr<TcpStream> stream = accept_transient(transient_errno);
+    if (stream == nullptr && transient_errno != 0)
+        throw net_error("accept: " + std::string(std::strerror(transient_errno)));
+    return stream;
+}
+
+std::unique_ptr<TcpStream> TcpListener::accept_transient(int& transient_errno)
+{
+    transient_errno = 0;
     while (true) {
         const int conn = ::accept(fd_, nullptr, nullptr);
         if (conn >= 0) return std::make_unique<TcpStream>(conn);
-        if (errno == EINTR || errno == ECONNABORTED) {
-            if (closed_.load(std::memory_order_acquire)) return nullptr;
-            continue;
+        if (closed_.load(std::memory_order_acquire)) return nullptr;
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        if (errno == EMFILE || errno == ENFILE) {
+            // Descriptor exhaustion is transient (connections close, the
+            // limit rises): report it so the server can log and continue
+            // instead of tearing the listener down.
+            transient_errno = errno;
+            return nullptr;
         }
         // After close() the kernel fails accept (EINVAL on Linux); any
-        // other error on a closed listener is also a clean stop.
-        if (closed_.load(std::memory_order_acquire)) return nullptr;
+        // other error on a closed listener is also a clean stop — checked
+        // above.  The rest is a real listener failure.
         throw net_error(errno_text("accept"));
     }
 }
+
+void TcpListener::set_nonblocking(bool nonblocking) { set_fd_nonblocking(fd_, nonblocking); }
 
 void TcpListener::close() noexcept
 {

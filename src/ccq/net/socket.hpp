@@ -83,9 +83,25 @@ public:
     void write_all(const void* buffer, std::size_t count) override;
     void interrupt() noexcept override;
 
+    /// The raw descriptor (still owned by this stream) — for callers
+    /// that multiplex many streams through a readiness API.
+    [[nodiscard]] int native_handle() const noexcept { return fd_; }
+
+    /// Switches the socket between blocking (default) and nonblocking.
+    void set_nonblocking(bool nonblocking);
+
 private:
     int fd_;
 };
+
+/// Sets O_NONBLOCK on any descriptor; throws net_error on failure.
+void set_fd_nonblocking(int fd, bool nonblocking);
+
+/// Best-effort bump of RLIMIT_NOFILE so `need` descriptors fit (load
+/// generators and the >=1k-connection tests need more than the common
+/// 1024 soft default).  Returns true when the limit already suffices or
+/// was raised; never throws — callers surface EMFILE naturally later.
+bool raise_fd_limit(std::size_t need) noexcept;
 
 /// A listening TCP socket (SO_REUSEADDR; port 0 picks an ephemeral port).
 class TcpListener {
@@ -100,10 +116,27 @@ public:
 
     /// Blocks for the next connection; returns nullptr once close() has
     /// been called (from any thread, including a signal handler).
+    /// Transient resource exhaustion (EMFILE/ENFILE) throws net_error;
+    /// servers that must keep listening use accept_transient instead.
     [[nodiscard]] std::unique_ptr<TcpStream> accept();
+
+    /// accept() that classifies failures instead of tearing down:
+    /// returns a stream on success; nullptr with transient_errno == 0
+    /// once close() has been called; nullptr with transient_errno set to
+    /// EMFILE/ENFILE when the process/system is out of descriptors (the
+    /// caller logs, sheds, or backs off — the listener stays usable).
+    /// ECONNABORTED/EINTR are retried internally; anything else throws.
+    [[nodiscard]] std::unique_ptr<TcpStream> accept_transient(int& transient_errno);
 
     /// Unblocks accept() and stops accepting.  Async-signal-safe.
     void close() noexcept;
+
+    /// The raw listening descriptor (owned) — for readiness loops.
+    [[nodiscard]] int native_handle() const noexcept { return fd_; }
+
+    /// Switches the listener between blocking accepts (default) and the
+    /// nonblocking accepts a readiness loop needs.
+    void set_nonblocking(bool nonblocking);
 
 private:
     int fd_ = -1;

@@ -131,7 +131,81 @@ TEST(Protocol, ForbiddenStatusIsNamedAndSplits)
     EXPECT_EQ(status, Status::forbidden);
     EXPECT_STREQ(status_name(Status::forbidden), "forbidden");
     // One past the last defined status must still be rejected.
-    EXPECT_THROW((void)split_reply(std::string(1, static_cast<char>(7))), protocol_error);
+    EXPECT_THROW((void)split_reply(std::string(1, static_cast<char>(8))), protocol_error);
+}
+
+TEST(Protocol, BusyStatusIsNamedAndSplits)
+{
+    const std::string reply = encode_error_reply(Status::busy, "at connection limit");
+    const auto [status, rest] = split_reply(reply);
+    EXPECT_EQ(status, Status::busy);
+    EXPECT_STREQ(status_name(Status::busy), "busy");
+}
+
+TEST(Protocol, FrameDecoderReassemblesByteAtATime)
+{
+    // The slow-loris shape: every byte of two frames arrives in its own
+    // feed() call, and a frame must complete exactly at its last byte.
+    const std::string wire = encode_frame("hello") + encode_frame("");
+    FrameDecoder decoder;
+    std::vector<std::string> frames;
+    for (std::size_t i = 0; i < wire.size(); ++i) {
+        decoder.feed(std::string_view(wire).substr(i, 1));
+        while (std::optional<std::string> frame = decoder.next())
+            frames.push_back(std::move(*frame));
+    }
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_EQ(frames[0], "hello");
+    EXPECT_EQ(frames[1], "");
+    EXPECT_FALSE(decoder.mid_frame());
+}
+
+TEST(Protocol, FrameDecoderSplitsAPipelinedBurst)
+{
+    // The pipelining shape: many frames land in one feed().
+    std::string wire;
+    for (int i = 0; i < 100; ++i) wire += encode_frame(std::string(i, 'a' + (i % 26)));
+    FrameDecoder decoder;
+    decoder.feed(wire);
+    for (int i = 0; i < 100; ++i) {
+        const std::optional<std::string> frame = decoder.next();
+        ASSERT_TRUE(frame.has_value()) << "frame " << i;
+        EXPECT_EQ(*frame, std::string(i, 'a' + (i % 26)));
+    }
+    EXPECT_EQ(decoder.next(), std::nullopt);
+    EXPECT_FALSE(decoder.mid_frame());
+}
+
+TEST(Protocol, FrameDecoderTracksPartialFrames)
+{
+    FrameDecoder decoder;
+    const std::string wire = encode_frame("abcdef");
+    decoder.feed(std::string_view(wire).substr(0, 7)); // prefix + half the body
+    EXPECT_EQ(decoder.next(), std::nullopt);
+    EXPECT_TRUE(decoder.mid_frame()); // EOF here would cut a frame in half
+    decoder.feed(std::string_view(wire).substr(7));
+    EXPECT_EQ(decoder.next(), "abcdef");
+    EXPECT_FALSE(decoder.mid_frame());
+}
+
+TEST(Protocol, FrameDecoderRejectsOversizedPrefixBeforeTheBody)
+{
+    FrameDecoder decoder;
+    const std::uint32_t huge = kMaxFrameBytes + 1;
+    decoder.feed(std::string_view(reinterpret_cast<const char*>(&huge), 4));
+    // The prefix alone must poison the stream — no waiting for (or
+    // buffering of) a 64 MiB body that is never coming.
+    EXPECT_THROW((void)decoder.next(), protocol_error);
+}
+
+TEST(Protocol, EncodeFrameMatchesWriteFrame)
+{
+    LoopbackStream stream;
+    write_frame(stream, "payload");
+    const std::string encoded = encode_frame("payload");
+    std::string streamed(encoded.size(), '\0');
+    ASSERT_TRUE(stream.read_exact(streamed.data(), streamed.size()));
+    EXPECT_EQ(streamed, encoded);
 }
 
 TEST(Protocol, BatchRequestsCarryTheirPairs)
@@ -186,6 +260,7 @@ TEST(Protocol, RepliesRoundTrip)
 
     ServerStats stats;
     stats.connections_accepted = 3;
+    stats.connections_rejected = 2;
     stats.frames_served = 99;
     stats.cache_hits = 7;
     stats.uptime_seconds = 1.5;

@@ -1,14 +1,18 @@
 // Tests for the networked serving subsystem: Server + Client over real
 // loopback TCP sockets and over socketpair streams (the stdio mode).
 //
-// The load-bearing test is round-trip equivalence: every answer served
+// The load-bearing tests are equivalence tests: every answer served
 // over the socket protocol — against the compressed codec-v2 snapshot,
 // mmap-loaded — must be bitwise identical to the in-process QueryEngine
-// answer against the raw v1 snapshot.
+// answer against the raw v1 snapshot, and the two connection backends
+// (blocking thread-per-connection vs the epoll event loop) must produce
+// bitwise-identical reply bytes for identical request bytes.  Every
+// Server test therefore runs under both backends via TEST_P.
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <thread>
@@ -73,11 +77,36 @@ private:
     std::thread thread_;
 };
 
-TEST(Server, AnswersBitwiseIdenticalToTheEngine)
+/// Every Server test runs once per connection backend; the two must be
+/// behaviorally indistinguishable through the whole suite.
+class ServerBackends : public ::testing::TestWithParam<IoBackend> {
+protected:
+    [[nodiscard]] static ServerConfig backend_config()
+    {
+        ServerConfig config;
+        config.io = GetParam();
+        return config;
+    }
+};
+
+#ifdef __linux__
+INSTANTIATE_TEST_SUITE_P(Io, ServerBackends,
+                         ::testing::Values(IoBackend::threads, IoBackend::epoll),
+                         [](const ::testing::TestParamInfo<IoBackend>& info) {
+                             return io_backend_name(info.param);
+                         });
+#else
+INSTANTIATE_TEST_SUITE_P(Io, ServerBackends, ::testing::Values(IoBackend::threads),
+                         [](const ::testing::TestParamInfo<IoBackend>& info) {
+                             return io_backend_name(info.param);
+                         });
+#endif
+
+TEST_P(ServerBackends, AnswersBitwiseIdenticalToTheEngine)
 {
     const BuiltOracle built = build(InstanceSpec{GraphFamily::erdos_renyi_sparse, 40, 13});
     const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
-    RunningServer running(engine);
+    RunningServer running(engine, backend_config());
     Client client = running.connect();
 
     EXPECT_EQ(client.ping(), kProtocolVersion);
@@ -95,7 +124,88 @@ TEST(Server, AnswersBitwiseIdenticalToTheEngine)
     EXPECT_EQ(client.batch_paths(batch), engine->batch_paths(batch));
 }
 
-TEST(Server, RoundTripEquivalenceAcrossCodecV2AndMmap)
+/// Sends `bodies` one frame at a time and returns the raw reply bodies.
+[[nodiscard]] std::vector<std::string> raw_replies(int port,
+                                                   const std::vector<std::string>& bodies)
+{
+    const std::unique_ptr<TcpStream> stream = TcpStream::connect("127.0.0.1", port);
+    std::vector<std::string> replies;
+    replies.reserve(bodies.size());
+    for (const std::string& body : bodies) {
+        write_frame(*stream, body);
+        std::optional<std::string> reply = read_frame(*stream);
+        if (!reply.has_value()) throw net_error("server closed early");
+        replies.push_back(std::move(*reply));
+    }
+    return replies;
+}
+
+TEST(Server, BackendsProduceBitwiseIdenticalReplies)
+{
+#ifndef __linux__
+    GTEST_SKIP() << "epoll backend is Linux-only";
+#else
+    // The tentpole acceptance criterion, stated directly: identical
+    // request bytes in, identical reply bytes out, whichever backend.
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::clustered, 32, 9});
+    const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
+
+    std::vector<std::string> bodies;
+    const auto add = [&](Request request) { bodies.push_back(encode_request(request)); };
+    Request ping;
+    ping.op = Opcode::ping;
+    add(ping);
+    for (NodeId u = 0; u < 32; u += 5)
+        for (NodeId v = 0; v < 32; v += 7) {
+            Request distance;
+            distance.op = Opcode::distance;
+            distance.from = u;
+            distance.to = v;
+            add(distance);
+            Request path;
+            path.op = Opcode::path;
+            path.from = u;
+            path.to = v;
+            add(path);
+        }
+    Request nearest;
+    nearest.op = Opcode::k_nearest;
+    nearest.from = 3;
+    nearest.k = 6;
+    add(nearest);
+    Request batch;
+    batch.op = Opcode::batch_distances;
+    for (NodeId u = 0; u < 32; ++u) batch.pairs.push_back({u, static_cast<NodeId>(31 - u)});
+    add(batch);
+    Request bad;
+    bad.op = Opcode::distance;
+    bad.from = 4000; // typed out_of_range error
+    add(bad);
+    bodies.emplace_back("\xee\xee\xee"); // malformed, answered not dropped
+    bodies.emplace_back(R"({"op":"distance","from":1,"to":30})"); // JSON debug mode
+    bodies.emplace_back(R"({"op":"nonsense"})");                  // JSON error
+
+    std::vector<std::string> from_threads;
+    std::vector<std::string> from_epoll;
+    {
+        ServerConfig config;
+        config.io = IoBackend::threads;
+        RunningServer running(engine, config);
+        from_threads = raw_replies(running.port(), bodies);
+    }
+    {
+        ServerConfig config;
+        config.io = IoBackend::epoll;
+        RunningServer running(engine, config);
+        from_epoll = raw_replies(running.port(), bodies);
+    }
+    ASSERT_EQ(from_threads.size(), from_epoll.size());
+    for (std::size_t i = 0; i < from_threads.size(); ++i)
+        ASSERT_EQ(from_threads[i], from_epoll[i]) << "request " << i;
+#endif
+}
+
+TEST_P(ServerBackends, RoundTripEquivalenceAcrossCodecV2AndMmap)
 {
     // The acceptance criterion of the serving subsystem: socket protocol
     // + compressed snapshot + mmap loading vs in-process v1 answers.
@@ -109,7 +219,7 @@ TEST(Server, RoundTripEquivalenceAcrossCodecV2AndMmap)
     const QueryEngine reference(load_snapshot(v1_path));
     const auto mapped = std::make_shared<const MappedSnapshot>(v2_path);
     EXPECT_EQ(mapped->format_version(), kSnapshotVersionCompressed);
-    RunningServer running(std::make_shared<const QueryEngine>(mapped));
+    RunningServer running(std::make_shared<const QueryEngine>(mapped), backend_config());
     Client client = running.connect();
 
     for (NodeId u = 0; u < 48; ++u)
@@ -121,11 +231,11 @@ TEST(Server, RoundTripEquivalenceAcrossCodecV2AndMmap)
     std::remove(v2_path.c_str());
 }
 
-TEST(Server, ConcurrentClientsGetConsistentAnswers)
+TEST_P(ServerBackends, ConcurrentClientsGetConsistentAnswers)
 {
     const BuiltOracle built = build(InstanceSpec{GraphFamily::erdos_renyi_sparse, 32, 5});
     const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
-    RunningServer running(engine);
+    RunningServer running(engine, backend_config());
 
     constexpr int kClients = 4;
     std::vector<std::thread> workers;
@@ -151,11 +261,288 @@ TEST(Server, ConcurrentClientsGetConsistentAnswers)
     EXPECT_EQ(stats.errors, 0u);
 }
 
-TEST(Server, RejectsBadRequestsWithTypedStatuses)
+TEST_P(ServerBackends, PipelinedBatchesMatchSequentialAnswers)
+{
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::erdos_renyi_sparse, 36, 21});
+    const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
+    RunningServer running(engine, backend_config());
+    Client client = running.connect();
+
+    std::vector<PointQuery> queries;
+    Rng rng(7);
+    for (int i = 0; i < 500; ++i)
+        queries.push_back({static_cast<NodeId>(rng.uniform_int(0, 35)),
+                           static_cast<NodeId>(rng.uniform_int(0, 35))});
+
+    const std::vector<Weight> pipelined = client.pipelined_distances(queries, /*window=*/16);
+    const std::vector<PathResult> paths = client.pipelined_paths(queries, /*window=*/16);
+    ASSERT_EQ(pipelined.size(), queries.size());
+    ASSERT_EQ(paths.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        ASSERT_EQ(pipelined[i], engine->distance(queries[i].from, queries[i].to)) << i;
+        ASSERT_EQ(paths[i], engine->path(queries[i].from, queries[i].to)) << i;
+    }
+    // The connection is still in sync after two pipelined batches.
+    EXPECT_EQ(client.ping(), kProtocolVersion);
+}
+
+TEST_P(ServerBackends, PipelinedErrorDrainsAndTheConnectionSurvives)
+{
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 16, 2});
+    const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
+    RunningServer running(engine, backend_config());
+    Client client = running.connect();
+
+    std::vector<PointQuery> queries;
+    for (NodeId u = 0; u < 16; ++u) queries.push_back({u, static_cast<NodeId>(15 - u)});
+    queries[7] = {400, 0}; // one typed failure mid-window
+    try {
+        (void)client.pipelined_distances(queries, /*window=*/8);
+        FAIL() << "expected rpc_error";
+    } catch (const rpc_error& error) {
+        EXPECT_EQ(error.status(), Status::out_of_range);
+    }
+    // The in-flight tail was drained: the stream is at a frame boundary.
+    EXPECT_EQ(client.distance(0, 5), engine->distance(0, 5));
+}
+
+TEST_P(ServerBackends, ManyFramesWrittenBeforeAnyReadComeBackInOrder)
+{
+    // The raw pipelining shape: the whole burst hits the server before
+    // the client reads a single reply.  Responses must come back
+    // complete, in request order.
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::clustered, 30, 11});
+    const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
+    RunningServer running(engine, backend_config());
+
+    const std::unique_ptr<TcpStream> stream = TcpStream::connect("127.0.0.1", running.port());
+    constexpr int kBurst = 300;
+    std::string burst;
+    for (int i = 0; i < kBurst; ++i) {
+        Request request;
+        request.op = Opcode::distance;
+        request.from = static_cast<NodeId>(i % 30);
+        request.to = static_cast<NodeId>((i * 7) % 30);
+        burst += encode_frame(encode_request(request));
+    }
+    stream->write_all(burst.data(), burst.size());
+    for (int i = 0; i < kBurst; ++i) {
+        const std::optional<std::string> reply = read_frame(*stream);
+        ASSERT_TRUE(reply.has_value()) << "reply " << i;
+        const auto [status, payload] = split_reply(*reply);
+        ASSERT_EQ(status, Status::ok) << "reply " << i;
+        ASSERT_EQ(decode_distance_reply(payload),
+                  engine->distance(static_cast<NodeId>(i % 30),
+                                   static_cast<NodeId>((i * 7) % 30)))
+            << "reply " << i;
+    }
+}
+
+TEST_P(ServerBackends, SlowLorisByteAtATimeStillGetsAnswered)
+{
+    // Two requests dribbled one byte per write: frame reassembly must
+    // work at any fragmentation, and the second frame must not be
+    // swallowed by the first one's read.
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
+    const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
+    RunningServer running(engine, backend_config());
+
+    const std::unique_ptr<TcpStream> stream = TcpStream::connect("127.0.0.1", running.port());
+    for (const auto& [from, to] : {std::pair<NodeId, NodeId>{0, 5}, {3, 9}}) {
+        Request request;
+        request.op = Opcode::distance;
+        request.from = from;
+        request.to = to;
+        const std::string wire = encode_frame(encode_request(request));
+        for (const char byte : wire) stream->write_all(&byte, 1);
+        const std::optional<std::string> reply = read_frame(*stream);
+        ASSERT_TRUE(reply.has_value());
+        const auto [status, payload] = split_reply(*reply);
+        ASSERT_EQ(status, Status::ok);
+        EXPECT_EQ(decode_distance_reply(payload), engine->distance(from, to));
+    }
+}
+
+#ifdef __linux__
+TEST(Server, StalledReaderIsPausedNotBuffered)
+{
+    // Backpressure: a client that floods requests without reading its
+    // replies must get its reads paused (bounded pipeline, bounded output
+    // queue), while other connections stay responsive — and every reply
+    // must still arrive, in order, once the reader catches up.
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 20, 4});
+    const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
+    ServerConfig config;
+    config.io = IoBackend::epoll;
+    config.max_pipeline_depth = 4;
+    config.max_output_bytes = 1024;
+    RunningServer running(engine, config);
+
+    const std::unique_ptr<TcpStream> stall = TcpStream::connect("127.0.0.1", running.port());
+    constexpr int kFlood = 400;
+    std::string burst;
+    for (int i = 0; i < kFlood; ++i) {
+        Request request;
+        request.op = Opcode::distance;
+        request.from = static_cast<NodeId>(i % 20);
+        request.to = static_cast<NodeId>((i + 1) % 20);
+        burst += encode_frame(encode_request(request));
+    }
+    stall->write_all(burst.data(), burst.size()); // ...and read nothing
+
+    // The pipeline cap guarantees pauses while the flood drains.
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (running.server().backpressure_pauses() == 0 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_GT(running.server().backpressure_pauses(), 0u);
+
+    // A well-behaved connection is not starved by the stalled one.
+    Client polite = running.connect();
+    EXPECT_EQ(polite.ping(), kProtocolVersion);
+    EXPECT_EQ(polite.distance(0, 5), engine->distance(0, 5));
+
+    // The stalled reader wakes up: every reply, in order.
+    for (int i = 0; i < kFlood; ++i) {
+        const std::optional<std::string> reply = read_frame(*stall);
+        ASSERT_TRUE(reply.has_value()) << "reply " << i;
+        const auto [status, payload] = split_reply(*reply);
+        ASSERT_EQ(status, Status::ok) << "reply " << i;
+        ASSERT_EQ(decode_distance_reply(payload),
+                  engine->distance(static_cast<NodeId>(i % 20),
+                                   static_cast<NodeId>((i + 1) % 20)))
+            << "reply " << i;
+    }
+}
+
+TEST(Server, EventLoopHoldsAThousandIdleConnections)
+{
+    // The reason the event loop exists: >=1024 concurrent connections on
+    // one loop without a thread per connection.  (The blocking backend
+    // would need 1100 handler threads for this.)
+    constexpr std::size_t kConnections = 1100;
+    if (!raise_fd_limit(2 * kConnections + 256))
+        GTEST_SKIP() << "cannot raise RLIMIT_NOFILE high enough";
+
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
+    const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
+    ServerConfig config;
+    config.io = IoBackend::epoll;
+    config.workers = 2; // a fixed pool, however many connections land
+    RunningServer running(engine, config);
+
+    std::vector<std::unique_ptr<TcpStream>> idle;
+    idle.reserve(kConnections);
+    for (std::size_t i = 0; i < kConnections; ++i)
+        idle.push_back(TcpStream::connect("127.0.0.1", running.port()));
+
+    // All of them are accepted and live at once...
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (running.server().stats().connections_accepted < kConnections &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const ServerStats stats = running.server().stats();
+    EXPECT_GE(stats.connections_accepted, kConnections);
+    EXPECT_GE(stats.active_connections, kConnections);
+
+    // ...and the server still answers queries among the idle herd.
+    Client active = running.connect();
+    EXPECT_EQ(active.ping(), kProtocolVersion);
+    EXPECT_EQ(active.distance(0, 5), engine->distance(0, 5));
+
+    // A random idle connection still works too (it was not just parked
+    // in an accept backlog).
+    write_frame(*idle[kConnections / 2], encode_request(Request{}));
+    const std::optional<std::string> reply = read_frame(*idle[kConnections / 2]);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(split_reply(*reply).first, Status::ok);
+}
+#endif // __linux__
+
+TEST_P(ServerBackends, MaxConnectionsShedsWithTypedBusyStatus)
 {
     const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
     const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
-    RunningServer running(engine);
+    ServerConfig config = backend_config();
+    config.max_connections = 2;
+    RunningServer running(engine, config);
+
+    Client first = running.connect();
+    Client second = running.connect();
+    EXPECT_EQ(first.ping(), kProtocolVersion); // both fully registered
+    EXPECT_EQ(second.ping(), kProtocolVersion);
+
+    // The third connection is accepted just long enough to be told why
+    // it is being dropped: one typed `busy` error frame, then close.
+    const std::unique_ptr<TcpStream> shed = TcpStream::connect("127.0.0.1", running.port());
+    const std::optional<std::string> reply = read_frame(*shed);
+    ASSERT_TRUE(reply.has_value());
+    try {
+        const auto [status, payload] = split_reply(*reply);
+        ASSERT_EQ(status, Status::busy);
+    } catch (const protocol_error&) {
+        FAIL() << "shed connection got an undecodable reply";
+    }
+    EXPECT_EQ(read_frame(*shed), std::nullopt) << "server must close after shedding";
+
+    // Shedding is load shedding, not lockout: room frees up, service
+    // resumes, and the rejection is visible in the stats.
+    { Client drop = std::move(first); }
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    for (;;) {
+        try {
+            Client retry = running.connect();
+            EXPECT_EQ(retry.ping(), kProtocolVersion);
+            break;
+        } catch (const std::exception&) {
+            if (std::chrono::steady_clock::now() >= deadline) {
+                ADD_FAILURE() << "service never resumed after a slot freed";
+                break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+    }
+    EXPECT_GE(running.server().stats().connections_rejected, 1u);
+}
+
+TEST_P(ServerBackends, ClientPoolReusesConnections)
+{
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
+    const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
+    RunningServer running(engine, backend_config());
+
+    ClientPool pool("127.0.0.1", running.port());
+    {
+        ClientPool::Lease lease = pool.acquire();
+        EXPECT_EQ(lease->ping(), kProtocolVersion);
+        EXPECT_EQ(pool.idle_count(), 0u);
+    }
+    EXPECT_EQ(pool.idle_count(), 1u);
+    {
+        ClientPool::Lease lease = pool.acquire(); // reused, not re-dialed
+        EXPECT_EQ(lease->distance(0, 5), engine->distance(0, 5));
+    }
+    EXPECT_EQ(running.server().stats().connections_accepted, 1u);
+
+    // discard() drops a (possibly desynced) connection instead of
+    // returning it; the next acquire dials fresh.
+    {
+        ClientPool::Lease lease = pool.acquire();
+        lease.discard();
+    }
+    EXPECT_EQ(pool.idle_count(), 0u);
+    {
+        ClientPool::Lease lease = pool.acquire();
+        EXPECT_EQ(lease->ping(), kProtocolVersion);
+    }
+    EXPECT_EQ(running.server().stats().connections_accepted, 2u);
+}
+
+TEST_P(ServerBackends, RejectsBadRequestsWithTypedStatuses)
+{
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
+    const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
+    RunningServer running(engine, backend_config());
     Client client = running.connect();
 
     try {
@@ -175,13 +562,13 @@ TEST(Server, RejectsBadRequestsWithTypedStatuses)
     EXPECT_GE(running.server().stats().errors, 2u);
 }
 
-TEST(Server, PathAgainstRoutinglessSnapshotIsUnsupported)
+TEST_P(ServerBackends, PathAgainstRoutinglessSnapshotIsUnsupported)
 {
     const Graph g = testing::make_instance(InstanceSpec{GraphFamily::tree, 12, 2});
     const ApspResult result = DistanceOracle(g, ApspAlgorithmKind::logn_baseline).result();
     const auto engine = std::make_shared<const QueryEngine>(
         OracleSnapshot::from_result(g, result, 1)); // no routing tables
-    RunningServer running(engine);
+    RunningServer running(engine, backend_config());
     Client client = running.connect();
     try {
         (void)client.path(0, 5);
@@ -192,10 +579,11 @@ TEST(Server, PathAgainstRoutinglessSnapshotIsUnsupported)
     EXPECT_EQ(client.distance(0, 5), engine->distance(0, 5));
 }
 
-TEST(Server, MalformedFrameGetsAnErrorAndTheConnectionSurvives)
+TEST_P(ServerBackends, MalformedFrameGetsAnErrorAndTheConnectionSurvives)
 {
     const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
-    RunningServer running(std::make_shared<const QueryEngine>(built.snapshot));
+    RunningServer running(std::make_shared<const QueryEngine>(built.snapshot),
+                          backend_config());
 
     std::unique_ptr<TcpStream> raw = TcpStream::connect("127.0.0.1", running.port());
     write_frame(*raw, "\xee\xee\xee"); // unknown opcode + garbage
@@ -212,11 +600,11 @@ TEST(Server, MalformedFrameGetsAnErrorAndTheConnectionSurvives)
     EXPECT_EQ(split_reply(*ok_reply).first, Status::ok);
 }
 
-TEST(Server, JsonDebugModeAnswersJson)
+TEST_P(ServerBackends, JsonDebugModeAnswersJson)
 {
     const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
     const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
-    RunningServer running(engine);
+    RunningServer running(engine, backend_config());
     Client client = running.connect();
 
     const Weight expected = engine->distance(0, 5);
@@ -238,10 +626,10 @@ TEST(Server, JsonDebugModeAnswersJson)
     EXPECT_NE(stats.find("\"node_count\":12"), std::string::npos) << stats;
 }
 
-TEST(Server, ShutdownFrameStopsTheAcceptLoopGracefully)
+TEST_P(ServerBackends, ShutdownFrameStopsTheAcceptLoopGracefully)
 {
     const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
-    Server server(std::make_shared<const QueryEngine>(built.snapshot));
+    Server server(std::make_shared<const QueryEngine>(built.snapshot), backend_config());
     const int port = server.listen();
     std::thread accept_thread([&server] { server.run(); });
 
@@ -255,14 +643,14 @@ TEST(Server, ShutdownFrameStopsTheAcceptLoopGracefully)
     EXPECT_THROW((void)Client::connect("127.0.0.1", port), net_error);
 }
 
-TEST(Server, ShutdownTokenRejectsUnauthenticatedFrames)
+TEST_P(ServerBackends, ShutdownTokenRejectsUnauthenticatedFrames)
 {
     // The ROADMAP-flagged hole: anyone who could connect could stop the
     // server.  With a configured token, a tokenless or wrong-token
     // shutdown must answer `forbidden` and leave the server serving.
     const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
     const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
-    ServerConfig config;
+    ServerConfig config = backend_config();
     config.shutdown_token = "s3cret";
     RunningServer running(engine, config);
     Client client = running.connect();
@@ -295,10 +683,10 @@ TEST(Server, ShutdownTokenRejectsUnauthenticatedFrames)
     EXPECT_FALSE(running.server().stopping());
 }
 
-TEST(Server, ShutdownTokenAcceptsTheRightToken)
+TEST_P(ServerBackends, ShutdownTokenAcceptsTheRightToken)
 {
     const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
-    ServerConfig config;
+    ServerConfig config = backend_config();
     config.shutdown_token = "s3cret";
     Server server(std::make_shared<const QueryEngine>(built.snapshot), config);
     const int port = server.listen();
@@ -310,10 +698,10 @@ TEST(Server, ShutdownTokenAcceptsTheRightToken)
     EXPECT_TRUE(server.stopping());
 }
 
-TEST(Server, JsonShutdownWithTokenStopsTheServer)
+TEST_P(ServerBackends, JsonShutdownWithTokenStopsTheServer)
 {
     const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
-    ServerConfig config;
+    ServerConfig config = backend_config();
     config.shutdown_token = "tok";
     Server server(std::make_shared<const QueryEngine>(built.snapshot), config);
     const int port = server.listen();
@@ -326,12 +714,12 @@ TEST(Server, JsonShutdownWithTokenStopsTheServer)
     EXPECT_TRUE(server.stopping());
 }
 
-TEST(Server, TokenlessServerKeepsOpenShutdown)
+TEST_P(ServerBackends, TokenlessServerKeepsOpenShutdown)
 {
     // Back-compat: no configured token means any shutdown frame —
     // including one that carries a token — still stops the server.
     const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
-    Server server(std::make_shared<const QueryEngine>(built.snapshot));
+    Server server(std::make_shared<const QueryEngine>(built.snapshot), backend_config());
     const int port = server.listen();
     std::thread accept_thread([&server] { server.run(); });
     Client client = Client::connect("127.0.0.1", port);
@@ -340,15 +728,16 @@ TEST(Server, TokenlessServerKeepsOpenShutdown)
     EXPECT_TRUE(server.stopping());
 }
 
-TEST(Server, RequestStopUnblocksIdleConnections)
+TEST_P(ServerBackends, RequestStopUnblocksIdleConnections)
 {
     const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
-    Server server(std::make_shared<const QueryEngine>(built.snapshot));
+    Server server(std::make_shared<const QueryEngine>(built.snapshot), backend_config());
     const int port = server.listen();
     std::thread accept_thread([&server] { server.run(); });
 
-    // An idle client parks a handler in a blocking read; request_stop
-    // must still drain everything without hanging.
+    // An idle client parks a handler in a blocking read (threads) or an
+    // armed epoll interest (epoll); request_stop must still drain
+    // everything without hanging.
     Client idle = Client::connect("127.0.0.1", port);
     EXPECT_EQ(idle.ping(), kProtocolVersion);
     server.request_stop();

@@ -85,12 +85,14 @@ int run(Args& args)
     if (want_stats) {
         const ServerStats s = client.stats();
         if (json) {
-            std::printf("{\"connections_accepted\":%llu,\"active_connections\":%llu,"
+            std::printf("{\"connections_accepted\":%llu,\"connections_rejected\":%llu,"
+                        "\"active_connections\":%llu,"
                         "\"frames_served\":%llu,\"errors\":%llu,\"distance_queries\":%llu,"
                         "\"path_queries\":%llu,\"knearest_queries\":%llu,\"batch_items\":%llu,"
                         "\"cache_hits\":%llu,\"cache_misses\":%llu,\"uptime_seconds\":%.3f,"
                         "\"node_count\":%d,\"has_routing\":%s}\n",
                         static_cast<unsigned long long>(s.connections_accepted),
+                        static_cast<unsigned long long>(s.connections_rejected),
                         static_cast<unsigned long long>(s.active_connections),
                         static_cast<unsigned long long>(s.frames_served),
                         static_cast<unsigned long long>(s.errors),
@@ -104,8 +106,9 @@ int run(Args& args)
         } else {
             std::printf("n=%d routing=%s up=%.1fs\n", s.node_count,
                         s.has_routing ? "yes" : "no", s.uptime_seconds);
-            std::printf("connections: %llu accepted, %llu active\n",
+            std::printf("connections: %llu accepted, %llu rejected, %llu active\n",
                         static_cast<unsigned long long>(s.connections_accepted),
+                        static_cast<unsigned long long>(s.connections_rejected),
                         static_cast<unsigned long long>(s.active_connections));
             std::printf("frames: %llu ok, %llu errors (%llu distance, %llu path, "
                         "%llu k-nearest, %llu batch items)\n",

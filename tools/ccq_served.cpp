@@ -41,7 +41,8 @@ int usage()
     std::fprintf(stderr,
                  "usage: ccq_served --snapshot <file> [--host <ip>] [--port <n>]\n"
                  "       [--port-file <file>] [--mmap] [--stdio] [--threads <n>]\n"
-                 "       [--cache <entries>] [--shutdown-token <t>]\n");
+                 "       [--cache <entries>] [--shutdown-token <t>]\n"
+                 "       [--io threads|epoll] [--max-connections <n>] [--workers <n>]\n");
     return 1;
 }
 
@@ -55,6 +56,12 @@ int run(Args& args)
         config.port = std::stoi(*port);
     if (const std::optional<std::string> token = args.value("--shutdown-token"))
         config.shutdown_token = *token;
+    if (const std::optional<std::string> io = args.value("--io"))
+        config.io = parse_io_backend(*io);
+    if (const std::optional<std::string> max_conns = args.value("--max-connections"))
+        config.max_connections = std::stoi(*max_conns);
+    if (const std::optional<std::string> workers = args.value("--workers"))
+        config.workers = std::stoi(*workers);
     const std::optional<std::string> port_file = args.value("--port-file");
     const bool use_mmap = args.flag("--mmap");
     const bool stdio = args.flag("--stdio");
@@ -99,7 +106,8 @@ int run(Args& args)
         if (!out) throw std::runtime_error("cannot write port file " + *port_file);
         out << port << "\n";
     }
-    std::printf("ccq_served: listening on %s:%d\n", config.host.c_str(), port);
+    std::printf("ccq_served: listening on %s:%d (%s backend)\n", config.host.c_str(), port,
+                io_backend_name(config.io));
     std::fflush(stdout);
     server.run();
 
