@@ -28,6 +28,11 @@
 //             event loop of net/epoll_server.hpp) and the pipelining
 //             Client/ClientPool library (net/client.hpp), fronted by
 //             tools/ccq_served.cpp + tools/ccq_client.cpp
+//   obs/      observability: lock-free metrics + Prometheus registry
+//             (obs/metrics.hpp, scraped via the `metrics` op), the
+//             chrome://tracing span tracer (obs/trace.hpp), and
+//             structured stderr logging (obs/log.hpp) — see
+//             docs/OBSERVABILITY.md
 //
 // See DESIGN.md for details and EXPERIMENTS.md for the measured
 // reproduction of every quantitative claim.
@@ -52,6 +57,9 @@
 #include "ccq/graph/metrics.hpp"
 #include "ccq/net/client.hpp"
 #include "ccq/net/server.hpp"
+#include "ccq/obs/log.hpp"
+#include "ccq/obs/metrics.hpp"
+#include "ccq/obs/trace.hpp"
 #include "ccq/serve/query_engine.hpp"
 #include "ccq/serve/snapshot.hpp"
 

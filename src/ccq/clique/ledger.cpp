@@ -4,6 +4,8 @@
 #include <map>
 #include <sstream>
 
+#include "ccq/obs/trace.hpp"
+
 namespace ccq {
 
 std::string RoundLedger::qualified(std::string_view label) const
@@ -21,6 +23,12 @@ void RoundLedger::charge(std::string_view label, double rounds, std::uint64_t wo
 {
     CCQ_EXPECT(rounds >= 0.0, "RoundLedger::charge: negative rounds");
     entries_.push_back(LedgerEntry{qualified(label), rounds, words, !parallel_stack_.empty()});
+    if (obs::Tracer::global().enabled()) {
+        std::ostringstream args;
+        args << "{\"rounds\":" << rounds << ",\"words\":" << words << "}";
+        obs::Tracer::global().instant_event("charge/" + entries_.back().phase, "ledger",
+                                            args.str());
+    }
     total_words_ += words;
     if (!parallel_stack_.empty()) {
         parallel_stack_.back().current_lane_rounds += rounds;
@@ -30,12 +38,19 @@ void RoundLedger::charge(std::string_view label, double rounds, std::uint64_t wo
     }
 }
 
-void RoundLedger::push_phase(std::string_view label) { phase_stack_.emplace_back(label); }
+void RoundLedger::push_phase(std::string_view label)
+{
+    phase_stack_.emplace_back(label);
+    // Ledger phases are the paper's algorithm structure; mirroring them
+    // as B/E trace spans puts the phase tree on the trace timeline.
+    obs::Tracer::global().begin_event(phase_stack_.back(), "ledger");
+}
 
 void RoundLedger::pop_phase()
 {
     CCQ_CHECK(!phase_stack_.empty(), "RoundLedger::pop_phase: empty stack");
     phase_stack_.pop_back();
+    obs::Tracer::global().end_event();
 }
 
 void RoundLedger::begin_parallel() { parallel_stack_.push_back({}); }
@@ -92,6 +107,16 @@ std::vector<PhaseTotal> RoundLedger::top_level_totals() const
     result.reserve(by_top.size());
     for (auto& [name, total] : by_top) result.push_back(std::move(total));
     return result;
+}
+
+void RoundLedger::emit_trace_totals() const
+{
+    if (!obs::Tracer::global().enabled()) return;
+    for (const PhaseTotal& total : top_level_totals()) {
+        std::ostringstream args;
+        args << "{\"rounds\":" << total.rounds << ",\"words\":" << total.words << "}";
+        obs::Tracer::global().instant_event("ledger/" + total.phase, "ledger", args.str());
+    }
 }
 
 std::string RoundLedger::report() const

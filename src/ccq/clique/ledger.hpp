@@ -57,6 +57,12 @@ public:
     /// Multi-line human-readable report.
     [[nodiscard]] std::string report() const;
 
+    /// Emits one instant trace event per top-level phase (name
+    /// "ledger/<phase>", args {rounds, words}) onto the global tracer,
+    /// so a build trace carries the round budget next to the spans.
+    /// No-op while tracing is disabled.
+    void emit_trace_totals() const;
+
     // --- phase scoping (see PhaseScope below) ---
     void push_phase(std::string_view label);
     void pop_phase();

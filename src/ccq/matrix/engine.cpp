@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ccq/matrix/kernels/kernels.hpp"
+#include "ccq/obs/trace.hpp"
 
 namespace ccq {
 namespace {
@@ -75,6 +76,10 @@ DistanceMatrix min_plus_product(const DistanceMatrix& a, const DistanceMatrix& b
     CCQ_EXPECT(a.size() == b.size(), "min_plus_product: size mismatch");
     const int n = a.size();
     if (n == 0) return DistanceMatrix(0);
+    obs::TraceSpan span("min_plus_product", "engine",
+                        obs::Tracer::global().enabled()
+                            ? "{\"n\":" + std::to_string(n) + "}"
+                            : std::string());
     const int bs = std::min(engine.resolved_block_size(), n);
     const Weight* ap = a.data();
     const Weight* bp = b.data();
@@ -105,6 +110,10 @@ DistanceMatrix min_plus_closure(DistanceMatrix a, int* products_used, const Engi
     // further squaring is the identity, so stopping early returns the
     // exact matrix the full ceil(log2(n-1)) schedule would.
     for (std::int64_t hops = 1; hops < n - 1; hops *= 2) {
+        obs::TraceSpan span("min_plus_closure/square", "engine",
+                            obs::Tracer::global().enabled()
+                                ? "{\"iteration\":" + std::to_string(used) + "}"
+                                : std::string());
         DistanceMatrix next = min_plus_product(a, a, engine);
         ++used;
         const bool fixed_point = next == a;

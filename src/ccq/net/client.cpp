@@ -112,6 +112,13 @@ ServerStats Client::stats()
     return decode_stats_reply(roundtrip(request));
 }
 
+std::string Client::metrics()
+{
+    Request request;
+    request.op = Opcode::metrics;
+    return decode_metrics_reply(roundtrip(request));
+}
+
 namespace {
 
 [[nodiscard]] std::string error_message_of(std::string_view payload)

@@ -42,6 +42,9 @@ public:
     [[nodiscard]] std::vector<PathResult> batch_paths(std::span<const PointQuery> queries);
     [[nodiscard]] ServerStats stats();
 
+    /// Scrapes the server's metric registry: Prometheus text exposition.
+    [[nodiscard]] std::string metrics();
+
     /// Point-distance queries pipelined over this connection: up to
     /// `window` request frames in flight at once, replies consumed in
     /// order.  One round-trip per window instead of one per query.  On a

@@ -15,6 +15,7 @@
 #include "ccq/common/check.hpp"
 #include "ccq/common/parallel.hpp"
 #include "ccq/net/server.hpp"
+#include "ccq/obs/log.hpp"
 
 namespace ccq {
 namespace {
@@ -218,9 +219,7 @@ void EpollLoop::accept_ready()
                 // Out of descriptors: connections close and free some up,
                 // so log and back off instead of spinning on a listener
                 // that stays readable (level-triggered) the whole time.
-                std::fprintf(stderr,
-                             "ccq server: accept failed (%s); still listening\n",
-                             std::strerror(errno));
+                CCQ_LOG_WARN("accept failed (%s); still listening", std::strerror(errno));
                 epoll_apply(epoll_fd_, EPOLL_CTL_DEL, listener_fd_, 0, kListenerId);
                 listener_armed_ = false;
                 listener_rearm_at_ = std::chrono::steady_clock::now() + kListenerBackoff;
@@ -229,22 +228,22 @@ void EpollLoop::accept_ready()
             if (server_.stopping()) return; // closed listener fails accept
             throw net_error(errno_text("accept4"));
         }
-        auto stream = std::make_unique<TcpStream>(fd); // owns fd, sets TCP_NODELAY
+        TcpStream stream(fd); // owns fd, sets TCP_NODELAY
         if (server_.config_.max_connections > 0 &&
             conns_.size() >= static_cast<std::size_t>(server_.config_.max_connections)) {
             // Fresh socket, empty send buffer: the busy frame fits
             // without blocking even though the fd is nonblocking.
-            server_.shed_connection(*stream);
+            server_.shed_connection(stream);
             continue; // stream destruction closes the shed socket
         }
         server_.connections_accepted_.fetch_add(1, std::memory_order_relaxed);
         server_.active_connections_.fetch_add(1, std::memory_order_relaxed);
         auto conn = std::make_unique<Conn>();
-        conn->fd = fd;
+        conn->fd = stream.release_fd(); // the Conn owns the fd from here on
         conn->id = next_conn_id_++;
         conn->armed_events = EPOLLIN | EPOLLRDHUP;
         epoll_apply(epoll_fd_, EPOLL_CTL_ADD, fd, conn->armed_events, conn->id);
-        (void)stream.release(); // the Conn owns the fd from here on
+        server_.note_conn_opened(conn->id);
         conns_.emplace(conn->id, std::move(conn));
     }
 }
@@ -263,13 +262,14 @@ void EpollLoop::conn_readable(Conn& conn)
         }
         if (got == 0) {
             conn.peer_eof = true;
-            return;
+            break;
         }
         if (errno == EINTR) continue;
-        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         conn.broken = true;
-        return;
+        break;
     }
+    if (taken > 0 && server_.config_.metrics) server_.add_bytes_read(taken);
 }
 
 void EpollLoop::drain_decoder(Conn& conn)
@@ -288,6 +288,7 @@ void EpollLoop::dispatch(Conn& conn, std::string body)
     task.conn_id = conn.id;
     task.seq = conn.next_dispatch_seq++;
     task.body = std::move(body);
+    if (server_.config_.metrics) task.enqueued = std::chrono::steady_clock::now();
     ++conn.inflight;
     {
         std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -310,6 +311,11 @@ void EpollLoop::worker_loop()
         Completion completion;
         completion.conn_id = task.conn_id;
         completion.seq = task.seq;
+        if (server_.config_.metrics) {
+            const auto waited = std::chrono::steady_clock::now() - task.enqueued;
+            server_.record_queue_wait(
+                std::chrono::duration_cast<std::chrono::microseconds>(waited).count());
+        }
         try {
             completion.reply = server_.process_frame(task.body, completion.shutdown_now);
         } catch (const std::exception& error) {
@@ -356,18 +362,22 @@ void EpollLoop::apply_completions()
 
 void EpollLoop::flush(Conn& conn)
 {
+    std::size_t sent = 0;
     while (conn.out_offset < conn.out.size()) {
         const ssize_t wrote = ::send(conn.fd, conn.out.data() + conn.out_offset,
                                      conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
         if (wrote > 0) {
             conn.out_offset += static_cast<std::size_t>(wrote);
+            sent += static_cast<std::size_t>(wrote);
             continue;
         }
         if (wrote < 0 && errno == EINTR) continue;
         if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
         conn.broken = true; // EPIPE, ECONNRESET, ...
-        return;
+        break;
     }
+    if (sent > 0 && server_.config_.metrics) server_.add_bytes_written(sent);
+    if (conn.broken) return;
     if (conn.out_offset == conn.out.size()) {
         conn.out.clear();
         conn.out_offset = 0;
@@ -396,11 +406,12 @@ void EpollLoop::update_conn(Conn& conn)
         if (!conn.poisoned) {
             try {
                 drain_decoder(conn);
-            } catch (const protocol_error&) {
+            } catch (const protocol_error& error) {
                 // Framing desync (oversized length prefix): like the
                 // blocking backend, answer everything before the bad
                 // frame, then drop the connection.
                 conn.poisoned = true;
+                server_.note_conn_poisoned(conn.id, error.what());
             }
         }
         if (conn.out_offset < conn.out.size()) flush(conn);
@@ -447,6 +458,7 @@ void EpollLoop::close_conn(Conn& conn)
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
     ::close(conn.fd);
     conn.fd = -1;
+    server_.note_conn_closed(id);
     server_.active_connections_.fetch_sub(1, std::memory_order_relaxed);
     conns_.erase(id); // destroys `conn`
 }

@@ -75,6 +75,9 @@ private:
         std::uint64_t conn_id = 0;
         std::uint64_t seq = 0;
         std::string body;
+        /// Dispatch time, for the queue-wait histogram (only stamped
+        /// when the server records metrics).
+        std::chrono::steady_clock::time_point enqueued{};
     };
     struct Completion {
         std::uint64_t conn_id = 0;

@@ -53,6 +53,32 @@ void put_path_result(std::string& out, const PathResult& path)
 
 } // namespace
 
+std::size_t op_metric_index(Opcode op) noexcept
+{
+    switch (op) {
+    case Opcode::ping: return 0;
+    case Opcode::distance: return 1;
+    case Opcode::path: return 2;
+    case Opcode::k_nearest: return 3;
+    case Opcode::batch_distances: return 4;
+    case Opcode::batch_paths: return 5;
+    case Opcode::stats: return 6;
+    case Opcode::metrics: return 7;
+    case Opcode::shutdown: return 8;
+    case Opcode::json: break; // JSON bodies resolve to a real op before accounting
+    }
+    return kInvalidOpMetric;
+}
+
+const char* op_metric_name(std::size_t index) noexcept
+{
+    static constexpr const char* kNames[kOpMetricCount] = {
+        "ping",        "distance", "path",  "k_nearest", "batch_distances",
+        "batch_paths", "stats",    "metrics", "shutdown", "invalid",
+    };
+    return index < kOpMetricCount ? kNames[index] : "invalid";
+}
+
 const char* status_name(Status status)
 {
     switch (status) {
@@ -144,7 +170,8 @@ std::string encode_request(const Request& request)
     put_u8(body, static_cast<std::uint8_t>(request.op));
     switch (request.op) {
     case Opcode::ping:
-    case Opcode::stats: break;
+    case Opcode::stats:
+    case Opcode::metrics: break;
     case Opcode::shutdown:
         // Token operand, omitted entirely when empty so unauthenticated
         // frames keep the pre-token wire shape (old servers reject a
@@ -180,7 +207,8 @@ Request decode_request(std::string_view body)
         const std::uint8_t op = reader.u8();
         switch (static_cast<Opcode>(op)) {
         case Opcode::ping:
-        case Opcode::stats: break;
+        case Opcode::stats:
+        case Opcode::metrics: break;
         case Opcode::shutdown:
             if (!reader.exhausted()) request.token = reader.str();
             break;
@@ -302,6 +330,19 @@ std::string encode_stats_reply(const ServerStats& stats)
     put_f64(body, stats.uptime_seconds);
     put_i32(body, stats.node_count);
     put_u8(body, stats.has_routing ? 1 : 0);
+    // stats v2 trailer (decoders accept replies that stop above).
+    put_u64(body, stats.backpressure_pauses);
+    put_f64(body, stats.build_total_rounds);
+    put_u64(body, stats.build_total_words);
+    return body;
+}
+
+std::string encode_metrics_reply(std::string_view text)
+{
+    // The payload is the raw UTF-8 exposition text: the frame length
+    // already delimits it, so no string prefix is needed.
+    std::string body = ok_body();
+    body.append(text);
     return body;
 }
 
@@ -412,9 +453,21 @@ ServerStats decode_stats_reply(std::string_view payload)
         const std::uint8_t routing = reader.u8();
         if (routing > 1) throw protocol_error("stats reply: malformed routing flag");
         stats.has_routing = routing == 1;
+        // stats v2 trailer: a pre-PR6 server's reply ends here, which
+        // must keep decoding (back-compat), leaving the defaults.
+        if (!reader.exhausted()) {
+            stats.backpressure_pauses = reader.u64();
+            stats.build_total_rounds = reader.f64();
+            stats.build_total_words = reader.u64();
+        }
         if (!reader.exhausted()) throw protocol_error("stats reply has trailing bytes");
         return stats;
     });
+}
+
+std::string decode_metrics_reply(std::string_view payload)
+{
+    return std::string(payload);
 }
 
 // --- JSON debug mode --------------------------------------------------------
@@ -537,6 +590,7 @@ private:
     if (name == "batch_distances") return Opcode::batch_distances;
     if (name == "batch_paths") return Opcode::batch_paths;
     if (name == "stats") return Opcode::stats;
+    if (name == "metrics") return Opcode::metrics;
     if (name == "shutdown") return Opcode::shutdown;
     throw protocol_error("json request: unknown op '" + name + "'");
 }

@@ -52,9 +52,23 @@ enum class Opcode : std::uint8_t {
     batch_distances = 0x05, ///< vector of point distances
     batch_paths = 0x06,     ///< vector of path reconstructions
     stats = 0x10,           ///< server + cache counters
+    metrics = 0x11,         ///< Prometheus text-exposition scrape
     shutdown = 0x1f,        ///< graceful server shutdown (control frame)
     json = 0x7b,            ///< '{': body is a JSON debug request
 };
+
+/// Number of distinct metric slots for per-opcode accounting: every
+/// real opcode plus one trailing "invalid" slot for undecodable
+/// frames.
+inline constexpr std::size_t kOpMetricCount = 10;
+inline constexpr std::size_t kInvalidOpMetric = kOpMetricCount - 1;
+
+/// Dense 0-based index of an opcode for per-op metric arrays.
+[[nodiscard]] std::size_t op_metric_index(Opcode op) noexcept;
+
+/// Stable lowercase label for per-op metrics; index kInvalidOpMetric
+/// renders as "invalid".
+[[nodiscard]] const char* op_metric_name(std::size_t index) noexcept;
 
 enum class Status : std::uint8_t {
     ok = 0,
@@ -110,6 +124,11 @@ struct ServerStats {
     double uptime_seconds = 0.0;
     std::int32_t node_count = 0;
     bool has_routing = false;
+    // --- stats v2 fields (PR 6).  Encoded after has_routing; a v1
+    // server's reply simply ends early and decoders leave the defaults.
+    std::uint64_t backpressure_pauses = 0; ///< epoll backend EPOLLIN pauses
+    double build_total_rounds = 0.0;       ///< snapshot RoundLedger summary
+    std::uint64_t build_total_words = 0;   ///< ditto, machine words sent
 
     friend bool operator==(const ServerStats&, const ServerStats&) = default;
 };
@@ -169,6 +188,7 @@ private:
 [[nodiscard]] std::string encode_batch_distances_reply(std::span<const Weight> distances);
 [[nodiscard]] std::string encode_batch_paths_reply(std::span<const PathResult> paths);
 [[nodiscard]] std::string encode_stats_reply(const ServerStats& stats);
+[[nodiscard]] std::string encode_metrics_reply(std::string_view text);
 
 /// Splits a response body into (status, rest).  The rest is the ok
 /// payload, or the error message for non-ok statuses.
@@ -181,6 +201,7 @@ private:
 [[nodiscard]] std::vector<Weight> decode_batch_distances_reply(std::string_view payload);
 [[nodiscard]] std::vector<PathResult> decode_batch_paths_reply(std::string_view payload);
 [[nodiscard]] ServerStats decode_stats_reply(std::string_view payload);
+[[nodiscard]] std::string decode_metrics_reply(std::string_view payload);
 
 // --- JSON debug mode --------------------------------------------------------
 

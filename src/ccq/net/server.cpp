@@ -10,6 +10,8 @@
 #include <utility>
 
 #include "ccq/net/epoll_server.hpp"
+#include "ccq/obs/log.hpp"
+#include "ccq/obs/trace.hpp"
 
 namespace ccq {
 namespace {
@@ -65,7 +67,129 @@ Server::Server(std::shared_ptr<const QueryEngine> engine, ServerConfig config)
     : engine_(std::move(engine)), config_(std::move(config))
 {
     CCQ_EXPECT(engine_ != nullptr, "Server: null engine");
+    init_metrics();
 }
+
+void Server::init_metrics()
+{
+    static const std::string kRequests = "ccq_requests_total";
+    static const std::string kLatency = "ccq_request_latency_us";
+    for (std::size_t i = 0; i < kOpMetricCount; ++i) {
+        const std::string op = op_metric_name(i);
+        op_metrics_[i].ok = &registry_.counter(
+            kRequests, "Requests served, by opcode and outcome.", {{"op", op}, {"status", "ok"}});
+        op_metrics_[i].error =
+            &registry_.counter(kRequests, "Requests served, by opcode and outcome.",
+                               {{"op", op}, {"status", "error"}});
+        op_metrics_[i].latency_us = &registry_.histogram(
+            kLatency, "Request decode+dispatch+render latency in microseconds.", {{"op", op}});
+    }
+    bytes_read_ = &registry_.counter("ccq_bytes_read_total",
+                                     "Bytes read from client connections, framing included.");
+    bytes_written_ = &registry_.counter(
+        "ccq_bytes_written_total", "Bytes written to client connections, framing included.");
+    static const std::string kConns = "ccq_connection_events_total";
+    static const std::string kConnsHelp = "Connection lifecycle events, by kind.";
+    conns_opened_ = &registry_.counter(kConns, kConnsHelp, {{"event", "opened"}});
+    conns_closed_ = &registry_.counter(kConns, kConnsHelp, {{"event", "closed"}});
+    conns_shed_ = &registry_.counter(kConns, kConnsHelp, {{"event", "shed"}});
+    conns_poisoned_ = &registry_.counter(kConns, kConnsHelp, {{"event", "poisoned"}});
+    queue_wait_us_ = &registry_.histogram(
+        "ccq_queue_wait_us",
+        "Microseconds a decoded request waited for a worker (epoll backend only).");
+
+    // Values that already live in ServerStats atomics / the engine are
+    // rendered at scrape time instead of being double-counted.
+    registry_.add_collector([this](std::string& out) {
+        const ServerStats s = stats();
+        obs::append_header(out, "ccq_connections_accepted_total",
+                           "Connections accepted since start.", "counter");
+        obs::append_sample(out, "ccq_connections_accepted_total", {}, s.connections_accepted);
+        obs::append_header(out, "ccq_connections_rejected_total",
+                           "Connections shed by the --max-connections guard.", "counter");
+        obs::append_sample(out, "ccq_connections_rejected_total", {}, s.connections_rejected);
+        obs::append_header(out, "ccq_active_connections", "Currently open connections.",
+                           "gauge");
+        obs::append_sample(out, "ccq_active_connections", {}, s.active_connections);
+        obs::append_header(out, "ccq_frames_served_total", "Frames answered with status ok.",
+                           "counter");
+        obs::append_sample(out, "ccq_frames_served_total", {}, s.frames_served);
+        obs::append_header(out, "ccq_errors_total", "Frames answered with a non-ok status.",
+                           "counter");
+        obs::append_sample(out, "ccq_errors_total", {}, s.errors);
+        obs::append_header(out, "ccq_backpressure_pauses_total",
+                           "Times the epoll backend paused reading a connection.", "counter");
+        obs::append_sample(out, "ccq_backpressure_pauses_total", {}, s.backpressure_pauses);
+        const CacheStats cache = engine_->cache_stats();
+        obs::append_header(out, "ccq_cache_events_total",
+                           "Path-cache lookups and evictions, by kind.", "counter");
+        obs::append_sample(out, "ccq_cache_events_total", {{"event", "hit"}}, cache.hits);
+        obs::append_sample(out, "ccq_cache_events_total", {{"event", "miss"}}, cache.misses);
+        obs::append_sample(out, "ccq_cache_events_total", {{"event", "eviction"}},
+                           cache.evictions);
+        obs::append_header(out, "ccq_batch_size",
+                           "Items per batch request seen by the query engine.", "histogram");
+        obs::append_histogram(out, "ccq_batch_size", {}, engine_->batch_size_distribution());
+        obs::append_header(out, "ccq_uptime_seconds", "Seconds since the server started.",
+                           "gauge");
+        obs::append_sample(out, "ccq_uptime_seconds", {}, s.uptime_seconds);
+        obs::append_header(out, "ccq_snapshot_nodes", "Node count of the served snapshot.",
+                           "gauge");
+        obs::append_sample(out, "ccq_snapshot_nodes", {},
+                           static_cast<std::int64_t>(s.node_count));
+        obs::append_header(out, "ccq_snapshot_has_routing",
+                           "1 when the snapshot carries next-hop routing tables.", "gauge");
+        obs::append_sample(out, "ccq_snapshot_has_routing", {},
+                           static_cast<std::int64_t>(s.has_routing ? 1 : 0));
+        obs::append_header(out, "ccq_snapshot_build_rounds",
+                           "Congested-Clique rounds charged by the build (RoundLedger).",
+                           "gauge");
+        obs::append_sample(out, "ccq_snapshot_build_rounds", {}, s.build_total_rounds);
+        obs::append_header(out, "ccq_snapshot_build_words",
+                           "Machine words sent by the build (RoundLedger).", "gauge");
+        obs::append_sample(out, "ccq_snapshot_build_words", {},
+                           static_cast<std::int64_t>(s.build_total_words));
+    });
+}
+
+void Server::record_request(std::size_t op_index, bool ok, std::int64_t latency_us) noexcept
+{
+    OpMetrics& m = op_metrics_[op_index];
+    (ok ? m.ok : m.error)->add(1);
+    m.latency_us->record(latency_us);
+}
+
+void Server::note_conn_opened(std::uint64_t conn_id)
+{
+    conns_opened_->add(1);
+    CCQ_LOG_DEBUG("conn %llu open", static_cast<unsigned long long>(conn_id));
+    obs::Tracer::global().instant_event("conn/open", "net");
+}
+
+void Server::note_conn_closed(std::uint64_t conn_id)
+{
+    conns_closed_->add(1);
+    CCQ_LOG_DEBUG("conn %llu close", static_cast<unsigned long long>(conn_id));
+    obs::Tracer::global().instant_event("conn/close", "net");
+}
+
+void Server::note_conn_shed()
+{
+    conns_shed_->add(1);
+    CCQ_LOG_INFO("conn shed: at the --max-connections limit");
+}
+
+void Server::note_conn_poisoned(std::uint64_t conn_id, const char* reason)
+{
+    conns_poisoned_->add(1);
+    CCQ_LOG_WARN("conn %llu poisoned: %s", static_cast<unsigned long long>(conn_id), reason);
+}
+
+void Server::add_bytes_read(std::uint64_t n) noexcept { bytes_read_->add(n); }
+
+void Server::add_bytes_written(std::uint64_t n) noexcept { bytes_written_->add(n); }
+
+void Server::record_queue_wait(std::int64_t us) noexcept { queue_wait_us_->record(us); }
 
 Server::~Server()
 {
@@ -124,6 +248,7 @@ void Server::run_epoll()
 void Server::shed_connection(TcpStream& stream)
 {
     connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+    note_conn_shed();
     try {
         write_frame(stream, encode_error_reply(
                                 Status::busy, "server is at its connection limit, retry later"));
@@ -143,7 +268,7 @@ void Server::run_threads()
                 if (transient_errno == 0) break; // listener closed
                 // EMFILE/ENFILE: descriptors free up as connections
                 // close; log, breathe, keep the listener alive.
-                std::fprintf(stderr, "ccq server: accept failed (%s); still listening\n",
+                CCQ_LOG_WARN("accept failed (%s); still listening",
                              std::strerror(transient_errno));
                 std::this_thread::sleep_for(std::chrono::milliseconds(50));
                 continue;
@@ -154,14 +279,15 @@ void Server::run_threads()
                 shed_connection(*stream);
                 continue; // stream destruction closes the shed socket
             }
-            connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+            const std::uint64_t conn_id =
+                connections_accepted_.fetch_add(1, std::memory_order_relaxed) + 1;
             reap_finished_handlers();
             std::lock_guard<std::mutex> lock(handlers_mutex_);
             TcpStream* raw = stream.get();
             auto done = std::make_shared<std::atomic<bool>>(false);
             handlers_.push_back(
-                {std::thread([this, owned = std::move(stream), done]() mutable {
-                     handle_connection(std::move(owned));
+                {std::thread([this, owned = std::move(stream), done, conn_id]() mutable {
+                     handle_connection(std::move(owned), conn_id);
                      done->store(true, std::memory_order_release);
                  }),
                  done});
@@ -207,16 +333,19 @@ void Server::drain()
         if (handler.thread.joinable()) handler.thread.join();
 }
 
-void Server::handle_connection(std::unique_ptr<TcpStream> stream)
+void Server::handle_connection(std::unique_ptr<TcpStream> stream, std::uint64_t conn_id)
 {
     active_connections_.fetch_add(1, std::memory_order_relaxed);
+    note_conn_opened(conn_id);
     try {
         while (serve_one(*stream)) {
         }
-    } catch (const std::exception&) {
+    } catch (const std::exception& error) {
         // Transport failure or framing desync: nothing sensible can be
         // sent on this connection anymore; drop it.
+        note_conn_poisoned(conn_id, error.what());
     }
+    note_conn_closed(conn_id);
     active_connections_.fetch_sub(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(handlers_mutex_);
     const auto it = std::find(active_streams_.begin(), active_streams_.end(), stream.get());
@@ -226,7 +355,9 @@ void Server::handle_connection(std::unique_ptr<TcpStream> stream)
 void Server::serve_stream(Stream& stream)
 {
     active_connections_.fetch_add(1, std::memory_order_relaxed);
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t conn_id =
+        connections_accepted_.fetch_add(1, std::memory_order_relaxed) + 1;
+    note_conn_opened(conn_id);
     {
         // Register so request_stop()/drain() can interrupt a blocked
         // read on this connection too, exactly like accepted ones.
@@ -234,6 +365,7 @@ void Server::serve_stream(Stream& stream)
         active_streams_.push_back(&stream);
     }
     const auto deregister = [&] {
+        note_conn_closed(conn_id);
         active_connections_.fetch_sub(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(handlers_mutex_);
         const auto it = std::find(active_streams_.begin(), active_streams_.end(), &stream);
@@ -252,6 +384,9 @@ void Server::serve_stream(Stream& stream)
 std::string Server::process_frame(const std::string& body, bool& shutdown_now)
 {
     shutdown_now = false;
+    using clock = std::chrono::steady_clock;
+    const bool record = config_.metrics;
+    const clock::time_point t0 = record ? clock::now() : clock::time_point{};
 
     Request request;
     bool decoded = true;
@@ -285,6 +420,11 @@ std::string Server::process_frame(const std::string& body, bool& shutdown_now)
     const bool ok = decoded && (request.json ? reply.rfind("{\"error\"", 0) != 0
                                              : split_reply(reply).first == Status::ok);
     (ok ? frames_served_ : errors_).fetch_add(1, std::memory_order_relaxed);
+    if (record) {
+        const std::int64_t us =
+            std::chrono::duration_cast<std::chrono::microseconds>(clock::now() - t0).count();
+        record_request(decoded ? op_metric_index(request.op) : kInvalidOpMetric, ok, us);
+    }
 
     shutdown_now = decoded && ok && request.op == Opcode::shutdown;
     return reply;
@@ -298,6 +438,10 @@ bool Server::serve_one(Stream& stream)
     bool shutdown_now = false;
     const std::string reply = process_frame(*body, shutdown_now);
     write_frame(stream, reply);
+    if (config_.metrics) {
+        add_bytes_read(4 + body->size());
+        add_bytes_written(4 + reply.size());
+    }
     if (shutdown_now) {
         request_stop();
         return false;
@@ -375,6 +519,7 @@ std::string Server::answer(const Request& request)
         return encode_batch_paths_reply(engine_->batch_paths(request.pairs));
     }
     case Opcode::stats: return encode_stats_reply(stats());
+    case Opcode::metrics: return encode_metrics_reply(metrics_text());
     case Opcode::json: break; // unreachable: decode never yields a bare json op
     }
     throw request_rejected{Status::malformed, "unhandled opcode"};
@@ -455,11 +600,17 @@ std::string Server::answer_json(const Request& request)
         out += ",\"batch_items\":" + std::to_string(s.batch_items);
         out += ",\"cache_hits\":" + std::to_string(s.cache_hits);
         out += ",\"cache_misses\":" + std::to_string(s.cache_misses);
+        out += ",\"backpressure_pauses\":" + std::to_string(s.backpressure_pauses);
+        out += ",\"build_total_rounds\":" + std::to_string(s.build_total_rounds);
+        out += ",\"build_total_words\":" + std::to_string(s.build_total_words);
         out += ",\"node_count\":" + std::to_string(s.node_count);
         out += ",\"has_routing\":" + std::string(s.has_routing ? "true" : "false");
         out += "}";
         return out;
     }
+    case Opcode::metrics:
+        return "{\"op\":\"metrics\",\"content_type\":\"text/plain; version=0.0.4\",\"text\":\"" +
+               json_escape(metrics_text()) + "\"}";
     case Opcode::json: break;
     }
     throw request_rejected{Status::malformed, "unhandled opcode"};
@@ -484,6 +635,9 @@ ServerStats Server::stats() const
         std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
     stats.node_count = engine_->node_count();
     stats.has_routing = engine_->has_routing();
+    stats.backpressure_pauses = backpressure_pauses_.load(std::memory_order_relaxed);
+    stats.build_total_rounds = engine_->meta().total_rounds;
+    stats.build_total_words = engine_->meta().total_words;
     return stats;
 }
 

@@ -27,6 +27,7 @@
 
 #include "ccq/net/protocol.hpp"
 #include "ccq/net/socket.hpp"
+#include "ccq/obs/metrics.hpp"
 #include "ccq/serve/query_engine.hpp"
 
 namespace ccq {
@@ -82,6 +83,11 @@ struct ServerConfig {
     /// queued toward a slow reader, the connection stops being read
     /// until the queue drains below half.
     std::size_t max_output_bytes = 4u << 20;
+    /// Per-request metric recording (per-op counters, latency
+    /// histograms, byte counters).  The `metrics` scrape op always
+    /// answers; disabling only stops the hot-path recording
+    /// (ccq_served --no-metrics, and the bench overhead A/B).
+    bool metrics = true;
 };
 
 class Server {
@@ -116,12 +122,20 @@ public:
     [[nodiscard]] ServerStats stats() const;
 
     /// Times the epoll backend paused a connection's reads for
-    /// backpressure (pipelining depth or output-queue bytes).  Test /
-    /// observability hook, not part of the wire stats.
+    /// backpressure (pipelining depth or output-queue bytes).  Also on
+    /// the wire since stats v2.
     [[nodiscard]] std::uint64_t backpressure_pauses() const noexcept
     {
         return backpressure_pauses_.load(std::memory_order_relaxed);
     }
+
+    /// The Prometheus text exposition served by the `metrics` op; also
+    /// callable in-process (tests, an embedding's own scrape endpoint).
+    [[nodiscard]] std::string metrics_text() const { return registry_.render(); }
+
+    /// The server's metric registry, for embeddings that want to attach
+    /// their own counters or collectors to the same scrape.
+    [[nodiscard]] obs::Registry& metrics_registry() noexcept { return registry_; }
 
 private:
     friend class EpollLoop;
@@ -136,7 +150,7 @@ private:
 
     void run_threads();
     void run_epoll();
-    void handle_connection(std::unique_ptr<TcpStream> stream);
+    void handle_connection(std::unique_ptr<TcpStream> stream, std::uint64_t conn_id);
     /// One request/response exchange; returns false when the connection
     /// should close (EOF or shutdown frame).
     bool serve_one(Stream& stream);
@@ -153,6 +167,21 @@ private:
     /// Joins handlers that have already finished (cheap; called per
     /// accept so a long-lived server does not accumulate dead threads).
     void reap_finished_handlers();
+
+    // --- observability hooks shared by both backends ------------------
+    void init_metrics();
+    /// Per-request accounting called from process_frame.
+    void record_request(std::size_t op_index, bool ok, std::int64_t latency_us) noexcept;
+    void note_conn_opened(std::uint64_t conn_id);
+    void note_conn_closed(std::uint64_t conn_id);
+    void note_conn_shed();
+    /// A connection that desynced the framing (or hit a transport
+    /// error) and was dropped.
+    void note_conn_poisoned(std::uint64_t conn_id, const char* reason);
+    void add_bytes_read(std::uint64_t n) noexcept;
+    void add_bytes_written(std::uint64_t n) noexcept;
+    /// Dispatch-queue wait of the epoll backend's worker pool.
+    void record_queue_wait(std::int64_t us) noexcept;
     /// Full teardown: stop, interrupt blocked reads, join every handler.
     /// Joins happen outside handlers_mutex_ so finishing handlers can
     /// still deregister themselves.
@@ -183,6 +212,23 @@ private:
     std::atomic<std::uint64_t> path_queries_{0};
     std::atomic<std::uint64_t> knearest_queries_{0};
     std::atomic<std::uint64_t> batch_items_{0};
+
+    /// Per-opcode registry handles (index = op_metric_index).
+    struct OpMetrics {
+        obs::Counter* ok = nullptr;
+        obs::Counter* error = nullptr;
+        obs::Histogram* latency_us = nullptr;
+    };
+
+    obs::Registry registry_;
+    OpMetrics op_metrics_[kOpMetricCount] = {};
+    obs::Counter* bytes_read_ = nullptr;
+    obs::Counter* bytes_written_ = nullptr;
+    obs::Counter* conns_opened_ = nullptr;
+    obs::Counter* conns_closed_ = nullptr;
+    obs::Counter* conns_shed_ = nullptr;
+    obs::Counter* conns_poisoned_ = nullptr;
+    obs::Histogram* queue_wait_us_ = nullptr;
 };
 
 } // namespace ccq

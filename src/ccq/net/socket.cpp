@@ -110,7 +110,10 @@ TcpStream::TcpStream(int fd) : fd_(fd)
     ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-TcpStream::~TcpStream() { ::close(fd_); }
+TcpStream::~TcpStream()
+{
+    if (fd_ >= 0) ::close(fd_);
+}
 
 std::unique_ptr<TcpStream> TcpStream::connect(const std::string& host, int port)
 {

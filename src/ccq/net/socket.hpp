@@ -90,6 +90,16 @@ public:
     /// Switches the socket between blocking (default) and nonblocking.
     void set_nonblocking(bool nonblocking);
 
+    /// Gives up ownership of the descriptor: returns it and leaves the
+    /// stream empty (the destructor then closes nothing).  For callers
+    /// that keep only the fd, like the epoll connection table.
+    [[nodiscard]] int release_fd() noexcept
+    {
+        const int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
 private:
     int fd_;
 };

@@ -1,0 +1,72 @@
+#include "ccq/obs/log.hpp"
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+
+#include "ccq/common/check.hpp"
+
+namespace ccq::obs {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::info)};
+
+const char* level_name(LogLevel level) noexcept
+{
+    switch (level) {
+    case LogLevel::error: return "error";
+    case LogLevel::warn: return "warn ";
+    case LogLevel::info: return "info ";
+    default: return "debug";
+    }
+}
+
+double uptime_seconds() noexcept
+{
+    static const auto start = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// Touch the start time at static-init so the first log line is near 0.
+[[maybe_unused]] const double g_init_uptime = uptime_seconds();
+
+} // namespace
+
+void set_log_level(LogLevel level) noexcept
+{
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept
+{
+    return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+bool log_enabled(LogLevel level) noexcept
+{
+    return static_cast<int>(level) <= g_level.load(std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& name)
+{
+    if (name == "error") return LogLevel::error;
+    if (name == "warn") return LogLevel::warn;
+    if (name == "info") return LogLevel::info;
+    if (name == "debug") return LogLevel::debug;
+    CCQ_EXPECT(false, "unknown log level '" + name + "' (expected error|warn|info|debug)");
+    return LogLevel::info; // unreachable
+}
+
+void log(LogLevel level, const char* fmt, ...)
+{
+    if (!log_enabled(level)) return;
+    char message[1024];
+    std::va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(message, sizeof message, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "[%13.6f] %s ccq: %s\n", uptime_seconds(), level_name(level), message);
+}
+
+} // namespace ccq::obs

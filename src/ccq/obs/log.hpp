@@ -1,0 +1,49 @@
+// Structured stderr logging with monotonic timestamps.
+//
+// One line per event:
+//
+//   [     12.345678] info  ccq: conn 42 open peer=127.0.0.1:52114
+//
+// The timestamp is seconds on the steady clock since process start,
+// so operators can correlate log lines with trace-span timestamps
+// from the same process.  The level gate is a relaxed atomic load, so
+// disabled levels cost one branch.  Each line is emitted with a
+// single fprintf call to keep concurrent writers from interleaving
+// mid-line.
+#ifndef CCQ_OBS_LOG_HPP
+#define CCQ_OBS_LOG_HPP
+
+#include <atomic>
+#include <string>
+
+namespace ccq::obs {
+
+enum class LogLevel : int {
+    error = 0,
+    warn = 1,
+    info = 2,
+    debug = 3,
+};
+
+/// Global gate; defaults to info.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+[[nodiscard]] bool log_enabled(LogLevel level) noexcept;
+
+/// Parse "error"/"warn"/"info"/"debug"; throws check_error otherwise.
+[[nodiscard]] LogLevel parse_log_level(const std::string& name);
+
+/// printf-style log line; no-op when `level` is above the gate.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void log(LogLevel level, const char* fmt, ...);
+
+#define CCQ_LOG_ERROR(...) ::ccq::obs::log(::ccq::obs::LogLevel::error, __VA_ARGS__)
+#define CCQ_LOG_WARN(...) ::ccq::obs::log(::ccq::obs::LogLevel::warn, __VA_ARGS__)
+#define CCQ_LOG_INFO(...) ::ccq::obs::log(::ccq::obs::LogLevel::info, __VA_ARGS__)
+#define CCQ_LOG_DEBUG(...) ::ccq::obs::log(::ccq::obs::LogLevel::debug, __VA_ARGS__)
+
+} // namespace ccq::obs
+
+#endif // CCQ_OBS_LOG_HPP

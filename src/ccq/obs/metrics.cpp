@@ -1,0 +1,251 @@
+#include "ccq/obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+
+#include "ccq/common/check.hpp"
+
+namespace ccq::obs {
+
+// ---------------------------------------------------------------- Histogram
+
+Histogram::Histogram() : shards_(new Shard[kShards])
+{
+    for (std::size_t s = 0; s < kShards; ++s) {
+        for (auto& c : shards_[s].counts) c.store(0, std::memory_order_relaxed);
+        shards_[s].sum.store(0, std::memory_order_relaxed);
+    }
+}
+
+std::size_t Histogram::shard_of_this_thread() noexcept
+{
+    // Hash the thread id once per thread; kShards is a power of two.
+    static thread_local const std::size_t shard =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) & (kShards - 1);
+    return shard;
+}
+
+void Histogram::record(std::int64_t value) noexcept
+{
+    const std::uint64_t v = value < 0 ? 0 : static_cast<std::uint64_t>(value);
+    Shard& shard = shards_[shard_of_this_thread()];
+    shard.counts[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    shard.sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const noexcept
+{
+    HistogramSnapshot snap;
+    for (std::size_t s = 0; s < kShards; ++s) {
+        for (int i = 0; i < kHistogramBuckets; ++i)
+            snap.counts[static_cast<std::size_t>(i)] +=
+                shards_[s].counts[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+        snap.sum += shards_[s].sum.load(std::memory_order_relaxed);
+    }
+    return snap;
+}
+
+// ------------------------------------------------------------ text helpers
+
+namespace {
+
+void append_escaped_label_value(std::string& out, const std::string& value)
+{
+    for (char c : value) {
+        switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+        }
+    }
+}
+
+void append_label_block(std::string& out, const Labels& labels)
+{
+    if (labels.empty()) return;
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : labels) {
+        if (!first) out += ',';
+        first = false;
+        out += key;
+        out += "=\"";
+        append_escaped_label_value(out, value);
+        out += '"';
+    }
+    out += '}';
+}
+
+/// Like append_label_block but with one extra label appended (used
+/// for the histogram "le" label).
+void append_label_block_with(std::string& out, const Labels& labels, const char* extra_key,
+                             const std::string& extra_value)
+{
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : labels) {
+        if (!first) out += ',';
+        first = false;
+        out += key;
+        out += "=\"";
+        append_escaped_label_value(out, value);
+        out += '"';
+    }
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+    out += '}';
+}
+
+} // namespace
+
+void append_header(std::string& out, const std::string& name, const std::string& help,
+                   const char* type)
+{
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    out += help;
+    out += "\n# TYPE ";
+    out += name;
+    out += ' ';
+    out += type;
+    out += '\n';
+}
+
+void append_sample(std::string& out, const std::string& name, const Labels& labels,
+                   std::uint64_t value)
+{
+    out += name;
+    append_label_block(out, labels);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, " %" PRIu64 "\n", value);
+    out += buf;
+}
+
+void append_sample(std::string& out, const std::string& name, const Labels& labels,
+                   std::int64_t value)
+{
+    out += name;
+    append_label_block(out, labels);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, " %" PRId64 "\n", value);
+    out += buf;
+}
+
+void append_sample(std::string& out, const std::string& name, const Labels& labels, double value)
+{
+    out += name;
+    append_label_block(out, labels);
+    char buf[48];
+    std::snprintf(buf, sizeof buf, " %.9g\n", value);
+    out += buf;
+}
+
+void append_histogram(std::string& out, const std::string& name, const Labels& labels,
+                      const HistogramSnapshot& snap)
+{
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+        cumulative += snap.counts[static_cast<std::size_t>(i)];
+        // Skip interior empty buckets but always emit the +Inf bound.
+        if (snap.counts[static_cast<std::size_t>(i)] == 0 && i != kHistogramBuckets - 1 && i != 0)
+            continue;
+        const std::uint64_t bound = Histogram::bucket_upper_bound(i);
+        std::string le = bound == UINT64_MAX ? "+Inf" : std::to_string(bound);
+        out += name;
+        out += "_bucket";
+        append_label_block_with(out, labels, "le", le);
+        char buf[32];
+        std::snprintf(buf, sizeof buf, " %" PRIu64 "\n", cumulative);
+        out += buf;
+    }
+    append_sample(out, name + "_sum", labels, snap.sum);
+    append_sample(out, name + "_count", labels, cumulative);
+}
+
+// ------------------------------------------------------------------ Registry
+
+Registry::Family& Registry::family(const std::string& name, const std::string& help, char kind)
+{
+    for (auto& fam : families_) {
+        if (fam->name == name) {
+            CCQ_EXPECT(fam->kind == kind,
+                       "metric '" + name + "' registered twice with different kinds");
+            return *fam;
+        }
+    }
+    auto fam = std::make_unique<Family>();
+    fam->name = name;
+    fam->help = help;
+    fam->kind = kind;
+    families_.push_back(std::move(fam));
+    return *families_.back();
+}
+
+Registry::Instance& Registry::instance(Family& fam, Labels&& labels)
+{
+    for (auto& inst : fam.instances)
+        if (inst.labels == labels) return inst;
+    fam.instances.push_back(Instance{std::move(labels), nullptr, nullptr, nullptr});
+    return fam.instances.back();
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help, Labels labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Instance& inst = instance(family(name, help, 'c'), std::move(labels));
+    if (!inst.counter) inst.counter = std::make_unique<Counter>();
+    return *inst.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help, Labels labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Instance& inst = instance(family(name, help, 'g'), std::move(labels));
+    if (!inst.gauge) inst.gauge = std::make_unique<Gauge>();
+    return *inst.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, const std::string& help, Labels labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Instance& inst = instance(family(name, help, 'h'), std::move(labels));
+    if (!inst.histogram) inst.histogram = std::make_unique<Histogram>();
+    return *inst.histogram;
+}
+
+void Registry::add_collector(std::function<void(std::string&)> collect)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    collectors_.push_back(std::move(collect));
+}
+
+std::string Registry::render() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    out.reserve(4096);
+    for (const auto& fam : families_) {
+        const char* type = fam->kind == 'c'   ? "counter"
+                           : fam->kind == 'g' ? "gauge"
+                                              : "histogram";
+        append_header(out, fam->name, fam->help, type);
+        for (const auto& inst : fam->instances) {
+            switch (fam->kind) {
+            case 'c': append_sample(out, fam->name, inst.labels, inst.counter->value()); break;
+            case 'g': append_sample(out, fam->name, inst.labels, inst.gauge->value()); break;
+            default: append_histogram(out, fam->name, inst.labels, inst.histogram->snapshot());
+            }
+        }
+    }
+    for (const auto& collect : collectors_) collect(out);
+    return out;
+}
+
+} // namespace ccq::obs

@@ -1,0 +1,192 @@
+// Lock-free metrics primitives and a Prometheus-style registry.
+//
+// Counters and gauges are single relaxed atomics; histograms use
+// fixed log2 buckets with per-thread shards (cacheline-padded,
+// selected by a hashed thread id) so concurrent record() calls never
+// contend on the same line.  All writes are relaxed atomic ops, so
+// recording is wait-free and TSan-clean, and a snapshot taken
+// concurrently with writers is a consistent-enough merge (each cell
+// is individually atomic; Prometheus scrapes tolerate per-cell skew).
+//
+// The Registry hands out stable references (instances live behind
+// unique_ptr; the mutex guards only registration and render, never
+// the hot recording path) and renders the whole family set in the
+// Prometheus text exposition format.  Collector callbacks let
+// subsystems that already keep their own atomics (ServerStats, the
+// query-engine cache) append derived samples at scrape time without
+// double-counting.
+#ifndef CCQ_OBS_METRICS_HPP
+#define CCQ_OBS_METRICS_HPP
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ccq::obs {
+
+/// Monotonic counter.  add() is wait-free; value() is a relaxed load.
+class Counter {
+public:
+    void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+    [[nodiscard]] std::uint64_t value() const noexcept
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed value (active connections, queue depth, ...).
+class Gauge {
+public:
+    void set(std::int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+    void add(std::int64_t n) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+    [[nodiscard]] std::int64_t value() const noexcept
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/// Number of log2 buckets: bucket 0 holds exactly 0, bucket i (1..62)
+/// holds (2^(i-1), 2^i - 1]; the last bucket is unbounded (+Inf).
+inline constexpr int kHistogramBuckets = 64;
+
+/// Point-in-time merged view of a Histogram.
+struct HistogramSnapshot {
+    std::array<std::uint64_t, kHistogramBuckets> counts{};
+    std::uint64_t sum = 0; ///< sum of recorded values
+
+    [[nodiscard]] std::uint64_t total() const noexcept
+    {
+        std::uint64_t t = 0;
+        for (std::uint64_t c : counts) t += c;
+        return t;
+    }
+
+    /// Merge another snapshot into this one (for cross-shard /
+    /// cross-process aggregation).
+    void merge(const HistogramSnapshot& other) noexcept
+    {
+        for (int i = 0; i < kHistogramBuckets; ++i) counts[i] += other.counts[i];
+        sum += other.sum;
+    }
+};
+
+/// Fixed-bucket log-scale histogram with striped per-thread shards.
+///
+/// record() touches one shard chosen by the caller's thread id, so
+/// threads on different shards never share a cacheline; snapshot()
+/// merges all shards with relaxed loads.
+class Histogram {
+public:
+    Histogram();
+    Histogram(const Histogram&) = delete;
+    Histogram& operator=(const Histogram&) = delete;
+
+    /// Record one observation.  Negative values clamp to 0.
+    void record(std::int64_t value) noexcept;
+
+    /// Merged view across all shards.
+    [[nodiscard]] HistogramSnapshot snapshot() const noexcept;
+
+    /// Bucket index for a value: 0 for 0, else bit_width(v) clamped
+    /// to the last bucket.
+    [[nodiscard]] static int bucket_index(std::uint64_t value) noexcept
+    {
+        if (value == 0) return 0;
+        const int w = std::bit_width(value);
+        return w < kHistogramBuckets ? w : kHistogramBuckets - 1;
+    }
+
+    /// Inclusive upper bound of bucket i; UINT64_MAX means +Inf.
+    [[nodiscard]] static std::uint64_t bucket_upper_bound(int index) noexcept
+    {
+        if (index <= 0) return 0;
+        if (index >= kHistogramBuckets - 1) return UINT64_MAX;
+        return (std::uint64_t{1} << index) - 1;
+    }
+
+private:
+    static constexpr std::size_t kShards = 16; // power of two
+
+    struct alignas(64) Shard {
+        std::array<std::atomic<std::uint64_t>, kHistogramBuckets> counts;
+        std::atomic<std::uint64_t> sum;
+    };
+
+    static std::size_t shard_of_this_thread() noexcept;
+
+    std::unique_ptr<Shard[]> shards_;
+};
+
+/// Label set, rendered in insertion order as {k="v",...}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// Text-exposition helpers, shared by Registry::render() and by
+// collector callbacks that emit samples from external atomics.
+// `name` must be a valid Prometheus metric name; label values are
+// escaped per the exposition format.
+void append_header(std::string& out, const std::string& name, const std::string& help,
+                   const char* type);
+void append_sample(std::string& out, const std::string& name, const Labels& labels,
+                   std::uint64_t value);
+void append_sample(std::string& out, const std::string& name, const Labels& labels,
+                   std::int64_t value);
+void append_sample(std::string& out, const std::string& name, const Labels& labels, double value);
+void append_histogram(std::string& out, const std::string& name, const Labels& labels,
+                      const HistogramSnapshot& snap);
+
+/// Named metric families + instances.  Registration is idempotent:
+/// asking for the same (name, labels) returns the existing instance.
+/// Registering the same name with a different metric kind throws.
+class Registry {
+public:
+    Counter& counter(const std::string& name, const std::string& help, Labels labels = {});
+    Gauge& gauge(const std::string& name, const std::string& help, Labels labels = {});
+    Histogram& histogram(const std::string& name, const std::string& help, Labels labels = {});
+
+    /// Register a callback that appends fully-formed exposition text
+    /// (header + samples) at render time.  Used for values that live
+    /// in external atomics.
+    void add_collector(std::function<void(std::string&)> collect);
+
+    /// Render every family (and then every collector) in the
+    /// Prometheus text exposition format.
+    [[nodiscard]] std::string render() const;
+
+private:
+    struct Instance {
+        Labels labels;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+    struct Family {
+        std::string name;
+        std::string help;
+        char kind = 'c'; // 'c' counter, 'g' gauge, 'h' histogram
+        std::vector<Instance> instances;
+    };
+
+    Family& family(const std::string& name, const std::string& help, char kind);
+    Instance& instance(Family& fam, Labels&& labels);
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Family>> families_; // insertion order
+    std::vector<std::function<void(std::string&)>> collectors_;
+};
+
+} // namespace ccq::obs
+
+#endif // CCQ_OBS_METRICS_HPP

@@ -1,0 +1,187 @@
+#include "ccq/obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+#include "ccq/common/check.hpp"
+
+namespace ccq::obs {
+
+namespace {
+
+void append_json_escaped(std::string& out, std::string_view text)
+{
+    for (char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+} // namespace
+
+Tracer& Tracer::global() noexcept
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void Tracer::enable()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    origin_ = clock::now();
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+}
+
+std::int64_t Tracer::since_origin_us(clock::time_point t) const noexcept
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(t - origin_).count();
+}
+
+std::uint32_t Tracer::this_thread_tid() noexcept
+{
+    static thread_local const std::uint32_t tid = static_cast<std::uint32_t>(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0x7fffffffu);
+    return tid;
+}
+
+void Tracer::push(Event&& ev)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(ev));
+}
+
+void Tracer::complete_event(std::string_view name, std::string_view category,
+                            clock::time_point start, clock::time_point end,
+                            std::string args_json)
+{
+    if (!enabled()) return;
+    Event ev;
+    ev.name.assign(name);
+    ev.category.assign(category);
+    ev.phase = 'X';
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ev.ts_us = since_origin_us(start);
+        ev.dur_us = since_origin_us(end) - ev.ts_us;
+        if (ev.dur_us < 0) ev.dur_us = 0;
+        ev.tid = this_thread_tid();
+        ev.args = std::move(args_json);
+        events_.push_back(std::move(ev));
+    }
+}
+
+void Tracer::begin_event(std::string_view name, std::string_view category, std::string args_json)
+{
+    if (!enabled()) return;
+    Event ev;
+    ev.name.assign(name);
+    ev.category.assign(category);
+    ev.phase = 'B';
+    ev.ts_us = since_origin_us(clock::now());
+    ev.dur_us = 0;
+    ev.tid = this_thread_tid();
+    ev.args = std::move(args_json);
+    push(std::move(ev));
+}
+
+void Tracer::end_event()
+{
+    if (!enabled()) return;
+    Event ev;
+    ev.phase = 'E';
+    ev.ts_us = since_origin_us(clock::now());
+    ev.dur_us = 0;
+    ev.tid = this_thread_tid();
+    push(std::move(ev));
+}
+
+void Tracer::instant_event(std::string_view name, std::string_view category,
+                           std::string args_json)
+{
+    if (!enabled()) return;
+    Event ev;
+    ev.name.assign(name);
+    ev.category.assign(category);
+    ev.phase = 'i';
+    ev.ts_us = since_origin_us(clock::now());
+    ev.dur_us = 0;
+    ev.tid = this_thread_tid();
+    ev.args = std::move(args_json);
+    push(std::move(ev));
+}
+
+std::size_t Tracer::event_count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+std::string Tracer::render_json() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    out.reserve(128 + events_.size() * 96);
+    out += "{\"traceEvents\":[";
+    bool first = true;
+    for (const Event& ev : events_) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"name\":\"";
+        append_json_escaped(out, ev.name);
+        out += "\",\"cat\":\"";
+        append_json_escaped(out, ev.category.empty() ? std::string_view("ccq") : ev.category);
+        out += "\",\"ph\":\"";
+        out += ev.phase;
+        out += '"';
+        char buf[64];
+        std::snprintf(buf, sizeof buf, ",\"ts\":%" PRId64, ev.ts_us);
+        out += buf;
+        if (ev.phase == 'X') {
+            std::snprintf(buf, sizeof buf, ",\"dur\":%" PRId64, ev.dur_us);
+            out += buf;
+        }
+        if (ev.phase == 'i') out += ",\"s\":\"t\"";
+        std::snprintf(buf, sizeof buf, ",\"pid\":1,\"tid\":%" PRIu32, ev.tid);
+        out += buf;
+        if (!ev.args.empty()) {
+            out += ",\"args\":";
+            out += ev.args;
+        }
+        out += '}';
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}";
+    return out;
+}
+
+void Tracer::write(const std::string& path) const
+{
+    const std::string json = render_json();
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    CCQ_EXPECT(f != nullptr, "cannot open trace output file: " + path);
+    const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    const int rc = std::fclose(f);
+    CCQ_CHECK(written == json.size() && rc == 0, "short write to trace file: " + path);
+}
+
+} // namespace ccq::obs

@@ -1,0 +1,127 @@
+// Lightweight span/phase tracer emitting chrome://tracing JSON.
+//
+// A single process-global Tracer is disabled by default; when
+// disabled every hook is one relaxed atomic load, so instrumented
+// hot paths (min-plus products, ledger phases, the serve loop) cost
+// nothing in normal operation.  When enabled (ccq_served/ccq_serve
+// `--trace-out FILE`), events accumulate under a mutex and render as
+// a chrome://tracing / Perfetto-loadable JSON object:
+//
+//   {"traceEvents":[
+//     {"name":"min_plus_product","cat":"engine","ph":"X",
+//      "ts":12.4,"dur":830.2,"pid":1,"tid":7,"args":{"n":512}}, ...]}
+//
+// Duration spans use either complete events (ph "X", via TraceSpan)
+// or begin/end pairs (ph "B"/"E", via begin_event/end_event — used by
+// the RoundLedger phase stack, which brackets whole algorithm phases).
+// Timestamps are microseconds on the steady clock since enable().
+#ifndef CCQ_OBS_TRACE_HPP
+#define CCQ_OBS_TRACE_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccq::obs {
+
+class Tracer {
+public:
+    using clock = std::chrono::steady_clock;
+
+    /// The process-global tracer used by all instrumentation hooks.
+    static Tracer& global() noexcept;
+
+    /// Start capturing; resets the time origin.  Existing events are
+    /// kept (enable() after disable() resumes the same timeline only
+    /// if clear() was not called; callers normally enable once).
+    void enable();
+    void disable() noexcept { enabled_.store(false, std::memory_order_relaxed); }
+    [[nodiscard]] bool enabled() const noexcept
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /// Drop all recorded events (does not change enabled state).
+    void clear();
+
+    /// Complete event (ph "X") covering [start, end).  `args_json`,
+    /// if non-empty, must be a JSON object literal ("{...}").
+    void complete_event(std::string_view name, std::string_view category, clock::time_point start,
+                        clock::time_point end, std::string args_json = {});
+
+    /// Begin/end pair (ph "B"/"E"); must nest properly per thread.
+    void begin_event(std::string_view name, std::string_view category,
+                     std::string args_json = {});
+    void end_event();
+
+    /// Zero-duration instant event (ph "i", thread scope).
+    void instant_event(std::string_view name, std::string_view category,
+                       std::string args_json = {});
+
+    [[nodiscard]] std::size_t event_count() const;
+
+    /// Render the {"traceEvents":[...]} JSON document.
+    [[nodiscard]] std::string render_json() const;
+
+    /// Render to a file; throws check_error on IO failure.
+    void write(const std::string& path) const;
+
+private:
+    struct Event {
+        std::string name;
+        std::string category;
+        char phase; // 'X', 'B', 'E', 'i'
+        std::int64_t ts_us;
+        std::int64_t dur_us; // only for 'X'
+        std::uint32_t tid;
+        std::string args; // JSON object literal or empty
+    };
+
+    void push(Event&& ev);
+    [[nodiscard]] std::int64_t since_origin_us(clock::time_point t) const noexcept;
+    static std::uint32_t this_thread_tid() noexcept;
+
+    std::atomic<bool> enabled_{false};
+    clock::time_point origin_{};
+    mutable std::mutex mutex_;
+    std::vector<Event> events_;
+};
+
+/// RAII complete-event span recorded on the global tracer.  Costs one
+/// relaxed load when tracing is disabled.
+class TraceSpan {
+public:
+    TraceSpan(std::string_view name, std::string_view category, std::string args_json = {})
+        : active_(Tracer::global().enabled())
+    {
+        if (active_) {
+            name_ = name;
+            category_ = category;
+            args_ = std::move(args_json);
+            start_ = Tracer::clock::now();
+        }
+    }
+    ~TraceSpan()
+    {
+        if (active_)
+            Tracer::global().complete_event(name_, category_, start_, Tracer::clock::now(),
+                                            std::move(args_));
+    }
+    TraceSpan(const TraceSpan&) = delete;
+    TraceSpan& operator=(const TraceSpan&) = delete;
+
+private:
+    bool active_;
+    std::string_view name_;
+    std::string_view category_;
+    std::string args_;
+    Tracer::clock::time_point start_{};
+};
+
+} // namespace ccq::obs
+
+#endif // CCQ_OBS_TRACE_HPP

@@ -83,6 +83,7 @@ void QueryEngine::cache_insert(std::uint64_t key, PathPtr value) const
     if (shard.index.size() > shard_capacity_) {
         shard.index.erase(shard.order.back().first);
         shard.order.pop_back();
+        cache_evictions_.fetch_add(1, std::memory_order_relaxed);
     }
 }
 
@@ -140,6 +141,7 @@ std::vector<NearTarget> QueryEngine::nearest_targets(NodeId from, int k) const
 
 std::vector<Weight> QueryEngine::batch_distances(std::span<const PointQuery> queries) const
 {
+    batch_sizes_.record(static_cast<std::int64_t>(queries.size()));
     std::vector<Weight> results(queries.size(), kInfinity);
     parallel_chunks(resolved_thread_count(config_.threads), 0, static_cast<int>(queries.size()), 1,
                     [&](int begin, int end) {
@@ -153,6 +155,7 @@ std::vector<Weight> QueryEngine::batch_distances(std::span<const PointQuery> que
 
 std::vector<PathResult> QueryEngine::batch_paths(std::span<const PointQuery> queries) const
 {
+    batch_sizes_.record(static_cast<std::int64_t>(queries.size()));
     std::vector<PathResult> results(queries.size());
     parallel_chunks(resolved_thread_count(config_.threads), 0, static_cast<int>(queries.size()), 1,
                     [&](int begin, int end) {

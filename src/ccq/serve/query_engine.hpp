@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "ccq/common/parallel.hpp"
+#include "ccq/obs/metrics.hpp"
 #include "ccq/serve/snapshot.hpp"
 
 namespace ccq {
@@ -71,6 +72,7 @@ struct QueryEngineConfig {
 struct CacheStats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0; ///< LRU entries displaced by inserts
 };
 
 class QueryEngine {
@@ -117,7 +119,15 @@ public:
     [[nodiscard]] CacheStats cache_stats() const noexcept
     {
         return {cache_hits_.load(std::memory_order_relaxed),
-                cache_misses_.load(std::memory_order_relaxed)};
+                cache_misses_.load(std::memory_order_relaxed),
+                cache_evictions_.load(std::memory_order_relaxed)};
+    }
+
+    /// Distribution of batch sizes seen by the batch entry points
+    /// (one observation per batch_distances/batch_paths call).
+    [[nodiscard]] obs::HistogramSnapshot batch_size_distribution() const noexcept
+    {
+        return batch_sizes_.snapshot();
     }
 
 private:
@@ -171,6 +181,8 @@ private:
     mutable std::vector<CacheShard> shards_;
     mutable std::atomic<std::uint64_t> cache_hits_{0};
     mutable std::atomic<std::uint64_t> cache_misses_{0};
+    mutable std::atomic<std::uint64_t> cache_evictions_{0};
+    mutable obs::Histogram batch_sizes_;
 };
 
 } // namespace ccq

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "ccq/common/bytes.hpp"
+#include "ccq/obs/trace.hpp"
 
 namespace ccq {
 namespace {
@@ -363,6 +364,7 @@ OracleSnapshot OracleSnapshot::from_result(const Graph& source, const ApspResult
 
 void write_snapshot(std::ostream& out, const OracleSnapshot& snapshot, SnapshotCodec codec)
 {
+    obs::TraceSpan span("snapshot/write", "serve");
     const SnapshotMeta& meta = snapshot.meta;
     CCQ_EXPECT(meta.node_count == snapshot.estimate.size(),
                "write_snapshot: meta/estimate node count mismatch");
@@ -390,6 +392,7 @@ void write_snapshot(std::ostream& out, const OracleSnapshot& snapshot, SnapshotC
 
 OracleSnapshot read_snapshot(std::istream& in)
 {
+    obs::TraceSpan span("snapshot/read", "serve");
     std::string header(kHeaderBytes, '\0');
     in.read(header.data(), static_cast<std::streamsize>(header.size()));
     if (static_cast<std::size_t>(in.gcount()) != header.size())
@@ -452,6 +455,7 @@ OracleSnapshot load_snapshot(const std::string& path)
 
 MappedSnapshot::MappedSnapshot(const std::string& path)
 {
+    obs::TraceSpan span("snapshot/mmap_open", "serve");
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0) throw snapshot_io_error("MappedSnapshot: cannot open " + path);
     struct stat info = {};

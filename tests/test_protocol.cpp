@@ -75,7 +75,7 @@ TEST(Protocol, TruncatedFrameBodyThrowsNetError)
 TEST(Protocol, RequestsRoundTripForEveryOpcode)
 {
     for (const Opcode op : {Opcode::ping, Opcode::distance, Opcode::path, Opcode::k_nearest,
-                            Opcode::stats, Opcode::shutdown}) {
+                            Opcode::stats, Opcode::metrics, Opcode::shutdown}) {
         Request request;
         request.op = op;
         request.from = 3;
@@ -266,7 +266,62 @@ TEST(Protocol, RepliesRoundTrip)
     stats.uptime_seconds = 1.5;
     stats.node_count = 96;
     stats.has_routing = true;
+    stats.backpressure_pauses = 11;
+    stats.build_total_rounds = 17.5;
+    stats.build_total_words = 4096;
     EXPECT_EQ(decode_stats_reply(split_reply(encode_stats_reply(stats)).second), stats);
+
+    // Prometheus scrape text passes through byte-for-byte.
+    const std::string exposition = "# HELP x y\nx_total 3\n";
+    EXPECT_EQ(decode_metrics_reply(split_reply(encode_metrics_reply(exposition)).second),
+              exposition);
+}
+
+TEST(Protocol, StatsV1RepliesDecodeWithDefaultTrailer)
+{
+    // A v1 server's stats reply simply ends after has_routing; the
+    // decoder must leave the v2 trailer fields at their defaults, not
+    // reject the frame.  Strip the 24-byte trailer (u64 + f64 + u64)
+    // the v2 encoder appends to forge the old shape.
+    ServerStats stats;
+    stats.frames_served = 5;
+    stats.backpressure_pauses = 9;
+    stats.build_total_rounds = 3.25;
+    stats.build_total_words = 64;
+    const std::string reply = encode_stats_reply(stats);
+    const auto [status, payload] = split_reply(reply);
+    ASSERT_EQ(status, Status::ok);
+    const std::string v1 = std::string(payload).substr(0, payload.size() - 24);
+
+    const ServerStats decoded = decode_stats_reply(v1);
+    EXPECT_EQ(decoded.frames_served, 5u);
+    EXPECT_EQ(decoded.backpressure_pauses, 0u);
+    EXPECT_EQ(decoded.build_total_rounds, 0.0);
+    EXPECT_EQ(decoded.build_total_words, 0u);
+
+    // A partial trailer is torn, not v1: reject it.
+    EXPECT_THROW((void)decode_stats_reply(std::string(payload).substr(0, payload.size() - 8)),
+                 protocol_error);
+}
+
+TEST(Protocol, OpMetricIndexCoversEveryOpcode)
+{
+    // Every real opcode owns a distinct slot with a stable name; the
+    // JSON debug pseudo-opcode folds into the trailing invalid slot.
+    std::vector<bool> seen(kOpMetricCount, false);
+    for (const Opcode op : {Opcode::ping, Opcode::distance, Opcode::path, Opcode::k_nearest,
+                            Opcode::batch_distances, Opcode::batch_paths, Opcode::stats,
+                            Opcode::metrics, Opcode::shutdown}) {
+        const std::size_t index = op_metric_index(op);
+        ASSERT_LT(index, kOpMetricCount);
+        EXPECT_NE(index, kInvalidOpMetric);
+        EXPECT_FALSE(seen[index]) << op_metric_name(index);
+        seen[index] = true;
+        EXPECT_STRNE(op_metric_name(index), "");
+    }
+    EXPECT_EQ(op_metric_index(Opcode::json), kInvalidOpMetric);
+    EXPECT_STREQ(op_metric_name(kInvalidOpMetric), "invalid");
+    EXPECT_STREQ(op_metric_name(op_metric_index(Opcode::ping)), "ping");
 }
 
 TEST(Protocol, ErrorRepliesCarryStatusAndMessage)
@@ -313,6 +368,9 @@ TEST(Protocol, JsonRequestsParse)
 
     const Request bare = parse_json_request(R"({"op":"stats"})");
     EXPECT_EQ(bare.op, Opcode::stats);
+
+    const Request scrape = parse_json_request(R"({"op":"metrics"})");
+    EXPECT_EQ(scrape.op, Opcode::metrics);
 }
 
 TEST(Protocol, MalformedJsonRequestsAreRejected)

@@ -143,6 +143,42 @@ TEST(QueryEngine, PathCacheLruEvictionOrderIsDeterministic)
     EXPECT_EQ(engine.cache_stats().hits, 2u);
 }
 
+TEST(QueryEngine, EvictionCountIsExactWithOneShard)
+{
+    // Capacity 2, one shard: the k-th distinct insert beyond capacity
+    // displaces exactly one entry, so evictions = inserts - capacity.
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::erdos_renyi_sparse, 32, 5});
+    QueryEngineConfig config;
+    config.path_cache_capacity = 2;
+    config.cache_shards = 1;
+    const QueryEngine engine(built.snapshot, config);
+
+    EXPECT_EQ(engine.cache_stats().evictions, 0u);
+    for (NodeId v = 1; v <= 7; ++v) (void)engine.path(0, v); // 7 distinct inserts
+    EXPECT_EQ(engine.cache_stats().evictions, 5u);
+    (void)engine.path(0, 7); // hit: no insert, no eviction
+    EXPECT_EQ(engine.cache_stats().evictions, 5u);
+}
+
+TEST(QueryEngine, BatchSizeHistogramRecordsEveryBatch)
+{
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::erdos_renyi_sparse, 32, 5});
+    const QueryEngine engine(built.snapshot);
+    const std::vector<PointQuery> three{{0, 1}, {0, 2}, {0, 3}};
+    const std::vector<PointQuery> one{{4, 5}};
+    (void)engine.batch_distances(three);
+    (void)engine.batch_paths(three);
+    (void)engine.batch_distances(one);
+    (void)engine.batch_distances({}); // empty batches count too
+
+    const obs::HistogramSnapshot snap = engine.batch_size_distribution();
+    EXPECT_EQ(snap.total(), 4u);
+    EXPECT_EQ(snap.sum, 7u);
+    EXPECT_EQ(snap.counts[obs::Histogram::bucket_index(3)], 2u);
+    EXPECT_EQ(snap.counts[obs::Histogram::bucket_index(1)], 1u);
+    EXPECT_EQ(snap.counts[0], 1u);
+}
+
 TEST(QueryEngine, ShardedCacheStaysCorrectUnderConcurrentBatches)
 {
     // Many concurrent batched path queries against a cache far smaller

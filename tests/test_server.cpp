@@ -15,6 +15,8 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <optional>
+#include <string>
 #include <thread>
 
 #include "ccq/core/oracle.hpp"
@@ -624,6 +626,100 @@ TEST_P(ServerBackends, JsonDebugModeAnswersJson)
 
     const std::string stats = client.json_request(R"({"op":"stats"})");
     EXPECT_NE(stats.find("\"node_count\":12"), std::string::npos) << stats;
+    EXPECT_NE(stats.find("\"backpressure_pauses\":0"), std::string::npos) << stats;
+    EXPECT_NE(stats.find("\"build_total_rounds\":"), std::string::npos) << stats;
+
+    const std::string scrape = client.json_request(R"({"op":"metrics"})");
+    EXPECT_EQ(scrape.rfind("{\"op\":\"metrics\"", 0), 0u) << scrape;
+    EXPECT_NE(scrape.find("text/plain"), std::string::npos) << scrape;
+    EXPECT_NE(scrape.find("ccq_requests_total"), std::string::npos) << scrape;
+}
+
+/// The value of one exposition sample ("name{labels}" or bare "name"),
+/// or nullopt when the sample line is absent.
+[[nodiscard]] std::optional<double> sample_value(const std::string& text,
+                                                 const std::string& sample)
+{
+    const std::string haystack = "\n" + text;
+    const std::string needle = "\n" + sample + " ";
+    const std::size_t pos = haystack.find(needle);
+    if (pos == std::string::npos) return std::nullopt;
+    return std::stod(haystack.substr(pos + needle.size()));
+}
+
+TEST_P(ServerBackends, MetricsScrapeCountsScriptedWorkloadExactly)
+{
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::erdos_renyi_sparse, 30, 4});
+    const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
+    RunningServer running(engine, backend_config());
+    Client client = running.connect();
+
+    // Scripted workload with known per-op counts.
+    for (int i = 0; i < 3; ++i) (void)client.ping();
+    for (NodeId v = 1; v <= 5; ++v) (void)client.distance(0, v);
+    for (NodeId v = 1; v <= 2; ++v) (void)client.path(0, v);
+    (void)client.nearest_targets(0, 4);
+    (void)client.stats();
+    EXPECT_THROW((void)client.distance(999, 0), rpc_error); // one distance error
+
+    const std::string text = client.metrics();
+    EXPECT_EQ(sample_value(text, "ccq_requests_total{op=\"ping\",status=\"ok\"}"), 3.0);
+    EXPECT_EQ(sample_value(text, "ccq_requests_total{op=\"distance\",status=\"ok\"}"), 5.0);
+    EXPECT_EQ(sample_value(text, "ccq_requests_total{op=\"distance\",status=\"error\"}"), 1.0);
+    EXPECT_EQ(sample_value(text, "ccq_requests_total{op=\"path\",status=\"ok\"}"), 2.0);
+    EXPECT_EQ(sample_value(text, "ccq_requests_total{op=\"k_nearest\",status=\"ok\"}"), 1.0);
+    EXPECT_EQ(sample_value(text, "ccq_requests_total{op=\"stats\",status=\"ok\"}"), 1.0);
+    // Latency histograms observe exactly the ok+error request count.
+    EXPECT_EQ(sample_value(text, "ccq_request_latency_us_count{op=\"distance\"}"), 6.0);
+    EXPECT_EQ(sample_value(text, "ccq_request_latency_us_count{op=\"ping\"}"), 3.0);
+    // A scrape renders before its own accounting lands: the first
+    // scrape reports zero metrics ops, the next reports that one.
+    EXPECT_EQ(sample_value(text, "ccq_requests_total{op=\"metrics\",status=\"ok\"}"), 0.0);
+    const std::string second = client.metrics();
+    EXPECT_EQ(sample_value(second, "ccq_requests_total{op=\"metrics\",status=\"ok\"}"), 1.0);
+
+    // Transport and engine metrics ride the same scrape.
+    EXPECT_GT(sample_value(second, "ccq_bytes_read_total").value_or(0.0), 0.0);
+    EXPECT_GT(sample_value(second, "ccq_bytes_written_total").value_or(0.0), 0.0);
+    EXPECT_EQ(sample_value(second, "ccq_connections_accepted_total"), 1.0);
+    EXPECT_EQ(sample_value(second, "ccq_connection_events_total{event=\"opened\"}"), 1.0);
+    EXPECT_EQ(sample_value(second, "ccq_snapshot_nodes"), 30.0);
+    ASSERT_TRUE(sample_value(second, "ccq_cache_events_total{event=\"miss\"}").has_value());
+    EXPECT_EQ(sample_value(second, "ccq_snapshot_build_rounds"),
+              built.snapshot.meta.total_rounds);
+}
+
+TEST_P(ServerBackends, MetricsDisabledStillAnswersWithZeroRequestCounts)
+{
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
+    ServerConfig config = backend_config();
+    config.metrics = false;
+    RunningServer running(std::make_shared<const QueryEngine>(built.snapshot), config);
+    Client client = running.connect();
+
+    for (int i = 0; i < 4; ++i) (void)client.ping();
+    const std::string text = client.metrics();
+    // Hot-path recording is off...
+    EXPECT_EQ(sample_value(text, "ccq_requests_total{op=\"ping\",status=\"ok\"}"), 0.0);
+    EXPECT_EQ(sample_value(text, "ccq_bytes_read_total"), 0.0);
+    // ...but cheap per-connection lifecycle events still count, and the
+    // ServerStats collector still renders.
+    EXPECT_EQ(sample_value(text, "ccq_connection_events_total{event=\"opened\"}"), 1.0);
+    EXPECT_EQ(sample_value(text, "ccq_frames_served_total"), 4.0);
+}
+
+TEST_P(ServerBackends, StatsCarryLedgerTotalsFromTheSnapshot)
+{
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::erdos_renyi_sparse, 24, 9});
+    const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
+    RunningServer running(engine, backend_config());
+    Client client = running.connect();
+
+    const ServerStats stats = client.stats();
+    EXPECT_EQ(stats.build_total_rounds, built.snapshot.meta.total_rounds);
+    EXPECT_EQ(stats.build_total_words, built.snapshot.meta.total_words);
+    EXPECT_GT(stats.build_total_rounds, 0.0);
+    EXPECT_EQ(stats.backpressure_pauses, running.server().backpressure_pauses());
 }
 
 TEST_P(ServerBackends, ShutdownFrameStopsTheAcceptLoopGracefully)

@@ -4,6 +4,7 @@
 //   ccq_client --port 7465 --from 3 --k 8
 //   ccq_client --port 7465 --batch queries.txt --json
 //   ccq_client --port 7465 --stats --json
+//   ccq_client --port 7465 --metrics
 //   ccq_client --port 7465 --ping
 //   ccq_client --port 7465 --shutdown
 //   ccq_client --port 7465 --raw-json '{"op":"distance","from":0,"to":5}'
@@ -38,6 +39,7 @@ int usage()
                  "  --from <u> --k <n>             k nearest targets\n"
                  "  --batch <file> [--path]        one query per 'u v' line\n"
                  "  --stats | --ping | --shutdown  control frames\n"
+                 "  --metrics                      Prometheus text scrape\n"
                  "  --token <t>                    auth token for --shutdown\n"
                  "  --raw-json <object>            JSON debug mode passthrough\n");
     return 1;
@@ -50,6 +52,7 @@ int run(Args& args)
     const bool json = args.flag("--json");
     const bool want_path = args.flag("--path");
     const bool want_stats = args.flag("--stats");
+    const bool want_metrics = args.flag("--metrics");
     const bool want_ping = args.flag("--ping");
     const bool want_shutdown = args.flag("--shutdown");
     const std::string token = args.value("--token").value_or("");
@@ -82,6 +85,11 @@ int run(Args& args)
             std::printf("server acknowledged shutdown\n");
         return 0;
     }
+    if (want_metrics) {
+        // Raw exposition text: already line-oriented, newline-terminated.
+        std::fputs(client.metrics().c_str(), stdout);
+        return 0;
+    }
     if (want_stats) {
         const ServerStats s = client.stats();
         if (json) {
@@ -89,7 +97,9 @@ int run(Args& args)
                         "\"active_connections\":%llu,"
                         "\"frames_served\":%llu,\"errors\":%llu,\"distance_queries\":%llu,"
                         "\"path_queries\":%llu,\"knearest_queries\":%llu,\"batch_items\":%llu,"
-                        "\"cache_hits\":%llu,\"cache_misses\":%llu,\"uptime_seconds\":%.3f,"
+                        "\"cache_hits\":%llu,\"cache_misses\":%llu,"
+                        "\"backpressure_pauses\":%llu,\"build_total_rounds\":%.6g,"
+                        "\"build_total_words\":%llu,\"uptime_seconds\":%.3f,"
                         "\"node_count\":%d,\"has_routing\":%s}\n",
                         static_cast<unsigned long long>(s.connections_accepted),
                         static_cast<unsigned long long>(s.connections_rejected),
@@ -101,8 +111,11 @@ int run(Args& args)
                         static_cast<unsigned long long>(s.knearest_queries),
                         static_cast<unsigned long long>(s.batch_items),
                         static_cast<unsigned long long>(s.cache_hits),
-                        static_cast<unsigned long long>(s.cache_misses), s.uptime_seconds,
-                        s.node_count, s.has_routing ? "true" : "false");
+                        static_cast<unsigned long long>(s.cache_misses),
+                        static_cast<unsigned long long>(s.backpressure_pauses),
+                        s.build_total_rounds,
+                        static_cast<unsigned long long>(s.build_total_words),
+                        s.uptime_seconds, s.node_count, s.has_routing ? "true" : "false");
         } else {
             std::printf("n=%d routing=%s up=%.1fs\n", s.node_count,
                         s.has_routing ? "yes" : "no", s.uptime_seconds);
@@ -121,6 +134,10 @@ int run(Args& args)
             std::printf("path cache: %llu hits, %llu misses\n",
                         static_cast<unsigned long long>(s.cache_hits),
                         static_cast<unsigned long long>(s.cache_misses));
+            std::printf("backpressure: %llu pauses\n",
+                        static_cast<unsigned long long>(s.backpressure_pauses));
+            std::printf("build ledger: %.6g rounds, %llu words\n", s.build_total_rounds,
+                        static_cast<unsigned long long>(s.build_total_words));
         }
         return 0;
     }

@@ -42,6 +42,7 @@
 #include "ccq/apsp.hpp"
 #include "ccq/net/client.hpp"
 #include "ccq/net/server.hpp"
+#include "ccq/obs/trace.hpp"
 #include "ccq/serve/query_engine.hpp"
 #include "ccq/serve/snapshot.hpp"
 #include "tool_common.hpp"
@@ -61,13 +62,14 @@ int usage(const char* argv0)
                  "       [--algo exact-minplus|logn-spanner|loglog|small-diameter|"
                  "large-bandwidth|general]\n"
                  "       [--seed <n>] [--eps <x>] [--threads <n>] [--no-routing]"
-                 " [--compress] [--save-graph <file>]\n"
+                 " [--compress] [--save-graph <file>] [--trace-out <json>]\n"
                  "  %s query --snapshot <file> (--from <u> --to <v> | --batch <file>)\n"
                  "       [--path] [--k <n>] [--json] [--threads <n>] [--mmap]\n"
                  "  %s bench --snapshot <file> [--queries <n>] [--warmup <n>] [--threads <n>]\n"
                  "       [--net <connections> | --connections <n>] [--rate <qps>]\n"
-                 "       [--io threads|epoll] [--mmap] [--no-recode]"
-                 " [--mix distance|path|mixed] [--seed <n>] [--out <json>]\n",
+                 "       [--io threads|epoll] [--mmap] [--no-recode] [--no-metrics]"
+                 " [--metrics-ab]\n"
+                 "       [--mix distance|path|mixed] [--seed <n>] [--out <json>]\n",
                  argv0, argv0, argv0);
     return 1;
 }
@@ -133,7 +135,13 @@ int cmd_build(Args& args)
     const bool no_routing = args.flag("--no-routing");
     const SnapshotCodec codec =
         args.flag("--compress") ? SnapshotCodec::compressed : SnapshotCodec::raw;
+    const std::optional<std::string> trace_out = args.value("--trace-out");
     args.finish();
+
+    // Tracing covers the whole build: engine product spans, the ledger's
+    // phase tree (B/E events), and the snapshot write all land on one
+    // chrome://tracing timeline.
+    if (trace_out) obs::Tracer::global().enable();
 
     const Graph g = graph_path ? load_graph(*graph_path) : generate_instance(*random_spec);
     if (save) save_graph(*save, g, "ccq_serve build instance");
@@ -148,6 +156,13 @@ int cmd_build(Args& args)
     const OracleSnapshot snapshot = OracleSnapshot::from_result(
         g, oracle.result(), options.seed, routing ? &*routing : nullptr);
     save_snapshot(*out, snapshot, codec);
+
+    if (trace_out) {
+        oracle.result().ledger.emit_trace_totals();
+        obs::Tracer::global().write(*trace_out);
+        std::printf("trace: %s (%zu events)\n", trace_out->c_str(),
+                    obs::Tracer::global().event_count());
+    }
 
     const double build_s = std::chrono::duration<double>(t1 - t0).count();
     std::printf("built %s oracle: n=%d m=%zu stretch<=%.2f rounds=%.1f (%.2fs)\n",
@@ -626,12 +641,19 @@ int cmd_bench(Args& args)
         io = parse_io_backend(*backend);
     const bool use_mmap = args.flag("--mmap");
     const bool no_recode = args.flag("--no-recode");
+    const bool no_metrics = args.flag("--no-metrics");
+    const bool metrics_ab = args.flag("--metrics-ab");
     std::uint64_t seed = 42;
     if (const std::optional<std::string> s = args.value("--seed"))
         seed = static_cast<std::uint64_t>(std::stoull(*s));
     const std::string mix_name = args.value("--mix").value_or("mixed");
     args.finish();
     if (threads < 1) throw std::runtime_error("bench: --threads must be >= 1");
+    if (metrics_ab && net_connections == 0)
+        throw std::runtime_error("bench: --metrics-ab needs --net (or --connections)");
+    if (metrics_ab && rate > 0.0)
+        throw std::runtime_error(
+            "bench: --metrics-ab measures closed-loop qps, drop --rate");
 
     // Load (timed): eagerly, or just the mmap open + integrity pass.
     const std::uint64_t file_bytes =
@@ -727,6 +749,32 @@ int cmd_bench(Args& args)
 
     // The network edge: same workload, one in-process loopback server per
     // run (fresh engine, cold cache), one Client connection per worker.
+    // `metrics_on` toggles ServerConfig::metrics so the A/B pass below can
+    // price hot-path recording against an otherwise identical server.
+    const auto run_net_once = [&](int count, bool metrics_on) {
+        // In-place construction: QueryEngine is deliberately immovable
+        // (mutex shards), so build it inside the shared_ptr directly.
+        const std::shared_ptr<const QueryEngine> engine =
+            use_mmap ? std::make_shared<const QueryEngine>(mapped, QueryEngineConfig{})
+                     : std::make_shared<const QueryEngine>(shared_snapshot,
+                                                           QueryEngineConfig{});
+        ServerConfig server_config;
+        server_config.io = io;
+        server_config.metrics = metrics_on;
+        Server server(engine, server_config);
+        const int port = server.listen();
+        std::thread accept_thread([&server] { server.run(); });
+        const BenchRun run =
+            rate > 0.0 ? run_open_load("127.0.0.1", port, queries, kinds, count, rate)
+                       : run_net_load("127.0.0.1", port, queries, kinds, warmup, count);
+        {
+            Client control = Client::connect("127.0.0.1", port);
+            control.shutdown_server();
+        }
+        accept_thread.join();
+        return run;
+    };
+
     std::vector<BenchRun> net_runs;
     if (net_connections > 0) {
         // An open-loop run measures one operating point (connections x
@@ -739,26 +787,7 @@ int cmd_bench(Args& args)
             if (net_connections > 1) connection_counts.push_back(net_connections);
         }
         for (const int count : connection_counts) {
-            // In-place construction: QueryEngine is deliberately immovable
-            // (mutex shards), so build it inside the shared_ptr directly.
-            const std::shared_ptr<const QueryEngine> engine =
-                use_mmap ? std::make_shared<const QueryEngine>(mapped, QueryEngineConfig{})
-                         : std::make_shared<const QueryEngine>(shared_snapshot,
-                                                               QueryEngineConfig{});
-            ServerConfig server_config;
-            server_config.io = io;
-            Server server(engine, server_config);
-            const int port = server.listen();
-            std::thread accept_thread([&server] { server.run(); });
-            net_runs.push_back(
-                rate > 0.0
-                    ? run_open_load("127.0.0.1", port, queries, kinds, count, rate)
-                    : run_net_load("127.0.0.1", port, queries, kinds, warmup, count));
-            {
-                Client control = Client::connect("127.0.0.1", port);
-                control.shutdown_server();
-            }
-            accept_thread.join();
+            net_runs.push_back(run_net_once(count, /*metrics_on=*/!no_metrics));
             char rate_label[32] = "";
             if (rate > 0.0)
                 std::snprintf(rate_label, sizeof rate_label, " rate=%.0f", rate);
@@ -768,6 +797,35 @@ int cmd_bench(Args& args)
                         net_runs.back().qps, net_runs.back().p50_us,
                         net_runs.back().p99_us, net_runs.back().p99_9_us);
         }
+    }
+
+    // Metrics A/B: alternate off/on closed-loop runs and keep each arm's
+    // best qps — best-of-N damps scheduler noise where a mean would
+    // smear it into the overhead estimate.
+    struct MetricsAb {
+        double on_qps = 0.0;
+        double off_qps = 0.0;
+        double overhead_pct = 0.0;
+    };
+    std::optional<MetricsAb> ab;
+    if (metrics_ab) {
+        MetricsAb measured;
+        constexpr int kAbRepeats = 5;
+        for (int repeat = 0; repeat < kAbRepeats; ++repeat) {
+            measured.off_qps =
+                std::max(measured.off_qps, run_net_once(net_connections, false).qps);
+            measured.on_qps =
+                std::max(measured.on_qps, run_net_once(net_connections, true).qps);
+        }
+        measured.overhead_pct =
+            measured.off_qps > 0.0
+                ? (measured.off_qps - measured.on_qps) / measured.off_qps * 100.0
+                : 0.0;
+        ab = measured;
+        std::printf("metrics A/B io=%s connections=%d  on=%.0f qps, off=%.0f qps, "
+                    "overhead=%.2f%%\n",
+                    io_backend_name(io), net_connections, ab->on_qps, ab->off_qps,
+                    ab->overhead_pct);
     }
 
     std::string json = "{\n  \"tool\": \"ccq_serve bench\",\n";
@@ -803,6 +861,18 @@ int cmd_bench(Args& args)
         speedup_text = buffer;
     }
     json += "  \"speedup_vs_single_thread\": " + speedup_text + ",\n";
+    if (ab) {
+        char buffer[192];
+        std::snprintf(buffer, sizeof(buffer),
+                      "{\"connections\": %d, \"metrics_on_qps\": %.1f, "
+                      "\"metrics_off_qps\": %.1f, \"overhead_pct\": %.3f}",
+                      net_connections, ab->on_qps, ab->off_qps, ab->overhead_pct);
+        json += "  \"metrics_overhead\": ";
+        json += buffer;
+        json += ",\n";
+    } else {
+        json += "  \"metrics_overhead\": null,\n";
+    }
     if (net_runs.empty()) {
         json += "  \"net\": null\n}\n";
     } else {

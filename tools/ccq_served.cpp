@@ -10,6 +10,12 @@
 // stdin/stdout with --stdio (one connection, ends at EOF).  Graceful
 // shutdown on SIGINT/SIGTERM or a shutdown control frame; --port-file
 // writes the bound port for scripts that bind an ephemeral port.
+//
+// Observability: --log-level debug turns on per-connection log lines,
+// --trace-out FILE writes a chrome://tracing JSON of the server's life
+// (snapshot load span + connection instants) at shutdown, and
+// --no-metrics disables hot-path metric recording (the metrics scrape
+// op still answers, with zero request counts).
 #include <csignal>
 #include <cstdio>
 #include <fstream>
@@ -19,6 +25,8 @@
 
 #include "ccq/net/server.hpp"
 #include "ccq/net/socket.hpp"
+#include "ccq/obs/log.hpp"
+#include "ccq/obs/trace.hpp"
 #include "ccq/serve/query_engine.hpp"
 #include "ccq/serve/snapshot.hpp"
 #include "tool_common.hpp"
@@ -42,7 +50,9 @@ int usage()
                  "usage: ccq_served --snapshot <file> [--host <ip>] [--port <n>]\n"
                  "       [--port-file <file>] [--mmap] [--stdio] [--threads <n>]\n"
                  "       [--cache <entries>] [--shutdown-token <t>]\n"
-                 "       [--io threads|epoll] [--max-connections <n>] [--workers <n>]\n");
+                 "       [--io threads|epoll] [--max-connections <n>] [--workers <n>]\n"
+                 "       [--log-level error|warn|info|debug] [--trace-out <file>]\n"
+                 "       [--no-metrics]\n");
     return 1;
 }
 
@@ -62,6 +72,10 @@ int run(Args& args)
         config.max_connections = std::stoi(*max_conns);
     if (const std::optional<std::string> workers = args.value("--workers"))
         config.workers = std::stoi(*workers);
+    if (const std::optional<std::string> level = args.value("--log-level"))
+        obs::set_log_level(obs::parse_log_level(*level));
+    const std::optional<std::string> trace_out = args.value("--trace-out");
+    if (args.flag("--no-metrics")) config.metrics = false;
     const std::optional<std::string> port_file = args.value("--port-file");
     const bool use_mmap = args.flag("--mmap");
     const bool stdio = args.flag("--stdio");
@@ -72,19 +86,20 @@ int run(Args& args)
         engine_config.path_cache_capacity = static_cast<std::size_t>(std::stoull(*cache));
     args.finish();
 
+    if (trace_out) obs::Tracer::global().enable();
+
     std::shared_ptr<const QueryEngine> engine;
     if (use_mmap) {
         auto mapped = std::make_shared<const MappedSnapshot>(*snapshot_path);
-        std::fprintf(stderr, "ccq_served: mapped %s (v%u, %llu bytes, n=%d, routing=%s)\n",
-                     snapshot_path->c_str(), mapped->format_version(),
+        CCQ_LOG_INFO("mapped %s (v%u, %llu bytes, n=%d, routing=%s)", snapshot_path->c_str(),
+                     mapped->format_version(),
                      static_cast<unsigned long long>(mapped->file_bytes()),
                      mapped->node_count(), mapped->has_routing() ? "yes" : "no");
         engine = std::make_shared<const QueryEngine>(std::move(mapped), engine_config);
     } else {
         OracleSnapshot snapshot = load_snapshot(*snapshot_path);
-        std::fprintf(stderr, "ccq_served: loaded %s (n=%d, routing=%s)\n",
-                     snapshot_path->c_str(), snapshot.meta.node_count,
-                     snapshot.has_routing ? "yes" : "no");
+        CCQ_LOG_INFO("loaded %s (n=%d, routing=%s)", snapshot_path->c_str(),
+                     snapshot.meta.node_count, snapshot.has_routing ? "yes" : "no");
         engine = std::make_shared<const QueryEngine>(std::move(snapshot), engine_config);
     }
 
@@ -92,6 +107,7 @@ int run(Args& args)
     if (stdio) {
         FdStream stream(0, 1, /*owns=*/false);
         server.serve_stream(stream);
+        if (trace_out) obs::Tracer::global().write(*trace_out);
         return 0;
     }
 
@@ -117,6 +133,11 @@ int run(Args& args)
                 static_cast<unsigned long long>(stats.connections_accepted),
                 static_cast<unsigned long long>(stats.frames_served),
                 static_cast<unsigned long long>(stats.errors));
+    if (trace_out) {
+        obs::Tracer::global().write(*trace_out);
+        CCQ_LOG_INFO("wrote trace (%zu events) to %s", obs::Tracer::global().event_count(),
+                     trace_out->c_str());
+    }
     g_server = nullptr;
     return 0;
 }
