@@ -16,6 +16,7 @@
 #include "ccq/matrix/engine.hpp"
 #include "ccq/matrix/kernels/kernels.hpp"
 #include "ccq/matrix/round_cost.hpp"
+#include "ccq/obs/perf.hpp"
 
 namespace {
 
@@ -208,6 +209,11 @@ void BM_DenseMinPlusKernel(benchmark::State& state, kernels::Isa isa)
     kernels::set_isa_override(isa);
     const bool identical = min_plus_product(a, a, config) == seed_product(n);
     DistanceMatrix c;
+    // Hardware counters bracket exactly the timed loop; on hosts where
+    // perf_event_open is forbidden they degrade to available == false
+    // and the derived counters are simply omitted.
+    obs::PerfCounters perf;
+    perf.start();
     const auto start = std::chrono::steady_clock::now();
     std::int64_t iterations = 0;
     for (auto _ : state) {
@@ -215,6 +221,7 @@ void BM_DenseMinPlusKernel(benchmark::State& state, kernels::Isa isa)
         ++iterations;
     }
     const auto stop = std::chrono::steady_clock::now();
+    const obs::PerfCounts counts = perf.stop();
     benchmark::DoNotOptimize(c);
     kernels::set_isa_override(std::nullopt);
     const double kernel_ms =
@@ -226,6 +233,16 @@ void BM_DenseMinPlusKernel(benchmark::State& state, kernels::Isa isa)
     state.counters["identical"] = identical ? 1.0 : 0.0;
     state.counters["speedup_vs_seed"] = seed_serial_ms(n) / kernel_ms;
     state.counters["speedup_vs_scalar_kernel"] = scalar_kernel_ms(n) / kernel_ms;
+    state.counters["perf_available"] = counts.available ? 1.0 : 0.0;
+    if (counts.available) {
+        const double cells = static_cast<double>(iterations > 0 ? iterations : 1) *
+                             static_cast<double>(n) * static_cast<double>(n);
+        state.counters["ipc"] = counts.ipc();
+        state.counters["cache_misses_per_cell"] =
+            static_cast<double>(counts.cache_misses) / cells;
+        state.counters["branch_misses_per_cell"] =
+            static_cast<double>(counts.branch_misses) / cells;
+    }
 }
 
 /// Registers the ablation for exactly the ISAs this host can run, so a

@@ -30,9 +30,11 @@
 //             tools/ccq_served.cpp + tools/ccq_client.cpp
 //   obs/      observability: lock-free metrics + Prometheus registry
 //             (obs/metrics.hpp, scraped via the `metrics` op), the
-//             chrome://tracing span tracer (obs/trace.hpp), and
-//             structured stderr logging (obs/log.hpp) — see
-//             docs/OBSERVABILITY.md
+//             chrome://tracing span tracer (obs/trace.hpp), the
+//             flight recorder of recent requests (obs/flight.hpp,
+//             dumped via the `flight` op), hardware perf counters
+//             (obs/perf.hpp), and rate-limited structured stderr
+//             logging (obs/log.hpp) — see docs/OBSERVABILITY.md
 //
 // See DESIGN.md for details and EXPERIMENTS.md for the measured
 // reproduction of every quantitative claim.
@@ -57,8 +59,10 @@
 #include "ccq/graph/metrics.hpp"
 #include "ccq/net/client.hpp"
 #include "ccq/net/server.hpp"
+#include "ccq/obs/flight.hpp"
 #include "ccq/obs/log.hpp"
 #include "ccq/obs/metrics.hpp"
+#include "ccq/obs/perf.hpp"
 #include "ccq/obs/trace.hpp"
 #include "ccq/serve/query_engine.hpp"
 #include "ccq/serve/snapshot.hpp"

@@ -17,9 +17,17 @@ Client Client::connect(const std::string& host, int port)
     return Client(TcpStream::connect(host, port));
 }
 
+std::string Client::request_body(const Request& request)
+{
+    std::string body = encode_request(request);
+    if (trace_enabled_)
+        body = wrap_trace_envelope(TraceContext{next_trace_id_++, trace_sampled_}, body);
+    return body;
+}
+
 std::string Client::roundtrip(const Request& request)
 {
-    write_frame(*stream_, encode_request(request));
+    write_frame(*stream_, request_body(request));
     std::optional<std::string> reply = read_frame(*stream_);
     if (!reply.has_value()) throw net_error("server closed the connection");
     const auto [status, payload] = split_reply(*reply);
@@ -119,6 +127,13 @@ std::string Client::metrics()
     return decode_metrics_reply(roundtrip(request));
 }
 
+std::vector<obs::RequestRecord> Client::flight_records()
+{
+    Request request;
+    request.op = Opcode::flight;
+    return decode_flight_reply(roundtrip(request));
+}
+
 namespace {
 
 [[nodiscard]] std::string error_message_of(std::string_view payload)
@@ -136,9 +151,9 @@ namespace {
 /// arrival order.  After a non-ok reply the remaining in-flight replies
 /// are drained so the connection ends at a frame boundary, then the
 /// first error is thrown.
-template <class MakeRequest, class OnPayload>
-void run_pipeline(Stream& stream, std::size_t count, int window, MakeRequest make_request,
-                  OnPayload on_payload)
+template <class EncodeBody, class MakeRequest, class OnPayload>
+void run_pipeline(Stream& stream, std::size_t count, int window, EncodeBody encode_body,
+                  MakeRequest make_request, OnPayload on_payload)
 {
     CCQ_EXPECT(window >= 1, "pipelined batch: window must be >= 1");
     std::size_t sent = 0;
@@ -149,7 +164,7 @@ void run_pipeline(Stream& stream, std::size_t count, int window, MakeRequest mak
         if (!failure.has_value()) {
             burst.clear();
             while (sent < count && sent - received < static_cast<std::size_t>(window)) {
-                burst += encode_frame(encode_request(make_request(sent)));
+                burst += encode_frame(encode_body(make_request(sent)));
                 ++sent;
             }
             if (!burst.empty()) stream.write_all(burst.data(), burst.size());
@@ -175,6 +190,7 @@ std::vector<Weight> Client::pipelined_distances(std::span<const PointQuery> quer
     std::vector<Weight> distances(queries.size());
     run_pipeline(
         *stream_, queries.size(), window,
+        [this](const Request& r) { return request_body(r); },
         [&](std::size_t i) {
             Request request;
             request.op = Opcode::distance;
@@ -193,6 +209,7 @@ std::vector<PathResult> Client::pipelined_paths(std::span<const PointQuery> quer
     std::vector<PathResult> paths(queries.size());
     run_pipeline(
         *stream_, queries.size(), window,
+        [this](const Request& r) { return request_body(r); },
         [&](std::size_t i) {
             Request request;
             request.op = Opcode::path;

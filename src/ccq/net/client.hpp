@@ -45,6 +45,24 @@ public:
     /// Scrapes the server's metric registry: Prometheus text exposition.
     [[nodiscard]] std::string metrics();
 
+    /// Dumps the server's flight recorder: the last N request records,
+    /// oldest first.
+    [[nodiscard]] std::vector<obs::RequestRecord> flight_records();
+
+    /// Tag every subsequent request frame with a trace envelope: ids
+    /// start at `first_id` and increment per request (pipelined frames
+    /// included), `sampled` asks the server to record the span chain.
+    void enable_trace_envelopes(std::uint64_t first_id, bool sampled = true) noexcept
+    {
+        trace_enabled_ = true;
+        next_trace_id_ = first_id;
+        trace_sampled_ = sampled;
+    }
+    void disable_trace_envelopes() noexcept { trace_enabled_ = false; }
+
+    /// Trace id the next tagged request will carry (envelopes enabled).
+    [[nodiscard]] std::uint64_t next_trace_id() const noexcept { return next_trace_id_; }
+
     /// Point-distance queries pipelined over this connection: up to
     /// `window` request frames in flight at once, replies consumed in
     /// order.  One round-trip per window instead of one per query.  On a
@@ -70,8 +88,14 @@ public:
 private:
     /// Sends one request frame and returns the ok payload of the reply.
     [[nodiscard]] std::string roundtrip(const Request& request);
+    /// The encoded request body, wrapped in a trace envelope (and
+    /// consuming one trace id) when envelopes are enabled.
+    [[nodiscard]] std::string request_body(const Request& request);
 
     std::unique_ptr<Stream> stream_;
+    bool trace_enabled_ = false;
+    bool trace_sampled_ = true;
+    std::uint64_t next_trace_id_ = 1;
 };
 
 /// A pool of ready connections to one server, for callers that issue

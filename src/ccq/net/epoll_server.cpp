@@ -59,13 +59,12 @@ EpollLoop::EpollLoop(Server& server) : server_(server)
 {
     epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
     if (epoll_fd_ < 0) throw net_error(errno_text("epoll_create1"));
-    wakeup_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-    if (wakeup_fd_ < 0) {
-        const std::string text = errno_text("eventfd");
-        ::close(epoll_fd_);
-        epoll_fd_ = -1;
-        throw net_error(text);
-    }
+    // The wakeup eventfd is owned by the Server (created in run_epoll,
+    // closed in ~Server), not by the loop: request_stop() may write it
+    // from any thread or signal handler at any point in the Server's
+    // lifetime, so closing it here would race those writes.
+    wakeup_fd_ = server_.loop_wakeup_fd_.load(std::memory_order_acquire);
+    CCQ_EXPECT(wakeup_fd_ >= 0, "EpollLoop: server did not create the wakeup eventfd");
 }
 
 EpollLoop::~EpollLoop()
@@ -81,7 +80,6 @@ EpollLoop::~EpollLoop()
         if (worker.joinable()) worker.join();
     for (auto& [id, conn] : conns_)
         if (conn->fd >= 0) ::close(conn->fd);
-    if (wakeup_fd_ >= 0) ::close(wakeup_fd_);
     if (epoll_fd_ >= 0) ::close(epoll_fd_);
 }
 
@@ -99,9 +97,10 @@ void EpollLoop::run()
     for (int i = 0; i < worker_count; ++i)
         workers_.emplace_back([this] { worker_loop(); });
 
-    // Publish the wakeup fd, then re-check: a request_stop() that ran
-    // just before the store could not have written the eventfd.
-    server_.loop_wakeup_fd_.store(wakeup_fd_, std::memory_order_release);
+    // The wakeup fd was published by run_epoll() before this loop was
+    // constructed; re-check the stop flag because a request_stop() that
+    // ran before the publish could not have written the eventfd.  (A
+    // leftover count from an earlier run is just one spurious wakeup.)
     if (server_.stopping()) begin_drain();
 
     try {
@@ -164,7 +163,6 @@ void EpollLoop::run()
             }
         }
     } catch (...) {
-        server_.loop_wakeup_fd_.store(-1, std::memory_order_release);
         server_.request_stop();
         {
             std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -176,7 +174,6 @@ void EpollLoop::run()
         throw;
     }
 
-    server_.loop_wakeup_fd_.store(-1, std::memory_order_release);
     {
         std::lock_guard<std::mutex> lock(queue_mutex_);
         workers_stop_ = true;
@@ -288,7 +285,7 @@ void EpollLoop::dispatch(Conn& conn, std::string body)
     task.conn_id = conn.id;
     task.seq = conn.next_dispatch_seq++;
     task.body = std::move(body);
-    if (server_.config_.metrics) task.enqueued = std::chrono::steady_clock::now();
+    task.enqueued = std::chrono::steady_clock::now();
     ++conn.inflight;
     {
         std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -311,17 +308,21 @@ void EpollLoop::worker_loop()
         Completion completion;
         completion.conn_id = task.conn_id;
         completion.seq = task.seq;
+        completion.record.rec.conn_id = task.conn_id;
+        completion.record.enqueued = task.enqueued;
         if (server_.config_.metrics) {
             const auto waited = std::chrono::steady_clock::now() - task.enqueued;
             server_.record_queue_wait(
                 std::chrono::duration_cast<std::chrono::microseconds>(waited).count());
         }
         try {
-            completion.reply = server_.process_frame(task.body, completion.shutdown_now);
+            completion.reply =
+                server_.process_frame(task.body, completion.shutdown_now, &completion.record);
         } catch (const std::exception& error) {
             // process_frame answers its own failures; this is the
             // out-of-memory / logic-bug backstop.
             completion.reply = encode_error_reply(Status::internal, error.what());
+            completion.record.rec.status = static_cast<std::uint8_t>(Status::internal);
         }
         {
             std::lock_guard<std::mutex> lock(completion_mutex_);
@@ -345,13 +346,20 @@ void EpollLoop::apply_completions()
         const auto it = conns_.find(completion.conn_id);
         if (it == conns_.end()) continue; // connection died while queued
         Conn& conn = *it->second;
-        conn.ready.emplace(completion.seq, std::move(completion.reply));
+        conn.ready.emplace(completion.seq, std::move(completion));
         // Flush the in-order prefix: the protocol answers requests in
         // arrival order no matter which worker finished first.
         for (auto ready_it = conn.ready.begin();
              ready_it != conn.ready.end() && ready_it->first == conn.next_write_seq;
              ready_it = conn.ready.erase(ready_it)) {
-            conn.out += encode_frame(ready_it->second);
+            Completion& done = ready_it->second;
+            done.record.encode_start = std::chrono::steady_clock::now();
+            conn.out += encode_frame(done.reply);
+            done.record.encode_end = std::chrono::steady_clock::now();
+            done.record.rec.reply_bytes = static_cast<std::uint32_t>(4 + done.reply.size());
+            conn.bytes_queued_total += 4 + done.reply.size();
+            conn.awaiting_flush.emplace_back(conn.bytes_queued_total,
+                                             std::move(done.record));
             ++conn.next_write_seq;
             --conn.inflight;
         }
@@ -377,6 +385,17 @@ void EpollLoop::flush(Conn& conn)
         break;
     }
     if (sent > 0 && server_.config_.metrics) server_.add_bytes_written(sent);
+    if (sent > 0) {
+        // Commit every request whose reply bytes are now fully on the
+        // socket: its flush stage ends here.
+        conn.bytes_flushed_total += sent;
+        const auto flushed_at = std::chrono::steady_clock::now();
+        while (!conn.awaiting_flush.empty() &&
+               conn.awaiting_flush.front().first <= conn.bytes_flushed_total) {
+            server_.commit_request(conn.awaiting_flush.front().second, flushed_at);
+            conn.awaiting_flush.pop_front();
+        }
+    }
     if (conn.broken) return;
     if (conn.out_offset == conn.out.size()) {
         conn.out.clear();

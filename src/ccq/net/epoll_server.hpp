@@ -34,10 +34,9 @@
 #include <vector>
 
 #include "ccq/net/protocol.hpp"
+#include "ccq/net/server.hpp"
 
 namespace ccq {
-
-class Server;
 
 class EpollLoop {
 public:
@@ -53,6 +52,24 @@ public:
     void run();
 
 private:
+    struct Task {
+        std::uint64_t conn_id = 0;
+        std::uint64_t seq = 0;
+        std::string body;
+        /// Dispatch time: the start of the request's queue-wait stage
+        /// (flight recorder + queue-wait histogram).
+        std::chrono::steady_clock::time_point enqueued{};
+    };
+    struct Completion {
+        std::uint64_t conn_id = 0;
+        std::uint64_t seq = 0;
+        std::string reply;
+        bool shutdown_now = false;
+        /// Identity + stage timestamps so far; the loop thread adds the
+        /// encode/flush marks and commits it once the bytes are out.
+        PendingRequest record;
+    };
+
     /// Per-connection state, owned exclusively by the loop thread.
     struct Conn {
         int fd = -1;
@@ -62,28 +79,20 @@ private:
         std::size_t out_offset = 0;  ///< flushed prefix of `out`
         std::uint64_t next_dispatch_seq = 0; ///< seq given to the next request
         std::uint64_t next_write_seq = 0;    ///< seq whose reply flushes next
-        std::map<std::uint64_t, std::string> ready; ///< out-of-order replies
+        std::map<std::uint64_t, Completion> ready; ///< out-of-order replies
         int inflight = 0;     ///< dispatched requests without a flushed reply
         bool paused = false;  ///< reads stopped for backpressure
         bool peer_eof = false;  ///< peer sent EOF; flush replies, then close
         bool poisoned = false;  ///< framing desync; stop reading, flush, close
         bool broken = false;    ///< transport error; close immediately
         std::uint32_t armed_events = 0; ///< epoll interest currently registered
-    };
-
-    struct Task {
-        std::uint64_t conn_id = 0;
-        std::uint64_t seq = 0;
-        std::string body;
-        /// Dispatch time, for the queue-wait histogram (only stamped
-        /// when the server records metrics).
-        std::chrono::steady_clock::time_point enqueued{};
-    };
-    struct Completion {
-        std::uint64_t conn_id = 0;
-        std::uint64_t seq = 0;
-        std::string reply;
-        bool shutdown_now = false;
+        /// Flight-recorder watermarks: bytes ever queued into / flushed
+        /// out of `out`.  A request's record commits once the flushed
+        /// total passes the queued total at its encode time; records on
+        /// connections that die with unflushed replies are dropped.
+        std::uint64_t bytes_queued_total = 0;
+        std::uint64_t bytes_flushed_total = 0;
+        std::deque<std::pair<std::uint64_t, PendingRequest>> awaiting_flush;
     };
 
     void accept_ready();

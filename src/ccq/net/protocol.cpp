@@ -65,6 +65,7 @@ std::size_t op_metric_index(Opcode op) noexcept
     case Opcode::stats: return 6;
     case Opcode::metrics: return 7;
     case Opcode::shutdown: return 8;
+    case Opcode::flight: return 9;
     case Opcode::json: break; // JSON bodies resolve to a real op before accounting
     }
     return kInvalidOpMetric;
@@ -73,8 +74,9 @@ std::size_t op_metric_index(Opcode op) noexcept
 const char* op_metric_name(std::size_t index) noexcept
 {
     static constexpr const char* kNames[kOpMetricCount] = {
-        "ping",        "distance", "path",  "k_nearest", "batch_distances",
-        "batch_paths", "stats",    "metrics", "shutdown", "invalid",
+        "ping",        "distance", "path",    "k_nearest", "batch_distances",
+        "batch_paths", "stats",    "metrics", "shutdown",  "flight",
+        "invalid",
     };
     return index < kOpMetricCount ? kNames[index] : "invalid";
 }
@@ -162,6 +164,37 @@ std::optional<std::string> FrameDecoder::next()
     return body;
 }
 
+// --- trace envelope ---------------------------------------------------------
+
+std::string wrap_trace_envelope(const TraceContext& context, std::string_view body)
+{
+    std::string out;
+    out.reserve(10 + body.size());
+    put_u8(out, kTraceEnvelopeMarker);
+    put_u64(out, context.trace_id);
+    put_u8(out, context.sampled ? 1 : 0);
+    out.append(body);
+    return out;
+}
+
+std::optional<TraceContext> split_trace_envelope(std::string_view& body)
+{
+    if (body.empty() || static_cast<std::uint8_t>(body.front()) != kTraceEnvelopeMarker)
+        return std::nullopt;
+    return decoding("trace envelope", [&]() -> std::optional<TraceContext> {
+        ByteReader reader(body);
+        (void)reader.u8(); // marker
+        TraceContext context;
+        context.trace_id = reader.u64();
+        const std::uint8_t flags = reader.u8();
+        if ((flags & ~std::uint8_t{1}) != 0)
+            throw protocol_error("trace envelope: unknown flag bits");
+        context.sampled = (flags & 1) != 0;
+        body.remove_prefix(10);
+        return context;
+    });
+}
+
 // --- request bodies ---------------------------------------------------------
 
 std::string encode_request(const Request& request)
@@ -171,7 +204,8 @@ std::string encode_request(const Request& request)
     switch (request.op) {
     case Opcode::ping:
     case Opcode::stats:
-    case Opcode::metrics: break;
+    case Opcode::metrics:
+    case Opcode::flight: break;
     case Opcode::shutdown:
         // Token operand, omitted entirely when empty so unauthenticated
         // frames keep the pre-token wire shape (old servers reject a
@@ -208,7 +242,8 @@ Request decode_request(std::string_view body)
         switch (static_cast<Opcode>(op)) {
         case Opcode::ping:
         case Opcode::stats:
-        case Opcode::metrics: break;
+        case Opcode::metrics:
+        case Opcode::flight: break;
         case Opcode::shutdown:
             if (!reader.exhausted()) request.token = reader.str();
             break;
@@ -346,6 +381,28 @@ std::string encode_metrics_reply(std::string_view text)
     return body;
 }
 
+std::string encode_flight_reply(std::span<const obs::RequestRecord> records)
+{
+    std::string body = ok_body();
+    put_u32(body, static_cast<std::uint32_t>(records.size()));
+    for (const obs::RequestRecord& rec : records) {
+        put_u64(body, rec.seq);
+        put_u64(body, rec.trace_id);
+        put_u64(body, rec.conn_id);
+        put_u8(body, rec.opcode);
+        put_u8(body, rec.status);
+        put_u8(body, rec.sampled ? 1 : 0);
+        put_u32(body, rec.request_bytes);
+        put_u32(body, rec.reply_bytes);
+        put_u32(body, rec.decode_us);
+        put_u32(body, rec.queue_us);
+        put_u32(body, rec.execute_us);
+        put_u32(body, rec.encode_us);
+        put_u32(body, rec.flush_us);
+    }
+    return body;
+}
+
 std::pair<Status, std::string_view> split_reply(std::string_view body)
 {
     if (body.empty()) throw protocol_error("empty response body");
@@ -470,6 +527,37 @@ std::string decode_metrics_reply(std::string_view payload)
     return std::string(payload);
 }
 
+std::vector<obs::RequestRecord> decode_flight_reply(std::string_view payload)
+{
+    return decoding("flight reply", [&] {
+        ByteReader reader(payload);
+        const std::uint32_t count = reader.u32();
+        // Each record costs exactly 55 bytes on the wire.
+        if (count > reader.remaining() / 55)
+            throw protocol_error("flight reply: record count exceeds frame");
+        std::vector<obs::RequestRecord> records(count);
+        for (obs::RequestRecord& rec : records) {
+            rec.seq = reader.u64();
+            rec.trace_id = reader.u64();
+            rec.conn_id = reader.u64();
+            rec.opcode = reader.u8();
+            rec.status = reader.u8();
+            const std::uint8_t sampled = reader.u8();
+            if (sampled > 1) throw protocol_error("flight reply: malformed sampled flag");
+            rec.sampled = sampled == 1;
+            rec.request_bytes = reader.u32();
+            rec.reply_bytes = reader.u32();
+            rec.decode_us = reader.u32();
+            rec.queue_us = reader.u32();
+            rec.execute_us = reader.u32();
+            rec.encode_us = reader.u32();
+            rec.flush_us = reader.u32();
+        }
+        if (!reader.exhausted()) throw protocol_error("flight reply has trailing bytes");
+        return records;
+    });
+}
+
 // --- JSON debug mode --------------------------------------------------------
 //
 // The grammar is deliberately tiny: one flat object, string or integer
@@ -591,6 +679,7 @@ private:
     if (name == "batch_paths") return Opcode::batch_paths;
     if (name == "stats") return Opcode::stats;
     if (name == "metrics") return Opcode::metrics;
+    if (name == "flight") return Opcode::flight;
     if (name == "shutdown") return Opcode::shutdown;
     throw protocol_error("json request: unknown op '" + name + "'");
 }

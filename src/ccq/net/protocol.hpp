@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "ccq/net/socket.hpp"
+#include "ccq/obs/flight.hpp"
 #include "ccq/serve/query_engine.hpp"
 
 namespace ccq {
@@ -53,6 +54,7 @@ enum class Opcode : std::uint8_t {
     batch_paths = 0x06,     ///< vector of path reconstructions
     stats = 0x10,           ///< server + cache counters
     metrics = 0x11,         ///< Prometheus text-exposition scrape
+    flight = 0x12,          ///< flight-recorder dump (debug)
     shutdown = 0x1f,        ///< graceful server shutdown (control frame)
     json = 0x7b,            ///< '{': body is a JSON debug request
 };
@@ -60,7 +62,7 @@ enum class Opcode : std::uint8_t {
 /// Number of distinct metric slots for per-opcode accounting: every
 /// real opcode plus one trailing "invalid" slot for undecodable
 /// frames.
-inline constexpr std::size_t kOpMetricCount = 10;
+inline constexpr std::size_t kOpMetricCount = 11;
 inline constexpr std::size_t kInvalidOpMetric = kOpMetricCount - 1;
 
 /// Dense 0-based index of an opcode for per-op metric arrays.
@@ -172,6 +174,39 @@ private:
     std::size_t pos_ = 0; ///< consumed prefix of buffer_ (compacted lazily)
 };
 
+// --- trace envelope ---------------------------------------------------------
+//
+// A request body may be prefixed with an optional trace envelope:
+//
+//   marker    u8   0x1e (never a valid opcode or '{')
+//   trace_id  u64  little-endian, caller-chosen correlation id
+//   flags     u8   bit 0: sampled (record spans server-side)
+//
+// followed by the ordinary request body.  Untagged bodies are the
+// pre-envelope wire shape, so old clients keep working; an old server
+// that receives a tagged frame rejects it as an unknown opcode (a
+// malformed-status reply) without tearing the connection down —
+// detectable version skew, same as the shutdown-token precedent.
+
+inline constexpr std::uint8_t kTraceEnvelopeMarker = 0x1e;
+
+struct TraceContext {
+    std::uint64_t trace_id = 0;
+    bool sampled = false;
+
+    friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+/// Prefix `body` with a trace envelope.
+[[nodiscard]] std::string wrap_trace_envelope(const TraceContext& context,
+                                              std::string_view body);
+
+/// If `body` starts with an envelope, strips it (advancing `body` to
+/// the inner request) and returns the context; returns std::nullopt
+/// and leaves `body` untouched for untagged bodies.  A marker byte
+/// with a truncated envelope throws protocol_error.
+[[nodiscard]] std::optional<TraceContext> split_trace_envelope(std::string_view& body);
+
 // --- request bodies ---------------------------------------------------------
 
 [[nodiscard]] std::string encode_request(const Request& request);
@@ -189,6 +224,7 @@ private:
 [[nodiscard]] std::string encode_batch_paths_reply(std::span<const PathResult> paths);
 [[nodiscard]] std::string encode_stats_reply(const ServerStats& stats);
 [[nodiscard]] std::string encode_metrics_reply(std::string_view text);
+[[nodiscard]] std::string encode_flight_reply(std::span<const obs::RequestRecord> records);
 
 /// Splits a response body into (status, rest).  The rest is the ok
 /// payload, or the error message for non-ok statuses.
@@ -202,6 +238,7 @@ private:
 [[nodiscard]] std::vector<PathResult> decode_batch_paths_reply(std::string_view payload);
 [[nodiscard]] ServerStats decode_stats_reply(std::string_view payload);
 [[nodiscard]] std::string decode_metrics_reply(std::string_view payload);
+[[nodiscard]] std::vector<obs::RequestRecord> decode_flight_reply(std::string_view payload);
 
 // --- JSON debug mode --------------------------------------------------------
 

@@ -1,6 +1,9 @@
 #include "ccq/net/server.hpp"
 
 #include <unistd.h>
+#ifdef __linux__
+#include <sys/eventfd.h>
+#endif
 
 #include <algorithm>
 #include <cerrno>
@@ -64,7 +67,7 @@ const char* io_backend_name(IoBackend backend) noexcept
 }
 
 Server::Server(std::shared_ptr<const QueryEngine> engine, ServerConfig config)
-    : engine_(std::move(engine)), config_(std::move(config))
+    : engine_(std::move(engine)), config_(std::move(config)), flight_(config_.flight_records)
 {
     CCQ_EXPECT(engine_ != nullptr, "Server: null engine");
     init_metrics();
@@ -198,6 +201,10 @@ Server::~Server()
     // outliving the Server is the caller's lifetime bug; the embedded
     // pattern — tests, bench — joins the run() thread first.)
     drain();
+    // The wakeup eventfd stays open for the Server's whole lifetime so
+    // request_stop() can never race a close; this is the only close.
+    const int wake = loop_wakeup_fd_.exchange(-1, std::memory_order_acq_rel);
+    if (wake >= 0) ::close(wake);
 }
 
 int Server::listen()
@@ -238,6 +245,16 @@ void Server::run()
 void Server::run_epoll()
 {
 #ifdef __linux__
+    // Create (once) and publish the wakeup eventfd before the loop
+    // exists.  The Server owns it and ~Server closes it: request_stop()
+    // may write it from any thread or signal handler at any point in
+    // the Server's lifetime, so it must never be closed while a
+    // concurrent writer could still hold the value.
+    if (loop_wakeup_fd_.load(std::memory_order_relaxed) < 0) {
+        const int wake = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+        if (wake < 0) throw net_error("eventfd: " + std::string(std::strerror(errno)));
+        loop_wakeup_fd_.store(wake, std::memory_order_release);
+    }
     EpollLoop loop(*this);
     loop.run();
 #else
@@ -338,7 +355,7 @@ void Server::handle_connection(std::unique_ptr<TcpStream> stream, std::uint64_t 
     active_connections_.fetch_add(1, std::memory_order_relaxed);
     note_conn_opened(conn_id);
     try {
-        while (serve_one(*stream)) {
+        while (serve_one(*stream, conn_id)) {
         }
     } catch (const std::exception& error) {
         // Transport failure or framing desync: nothing sensible can be
@@ -372,7 +389,7 @@ void Server::serve_stream(Stream& stream)
         if (it != active_streams_.end()) active_streams_.erase(it);
     };
     try {
-        while (!stopping() && serve_one(stream)) {
+        while (!stopping() && serve_one(stream, conn_id)) {
         }
     } catch (...) {
         deregister();
@@ -381,19 +398,29 @@ void Server::serve_stream(Stream& stream)
     deregister();
 }
 
-std::string Server::process_frame(const std::string& body, bool& shutdown_now)
+std::string Server::process_frame(const std::string& body, bool& shutdown_now,
+                                  PendingRequest* pending)
 {
     shutdown_now = false;
     using clock = std::chrono::steady_clock;
-    const bool record = config_.metrics;
-    const clock::time_point t0 = record ? clock::now() : clock::time_point{};
+    const clock::time_point t0 = clock::now();
 
+    // The optional trace envelope sits in front of the request proper;
+    // untagged bodies cost exactly one byte compare here.
+    std::string_view inner(body);
+    TraceContext trace;
+    bool tagged = false;
     Request request;
     bool decoded = true;
     std::string reply;
-    const bool json_body = !body.empty() && body.front() == '{';
+    bool json_body = false;
     try {
-        request = decode_request(body);
+        if (std::optional<TraceContext> envelope = split_trace_envelope(inner)) {
+            trace = *envelope;
+            tagged = true;
+        }
+        json_body = !inner.empty() && inner.front() == '{';
+        request = decode_request(inner);
     } catch (const protocol_error& error) {
         // The frame boundary is intact (the caller consumed exactly the
         // declared bytes), so answer the error — in the caller's own
@@ -402,6 +429,7 @@ std::string Server::process_frame(const std::string& body, bool& shutdown_now)
         reply = json_body ? json_error_reply(Status::malformed, error.what())
                           : encode_error_reply(Status::malformed, error.what());
     }
+    const clock::time_point t1 = clock::now();
 
     if (decoded) {
         try {
@@ -420,28 +448,116 @@ std::string Server::process_frame(const std::string& body, bool& shutdown_now)
     const bool ok = decoded && (request.json ? reply.rfind("{\"error\"", 0) != 0
                                              : split_reply(reply).first == Status::ok);
     (ok ? frames_served_ : errors_).fetch_add(1, std::memory_order_relaxed);
-    if (record) {
+    const clock::time_point t2 = clock::now();
+    if (config_.metrics) {
         const std::int64_t us =
-            std::chrono::duration_cast<std::chrono::microseconds>(clock::now() - t0).count();
+            std::chrono::duration_cast<std::chrono::microseconds>(t2 - t0).count();
         record_request(decoded ? op_metric_index(request.op) : kInvalidOpMetric, ok, us);
+    }
+
+    if (pending != nullptr) {
+        pending->decode_start = t0;
+        pending->decode_end = t1;
+        pending->execute_end = t2;
+        pending->rec.trace_id = tagged ? trace.trace_id : 0;
+        pending->rec.sampled = tagged && trace.sampled;
+        pending->rec.opcode = decoded ? static_cast<std::uint8_t>(request.op) : 0;
+        pending->rec.status =
+            request.json || !decoded
+                ? static_cast<std::uint8_t>(ok ? Status::ok : Status::malformed)
+                : static_cast<std::uint8_t>(split_reply(reply).first);
+        pending->rec.request_bytes = static_cast<std::uint32_t>(4 + body.size());
     }
 
     shutdown_now = decoded && ok && request.op == Opcode::shutdown;
     return reply;
 }
 
-bool Server::serve_one(Stream& stream)
+namespace {
+
+[[nodiscard]] std::uint32_t stage_us(std::chrono::steady_clock::time_point from,
+                                     std::chrono::steady_clock::time_point to) noexcept
 {
+    if (to <= from) return 0;
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(to - from).count();
+    return us > 0xffffffffll ? 0xffffffffu : static_cast<std::uint32_t>(us);
+}
+
+void emit_request_span(const char* name, std::chrono::steady_clock::time_point start,
+                       std::chrono::steady_clock::time_point end,
+                       const obs::RequestRecord& rec)
+{
+    char args[128];
+    std::snprintf(args, sizeof args, "{\"trace_id\":\"0x%llx\",\"conn\":%llu,\"op\":\"%s\"}",
+                  static_cast<unsigned long long>(rec.trace_id),
+                  static_cast<unsigned long long>(rec.conn_id),
+                  op_metric_name(op_metric_index(static_cast<Opcode>(rec.opcode))));
+    obs::Tracer::global().complete_event(name, "req", start, end, args);
+}
+
+} // namespace
+
+void Server::commit_request(PendingRequest& pending,
+                            std::chrono::steady_clock::time_point flush_end)
+{
+    obs::RequestRecord& rec = pending.rec;
+    const bool queued = pending.enqueued != std::chrono::steady_clock::time_point{};
+    rec.queue_us = queued ? stage_us(pending.enqueued, pending.decode_start) : 0;
+    rec.decode_us = stage_us(pending.decode_start, pending.decode_end);
+    rec.execute_us = stage_us(pending.decode_end, pending.execute_end);
+    rec.encode_us = stage_us(pending.encode_start, pending.encode_end);
+    rec.flush_us = stage_us(pending.encode_end, flush_end);
+    rec.seq = flight_.record(rec);
+
+    if (rec.sampled && obs::Tracer::global().enabled()) {
+        // The whole chain is emitted here, after the flush, with the
+        // timestamps captured along the way — one connected trace per
+        // sampled request.
+        if (queued) emit_request_span("req/queue", pending.enqueued, pending.decode_start, rec);
+        emit_request_span("req/decode", pending.decode_start, pending.decode_end, rec);
+        emit_request_span("req/execute", pending.decode_end, pending.execute_end, rec);
+        emit_request_span("req/encode", pending.encode_start, pending.encode_end, rec);
+        emit_request_span("req/flush", pending.encode_end, flush_end, rec);
+    }
+
+    if (config_.slow_query_us > 0 &&
+        rec.total_us() >= static_cast<std::uint64_t>(config_.slow_query_us)) {
+        CCQ_LOG_WARN("slow query: op=%s status=%s conn=%llu trace=0x%llx total_us=%llu "
+                     "decode_us=%u queue_us=%u execute_us=%u encode_us=%u flush_us=%u "
+                     "request_bytes=%u reply_bytes=%u",
+                     op_metric_name(op_metric_index(static_cast<Opcode>(rec.opcode))),
+                     status_name(static_cast<Status>(rec.status)),
+                     static_cast<unsigned long long>(rec.conn_id),
+                     static_cast<unsigned long long>(rec.trace_id),
+                     static_cast<unsigned long long>(rec.total_us()), rec.decode_us,
+                     rec.queue_us, rec.execute_us, rec.encode_us, rec.flush_us,
+                     rec.request_bytes, rec.reply_bytes);
+    }
+}
+
+bool Server::serve_one(Stream& stream, std::uint64_t conn_id)
+{
+    using clock = std::chrono::steady_clock;
     const std::optional<std::string> body = read_frame(stream); // throws on desync
     if (!body.has_value()) return false;                        // clean EOF
 
+    PendingRequest pending;
+    pending.rec.conn_id = conn_id;
+    // No dispatch queue in this backend: the queue stage is the instant
+    // between frame arrival and decode.
+    pending.enqueued = clock::now();
     bool shutdown_now = false;
-    const std::string reply = process_frame(*body, shutdown_now);
-    write_frame(stream, reply);
+    const std::string reply = process_frame(*body, shutdown_now, &pending);
+    pending.encode_start = clock::now();
+    const std::string frame = encode_frame(reply);
+    pending.encode_end = clock::now();
+    stream.write_all(frame.data(), frame.size());
+    pending.rec.reply_bytes = static_cast<std::uint32_t>(frame.size());
     if (config_.metrics) {
         add_bytes_read(4 + body->size());
-        add_bytes_written(4 + reply.size());
+        add_bytes_written(frame.size());
     }
+    commit_request(pending, clock::now());
     if (shutdown_now) {
         request_stop();
         return false;
@@ -520,6 +636,7 @@ std::string Server::answer(const Request& request)
     }
     case Opcode::stats: return encode_stats_reply(stats());
     case Opcode::metrics: return encode_metrics_reply(metrics_text());
+    case Opcode::flight: return encode_flight_reply(flight_.snapshot());
     case Opcode::json: break; // unreachable: decode never yields a bare json op
     }
     throw request_rejected{Status::malformed, "unhandled opcode"};
@@ -611,6 +728,30 @@ std::string Server::answer_json(const Request& request)
     case Opcode::metrics:
         return "{\"op\":\"metrics\",\"content_type\":\"text/plain; version=0.0.4\",\"text\":\"" +
                json_escape(metrics_text()) + "\"}";
+    case Opcode::flight: {
+        const std::vector<obs::RequestRecord> records = flight_.snapshot();
+        std::string out = "{\"op\":\"flight\",\"records\":[";
+        for (std::size_t i = 0; i < records.size(); ++i) {
+            const obs::RequestRecord& r = records[i];
+            if (i > 0) out += ',';
+            char buf[320];
+            std::snprintf(buf, sizeof buf,
+                          "{\"seq\":%llu,\"trace_id\":\"0x%llx\",\"conn\":%llu,\"op\":\"%s\","
+                          "\"status\":\"%s\",\"sampled\":%s,\"request_bytes\":%u,"
+                          "\"reply_bytes\":%u,\"decode_us\":%u,\"queue_us\":%u,"
+                          "\"execute_us\":%u,\"encode_us\":%u,\"flush_us\":%u}",
+                          static_cast<unsigned long long>(r.seq),
+                          static_cast<unsigned long long>(r.trace_id),
+                          static_cast<unsigned long long>(r.conn_id),
+                          op_metric_name(op_metric_index(static_cast<Opcode>(r.opcode))),
+                          status_name(static_cast<Status>(r.status)),
+                          r.sampled ? "true" : "false", r.request_bytes, r.reply_bytes,
+                          r.decode_us, r.queue_us, r.execute_us, r.encode_us, r.flush_us);
+            out += buf;
+        }
+        out += "]}";
+        return out;
+    }
     case Opcode::json: break;
     }
     throw request_rejected{Status::malformed, "unhandled opcode"};

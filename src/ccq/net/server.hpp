@@ -27,12 +27,28 @@
 
 #include "ccq/net/protocol.hpp"
 #include "ccq/net/socket.hpp"
+#include "ccq/obs/flight.hpp"
 #include "ccq/obs/metrics.hpp"
 #include "ccq/serve/query_engine.hpp"
 
 namespace ccq {
 
 class EpollLoop;
+
+/// Per-request identity + stage timestamps, carried from frame arrival
+/// to the flushed reply and then committed to the flight recorder (and,
+/// for sampled requests, rendered as a span chain in the trace).  The
+/// backend fills conn_id/enqueued before process_frame and the encode/
+/// flush marks after; process_frame fills everything in between.
+struct PendingRequest {
+    obs::RequestRecord rec;
+    std::chrono::steady_clock::time_point enqueued{};     ///< queued for a worker
+    std::chrono::steady_clock::time_point decode_start{}; ///< process_frame entry
+    std::chrono::steady_clock::time_point decode_end{};
+    std::chrono::steady_clock::time_point execute_end{};
+    std::chrono::steady_clock::time_point encode_start{};
+    std::chrono::steady_clock::time_point encode_end{};
+};
 
 /// How Server::run() multiplexes connections.
 enum class IoBackend {
@@ -88,6 +104,14 @@ struct ServerConfig {
     /// answers; disabling only stops the hot-path recording
     /// (ccq_served --no-metrics, and the bench overhead A/B).
     bool metrics = true;
+    /// Flight-recorder depth: the last this-many requests stay
+    /// queryable via the `flight` op.  Rounded up to a power of two.
+    /// The recorder is always on (its cost is a handful of relaxed
+    /// stores), so --no-metrics servers still answer `flight`.
+    std::size_t flight_records = 256;
+    /// When > 0, a request whose stage breakdown sums to at least this
+    /// many microseconds emits one structured warn log line.
+    std::int64_t slow_query_us = 0;
 };
 
 class Server {
@@ -153,13 +177,22 @@ private:
     void handle_connection(std::unique_ptr<TcpStream> stream, std::uint64_t conn_id);
     /// One request/response exchange; returns false when the connection
     /// should close (EOF or shutdown frame).
-    bool serve_one(Stream& stream);
-    /// The whole request pipeline for one intact frame body: decode,
-    /// validate, dispatch, render — identical for every backend, so the
-    /// threads and epoll paths cannot diverge byte-wise.  Sets
-    /// `shutdown_now` when the frame was an authorized shutdown whose
-    /// ok acknowledgement is the returned reply.
-    [[nodiscard]] std::string process_frame(const std::string& body, bool& shutdown_now);
+    bool serve_one(Stream& stream, std::uint64_t conn_id);
+    /// The whole request pipeline for one intact frame body: strip the
+    /// optional trace envelope, decode, validate, dispatch, render —
+    /// identical for every backend, so the threads and epoll paths
+    /// cannot diverge byte-wise.  Sets `shutdown_now` when the frame
+    /// was an authorized shutdown whose ok acknowledgement is the
+    /// returned reply.  When `pending` is given, its record and
+    /// decode/execute timestamps are filled in.
+    [[nodiscard]] std::string process_frame(const std::string& body, bool& shutdown_now,
+                                            PendingRequest* pending = nullptr);
+    /// Final per-request bookkeeping once the reply bytes reached the
+    /// socket: derive the stage breakdown, push the record into the
+    /// flight recorder, emit the span chain for sampled requests, and
+    /// fire the --slow-query-us log line when the total crosses it.
+    void commit_request(PendingRequest& pending,
+                        std::chrono::steady_clock::time_point flush_end);
     /// Sheds one over-limit connection: best-effort busy frame + close.
     void shed_connection(TcpStream& stream);
     [[nodiscard]] std::string answer(const Request& request);
@@ -191,10 +224,12 @@ private:
     ServerConfig config_;
     std::optional<TcpListener> listener_;
     std::atomic<bool> stop_{false};
-    /// The epoll backend's wakeup eventfd while run() is inside the
-    /// loop; request_stop() writes it (async-signal-safe) so a signal
-    /// interrupts epoll_wait the way listener_->close() interrupts
-    /// accept().  -1 outside the loop.
+    /// The epoll backend's wakeup eventfd; request_stop() writes it
+    /// (async-signal-safe) so a signal interrupts epoll_wait the way
+    /// listener_->close() interrupts accept().  Created lazily by
+    /// run_epoll(), owned by the Server, and closed only in ~Server —
+    /// never while the loop winds down — so a concurrent
+    /// request_stop() can never write a closed (or reused) fd.
     std::atomic<int> loop_wakeup_fd_{-1};
 
     std::mutex handlers_mutex_;
@@ -221,6 +256,7 @@ private:
     };
 
     obs::Registry registry_;
+    obs::FlightRecorder flight_;
     OpMetrics op_metrics_[kOpMetricCount] = {};
     obs::Counter* bytes_read_ = nullptr;
     obs::Counter* bytes_written_ = nullptr;

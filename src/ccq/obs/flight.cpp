@@ -1,0 +1,98 @@
+#include "ccq/obs/flight.hpp"
+
+#include <bit>
+
+namespace ccq::obs {
+
+namespace {
+
+[[nodiscard]] std::size_t round_up_pow2(std::size_t n) noexcept
+{
+    if (n < 2) return 2;
+    return std::bit_ceil(n);
+}
+
+// Payload word layout (all LE-agnostic — plain integer packing):
+//   w0 trace_id
+//   w1 conn_id
+//   w2 opcode | status<<8 | sampled<<16
+//   w3 request_bytes | reply_bytes<<32
+//   w4 decode_us | queue_us<<32
+//   w5 execute_us | encode_us<<32
+//   w6 flush_us
+//   w7 seq
+void pack(const RequestRecord& rec, std::uint64_t seq, std::uint64_t (&w)[8]) noexcept
+{
+    w[0] = rec.trace_id;
+    w[1] = rec.conn_id;
+    w[2] = std::uint64_t{rec.opcode} | (std::uint64_t{rec.status} << 8) |
+           (std::uint64_t{rec.sampled ? 1u : 0u} << 16);
+    w[3] = std::uint64_t{rec.request_bytes} | (std::uint64_t{rec.reply_bytes} << 32);
+    w[4] = std::uint64_t{rec.decode_us} | (std::uint64_t{rec.queue_us} << 32);
+    w[5] = std::uint64_t{rec.execute_us} | (std::uint64_t{rec.encode_us} << 32);
+    w[6] = rec.flush_us;
+    w[7] = seq;
+}
+
+[[nodiscard]] RequestRecord unpack(const std::uint64_t (&w)[8]) noexcept
+{
+    RequestRecord rec;
+    rec.trace_id = w[0];
+    rec.conn_id = w[1];
+    rec.opcode = static_cast<std::uint8_t>(w[2] & 0xff);
+    rec.status = static_cast<std::uint8_t>((w[2] >> 8) & 0xff);
+    rec.sampled = ((w[2] >> 16) & 1) != 0;
+    rec.request_bytes = static_cast<std::uint32_t>(w[3] & 0xffffffffu);
+    rec.reply_bytes = static_cast<std::uint32_t>(w[3] >> 32);
+    rec.decode_us = static_cast<std::uint32_t>(w[4] & 0xffffffffu);
+    rec.queue_us = static_cast<std::uint32_t>(w[4] >> 32);
+    rec.execute_us = static_cast<std::uint32_t>(w[5] & 0xffffffffu);
+    rec.encode_us = static_cast<std::uint32_t>(w[5] >> 32);
+    rec.flush_us = static_cast<std::uint32_t>(w[6] & 0xffffffffu);
+    rec.seq = w[7];
+    return rec;
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : slots_(round_up_pow2(capacity)), ring_(new Slot[slots_])
+{
+}
+
+std::uint64_t FlightRecorder::record(const RequestRecord& rec) noexcept
+{
+    const std::uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+    Slot& slot = ring_[seq & (slots_ - 1)];
+    std::uint64_t w[8];
+    pack(rec, seq, w);
+    // Odd ticket marks the slot as in-flight; the release store of the
+    // final even ticket publishes every payload word before it.
+    slot.ticket.store(2 * seq + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    for (std::size_t i = 0; i < 8; ++i) slot.words[i].store(w[i], std::memory_order_relaxed);
+    slot.ticket.store(2 * seq + 2, std::memory_order_release);
+    return seq;
+}
+
+std::vector<RequestRecord> FlightRecorder::snapshot() const
+{
+    const std::uint64_t end = next_.load(std::memory_order_acquire);
+    const std::uint64_t begin = end > slots_ ? end - slots_ : 0;
+    std::vector<RequestRecord> out;
+    out.reserve(static_cast<std::size_t>(end - begin));
+    for (std::uint64_t seq = begin; seq < end; ++seq) {
+        const Slot& slot = ring_[seq & (slots_ - 1)];
+        const std::uint64_t want = 2 * seq + 2;
+        const std::uint64_t before = slot.ticket.load(std::memory_order_acquire);
+        if (before != want) continue; // not yet published, or already lapped
+        std::uint64_t w[8];
+        for (std::size_t i = 0; i < 8; ++i) w[i] = slot.words[i].load(std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (slot.ticket.load(std::memory_order_relaxed) != want) continue; // torn
+        out.push_back(unpack(w));
+    }
+    return out;
+}
+
+} // namespace ccq::obs

@@ -1,0 +1,84 @@
+// Flight recorder: a fixed-size lock-free ring of the last N request
+// records (trace id, conn id, opcode, status, bytes, per-stage µs).
+//
+// Writers claim a slot with one fetch_add on the global sequence and
+// publish through a per-slot seqlock: the slot's ticket goes odd while
+// the payload words are being stored and even (2*seq+2) once the
+// record is complete.  Readers copy the payload and admit it only if
+// the ticket was the same even value before and after the copy, so a
+// torn record (overwritten mid-read by a writer lapping the ring) is
+// simply skipped.  Payload words are themselves relaxed atomics, so
+// the concurrent read/write race is data-race-free under TSan; the
+// seqlock recheck supplies the consistency.
+//
+// record() is wait-free (one fetch_add + a handful of relaxed stores)
+// and is called on every request regardless of --no-metrics, so the
+// recorder still answers `ccq_client --flight` when aggregate metrics
+// are disabled and costs the same in both arms of --metrics-ab.
+#ifndef CCQ_OBS_FLIGHT_HPP
+#define CCQ_OBS_FLIGHT_HPP
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ccq::obs {
+
+/// One completed request, as remembered by the flight recorder.
+struct RequestRecord {
+    std::uint64_t seq = 0;      ///< recorder-global completion order
+    std::uint64_t trace_id = 0; ///< 0 when the frame carried no envelope
+    std::uint64_t conn_id = 0;  ///< 0 for the stdio stream
+    std::uint8_t opcode = 0;    ///< wire opcode (post JSON-debug resolution)
+    std::uint8_t status = 0;    ///< wire status byte of the reply
+    bool sampled = false;       ///< envelope sampling bit
+    std::uint32_t request_bytes = 0;
+    std::uint32_t reply_bytes = 0;
+    std::uint32_t decode_us = 0;
+    std::uint32_t queue_us = 0;
+    std::uint32_t execute_us = 0;
+    std::uint32_t encode_us = 0;
+    std::uint32_t flush_us = 0;
+
+    [[nodiscard]] std::uint64_t total_us() const noexcept
+    {
+        return std::uint64_t{decode_us} + queue_us + execute_us + encode_us + flush_us;
+    }
+
+    friend bool operator==(const RequestRecord&, const RequestRecord&) = default;
+};
+
+class FlightRecorder {
+public:
+    /// `capacity` is rounded up to a power of two (minimum 2).
+    explicit FlightRecorder(std::size_t capacity);
+    FlightRecorder(const FlightRecorder&) = delete;
+    FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return slots_; }
+
+    /// Publish one record; returns the sequence number it was assigned
+    /// (the record's own `seq` field is overwritten with it).
+    std::uint64_t record(const RequestRecord& rec) noexcept;
+
+    /// Consistent copy of the surviving records, oldest first.  Slots
+    /// caught mid-write (a writer lapped the reader) are skipped.
+    [[nodiscard]] std::vector<RequestRecord> snapshot() const;
+
+private:
+    // Each record packs into 8 u64 payload words guarded by a ticket.
+    struct alignas(64) Slot {
+        std::atomic<std::uint64_t> ticket{0}; ///< odd: writing, 2s+2: seq s done
+        std::array<std::atomic<std::uint64_t>, 8> words{};
+    };
+
+    std::size_t slots_;                  // power of two
+    std::unique_ptr<Slot[]> ring_;
+    std::atomic<std::uint64_t> next_{0}; // next sequence number to assign
+};
+
+} // namespace ccq::obs
+
+#endif // CCQ_OBS_FLIGHT_HPP

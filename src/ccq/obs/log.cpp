@@ -1,5 +1,6 @@
 #include "ccq/obs/log.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
@@ -11,6 +12,9 @@ namespace ccq::obs {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::info)};
+// Defaults: sites burst up to 32 lines, then refill at 16 lines/sec.
+std::atomic<std::uint64_t> g_rate_tokens_per_sec{16};
+std::atomic<std::uint64_t> g_rate_burst{32};
 
 const char* level_name(LogLevel level) noexcept
 {
@@ -67,6 +71,73 @@ void log(LogLevel level, const char* fmt, ...)
     std::vsnprintf(message, sizeof message, fmt, args);
     va_end(args);
     std::fprintf(stderr, "[%13.6f] %s ccq: %s\n", uptime_seconds(), level_name(level), message);
+}
+
+void set_log_rate_limit(std::uint64_t tokens_per_sec, std::uint64_t burst) noexcept
+{
+    g_rate_tokens_per_sec.store(tokens_per_sec, std::memory_order_relaxed);
+    g_rate_burst.store(std::min<std::uint64_t>(burst, 0xffff), std::memory_order_relaxed);
+}
+
+std::uint64_t log_rate_tokens_per_sec() noexcept
+{
+    return g_rate_tokens_per_sec.load(std::memory_order_relaxed);
+}
+
+std::uint64_t log_rate_burst() noexcept
+{
+    return g_rate_burst.load(std::memory_order_relaxed);
+}
+
+bool log_site_admit(LogSite& site, std::uint64_t now_us, std::uint64_t tokens_per_sec,
+                    std::uint64_t burst) noexcept
+{
+    if (tokens_per_sec == 0) return true;
+    burst = std::min<std::uint64_t>(std::max<std::uint64_t>(burst, 1), 0xffff);
+    std::uint64_t state = site.state.load(std::memory_order_relaxed);
+    for (;;) {
+        std::uint64_t last = state >> 16;
+        std::uint64_t tokens = state & 0xffff;
+        if (state == 0) {
+            // Fresh site: start with a full bucket.
+            last = now_us;
+            tokens = burst;
+        } else if (now_us > last) {
+            // Refill in whole tokens; advancing `last` only when at
+            // least one accrued keeps sub-token elapsed time banked.
+            const std::uint64_t refill = (now_us - last) * tokens_per_sec / 1000000;
+            if (refill > 0) {
+                tokens = std::min(burst, tokens + refill);
+                last = now_us;
+            }
+        }
+        if (tokens == 0) {
+            site.suppressed.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        const std::uint64_t next = (last << 16) | (tokens - 1);
+        if (site.state.compare_exchange_weak(state, next, std::memory_order_relaxed)) return true;
+    }
+}
+
+void log_at(LogSite& site, LogLevel level, const char* fmt, ...)
+{
+    if (!log_enabled(level)) return;
+    const double uptime = uptime_seconds();
+    const auto now_us = static_cast<std::uint64_t>(uptime * 1e6);
+    if (!log_site_admit(site, now_us, log_rate_tokens_per_sec(), log_rate_burst())) return;
+    const std::uint64_t dropped = site.suppressed.exchange(0, std::memory_order_relaxed);
+    char message[1024];
+    std::va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(message, sizeof message, fmt, args);
+    va_end(args);
+    if (dropped > 0)
+        std::fprintf(stderr, "[%13.6f] %s ccq: %s (rate limit: %llu similar suppressed)\n",
+                     uptime, level_name(level), message,
+                     static_cast<unsigned long long>(dropped));
+    else
+        std::fprintf(stderr, "[%13.6f] %s ccq: %s\n", uptime, level_name(level), message);
 }
 
 } // namespace ccq::obs

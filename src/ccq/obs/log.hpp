@@ -10,10 +10,18 @@
 // disabled levels cost one branch.  Each line is emitted with a
 // single fprintf call to keep concurrent writers from interleaving
 // mid-line.
+//
+// Each CCQ_LOG_* macro expansion owns a static LogSite holding a
+// token bucket, so an error storm (thousands of malformed frames,
+// say) cannot flood stderr: once a site exhausts its burst it emits
+// at the configured steady rate and the next admitted line reports
+// how many were suppressed.  The level gate is checked before the
+// bucket, so lines filtered by level never consume tokens.
 #ifndef CCQ_OBS_LOG_HPP
 #define CCQ_OBS_LOG_HPP
 
 #include <atomic>
+#include <cstdint>
 #include <string>
 
 namespace ccq::obs {
@@ -34,15 +42,51 @@ void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel parse_log_level(const std::string& name);
 
 /// printf-style log line; no-op when `level` is above the gate.
+/// Bypasses rate limiting — prefer the CCQ_LOG_* macros.
 #if defined(__GNUC__) || defined(__clang__)
 __attribute__((format(printf, 2, 3)))
 #endif
 void log(LogLevel level, const char* fmt, ...);
 
-#define CCQ_LOG_ERROR(...) ::ccq::obs::log(::ccq::obs::LogLevel::error, __VA_ARGS__)
-#define CCQ_LOG_WARN(...) ::ccq::obs::log(::ccq::obs::LogLevel::warn, __VA_ARGS__)
-#define CCQ_LOG_INFO(...) ::ccq::obs::log(::ccq::obs::LogLevel::info, __VA_ARGS__)
-#define CCQ_LOG_DEBUG(...) ::ccq::obs::log(::ccq::obs::LogLevel::debug, __VA_ARGS__)
+/// Per-call-site token-bucket state.  One static instance lives at
+/// each CCQ_LOG_* expansion; zero-initialised means "bucket full".
+struct LogSite {
+    /// Packed (last_refill_us << 16 | tokens); 48 timestamp bits give
+    /// ~8.9 years of µs uptime before wraparound.
+    std::atomic<std::uint64_t> state{0};
+    std::atomic<std::uint64_t> suppressed{0};
+};
+
+/// Configure the per-site bucket: sites admit bursts of up to `burst`
+/// lines and refill at `tokens_per_sec`.  `tokens_per_sec == 0`
+/// disables rate limiting entirely (every line is admitted).
+void set_log_rate_limit(std::uint64_t tokens_per_sec, std::uint64_t burst) noexcept;
+[[nodiscard]] std::uint64_t log_rate_tokens_per_sec() noexcept;
+[[nodiscard]] std::uint64_t log_rate_burst() noexcept;
+
+/// Token-bucket decision for one site at `now_us` (µs on any
+/// monotonic clock).  Exposed for tests; increments site.suppressed
+/// on refusal.  Wait-free: one CAS loop over a single packed atomic.
+[[nodiscard]] bool log_site_admit(LogSite& site, std::uint64_t now_us,
+                                  std::uint64_t tokens_per_sec, std::uint64_t burst) noexcept;
+
+/// Rate-limited printf-style log line through `site`; no-op when
+/// `level` is above the gate (level is checked before the bucket).
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 3, 4)))
+#endif
+void log_at(LogSite& site, LogLevel level, const char* fmt, ...);
+
+#define CCQ_LOG_AT(level, ...)                                                                  \
+    do {                                                                                        \
+        static ::ccq::obs::LogSite ccq_log_site_;                                               \
+        ::ccq::obs::log_at(ccq_log_site_, level, __VA_ARGS__);                                  \
+    } while (0)
+
+#define CCQ_LOG_ERROR(...) CCQ_LOG_AT(::ccq::obs::LogLevel::error, __VA_ARGS__)
+#define CCQ_LOG_WARN(...) CCQ_LOG_AT(::ccq::obs::LogLevel::warn, __VA_ARGS__)
+#define CCQ_LOG_INFO(...) CCQ_LOG_AT(::ccq::obs::LogLevel::info, __VA_ARGS__)
+#define CCQ_LOG_DEBUG(...) CCQ_LOG_AT(::ccq::obs::LogLevel::debug, __VA_ARGS__)
 
 } // namespace ccq::obs
 

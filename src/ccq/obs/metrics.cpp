@@ -47,6 +47,38 @@ HistogramSnapshot Histogram::snapshot() const noexcept
     return snap;
 }
 
+double histogram_quantile(const HistogramSnapshot& snap, double q) noexcept
+{
+    const std::uint64_t total = snap.total();
+    if (total == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // Rank of the target observation, 1-based: ceil(q * total),
+    // clamped into [1, total].
+    double rank = q * static_cast<double>(total);
+    if (rank < 1.0) rank = 1.0;
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+        const std::uint64_t count = snap.counts[static_cast<std::size_t>(i)];
+        if (count == 0) continue;
+        const double after = static_cast<double>(cumulative + count);
+        if (after + 1e-9 < rank) {
+            cumulative += count;
+            continue;
+        }
+        if (i == 0) return 0.0; // bucket 0 holds exactly 0
+        // Bucket i covers (2^(i-1), 2^i - 1]; interpolate linearly
+        // between its exclusive lower and inclusive upper bound.
+        const double lower = static_cast<double>(Histogram::bucket_upper_bound(i - 1));
+        if (i == kHistogramBuckets - 1) return lower; // +Inf bucket: clamp
+        const double upper = static_cast<double>(Histogram::bucket_upper_bound(i));
+        const double within = (rank - static_cast<double>(cumulative)) /
+                              static_cast<double>(count);
+        return lower + (upper - lower) * within;
+    }
+    return static_cast<double>(Histogram::bucket_upper_bound(kHistogramBuckets - 2));
+}
+
 // ------------------------------------------------------------ text helpers
 
 namespace {

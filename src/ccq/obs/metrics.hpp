@@ -130,6 +130,12 @@ private:
     std::unique_ptr<Shard[]> shards_;
 };
 
+/// Estimate the q-th quantile (q in [0,1]) from a log2-bucketed
+/// snapshot by linear interpolation inside the containing bucket.
+/// Bucket 0 (exactly 0) yields 0; ranks landing in the unbounded
+/// +Inf bucket clamp to its lower bound.  Returns 0 when empty.
+[[nodiscard]] double histogram_quantile(const HistogramSnapshot& snap, double q) noexcept;
+
 /// Label set, rendered in insertion order as {k="v",...}.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 

@@ -1,0 +1,109 @@
+#include "ccq/obs/perf.hpp"
+
+#ifdef __linux__
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace ccq::obs {
+
+namespace {
+
+[[nodiscard]] int perf_event_open(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                                  unsigned long flags) noexcept
+{
+    return static_cast<int>(::syscall(__NR_perf_event_open, attr, pid, cpu, group_fd, flags));
+}
+
+[[nodiscard]] int open_counter(std::uint64_t config, int group_fd, std::uint64_t* id) noexcept
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof attr);
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof attr;
+    attr.config = config;
+    attr.disabled = group_fd < 0 ? 1 : 0; // only the leader starts disabled
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID;
+    const int fd = perf_event_open(&attr, /*pid=*/0, /*cpu=*/-1, group_fd, 0);
+    if (fd >= 0 && id != nullptr) (void)::ioctl(fd, PERF_EVENT_IOC_ID, id);
+    return fd;
+}
+
+} // namespace
+
+PerfCounters::PerfCounters()
+{
+    // Leader: cycles.  If even the leader is denied (perf_event_paranoid,
+    // seccomp ENOSYS, missing PMU) the whole object degrades to a no-op.
+    group_fd_ = open_counter(PERF_COUNT_HW_CPU_CYCLES, -1, &member_ids_[0]);
+    if (group_fd_ < 0) return;
+    static constexpr std::uint64_t kMembers[3] = {
+        PERF_COUNT_HW_INSTRUCTIONS,
+        PERF_COUNT_HW_CACHE_MISSES,
+        PERF_COUNT_HW_BRANCH_MISSES,
+    };
+    for (int i = 0; i < 3; ++i)
+        member_fds_[i] = open_counter(kMembers[i], group_fd_, &member_ids_[i + 1]);
+}
+
+PerfCounters::~PerfCounters()
+{
+    for (int fd : member_fds_)
+        if (fd >= 0) (void)::close(fd);
+    if (group_fd_ >= 0) (void)::close(group_fd_);
+}
+
+void PerfCounters::start() noexcept
+{
+    if (group_fd_ < 0) return;
+    (void)::ioctl(group_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    (void)::ioctl(group_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfCounts PerfCounters::stop() noexcept
+{
+    PerfCounts counts;
+    if (group_fd_ < 0) return counts;
+    (void)::ioctl(group_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+    // PERF_FORMAT_GROUP|PERF_FORMAT_ID layout:
+    //   u64 nr; struct { u64 value; u64 id; } values[nr];
+    std::uint64_t buffer[1 + 2 * 4] = {};
+    const ssize_t got = ::read(group_fd_, buffer, sizeof buffer);
+    if (got < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) return counts;
+    const std::uint64_t nr = buffer[0];
+    counts.available = true;
+    for (std::uint64_t i = 0; i < nr && i < 4; ++i) {
+        const std::uint64_t value = buffer[1 + 2 * i];
+        const std::uint64_t id = buffer[2 + 2 * i];
+        if (id == member_ids_[0])
+            counts.cycles = value;
+        else if (id == member_ids_[1])
+            counts.instructions = value;
+        else if (id == member_ids_[2])
+            counts.cache_misses = value;
+        else if (id == member_ids_[3])
+            counts.branch_misses = value;
+    }
+    return counts;
+}
+
+} // namespace ccq::obs
+
+#else // !__linux__
+
+namespace ccq::obs {
+
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() = default;
+void PerfCounters::start() noexcept {}
+PerfCounts PerfCounters::stop() noexcept { return PerfCounts{}; }
+
+} // namespace ccq::obs
+
+#endif // __linux__

@@ -1,0 +1,58 @@
+// Hardware perf-counter sampling via perf_event_open(2).
+//
+// PerfCounters opens one counter group (cycles as leader, plus
+// instructions, LLC misses, branch misses) confined to the calling
+// thread, so a start()/stop() bracket around a kernel loop yields the
+// loop's own IPC and cache-miss totals.  Availability is probed at
+// construction: on kernels where /proc/sys/kernel/perf_event_paranoid
+// forbids unprivileged counters (EPERM/EACCES), inside containers
+// without the syscall (ENOSYS), or on non-Linux builds, available()
+// is false and start()/stop() are cheap no-ops that return zeroed
+// counts — callers never need to special-case denial.
+#ifndef CCQ_OBS_PERF_HPP
+#define CCQ_OBS_PERF_HPP
+
+#include <cstdint>
+
+namespace ccq::obs {
+
+/// Counter deltas between one start()/stop() bracket.
+struct PerfCounts {
+    bool available = false; ///< false: the fields below are all zero
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t cache_misses = 0; ///< PERF_COUNT_HW_CACHE_MISSES (LLC)
+    std::uint64_t branch_misses = 0;
+
+    [[nodiscard]] double ipc() const noexcept
+    {
+        return cycles == 0 ? 0.0 : static_cast<double>(instructions) / static_cast<double>(cycles);
+    }
+};
+
+class PerfCounters {
+public:
+    PerfCounters();
+    ~PerfCounters();
+    PerfCounters(const PerfCounters&) = delete;
+    PerfCounters& operator=(const PerfCounters&) = delete;
+
+    /// True when the group opened; false means start()/stop() no-op.
+    [[nodiscard]] bool available() const noexcept { return group_fd_ >= 0; }
+
+    /// Reset and unfreeze the group.  No-op when unavailable.
+    void start() noexcept;
+
+    /// Freeze the group and read the deltas since start().
+    [[nodiscard]] PerfCounts stop() noexcept;
+
+private:
+    // Leader fd first; -1 entries mean that member failed to open.
+    int group_fd_ = -1;
+    int member_fds_[3] = {-1, -1, -1};
+    std::uint64_t member_ids_[4] = {0, 0, 0, 0}; // leader + members
+};
+
+} // namespace ccq::obs
+
+#endif // CCQ_OBS_PERF_HPP

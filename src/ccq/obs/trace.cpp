@@ -176,12 +176,22 @@ std::string Tracer::render_json() const
 
 void Tracer::write(const std::string& path) const
 {
+    // Write-then-rename so the file at `path` is always a complete
+    // JSON document: a crash or signal mid-write leaves at worst a
+    // stale .tmp beside the previous intact trace.
     const std::string json = render_json();
-    std::FILE* f = std::fopen(path.c_str(), "wb");
-    CCQ_EXPECT(f != nullptr, "cannot open trace output file: " + path);
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    CCQ_EXPECT(f != nullptr, "cannot open trace output file: " + tmp);
     const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    const int flushed = std::fflush(f);
     const int rc = std::fclose(f);
-    CCQ_CHECK(written == json.size() && rc == 0, "short write to trace file: " + path);
+    if (written != json.size() || flushed != 0 || rc != 0) {
+        std::remove(tmp.c_str());
+        CCQ_CHECK(false, "short write to trace file: " + tmp);
+    }
+    CCQ_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+              "cannot move trace file into place: " + path);
 }
 
 } // namespace ccq::obs

@@ -13,8 +13,10 @@
 
 #include "ccq/clique/ledger.hpp"
 #include "ccq/matrix/engine.hpp"
+#include "ccq/obs/flight.hpp"
 #include "ccq/obs/log.hpp"
 #include "ccq/obs/metrics.hpp"
+#include "ccq/obs/perf.hpp"
 #include "ccq/obs/trace.hpp"
 
 namespace ccq {
@@ -360,6 +362,244 @@ TEST(ObsLog, ParseAndGate)
     EXPECT_FALSE(obs::log_enabled(obs::LogLevel::info));
     EXPECT_FALSE(obs::log_enabled(obs::LogLevel::debug));
     obs::set_log_level(saved);
+}
+
+TEST(ObsLog, TokenBucketAdmitsBurstThenRefills)
+{
+    // Synthetic clock, one site: 10 tokens/s, burst of 3.
+    obs::LogSite site;
+    const std::uint64_t rate = 10;
+    const std::uint64_t burst = 3;
+    std::uint64_t now = 1'000'000;
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(obs::log_site_admit(site, now, rate, burst)) << "burst line " << i;
+    EXPECT_FALSE(obs::log_site_admit(site, now, rate, burst));
+    EXPECT_FALSE(obs::log_site_admit(site, now, rate, burst));
+    EXPECT_EQ(site.suppressed.load(), 2u);
+
+    // 0.1 s at 10 tokens/s accrues exactly one token.
+    now += 100'000;
+    EXPECT_TRUE(obs::log_site_admit(site, now, rate, burst));
+    EXPECT_FALSE(obs::log_site_admit(site, now, rate, burst));
+
+    // Sub-token elapsed time is banked, not dropped: two half-token
+    // waits add up to one admitted line.
+    now += 50'000;
+    EXPECT_FALSE(obs::log_site_admit(site, now, rate, burst));
+    now += 50'000;
+    EXPECT_TRUE(obs::log_site_admit(site, now, rate, burst));
+
+    // Refill never exceeds the burst cap.
+    now += 100'000'000;
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(obs::log_site_admit(site, now, rate, burst)) << "refilled line " << i;
+    EXPECT_FALSE(obs::log_site_admit(site, now, rate, burst));
+}
+
+TEST(ObsLog, RateZeroDisablesTheBucket)
+{
+    obs::LogSite site;
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(obs::log_site_admit(site, 1'000'000, /*tokens_per_sec=*/0, /*burst=*/1));
+    EXPECT_EQ(site.suppressed.load(), 0u);
+}
+
+TEST(ObsLog, RateLimitConfigurationRoundTrips)
+{
+    const std::uint64_t saved_rate = obs::log_rate_tokens_per_sec();
+    const std::uint64_t saved_burst = obs::log_rate_burst();
+    obs::set_log_rate_limit(5, 9);
+    EXPECT_EQ(obs::log_rate_tokens_per_sec(), 5u);
+    EXPECT_EQ(obs::log_rate_burst(), 9u);
+    obs::set_log_rate_limit(saved_rate, saved_burst);
+}
+
+// --- histogram quantiles ---------------------------------------------------
+
+TEST(ObsHistogramQuantile, InterpolatesWithinLog2Buckets)
+{
+    HistogramSnapshot empty;
+    EXPECT_EQ(obs::histogram_quantile(empty, 0.5), 0.0);
+
+    // All mass in bucket 4 = (7, 15]: quantiles interpolate linearly
+    // across the bucket, and q=1 reaches the inclusive upper bound.
+    HistogramSnapshot one_bucket;
+    one_bucket.counts[4] = 10;
+    EXPECT_DOUBLE_EQ(obs::histogram_quantile(one_bucket, 0.5), 11.0);
+    EXPECT_DOUBLE_EQ(obs::histogram_quantile(one_bucket, 1.0), 15.0);
+    EXPECT_DOUBLE_EQ(obs::histogram_quantile(one_bucket, 0.0), 7.8); // rank clamps to 1
+
+    // Mass split between the zero bucket and (3, 7].
+    HistogramSnapshot split;
+    split.counts[0] = 5;
+    split.counts[3] = 5;
+    EXPECT_DOUBLE_EQ(obs::histogram_quantile(split, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(obs::histogram_quantile(split, 0.9), 6.2);
+
+    // The +Inf bucket has no finite upper bound: clamp to its lower.
+    HistogramSnapshot inf;
+    inf.counts[obs::kHistogramBuckets - 1] = 1;
+    EXPECT_DOUBLE_EQ(
+        obs::histogram_quantile(inf, 0.99),
+        static_cast<double>(Histogram::bucket_upper_bound(obs::kHistogramBuckets - 2)));
+}
+
+TEST(ObsHistogramQuantile, MatchesExactRanksOnARecordedStream)
+{
+    // Recorded values all land on bucket boundaries, so interpolated
+    // quantiles must bracket the true order statistics.
+    Histogram h;
+    for (int i = 0; i < 1000; ++i) h.record(i);
+    const HistogramSnapshot snap = h.snapshot();
+    const double p50 = obs::histogram_quantile(snap, 0.50);
+    const double p99 = obs::histogram_quantile(snap, 0.99);
+    // True p50 = 500, p99 = 990; a log2 sketch is coarse but must stay
+    // within the owning bucket of the true value.
+    EXPECT_GE(p50, 255.0);
+    EXPECT_LE(p50, 1023.0);
+    EXPECT_GE(p99, 511.0);
+    EXPECT_LE(p99, 1023.0);
+    EXPECT_GT(p99, p50);
+}
+
+// --- flight recorder -------------------------------------------------------
+
+TEST(ObsFlight, CapacityRoundsUpToAPowerOfTwo)
+{
+    EXPECT_EQ(obs::FlightRecorder(0).capacity(), 2u);
+    EXPECT_EQ(obs::FlightRecorder(1).capacity(), 2u);
+    EXPECT_EQ(obs::FlightRecorder(4).capacity(), 4u);
+    EXPECT_EQ(obs::FlightRecorder(5).capacity(), 8u);
+    EXPECT_EQ(obs::FlightRecorder(256).capacity(), 256u);
+}
+
+TEST(ObsFlight, RecordsRoundTripThroughTheRing)
+{
+    obs::FlightRecorder recorder(8);
+    obs::RequestRecord rec;
+    rec.trace_id = 0xfeed;
+    rec.conn_id = 3;
+    rec.opcode = 0x02;
+    rec.status = 0;
+    rec.sampled = true;
+    rec.request_bytes = 23;
+    rec.reply_bytes = 13;
+    rec.decode_us = 1;
+    rec.queue_us = 2;
+    rec.execute_us = 3;
+    rec.encode_us = 4;
+    rec.flush_us = 5;
+    EXPECT_EQ(recorder.record(rec), 0u);
+    rec.trace_id = 0xbeef;
+    rec.sampled = false;
+    EXPECT_EQ(recorder.record(rec), 1u);
+
+    const std::vector<obs::RequestRecord> records = recorder.snapshot();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].seq, 0u);
+    EXPECT_EQ(records[0].trace_id, 0xfeedu);
+    EXPECT_TRUE(records[0].sampled);
+    EXPECT_EQ(records[0].total_us(), 15u);
+    EXPECT_EQ(records[1].seq, 1u);
+    EXPECT_EQ(records[1].trace_id, 0xbeefu);
+    EXPECT_FALSE(records[1].sampled);
+    // Everything but trace_id/sampled/seq was identical.
+    obs::RequestRecord expected = records[1];
+    expected.seq = 0;
+    expected.trace_id = 0xfeed;
+    expected.sampled = true;
+    EXPECT_EQ(records[0], expected);
+}
+
+TEST(ObsFlight, RingOverwritesOldestFirst)
+{
+    obs::FlightRecorder recorder(4);
+    for (std::uint32_t i = 0; i < 11; ++i) {
+        obs::RequestRecord rec;
+        rec.request_bytes = i;
+        (void)recorder.record(rec);
+    }
+    const std::vector<obs::RequestRecord> records = recorder.snapshot();
+    ASSERT_EQ(records.size(), 4u);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].seq, 7 + i);
+        EXPECT_EQ(records[i].request_bytes, 7 + i);
+    }
+}
+
+TEST(ObsFlight, ConcurrentWritersNeverYieldTornRecords)
+{
+    // Every writer publishes records whose fields satisfy a cross-field
+    // invariant; a reader snapshotting mid-storm must only ever see
+    // records that satisfy it (torn slots are skipped, not surfaced).
+    obs::FlightRecorder recorder(16);
+    std::atomic<bool> stop{false};
+    constexpr int kWriters = 4;
+    constexpr int kPerWriter = 20000;
+    std::vector<std::thread> writers;
+    writers.reserve(kWriters);
+    for (int t = 0; t < kWriters; ++t)
+        writers.emplace_back([&, t] {
+            for (int i = 0; i < kPerWriter; ++i) {
+                obs::RequestRecord rec;
+                rec.trace_id = static_cast<std::uint64_t>(t) * kPerWriter + i;
+                rec.conn_id = rec.trace_id + 1;
+                rec.request_bytes = static_cast<std::uint32_t>(rec.trace_id % 9973);
+                rec.reply_bytes = rec.request_bytes + 7;
+                rec.decode_us = rec.request_bytes;
+                rec.flush_us = rec.request_bytes;
+                (void)recorder.record(rec);
+            }
+        });
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            for (const obs::RequestRecord& rec : recorder.snapshot()) {
+                ASSERT_EQ(rec.conn_id, rec.trace_id + 1);
+                ASSERT_EQ(rec.request_bytes, rec.trace_id % 9973);
+                ASSERT_EQ(rec.reply_bytes, rec.request_bytes + 7);
+                ASSERT_EQ(rec.decode_us, rec.flush_us);
+            }
+        }
+    });
+    for (std::thread& writer : writers) writer.join();
+    stop.store(true, std::memory_order_relaxed);
+    reader.join();
+
+    // Quiescent: the last 16 records are all present, in seq order.
+    const std::vector<obs::RequestRecord> records = recorder.snapshot();
+    ASSERT_EQ(records.size(), 16u);
+    for (std::size_t i = 1; i < records.size(); ++i)
+        EXPECT_EQ(records[i].seq, records[i - 1].seq + 1);
+    EXPECT_EQ(records.back().seq,
+              static_cast<std::uint64_t>(kWriters) * kPerWriter - 1);
+}
+
+// --- hardware perf counters ------------------------------------------------
+
+TEST(ObsPerf, CountersWorkOrDegradeGracefully)
+{
+    // Two legitimate outcomes: the kernel grants perf_event_open and the
+    // counts are plausible, or it refuses (perf_event_paranoid, seccomp)
+    // and the wrapper reports unavailable with zeroed counts — it must
+    // never throw or crash.
+    obs::PerfCounters perf;
+    perf.start();
+    volatile std::uint64_t sink = 0;
+    for (std::uint64_t i = 0; i < 100000; ++i) sink += i * i;
+    const obs::PerfCounts counts = perf.stop();
+    if (counts.available) {
+        EXPECT_GT(counts.instructions, 0u);
+        EXPECT_GT(counts.cycles, 0u);
+        EXPECT_GT(counts.ipc(), 0.0);
+    } else {
+        EXPECT_EQ(counts.cycles, 0u);
+        EXPECT_EQ(counts.instructions, 0u);
+        EXPECT_EQ(counts.ipc(), 0.0);
+    }
+    // Restartable: a second measurement behaves the same way.
+    perf.start();
+    const obs::PerfCounts again = perf.stop();
+    EXPECT_EQ(again.available, counts.available);
 }
 
 } // namespace

@@ -311,7 +311,7 @@ TEST(Protocol, OpMetricIndexCoversEveryOpcode)
     std::vector<bool> seen(kOpMetricCount, false);
     for (const Opcode op : {Opcode::ping, Opcode::distance, Opcode::path, Opcode::k_nearest,
                             Opcode::batch_distances, Opcode::batch_paths, Opcode::stats,
-                            Opcode::metrics, Opcode::shutdown}) {
+                            Opcode::metrics, Opcode::flight, Opcode::shutdown}) {
         const std::size_t index = op_metric_index(op);
         ASSERT_LT(index, kOpMetricCount);
         EXPECT_NE(index, kInvalidOpMetric);
@@ -401,6 +401,165 @@ TEST(Protocol, JsonEscapeHandlesControlBytesAndQuotes)
     EXPECT_EQ(json_escape("plain"), "plain");
     EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
     EXPECT_EQ(json_escape(std::string("x\ny", 3)), "x\\u000ay");
+}
+
+TEST(Protocol, TraceEnvelopeRoundTrips)
+{
+    Request request;
+    request.op = Opcode::distance;
+    request.from = 4;
+    request.to = 9;
+    const std::string inner = encode_request(request);
+
+    const TraceContext context{0xdeadbeefcafe1234u, true};
+    const std::string tagged = wrap_trace_envelope(context, inner);
+    ASSERT_EQ(tagged.size(), inner.size() + 10);
+    EXPECT_EQ(static_cast<std::uint8_t>(tagged[0]), kTraceEnvelopeMarker);
+
+    std::string_view body(tagged);
+    const std::optional<TraceContext> split = split_trace_envelope(body);
+    ASSERT_TRUE(split.has_value());
+    EXPECT_EQ(*split, context);
+    EXPECT_EQ(body, inner); // envelope stripped, inner body intact
+    EXPECT_EQ(decode_request(body).op, Opcode::distance);
+
+    // Unsampled context round-trips its flag bit.
+    const std::string unsampled_wire = wrap_trace_envelope(TraceContext{7, false}, inner);
+    std::string_view unsampled_body(unsampled_wire);
+    const std::optional<TraceContext> unsampled = split_trace_envelope(unsampled_body);
+    ASSERT_TRUE(unsampled.has_value());
+    EXPECT_EQ(unsampled->trace_id, 7u);
+    EXPECT_FALSE(unsampled->sampled);
+}
+
+TEST(Protocol, UntaggedBodiesSplitToNullopt)
+{
+    // The pre-envelope wire shape: every existing opcode byte must pass
+    // through untouched.  0x1e is reserved precisely because no opcode
+    // or JSON body starts with it.
+    for (const Opcode op : {Opcode::ping, Opcode::distance, Opcode::stats, Opcode::shutdown}) {
+        Request request;
+        request.op = op;
+        const std::string inner = encode_request(request);
+        std::string_view body(inner);
+        EXPECT_EQ(split_trace_envelope(body), std::nullopt);
+        EXPECT_EQ(body, inner);
+    }
+    std::string_view json(R"({"op":"ping"})");
+    EXPECT_EQ(split_trace_envelope(json), std::nullopt);
+    std::string_view empty;
+    EXPECT_EQ(split_trace_envelope(empty), std::nullopt);
+}
+
+TEST(Protocol, TruncatedOrUnknownFlagEnvelopesAreRejected)
+{
+    const std::string tagged =
+        wrap_trace_envelope(TraceContext{42, true}, encode_request(Request{}));
+    // Every strict prefix of the 10-byte envelope is a torn envelope,
+    // not an untagged request.
+    for (std::size_t keep = 1; keep < 10; ++keep) {
+        std::string_view body(tagged.data(), keep);
+        EXPECT_THROW((void)split_trace_envelope(body), protocol_error) << "kept " << keep;
+    }
+    // Unknown flag bits are version skew this decoder must not guess at.
+    std::string bad_flags = tagged;
+    bad_flags[9] = static_cast<char>(0x02);
+    std::string_view body(bad_flags);
+    EXPECT_THROW((void)split_trace_envelope(body), protocol_error);
+}
+
+TEST(Protocol, TaggedFramesSurviveTheFrameDecoderByteAtATime)
+{
+    // A tagged frame is framing-transparent: the decoder reassembles it
+    // like any other body, tagged and untagged frames interleave, and
+    // the envelope splits off only after reassembly.
+    Request request;
+    request.op = Opcode::distance;
+    request.from = 1;
+    request.to = 2;
+    const std::string inner = encode_request(request);
+    const std::string wire = encode_frame(wrap_trace_envelope(TraceContext{9, true}, inner)) +
+                             encode_frame(inner) +
+                             encode_frame(wrap_trace_envelope(TraceContext{10, false}, inner));
+    FrameDecoder decoder;
+    std::vector<std::string> frames;
+    for (std::size_t i = 0; i < wire.size(); ++i) {
+        decoder.feed(std::string_view(wire).substr(i, 1));
+        while (std::optional<std::string> frame = decoder.next())
+            frames.push_back(std::move(*frame));
+    }
+    ASSERT_EQ(frames.size(), 3u);
+
+    std::string_view first(frames[0]);
+    const std::optional<TraceContext> c0 = split_trace_envelope(first);
+    ASSERT_TRUE(c0.has_value());
+    EXPECT_EQ(c0->trace_id, 9u);
+    EXPECT_TRUE(c0->sampled);
+    EXPECT_EQ(first, inner);
+
+    std::string_view second(frames[1]);
+    EXPECT_EQ(split_trace_envelope(second), std::nullopt);
+    EXPECT_EQ(second, inner);
+
+    std::string_view third(frames[2]);
+    const std::optional<TraceContext> c2 = split_trace_envelope(third);
+    ASSERT_TRUE(c2.has_value());
+    EXPECT_EQ(c2->trace_id, 10u);
+    EXPECT_FALSE(c2->sampled);
+}
+
+TEST(Protocol, FlightRepliesRoundTrip)
+{
+    obs::RequestRecord a;
+    a.seq = 7;
+    a.trace_id = 0x1122334455667788u;
+    a.conn_id = 3;
+    a.opcode = static_cast<std::uint8_t>(Opcode::distance);
+    a.status = static_cast<std::uint8_t>(Status::ok);
+    a.sampled = true;
+    a.request_bytes = 19;
+    a.reply_bytes = 9;
+    a.decode_us = 1;
+    a.queue_us = 2;
+    a.execute_us = 3;
+    a.encode_us = 4;
+    a.flush_us = 5;
+    obs::RequestRecord b; // all-defaults record survives too
+    const std::vector<obs::RequestRecord> records{a, b};
+
+    const std::string reply = encode_flight_reply(records);
+    const auto [status, payload] = split_reply(reply);
+    ASSERT_EQ(status, Status::ok);
+    const std::vector<obs::RequestRecord> decoded = decode_flight_reply(payload);
+    ASSERT_EQ(decoded.size(), 2u);
+    EXPECT_EQ(decoded[0], a);
+    EXPECT_EQ(decoded[1], b);
+    EXPECT_EQ(decoded[0].total_us(), 15u);
+
+    const auto empty = decode_flight_reply(split_reply(encode_flight_reply({})).second);
+    EXPECT_TRUE(empty.empty());
+}
+
+TEST(Protocol, ForgedFlightRepliesAreRejected)
+{
+    // A count promising more records than the payload holds must fail
+    // before allocating that count.
+    const std::uint32_t huge = 1u << 30;
+    std::string forged(reinterpret_cast<const char*>(&huge), 4);
+    EXPECT_THROW((void)decode_flight_reply(forged), protocol_error);
+
+    obs::RequestRecord rec;
+    const std::string good(split_reply(encode_flight_reply({&rec, 1})).second);
+    // Truncation anywhere inside the record is torn, not short.
+    for (std::size_t keep = 0; keep < good.size(); ++keep)
+        EXPECT_THROW((void)decode_flight_reply(good.substr(0, keep)), protocol_error)
+            << "kept " << keep;
+    // Trailing bytes after the promised records are a framing bug.
+    EXPECT_THROW((void)decode_flight_reply(good + "x"), protocol_error);
+    // A sampled byte other than 0/1 is not a bool.
+    std::string bad_sampled = good;
+    bad_sampled[4 + 8 + 8 + 8 + 1 + 1] = 2; // count + seq + trace + conn + op + status
+    EXPECT_THROW((void)decode_flight_reply(bad_sampled), protocol_error);
 }
 
 } // namespace

@@ -15,6 +15,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <optional>
 #include <string>
 #include <thread>
@@ -22,6 +23,7 @@
 #include "ccq/core/oracle.hpp"
 #include "ccq/net/client.hpp"
 #include "ccq/net/server.hpp"
+#include "ccq/obs/trace.hpp"
 #include "test_helpers.hpp"
 
 namespace ccq {
@@ -864,6 +866,234 @@ TEST(Server, ServeStreamSpeaksTheProtocolOverASocketpair)
     } // Client destruction closes the socket: EOF ends serve_stream.
     serving.join();
     EXPECT_EQ(server.stats().connections_accepted, 1u);
+}
+
+TEST_P(ServerBackends, TaggedAndUntaggedRequestsGetIdenticalReplies)
+{
+    // The trace envelope must be invisible in the reply bytes: a tagged
+    // request and its untagged twin answer identically.
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::clustered, 24, 7});
+    const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
+    RunningServer running(engine, backend_config());
+
+    std::vector<std::string> untagged;
+    Request ping;
+    ping.op = Opcode::ping;
+    untagged.push_back(encode_request(ping));
+    Request distance;
+    distance.op = Opcode::distance;
+    distance.from = 2;
+    distance.to = 19;
+    untagged.push_back(encode_request(distance));
+    Request path;
+    path.op = Opcode::path;
+    path.from = 0;
+    path.to = 23;
+    untagged.push_back(encode_request(path));
+    Request bad;
+    bad.op = Opcode::distance;
+    bad.from = 4000;
+    untagged.push_back(encode_request(bad)); // errors answer identically too
+
+    std::vector<std::string> tagged;
+    std::uint64_t trace_id = 50;
+    for (const std::string& body : untagged)
+        tagged.push_back(wrap_trace_envelope(TraceContext{trace_id++, true}, body));
+
+    const std::vector<std::string> plain = raw_replies(running.port(), untagged);
+    const std::vector<std::string> traced = raw_replies(running.port(), tagged);
+    ASSERT_EQ(plain.size(), traced.size());
+    for (std::size_t i = 0; i < plain.size(); ++i)
+        EXPECT_EQ(plain[i], traced[i]) << "request " << i;
+}
+
+TEST_P(ServerBackends, FlightRecorderReturnsTheScriptedWorkloadExactly)
+{
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
+    const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
+    RunningServer running(engine, backend_config());
+    Client client = running.connect();
+    client.enable_trace_envelopes(100);
+
+    (void)client.ping();                                     // trace 100
+    (void)client.distance(0, 5);                             // trace 101
+    (void)client.path(0, 5);                                 // trace 102
+    EXPECT_THROW((void)client.distance(999, 0), rpc_error);  // trace 103
+
+    // The flight dump itself commits only after it executes, so the
+    // snapshot holds exactly the four prior requests, oldest first.
+    const std::vector<obs::RequestRecord> records = client.flight_records();
+    ASSERT_EQ(records.size(), 4u);
+
+    const auto expect_record = [](const obs::RequestRecord& rec, Opcode op, Status status,
+                                  std::uint64_t trace_id, std::uint32_t request_bytes) {
+        EXPECT_EQ(rec.opcode, static_cast<std::uint8_t>(op));
+        EXPECT_EQ(rec.status, static_cast<std::uint8_t>(status));
+        EXPECT_EQ(rec.trace_id, trace_id);
+        EXPECT_TRUE(rec.sampled);
+        EXPECT_EQ(rec.request_bytes, request_bytes);
+        EXPECT_GT(rec.reply_bytes, 4u);
+        EXPECT_NE(rec.conn_id, 0u);
+    };
+    // request_bytes = frame prefix 4 + envelope 10 + opcode 1 (+ 2*i32
+    // operands for the point queries).
+    expect_record(records[0], Opcode::ping, Status::ok, 100, 15);
+    expect_record(records[1], Opcode::distance, Status::ok, 101, 23);
+    expect_record(records[2], Opcode::path, Status::ok, 102, 23);
+    expect_record(records[3], Opcode::distance, Status::out_of_range, 103, 23);
+
+    EXPECT_EQ(records[0].reply_bytes, 9u); // 4 + status + protocol u32
+    for (std::size_t i = 1; i < records.size(); ++i) {
+        EXPECT_GT(records[i].seq, records[i - 1].seq);
+        EXPECT_EQ(records[i].conn_id, records[0].conn_id);
+    }
+}
+
+TEST_P(ServerBackends, FlightRingKeepsOnlyTheLastRecords)
+{
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
+    ServerConfig config = backend_config();
+    config.flight_records = 4;
+    RunningServer running(std::make_shared<const QueryEngine>(built.snapshot), config);
+    Client client = running.connect();
+
+    for (int i = 0; i < 10; ++i) (void)client.ping();
+    const std::vector<obs::RequestRecord> records = client.flight_records();
+    ASSERT_EQ(records.size(), 4u);
+    // Sequences 0..9 were recorded; the ring holds the newest four.
+    EXPECT_EQ(records.front().seq, 6u);
+    EXPECT_EQ(records.back().seq, 9u);
+    for (const obs::RequestRecord& rec : records) {
+        EXPECT_EQ(rec.opcode, static_cast<std::uint8_t>(Opcode::ping));
+        EXPECT_EQ(rec.trace_id, 0u); // untagged requests record id 0
+        EXPECT_FALSE(rec.sampled);
+    }
+}
+
+TEST_P(ServerBackends, FlightRecorderAnswersWithMetricsDisabled)
+{
+    // --no-metrics turns off aggregate counters, not the flight ring:
+    // the last-N dump is exactly the tool you want on a server that was
+    // started lean.
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
+    ServerConfig config = backend_config();
+    config.metrics = false;
+    RunningServer running(std::make_shared<const QueryEngine>(built.snapshot), config);
+    Client client = running.connect();
+
+    for (int i = 0; i < 3; ++i) (void)client.ping();
+    const std::vector<obs::RequestRecord> records = client.flight_records();
+    ASSERT_EQ(records.size(), 3u);
+    for (const obs::RequestRecord& rec : records)
+        EXPECT_EQ(rec.opcode, static_cast<std::uint8_t>(Opcode::ping));
+}
+
+TEST_P(ServerBackends, SampledRequestRendersAConnectedSpanChain)
+{
+    // The tentpole acceptance criterion: one sampled request shows up in
+    // the chrome://tracing stream as the full decode → queue → execute
+    // → encode → flush chain, tied together by its trace id.
+    struct TracerGuard {
+        ~TracerGuard()
+        {
+            obs::Tracer::global().disable();
+            obs::Tracer::global().clear();
+        }
+    } guard;
+    obs::Tracer::global().clear();
+    obs::Tracer::global().enable();
+
+    const BuiltOracle built = build(InstanceSpec{GraphFamily::tree, 12, 2});
+    const auto engine = std::make_shared<const QueryEngine>(built.snapshot);
+    RunningServer running(engine, backend_config());
+    Client client = running.connect();
+
+    client.enable_trace_envelopes(0xabc123);
+    (void)client.distance(0, 5);
+    // An untagged follow-up forces the sampled request's commit to
+    // happen-before this reply (frames are processed in order), so the
+    // render below cannot race it — and being unsampled, it must add no
+    // spans of its own.
+    client.disable_trace_envelopes();
+    (void)client.ping();
+
+    const std::string json = obs::Tracer::global().render_json();
+    for (const char* name : {"req/queue", "req/decode", "req/execute", "req/encode", "req/flush"})
+        EXPECT_NE(json.find(name), std::string::npos) << name << " missing in " << json;
+    EXPECT_NE(json.find("0xabc123"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"op\":\"distance\""), std::string::npos) << json;
+    EXPECT_EQ(json.find("\"op\":\"ping\""), std::string::npos) << "unsampled request traced";
+}
+
+/// A canned v1 server: replays scripted reply frames and swallows
+/// whatever the client writes.
+class ScriptedV1Server : public Stream {
+public:
+    void push_reply(const std::string& body) { wire_ += encode_frame(body); }
+
+    std::size_t read_some(void* buffer, std::size_t count) override
+    {
+        const std::size_t take = std::min(count, wire_.size() - offset_);
+        std::memcpy(buffer, wire_.data() + offset_, take);
+        offset_ += take;
+        return take;
+    }
+    void write_all(const void*, std::size_t) override {}
+    void interrupt() noexcept override {}
+
+private:
+    std::string wire_;
+    std::size_t offset_ = 0;
+};
+
+TEST(Server, VersionSkewAgainstASimulatedV1Peer)
+{
+    // A v2 client talking to a v1 server: stats decode from the shorter
+    // v1 shape with the v2 trailer defaulted, and the ops the v1 server
+    // does not know (metrics scrape, flight dump, tagged frames) come
+    // back as typed `malformed` errors — detectable skew, never a torn
+    // connection or a garbage decode.
+    auto scripted = std::make_unique<ScriptedV1Server>();
+    ServerStats v1_stats;
+    v1_stats.frames_served = 5;
+    v1_stats.node_count = 12;
+    v1_stats.backpressure_pauses = 9;     // trailer fields a v1 server
+    v1_stats.build_total_rounds = 3.25;   // never sends: forged below by
+    v1_stats.build_total_words = 64;      // truncating the reply
+    std::string stats_reply = encode_stats_reply(v1_stats);
+    stats_reply.resize(stats_reply.size() - 24); // strip the v2 trailer
+    scripted->push_reply(stats_reply);
+    scripted->push_reply(encode_error_reply(Status::malformed, "unknown opcode 0x11"));
+    scripted->push_reply(encode_error_reply(Status::malformed, "unknown opcode 0x12"));
+    scripted->push_reply(encode_error_reply(Status::malformed, "unknown opcode 0x1e"));
+
+    Client client(std::move(scripted));
+    const ServerStats decoded = client.stats();
+    EXPECT_EQ(decoded.frames_served, 5u);
+    EXPECT_EQ(decoded.node_count, 12);
+    EXPECT_EQ(decoded.backpressure_pauses, 0u);
+    EXPECT_EQ(decoded.build_total_rounds, 0.0);
+    EXPECT_EQ(decoded.build_total_words, 0u);
+
+    try {
+        (void)client.metrics();
+        FAIL() << "expected rpc_error";
+    } catch (const rpc_error& error) {
+        EXPECT_EQ(error.status(), Status::malformed);
+    }
+    try {
+        (void)client.flight_records();
+        FAIL() << "expected rpc_error";
+    } catch (const rpc_error& error) {
+        EXPECT_EQ(error.status(), Status::malformed);
+    }
+    client.enable_trace_envelopes(1);
+    try {
+        (void)client.ping(); // tagged frame: v1 sees marker 0x1e as an opcode
+        FAIL() << "expected rpc_error";
+    } catch (const rpc_error& error) {
+        EXPECT_EQ(error.status(), Status::malformed);
+    }
 }
 
 } // namespace

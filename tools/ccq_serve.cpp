@@ -67,6 +67,7 @@ int usage(const char* argv0)
                  "       [--path] [--k <n>] [--json] [--threads <n>] [--mmap]\n"
                  "  %s bench --snapshot <file> [--queries <n>] [--warmup <n>] [--threads <n>]\n"
                  "       [--net <connections> | --connections <n>] [--rate <qps>]\n"
+                 "       [--trace-every <n>]\n"
                  "       [--io threads|epoll] [--mmap] [--no-recode] [--no-metrics]"
                  " [--metrics-ab]\n"
                  "       [--mix distance|path|mixed] [--seed <n>] [--out <json>]\n",
@@ -389,7 +390,7 @@ void execute_query(const QueryEngine& engine, const PointQuery& q, QueryKind kin
 [[nodiscard]] BenchRun run_open_load(const std::string& host, int port,
                                      const std::vector<PointQuery>& queries,
                                      const std::vector<QueryKind>& kinds, int connections,
-                                     double rate)
+                                     double rate, std::size_t trace_every)
 {
     using clock = std::chrono::steady_clock;
     struct LoadConn {
@@ -437,7 +438,13 @@ void execute_query(const QueryEngine& engine, const PointQuery& q, QueryKind kin
                 request.k = 8;
                 break;
             }
-            return encode_frame(encode_request(request));
+            std::string body = encode_request(request);
+            // Every trace_every-th query carries a sampled trace
+            // envelope (id = query index + 1, so ids are nonzero and
+            // greppable in the server's trace/flight output).
+            if (trace_every > 0 && i % trace_every == 0)
+                body = wrap_trace_envelope(TraceContext{i + 1, /*sampled=*/true}, body);
+            return encode_frame(body);
         };
         const auto set_interest = [&](std::size_t c, std::uint32_t wanted) {
             if (wanted == conns[c].armed) return;
@@ -572,7 +579,7 @@ void execute_query(const QueryEngine& engine, const PointQuery& q, QueryKind kin
 #else
 
 [[nodiscard]] BenchRun run_open_load(const std::string&, int, const std::vector<PointQuery>&,
-                                     const std::vector<QueryKind>&, int, double)
+                                     const std::vector<QueryKind>&, int, double, std::size_t)
 {
     throw std::runtime_error("bench: --rate (open-loop load) requires Linux");
 }
@@ -636,6 +643,9 @@ int cmd_bench(Args& args)
     if (rate < 0.0) throw std::runtime_error("bench: --rate must be >= 0");
     if (rate > 0.0 && net_connections == 0)
         throw std::runtime_error("bench: --rate needs --connections (or --net)");
+    std::size_t trace_every = 0; // 0 = no trace envelopes
+    if (const std::optional<std::string> every = args.value("--trace-every"))
+        trace_every = static_cast<std::size_t>(std::stoull(*every));
     IoBackend io = default_io_backend();
     if (const std::optional<std::string> backend = args.value("--io"))
         io = parse_io_backend(*backend);
@@ -654,6 +664,8 @@ int cmd_bench(Args& args)
     if (metrics_ab && rate > 0.0)
         throw std::runtime_error(
             "bench: --metrics-ab measures closed-loop qps, drop --rate");
+    if (trace_every > 0 && rate <= 0.0)
+        throw std::runtime_error("bench: --trace-every needs --rate (open-loop load)");
 
     // Load (timed): eagerly, or just the mmap open + integrity pass.
     const std::uint64_t file_bytes =
@@ -765,8 +777,9 @@ int cmd_bench(Args& args)
         const int port = server.listen();
         std::thread accept_thread([&server] { server.run(); });
         const BenchRun run =
-            rate > 0.0 ? run_open_load("127.0.0.1", port, queries, kinds, count, rate)
-                       : run_net_load("127.0.0.1", port, queries, kinds, warmup, count);
+            rate > 0.0
+                ? run_open_load("127.0.0.1", port, queries, kinds, count, rate, trace_every)
+                : run_net_load("127.0.0.1", port, queries, kinds, warmup, count);
         {
             Client control = Client::connect("127.0.0.1", port);
             control.shutdown_server();

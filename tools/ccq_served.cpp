@@ -13,9 +13,13 @@
 //
 // Observability: --log-level debug turns on per-connection log lines,
 // --trace-out FILE writes a chrome://tracing JSON of the server's life
-// (snapshot load span + connection instants) at shutdown, and
-// --no-metrics disables hot-path metric recording (the metrics scrape
-// op still answers, with zero request counts).
+// (snapshot load span + connection instants + sampled request span
+// chains) at shutdown — including shutdown by SIGINT/SIGTERM, so the
+// JSON is always well-formed.  --no-metrics disables hot-path metric
+// recording (the metrics scrape op still answers, with zero request
+// counts).  --flight-records N sizes the flight recorder ring (the
+// flight wire op dumps the last N requests), and --slow-query-us T
+// logs a structured warn line for any request slower than T.
 #include <csignal>
 #include <cstdio>
 #include <fstream>
@@ -52,7 +56,7 @@ int usage()
                  "       [--cache <entries>] [--shutdown-token <t>]\n"
                  "       [--io threads|epoll] [--max-connections <n>] [--workers <n>]\n"
                  "       [--log-level error|warn|info|debug] [--trace-out <file>]\n"
-                 "       [--no-metrics]\n");
+                 "       [--no-metrics] [--flight-records <n>] [--slow-query-us <t>]\n");
     return 1;
 }
 
@@ -76,6 +80,10 @@ int run(Args& args)
         obs::set_log_level(obs::parse_log_level(*level));
     const std::optional<std::string> trace_out = args.value("--trace-out");
     if (args.flag("--no-metrics")) config.metrics = false;
+    if (const std::optional<std::string> records = args.value("--flight-records"))
+        config.flight_records = static_cast<std::size_t>(std::stoull(*records));
+    if (const std::optional<std::string> slow = args.value("--slow-query-us"))
+        config.slow_query_us = std::stoll(*slow);
     const std::optional<std::string> port_file = args.value("--port-file");
     const bool use_mmap = args.flag("--mmap");
     const bool stdio = args.flag("--stdio");
@@ -104,10 +112,29 @@ int run(Args& args)
     }
 
     Server server(engine, config);
+    const auto write_trace = [&] {
+        if (!trace_out) return;
+        obs::Tracer::global().write(*trace_out);
+        CCQ_LOG_INFO("wrote trace (%zu events) to %s", obs::Tracer::global().event_count(),
+                     trace_out->c_str());
+    };
     if (stdio) {
+        // Signals interrupt the blocked stdin read too (request_stop
+        // shuts down every registered stream), so Ctrl-C on a stdio
+        // server still drops out of serve_stream and writes the trace.
+        g_server = &server;
+        std::signal(SIGINT, handle_signal);
+        std::signal(SIGTERM, handle_signal);
         FdStream stream(0, 1, /*owns=*/false);
-        server.serve_stream(stream);
-        if (trace_out) obs::Tracer::global().write(*trace_out);
+        try {
+            server.serve_stream(stream);
+        } catch (...) {
+            g_server = nullptr;
+            write_trace();
+            throw;
+        }
+        g_server = nullptr;
+        write_trace();
         return 0;
     }
 
@@ -125,7 +152,14 @@ int run(Args& args)
     std::printf("ccq_served: listening on %s:%d (%s backend)\n", config.host.c_str(), port,
                 io_backend_name(config.io));
     std::fflush(stdout);
-    server.run();
+    try {
+        server.run();
+    } catch (...) {
+        // A serving failure still gets a well-formed trace file.
+        g_server = nullptr;
+        write_trace();
+        throw;
+    }
 
     const ServerStats stats = server.stats();
     std::printf("ccq_served: shut down after %.1fs — %llu connections, %llu ok, %llu errors\n",
@@ -133,11 +167,7 @@ int run(Args& args)
                 static_cast<unsigned long long>(stats.connections_accepted),
                 static_cast<unsigned long long>(stats.frames_served),
                 static_cast<unsigned long long>(stats.errors));
-    if (trace_out) {
-        obs::Tracer::global().write(*trace_out);
-        CCQ_LOG_INFO("wrote trace (%zu events) to %s", obs::Tracer::global().event_count(),
-                     trace_out->c_str());
-    }
+    write_trace();
     g_server = nullptr;
     return 0;
 }
