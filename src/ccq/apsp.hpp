@@ -18,9 +18,13 @@
 //   core/     composed algorithms (Theorems 1.1/1.2/7.1/8.1), baselines,
 //             the DistanceOracle facade, and next-hop routing tables
 //   serve/    build-once/serve-many layer: snapshot persistence
-//             (serve/snapshot.hpp: codec v1/v2 + mmap-backed loading)
+//             (serve/snapshot.hpp: dense codecs v1/v2, the sparse
+//             spanner codec v3, and mmap-backed loading), the
+//             DistanceSource read-path abstraction over dense, mapped,
+//             and spanner-backed oracles (serve/distance_source.hpp),
 //             and the concurrent query engine (serve/query_engine.hpp),
-//             fronted by tools/ccq_serve.cpp
+//             fronted by tools/ccq_serve.cpp — formats and contract in
+//             docs/SNAPSHOTS.md
 //   net/      networked serving: length-prefixed framed protocol
 //             (net/protocol.hpp, spec in docs/PROTOCOL.md), TCP/stdio
 //             transports (net/socket.hpp), the multiplexing Server
@@ -64,6 +68,7 @@
 #include "ccq/obs/metrics.hpp"
 #include "ccq/obs/perf.hpp"
 #include "ccq/obs/trace.hpp"
+#include "ccq/serve/distance_source.hpp"
 #include "ccq/serve/query_engine.hpp"
 #include "ccq/serve/snapshot.hpp"
 

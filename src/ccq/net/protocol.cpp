@@ -369,6 +369,10 @@ std::string encode_stats_reply(const ServerStats& stats)
     put_u64(body, stats.backpressure_pauses);
     put_f64(body, stats.build_total_rounds);
     put_u64(body, stats.build_total_words);
+    // stats v3 trailer: the serving source's identity and row work.
+    put_u8(body, stats.source_kind);
+    put_u64(body, stats.stored_cells);
+    put_u64(body, stats.rows_materialized);
     return body;
 }
 
@@ -516,6 +520,13 @@ ServerStats decode_stats_reply(std::string_view payload)
             stats.backpressure_pauses = reader.u64();
             stats.build_total_rounds = reader.f64();
             stats.build_total_words = reader.u64();
+        }
+        // stats v3 trailer: nested so a v2 server's reply (ending just
+        // above) still decodes with the defaults.
+        if (!reader.exhausted()) {
+            stats.source_kind = reader.u8();
+            stats.stored_cells = reader.u64();
+            stats.rows_materialized = reader.u64();
         }
         if (!reader.exhausted()) throw protocol_error("stats reply has trailing bytes");
         return stats;

@@ -131,6 +131,12 @@ struct ServerStats {
     std::uint64_t backpressure_pauses = 0; ///< epoll backend EPOLLIN pauses
     double build_total_rounds = 0.0;       ///< snapshot RoundLedger summary
     std::uint64_t build_total_words = 0;   ///< ditto, machine words sent
+    // --- stats v3 fields (sparse serving).  Same nesting rule: a
+    // pre-v3 server's reply ends at build_total_words and decoders
+    // leave these defaults (a dense source materializes zero rows).
+    std::uint8_t source_kind = 0;        ///< ccq::SourceKind on the wire
+    std::uint64_t stored_cells = 0;      ///< n^2 dense; edge count sparse
+    std::uint64_t rows_materialized = 0; ///< rows computed on demand (sparse)
 
     friend bool operator==(const ServerStats&, const ServerStats&) = default;
 };

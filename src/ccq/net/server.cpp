@@ -77,6 +77,8 @@ void Server::init_metrics()
 {
     static const std::string kRequests = "ccq_requests_total";
     static const std::string kLatency = "ccq_request_latency_us";
+    static const std::string kSourceLatency = "ccq_query_latency_us";
+    const std::string source_label = source_kind_name(engine_->source_kind());
     for (std::size_t i = 0; i < kOpMetricCount; ++i) {
         const std::string op = op_metric_name(i);
         op_metrics_[i].ok = &registry_.counter(
@@ -86,6 +88,10 @@ void Server::init_metrics()
                                {{"op", op}, {"status", "error"}});
         op_metrics_[i].latency_us = &registry_.histogram(
             kLatency, "Request decode+dispatch+render latency in microseconds.", {{"op", op}});
+        op_metrics_[i].source_latency_us = &registry_.histogram(
+            kSourceLatency,
+            "Request latency in microseconds, by opcode and the engine's source kind.",
+            {{"op", op}, {"source", source_label}});
     }
     bytes_read_ = &registry_.counter("ccq_bytes_read_total",
                                      "Bytes read from client connections, framing included.");
@@ -152,6 +158,26 @@ void Server::init_metrics()
                            "Machine words sent by the build (RoundLedger).", "gauge");
         obs::append_sample(out, "ccq_snapshot_build_words", {},
                            static_cast<std::int64_t>(s.build_total_words));
+        // The serving DistanceSource: identity, persisted size, and the
+        // lazy-materialization work a sparse source has done so far.
+        const char* kind = source_kind_name(static_cast<SourceKind>(s.source_kind));
+        obs::append_header(out, "ccq_source_info",
+                           "1 for the DistanceSource kind answering queries.", "gauge");
+        obs::append_sample(out, "ccq_source_info", {{"kind", kind}},
+                           static_cast<std::int64_t>(1));
+        obs::append_header(out, "ccq_source_stored_cells",
+                           "Cells the source persists (n^2 dense, edge count sparse).",
+                           "gauge");
+        obs::append_sample(out, "ccq_source_stored_cells", {},
+                           static_cast<std::int64_t>(s.stored_cells));
+        obs::append_header(out, "ccq_source_rows_materialized_total",
+                           "Distance rows computed on demand by a sparse source.", "counter");
+        obs::append_sample(out, "ccq_source_rows_materialized_total", {},
+                           s.rows_materialized);
+        obs::append_header(out, "ccq_source_row_cache_hits_total",
+                           "Row-cache hits inside a sparse source.", "counter");
+        obs::append_sample(out, "ccq_source_row_cache_hits_total", {},
+                           engine_->source().row_cache_hits());
     });
 }
 
@@ -160,6 +186,7 @@ void Server::record_request(std::size_t op_index, bool ok, std::int64_t latency_
     OpMetrics& m = op_metrics_[op_index];
     (ok ? m.ok : m.error)->add(1);
     m.latency_us->record(latency_us);
+    m.source_latency_us->record(latency_us);
 }
 
 void Server::note_conn_opened(std::uint64_t conn_id)
@@ -720,6 +747,10 @@ std::string Server::answer_json(const Request& request)
         out += ",\"backpressure_pauses\":" + std::to_string(s.backpressure_pauses);
         out += ",\"build_total_rounds\":" + std::to_string(s.build_total_rounds);
         out += ",\"build_total_words\":" + std::to_string(s.build_total_words);
+        out += ",\"source_kind\":\"" +
+               std::string(source_kind_name(static_cast<SourceKind>(s.source_kind))) + "\"";
+        out += ",\"stored_cells\":" + std::to_string(s.stored_cells);
+        out += ",\"rows_materialized\":" + std::to_string(s.rows_materialized);
         out += ",\"node_count\":" + std::to_string(s.node_count);
         out += ",\"has_routing\":" + std::string(s.has_routing ? "true" : "false");
         out += "}";
@@ -779,6 +810,10 @@ ServerStats Server::stats() const
     stats.backpressure_pauses = backpressure_pauses_.load(std::memory_order_relaxed);
     stats.build_total_rounds = engine_->meta().total_rounds;
     stats.build_total_words = engine_->meta().total_words;
+    const DistanceSource& source = engine_->source();
+    stats.source_kind = static_cast<std::uint8_t>(source.kind());
+    stats.stored_cells = source.stored_cells();
+    stats.rows_materialized = source.rows_materialized();
     return stats;
 }
 

@@ -253,6 +253,9 @@ private:
         obs::Counter* ok = nullptr;
         obs::Counter* error = nullptr;
         obs::Histogram* latency_us = nullptr;
+        /// Same latency stream, additionally labeled with the engine's
+        /// source kind so dashboards can split dense vs spanner serving.
+        obs::Histogram* source_latency_us = nullptr;
     };
 
     obs::Registry registry_;

@@ -1,0 +1,253 @@
+#include "ccq/serve/distance_source.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "ccq/common/check.hpp"
+#include "ccq/obs/trace.hpp"
+
+namespace ccq {
+
+const char* source_kind_name(SourceKind kind) noexcept
+{
+    switch (kind) {
+    case SourceKind::dense: return "dense";
+    case SourceKind::mapped: return "mapped";
+    case SourceKind::spanner: return "spanner";
+    }
+    return "unknown";
+}
+
+// --- DenseSnapshotSource ----------------------------------------------------
+
+DenseSnapshotSource::DenseSnapshotSource(std::shared_ptr<const OracleSnapshot> snapshot)
+    : snapshot_(std::move(snapshot))
+{
+    CCQ_EXPECT(snapshot_ != nullptr, "DenseSnapshotSource: null snapshot");
+    CCQ_EXPECT(snapshot_->meta.node_count == snapshot_->estimate.size(),
+               "DenseSnapshotSource: snapshot meta/estimate mismatch");
+    CCQ_EXPECT(!snapshot_->has_routing ||
+                   snapshot_->routing.size() == snapshot_->meta.node_count,
+               "DenseSnapshotSource: snapshot routing size mismatch");
+}
+
+Weight DenseSnapshotSource::distance(NodeId from, NodeId to) const
+{
+    return snapshot_->estimate.at(from, to);
+}
+
+void DenseSnapshotSource::fill_row(NodeId from, std::span<Weight> out) const
+{
+    const int n = snapshot_->meta.node_count;
+    CCQ_EXPECT(from >= 0 && from < n, "DenseSnapshotSource::fill_row: node out of range");
+    CCQ_EXPECT(out.size() == static_cast<std::size_t>(n),
+               "DenseSnapshotSource::fill_row: bad row size");
+    const Weight* row =
+        snapshot_->estimate.data() + static_cast<std::size_t>(from) * static_cast<std::size_t>(n);
+    std::copy_n(row, static_cast<std::size_t>(n), out.data());
+}
+
+std::vector<NodeId> DenseSnapshotSource::route(NodeId from, NodeId to) const
+{
+    CCQ_EXPECT(snapshot_->has_routing,
+               "DenseSnapshotSource::route: snapshot has no routing tables");
+    return snapshot_->routing.route(from, to);
+}
+
+std::uint64_t DenseSnapshotSource::stored_cells() const noexcept
+{
+    const std::uint64_t n = static_cast<std::uint64_t>(snapshot_->meta.node_count);
+    return n * n;
+}
+
+// --- MappedSnapshotSource ---------------------------------------------------
+
+MappedSnapshotSource::MappedSnapshotSource(std::shared_ptr<const MappedSnapshot> mapped)
+    : mapped_(std::move(mapped))
+{
+    CCQ_EXPECT(mapped_ != nullptr, "MappedSnapshotSource: null mapped snapshot");
+}
+
+Weight MappedSnapshotSource::distance(NodeId from, NodeId to) const
+{
+    return mapped_->distance(from, to);
+}
+
+void MappedSnapshotSource::fill_row(NodeId from, std::span<Weight> out) const
+{
+    const int n = mapped_->node_count();
+    CCQ_EXPECT(out.size() == static_cast<std::size_t>(n),
+               "MappedSnapshotSource::fill_row: bad row size");
+    // v2 decodes the row once on the first cell; the loop then reads the
+    // mapped snapshot's own per-row cache.
+    for (NodeId v = 0; v < n; ++v) out[static_cast<std::size_t>(v)] = mapped_->distance(from, v);
+}
+
+std::vector<NodeId> MappedSnapshotSource::route(NodeId from, NodeId to) const
+{
+    return mapped_->route(from, to);
+}
+
+std::uint64_t MappedSnapshotSource::stored_cells() const noexcept
+{
+    const std::uint64_t n = static_cast<std::uint64_t>(mapped_->node_count());
+    return n * n;
+}
+
+// --- SpannerDistanceSource --------------------------------------------------
+
+SpannerDistanceSource::SpannerDistanceSource(SparseSnapshot snapshot, SpannerSourceConfig config)
+    : meta_(snapshot.meta),
+      stretch_bound_(snapshot.stretch_bound),
+      parameter_k_(snapshot.parameter_k),
+      construction_(std::move(snapshot.construction)),
+      spanner_edges_(snapshot.edges.size())
+{
+    CCQ_EXPECT(config.cache_shards >= 1,
+               "SpannerDistanceSource: cache_shards must be >= 1");
+    const int n = meta_.node_count;
+
+    // CSR over the symmetrized spanner (the snapshot stores each edge
+    // once under its smaller endpoint; queries walk both directions).
+    std::vector<std::size_t> degree(static_cast<std::size_t>(n) + 1, 0);
+    for (const WeightedEdge& edge : snapshot.edges) {
+        ++degree[static_cast<std::size_t>(edge.u) + 1];
+        ++degree[static_cast<std::size_t>(edge.v) + 1];
+    }
+    offsets_.resize(static_cast<std::size_t>(n) + 1, 0);
+    for (int u = 0; u < n; ++u)
+        offsets_[static_cast<std::size_t>(u) + 1] =
+            offsets_[static_cast<std::size_t>(u)] + degree[static_cast<std::size_t>(u) + 1];
+    arcs_.resize(offsets_.back());
+    std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (const WeightedEdge& edge : snapshot.edges) {
+        arcs_[cursor[static_cast<std::size_t>(edge.u)]++] = {edge.v, edge.weight};
+        arcs_[cursor[static_cast<std::size_t>(edge.v)]++] = {edge.u, edge.weight};
+    }
+
+    const int shard_count = config.row_cache_rows == 0 ? 1 : config.cache_shards;
+    shard_capacity_ =
+        config.row_cache_rows == 0
+            ? 0
+            : std::max<std::size_t>(1, config.row_cache_rows /
+                                           static_cast<std::size_t>(shard_count));
+    shards_ = std::vector<RowShard>(static_cast<std::size_t>(shard_count));
+}
+
+std::vector<Weight> SpannerDistanceSource::run_dijkstra(NodeId from,
+                                                        std::vector<NodeId>* parent) const
+{
+    const int n = meta_.node_count;
+    std::vector<Weight> dist(static_cast<std::size_t>(n), kInfinity);
+    if (parent != nullptr) parent->assign(static_cast<std::size_t>(n), -1);
+    dist[static_cast<std::size_t>(from)] = 0;
+
+    // Min-heap ordered by (distance, node): the node tiebreak makes the
+    // settle order — and therefore the parent trees — deterministic.
+    // Each node settles at most once, so the reconstruction is bounded
+    // by n-1 hops by construction.
+    using HeapEntry = std::pair<Weight, NodeId>;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> heap;
+    heap.push({0, from});
+    while (!heap.empty()) {
+        const auto [d, u] = heap.top();
+        heap.pop();
+        if (d != dist[static_cast<std::size_t>(u)]) continue; // stale entry
+        const std::size_t begin = offsets_[static_cast<std::size_t>(u)];
+        const std::size_t end = offsets_[static_cast<std::size_t>(u) + 1];
+        for (std::size_t i = begin; i < end; ++i) {
+            const Edge& edge = arcs_[i];
+            const Weight candidate = saturating_add(d, edge.weight);
+            if (candidate < dist[static_cast<std::size_t>(edge.to)]) {
+                dist[static_cast<std::size_t>(edge.to)] = candidate;
+                if (parent != nullptr) (*parent)[static_cast<std::size_t>(edge.to)] = u;
+                heap.push({candidate, edge.to});
+            }
+        }
+    }
+    return dist;
+}
+
+SpannerDistanceSource::RowPtr SpannerDistanceSource::row(NodeId from) const
+{
+    CCQ_EXPECT(from >= 0 && from < meta_.node_count,
+               "SpannerDistanceSource: node out of range");
+    if (shard_capacity_ == 0) {
+        rows_materialized_.fetch_add(1, std::memory_order_relaxed);
+        return std::make_shared<const std::vector<Weight>>(run_dijkstra(from, nullptr));
+    }
+    RowShard& shard = shards_[static_cast<std::size_t>(from) % shards_.size()];
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        const auto it = shard.index.find(from);
+        if (it != shard.index.end()) {
+            shard.order.splice(shard.order.begin(), shard.order, it->second); // touch
+            row_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second->second;
+        }
+    }
+    // Dijkstra outside the shard lock: concurrent misses on the same row
+    // may both compute it (identical answers), but never block each
+    // other or readers of other rows in the shard.
+    obs::TraceSpan span("serve/spanner_row", "serve");
+    rows_materialized_.fetch_add(1, std::memory_order_relaxed);
+    RowPtr fresh = std::make_shared<const std::vector<Weight>>(run_dijkstra(from, nullptr));
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (const auto it = shard.index.find(from); it != shard.index.end())
+        return it->second->second; // a concurrent walker beat us
+    shard.order.emplace_front(from, fresh);
+    shard.index.emplace(from, shard.order.begin());
+    if (shard.index.size() > shard_capacity_) {
+        shard.index.erase(shard.order.back().first);
+        shard.order.pop_back();
+    }
+    return fresh;
+}
+
+Weight SpannerDistanceSource::distance(NodeId from, NodeId to) const
+{
+    CCQ_EXPECT(to >= 0 && to < meta_.node_count, "SpannerDistanceSource: node out of range");
+    return (*row(from))[static_cast<std::size_t>(to)];
+}
+
+void SpannerDistanceSource::fill_row(NodeId from, std::span<Weight> out) const
+{
+    CCQ_EXPECT(out.size() == static_cast<std::size_t>(meta_.node_count),
+               "SpannerDistanceSource::fill_row: bad row size");
+    const RowPtr cells = row(from);
+    std::copy(cells->begin(), cells->end(), out.begin());
+}
+
+std::vector<NodeId> SpannerDistanceSource::route(NodeId from, NodeId to) const
+{
+    CCQ_EXPECT(from >= 0 && from < meta_.node_count && to >= 0 && to < meta_.node_count,
+               "SpannerDistanceSource::route: node out of range");
+    std::vector<NodeId> parent;
+    const std::vector<Weight> dist = run_dijkstra(from, &parent);
+    if (!is_finite(dist[static_cast<std::size_t>(to)])) return {};
+    std::vector<NodeId> path;
+    for (NodeId v = to; v != -1; v = parent[static_cast<std::size_t>(v)]) path.push_back(v);
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+// --- factory ----------------------------------------------------------------
+
+std::shared_ptr<const DistanceSource> open_distance_source(const std::string& path,
+                                                           const DistanceSourceOptions& options)
+{
+    const SnapshotFormat format = peek_snapshot_format(path);
+    if (format == SnapshotFormat::v3_spanner) {
+        SpannerSourceConfig config;
+        config.row_cache_rows = options.spanner_row_cache_rows;
+        return std::make_shared<const SpannerDistanceSource>(load_sparse_snapshot(path), config);
+    }
+    if (options.prefer_mmap)
+        return std::make_shared<const MappedSnapshotSource>(
+            std::make_shared<const MappedSnapshot>(path));
+    return std::make_shared<const DenseSnapshotSource>(
+        std::make_shared<const OracleSnapshot>(load_snapshot(path)));
+}
+
+} // namespace ccq

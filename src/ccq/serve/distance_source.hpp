@@ -1,0 +1,224 @@
+// The versioned read path of the serving stack: every consumer of
+// distance estimates (QueryEngine, path reconstruction, k-nearest,
+// batching, the path cache, the wire server) queries an abstract
+// DistanceSource instead of branching on how the snapshot is stored.
+//
+// Three concrete sources exist today:
+//
+//   DenseSnapshotSource    an owned/shared in-memory OracleSnapshot
+//   MappedSnapshotSource   an mmap'd dense file (lazy v2 row decode)
+//   SpannerDistanceSource  a sparse v3 snapshot: only the spanner edge
+//                          list is stored; distances are reconstructed
+//                          at query time by Dijkstra over the spanner,
+//                          one source row at a time, with a sharded LRU
+//                          row cache absorbing reuse
+//
+// The dense pair answers with the snapshot's exact stored cells — the
+// refactor is test-enforced bitwise-identical to the pre-DistanceSource
+// engine.  The spanner source answers within the construction's stretch
+// bound: exact <= answer <= stretch * exact (also test-enforced).
+//
+// This is the storage/serving trade-off of the deterministic
+// spanner-based APSP route (Censor-Hillel–Dory–Korhonen–Leitersdorf,
+// arXiv 1903.05956): O(k n^{1+1/k}) stored cells instead of n^2, paid
+// for with per-row Dijkstra latency on cache misses.
+#ifndef CCQ_SERVE_DISTANCE_SOURCE_HPP
+#define CCQ_SERVE_DISTANCE_SOURCE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ccq/serve/snapshot.hpp"
+
+namespace ccq {
+
+/// How a DistanceSource stores its answers.  On the stats wire (and in
+/// metrics) since stats v3, so the integer values are a contract.
+enum class SourceKind : std::uint8_t {
+    dense = 0,   ///< in-memory n^2 estimate
+    mapped = 1,  ///< mmap'd dense file
+    spanner = 2, ///< sparse spanner, rows reconstructed on demand
+};
+
+/// "dense" / "mapped" / "spanner" (metric label values, logs, JSON).
+[[nodiscard]] const char* source_kind_name(SourceKind kind) noexcept;
+
+/// A read-only oracle: answers distance (and optionally path) queries
+/// for one immutable snapshot.  All methods are const and thread-safe;
+/// implementations may keep internal caches but must answer every query
+/// identically regardless of cache state (cold == warm, test-enforced).
+class DistanceSource {
+public:
+    virtual ~DistanceSource() = default;
+
+    [[nodiscard]] virtual SourceKind kind() const noexcept = 0;
+    [[nodiscard]] virtual const SnapshotMeta& meta() const noexcept = 0;
+    /// True when route() can answer (routing tables, or a structure —
+    /// like the spanner — that paths can be computed from).
+    [[nodiscard]] virtual bool has_routing() const noexcept = 0;
+
+    /// Distance estimate for (from, to); kInfinity when unreachable.
+    /// Both nodes must be in range (callers validate).
+    [[nodiscard]] virtual Weight distance(NodeId from, NodeId to) const = 0;
+
+    /// Copies the full estimate row of `from` into `out` (size n).  Row
+    /// consumers (k-nearest scans) go through this so sparse sources pay
+    /// one reconstruction per row, not n virtual point lookups.
+    virtual void fill_row(NodeId from, std::span<Weight> out) const = 0;
+
+    /// The node sequence from -> ... -> to; empty when unreachable (or
+    /// when a corrupted table breaks the walk).  Requires has_routing().
+    [[nodiscard]] virtual std::vector<NodeId> route(NodeId from, NodeId to) const = 0;
+
+    /// Cells the backing snapshot actually stores: n^2 for dense
+    /// formats, the spanner edge count for v3.  On the stats wire.
+    [[nodiscard]] virtual std::uint64_t stored_cells() const noexcept = 0;
+
+    /// Lazy-row bookkeeping; zero for sources that store rows directly.
+    [[nodiscard]] virtual std::uint64_t rows_materialized() const noexcept { return 0; }
+    [[nodiscard]] virtual std::uint64_t row_cache_hits() const noexcept { return 0; }
+
+    [[nodiscard]] int node_count() const noexcept { return meta().node_count; }
+};
+
+/// Dense source over an owned/shared in-memory snapshot.
+class DenseSnapshotSource final : public DistanceSource {
+public:
+    explicit DenseSnapshotSource(std::shared_ptr<const OracleSnapshot> snapshot);
+
+    [[nodiscard]] SourceKind kind() const noexcept override { return SourceKind::dense; }
+    [[nodiscard]] const SnapshotMeta& meta() const noexcept override { return snapshot_->meta; }
+    [[nodiscard]] bool has_routing() const noexcept override { return snapshot_->has_routing; }
+    [[nodiscard]] Weight distance(NodeId from, NodeId to) const override;
+    void fill_row(NodeId from, std::span<Weight> out) const override;
+    [[nodiscard]] std::vector<NodeId> route(NodeId from, NodeId to) const override;
+    [[nodiscard]] std::uint64_t stored_cells() const noexcept override;
+
+    [[nodiscard]] const OracleSnapshot& snapshot() const noexcept { return *snapshot_; }
+
+private:
+    std::shared_ptr<const OracleSnapshot> snapshot_;
+};
+
+/// Dense source over an mmap'd snapshot file (v1 in-place cells, v2
+/// decode-once lazy rows — both inside MappedSnapshot).
+class MappedSnapshotSource final : public DistanceSource {
+public:
+    explicit MappedSnapshotSource(std::shared_ptr<const MappedSnapshot> mapped);
+
+    [[nodiscard]] SourceKind kind() const noexcept override { return SourceKind::mapped; }
+    [[nodiscard]] const SnapshotMeta& meta() const noexcept override { return mapped_->meta(); }
+    [[nodiscard]] bool has_routing() const noexcept override { return mapped_->has_routing(); }
+    [[nodiscard]] Weight distance(NodeId from, NodeId to) const override;
+    void fill_row(NodeId from, std::span<Weight> out) const override;
+    [[nodiscard]] std::vector<NodeId> route(NodeId from, NodeId to) const override;
+    [[nodiscard]] std::uint64_t stored_cells() const noexcept override;
+
+    [[nodiscard]] const MappedSnapshot& mapped() const noexcept { return *mapped_; }
+
+private:
+    std::shared_ptr<const MappedSnapshot> mapped_;
+};
+
+struct SpannerSourceConfig {
+    /// Reconstructed rows kept across queries (0 disables caching: every
+    /// point query runs a fresh Dijkstra — correct but slow).
+    std::size_t row_cache_rows = 1024;
+    /// Independent LRU shards, each with its own mutex.
+    int cache_shards = 16;
+};
+
+/// Sparse source over a v3 snapshot: the spanner is held as a CSR
+/// adjacency (symmetrized at load), and the row for a query source is
+/// materialized on first touch by a Dijkstra over the spanner — each
+/// relaxation settles a node at most once, so the walk is bounded by
+/// n-1 hops by construction.  Materialized rows live in a sharded LRU
+/// keyed by source node; rows_materialized()/row_cache_hits() expose
+/// the hit economics to stats and metrics.
+///
+/// Answers obey exact <= distance(u,v) <= stretch_bound * exact, where
+/// exact is the true distance in the source graph (spanner guarantee).
+class SpannerDistanceSource final : public DistanceSource {
+public:
+    explicit SpannerDistanceSource(SparseSnapshot snapshot, SpannerSourceConfig config = {});
+
+    [[nodiscard]] SourceKind kind() const noexcept override { return SourceKind::spanner; }
+    [[nodiscard]] const SnapshotMeta& meta() const noexcept override { return meta_; }
+    /// Paths come from the same Dijkstra that answers distances, so a
+    /// spanner source always routes — no n^2 next-hop tables needed.
+    [[nodiscard]] bool has_routing() const noexcept override { return true; }
+    [[nodiscard]] Weight distance(NodeId from, NodeId to) const override;
+    void fill_row(NodeId from, std::span<Weight> out) const override;
+    [[nodiscard]] std::vector<NodeId> route(NodeId from, NodeId to) const override;
+    [[nodiscard]] std::uint64_t stored_cells() const noexcept override
+    {
+        return spanner_edges_;
+    }
+    [[nodiscard]] std::uint64_t rows_materialized() const noexcept override
+    {
+        return rows_materialized_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t row_cache_hits() const noexcept override
+    {
+        return row_cache_hits_.load(std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] int stretch_bound() const noexcept { return stretch_bound_; }
+    [[nodiscard]] int parameter_k() const noexcept { return parameter_k_; }
+    [[nodiscard]] const std::string& construction() const noexcept { return construction_; }
+
+private:
+    using RowPtr = std::shared_ptr<const std::vector<Weight>>;
+
+    struct RowShard {
+        std::mutex mutex;
+        std::list<std::pair<NodeId, RowPtr>> order; ///< most-recent first
+        std::unordered_map<NodeId, std::list<std::pair<NodeId, RowPtr>>::iterator> index;
+    };
+
+    [[nodiscard]] RowPtr row(NodeId from) const;
+    [[nodiscard]] std::vector<Weight> run_dijkstra(NodeId from,
+                                                   std::vector<NodeId>* parent) const;
+
+    SnapshotMeta meta_;
+    int stretch_bound_ = 1;
+    int parameter_k_ = 1;
+    std::string construction_;
+    std::uint64_t spanner_edges_ = 0;
+
+    // CSR over the symmetrized spanner: arcs of u are
+    // arcs_[offsets_[u], offsets_[u+1]).
+    std::vector<std::size_t> offsets_;
+    std::vector<Edge> arcs_;
+
+    std::size_t shard_capacity_ = 0; ///< rows per shard (0 = caching off)
+    mutable std::vector<RowShard> shards_;
+    mutable std::atomic<std::uint64_t> rows_materialized_{0};
+    mutable std::atomic<std::uint64_t> row_cache_hits_{0};
+};
+
+struct DistanceSourceOptions {
+    /// Dense files: serve from an mmap instead of an eager load.
+    /// Ignored for v3 (the sparse edge list loads eagerly either way).
+    bool prefer_mmap = false;
+    /// Row cache of a spanner source (v3 files only).
+    std::size_t spanner_row_cache_rows = 1024;
+};
+
+/// Opens a snapshot file of any format as the right DistanceSource:
+/// peeks the envelope version, then loads v1/v2 as a dense (or mmap)
+/// source and v3 as a SpannerDistanceSource.  This is how ccq_served,
+/// ccq_serve query, and bench auto-detect v3.
+[[nodiscard]] std::shared_ptr<const DistanceSource>
+open_distance_source(const std::string& path, const DistanceSourceOptions& options = {});
+
+} // namespace ccq
+
+#endif // CCQ_SERVE_DISTANCE_SOURCE_HPP

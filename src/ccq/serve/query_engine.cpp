@@ -4,39 +4,30 @@
 
 namespace ccq {
 
-QueryEngine::QueryEngine(OracleSnapshot snapshot, QueryEngineConfig config)
-    : snapshot_(std::make_shared<const OracleSnapshot>(std::move(snapshot))), config_(config)
+QueryEngine::QueryEngine(std::shared_ptr<const DistanceSource> source, QueryEngineConfig config)
+    : source_(std::move(source)), config_(config)
 {
-    init_from_snapshot();
+    CCQ_EXPECT(source_ != nullptr, "QueryEngine: null distance source");
+    meta_ = source_->meta();
+    has_routing_ = source_->has_routing();
+    init_cache();
 }
 
-QueryEngine::QueryEngine(std::shared_ptr<const OracleSnapshot> snapshot,
-                         QueryEngineConfig config)
-    : snapshot_(std::move(snapshot)), config_(config)
+QueryEngine::QueryEngine(OracleSnapshot snapshot, QueryEngineConfig config)
+    : QueryEngine(std::make_shared<const DenseSnapshotSource>(
+                      std::make_shared<const OracleSnapshot>(std::move(snapshot))),
+                  config)
 {
-    CCQ_EXPECT(snapshot_ != nullptr, "QueryEngine: null snapshot");
-    init_from_snapshot();
+}
+
+QueryEngine::QueryEngine(std::shared_ptr<const OracleSnapshot> snapshot, QueryEngineConfig config)
+    : QueryEngine(std::make_shared<const DenseSnapshotSource>(std::move(snapshot)), config)
+{
 }
 
 QueryEngine::QueryEngine(std::shared_ptr<const MappedSnapshot> mapped, QueryEngineConfig config)
-    : mapped_(std::move(mapped)), config_(config)
+    : QueryEngine(std::make_shared<const MappedSnapshotSource>(std::move(mapped)), config)
 {
-    CCQ_EXPECT(mapped_ != nullptr, "QueryEngine: null mapped snapshot");
-    meta_ = mapped_->meta();
-    has_routing_ = mapped_->has_routing();
-    init_cache();
-}
-
-void QueryEngine::init_from_snapshot()
-{
-    CCQ_EXPECT(snapshot_->meta.node_count == snapshot_->estimate.size(),
-               "QueryEngine: snapshot meta/estimate mismatch");
-    CCQ_EXPECT(!snapshot_->has_routing ||
-                   snapshot_->routing.size() == snapshot_->meta.node_count,
-               "QueryEngine: snapshot routing size mismatch");
-    meta_ = snapshot_->meta;
-    has_routing_ = snapshot_->has_routing;
-    init_cache();
 }
 
 void QueryEngine::init_cache()
@@ -91,7 +82,7 @@ PathResult QueryEngine::reconstruct_path(NodeId from, NodeId to) const
 {
     PathResult result;
     result.distance = estimate_at(from, to);
-    result.nodes = mapped_ ? mapped_->route(from, to) : snapshot_->routing.route(from, to);
+    result.nodes = source_->route(from, to);
     // A walkable route paired with an infinite estimate (or vice versa)
     // only arises from a corrupted snapshot; serve it as unreachable
     // rather than as a self-contradictory answer.
@@ -119,11 +110,15 @@ std::vector<NearTarget> QueryEngine::nearest_targets(NodeId from, int k) const
 {
     CCQ_EXPECT(valid(from), "QueryEngine::nearest_targets: node out of range");
     CCQ_EXPECT(k >= 0, "QueryEngine::nearest_targets: k must be >= 0");
+    // Whole-row read: sparse sources reconstruct the row once instead of
+    // paying n virtual point lookups.
+    std::vector<Weight> row(static_cast<std::size_t>(meta_.node_count), kInfinity);
+    source_->fill_row(from, row);
     std::vector<NearTarget> candidates;
     candidates.reserve(static_cast<std::size_t>(meta_.node_count));
     for (NodeId v = 0; v < meta_.node_count; ++v) {
         if (v == from) continue;
-        const Weight d = estimate_at(from, v);
+        const Weight d = row[static_cast<std::size_t>(v)];
         if (!is_finite(d)) continue;
         candidates.push_back({v, d});
     }

@@ -1,14 +1,20 @@
-// In-memory query engine over a loaded oracle snapshot: the serve-many
-// half of build-once/serve-many.
+// Query engine over a DistanceSource: the serve-many half of
+// build-once/serve-many.
 //
-// The engine answers four query shapes against an immutable snapshot:
-// point distance (one matrix read), full path reconstruction (next-hop
-// walking over the snapshot's routing tables), k-nearest targets (row
-// scan with the library's (weight, id) tie order), and batched query
-// vectors, which are partitioned across the shared ccq::ThreadPool.
+// The engine answers four query shapes against an immutable source:
+// point distance (one source read), full path reconstruction (the
+// source's route), k-nearest targets (row scan with the library's
+// (weight, id) tie order), and batched query vectors, which are
+// partitioned across the shared ccq::ThreadPool.
+//
+// The engine never branches on how the oracle is stored — dense
+// in-memory, mmap'd file, or sparse spanner all arrive as the same
+// DistanceSource interface (serve/distance_source.hpp); the
+// snapshot-taking constructors below are conveniences that wrap the
+// right concrete source.
 //
 // All query methods are const and safe to call concurrently: the
-// snapshot is read-only after construction, and the only mutable state
+// source is read-only after construction, and the only mutable state
 // — the LRU cache of reconstructed paths — is sharded by query key with
 // one mutex per shard so concurrent walkers rarely contend.
 #ifndef CCQ_SERVE_QUERY_ENGINE_HPP
@@ -26,6 +32,7 @@
 
 #include "ccq/common/parallel.hpp"
 #include "ccq/obs/metrics.hpp"
+#include "ccq/serve/distance_source.hpp"
 #include "ccq/serve/snapshot.hpp"
 
 namespace ccq {
@@ -77,6 +84,11 @@ struct CacheStats {
 
 class QueryEngine {
 public:
+    /// Serves any DistanceSource — the one constructor every other
+    /// constructor delegates to.
+    explicit QueryEngine(std::shared_ptr<const DistanceSource> source,
+                         QueryEngineConfig config = {});
+
     /// Takes ownership of the snapshot; the engine is immutable afterwards.
     explicit QueryEngine(OracleSnapshot snapshot, QueryEngineConfig config = {});
 
@@ -95,8 +107,14 @@ public:
     [[nodiscard]] int node_count() const noexcept { return meta_.node_count; }
     [[nodiscard]] const SnapshotMeta& meta() const noexcept { return meta_; }
     [[nodiscard]] bool has_routing() const noexcept { return has_routing_; }
+    /// The source answering this engine's queries.
+    [[nodiscard]] const DistanceSource& source() const noexcept { return *source_; }
+    [[nodiscard]] SourceKind source_kind() const noexcept { return source_->kind(); }
     /// True when serving from an mmap'd file instead of owned memory.
-    [[nodiscard]] bool is_mapped() const noexcept { return mapped_ != nullptr; }
+    [[nodiscard]] bool is_mapped() const noexcept
+    {
+        return source_->kind() == SourceKind::mapped;
+    }
 
     /// Distance estimate for (from, to); kInfinity when unreachable.
     [[nodiscard]] Weight distance(NodeId from, NodeId to) const;
@@ -167,13 +185,11 @@ private:
     [[nodiscard]] PathResult reconstruct_path(NodeId from, NodeId to) const;
     [[nodiscard]] Weight estimate_at(NodeId from, NodeId to) const
     {
-        return mapped_ ? mapped_->distance(from, to) : snapshot_->estimate.at(from, to);
+        return source_->distance(from, to);
     }
-    void init_from_snapshot();
     void init_cache();
 
-    std::shared_ptr<const OracleSnapshot> snapshot_; ///< owned/shared mode
-    std::shared_ptr<const MappedSnapshot> mapped_;   ///< mmap mode (null otherwise)
+    std::shared_ptr<const DistanceSource> source_; ///< the one read path
     SnapshotMeta meta_;
     bool has_routing_ = false;
     QueryEngineConfig config_;

@@ -327,14 +327,114 @@ void decode_hop_row(std::string_view row_bytes, int n, NodeId* out)
 [[nodiscard]] OracleSnapshot decode_payload(std::uint32_t version, std::string_view payload)
 {
     try {
-        return version == kSnapshotVersionRaw ? decode_payload_v1(payload)
-                                              : decode_payload_v2(payload);
+        return version == format_version(SnapshotFormat::v1_raw) ? decode_payload_v1(payload)
+                                                                 : decode_payload_v2(payload);
     } catch (const decode_error& error) {
         throw snapshot_io_error(std::string("read_snapshot: ") + error.what());
     }
 }
 
+// Every unknown-version rejection goes through here so the message
+// always names the version that was found, not just "unsupported".
+[[noreturn]] void throw_unknown_version(const char* who, std::uint32_t version)
+{
+    throw snapshot_io_error(std::string(who) + ": unsupported snapshot format version " +
+                            std::to_string(version) + " (this build understands 1.." +
+                            std::to_string(kSnapshotFormatVersion) + ")");
+}
+
+void write_envelope(std::ostream& out, SnapshotFormat format, std::string_view payload,
+                    const char* who)
+{
+    std::string header;
+    header.append(kMagic.data(), kMagic.size());
+    put_u32(header, format_version(format));
+    put_u64(header, payload.size());
+
+    std::string footer;
+    put_u64(footer, fnv1a(payload));
+
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+    if (!out) throw snapshot_io_error(std::string(who) + ": stream write failed");
+}
+
+struct Envelope {
+    std::uint32_t version = 0;
+    std::string payload;
+};
+
+/// Reads magic + version + length + payload + checksum; verifies
+/// everything except the version (callers gate on the formats they can
+/// decode, so the error can point at the right loader).
+[[nodiscard]] Envelope read_envelope(std::istream& in, const char* who)
+{
+    std::string header(kHeaderBytes, '\0');
+    in.read(header.data(), static_cast<std::streamsize>(header.size()));
+    if (static_cast<std::size_t>(in.gcount()) != header.size())
+        throw snapshot_io_error(std::string(who) + ": truncated header");
+    if (std::memcmp(header.data(), kMagic.data(), kMagic.size()) != 0)
+        throw snapshot_io_error(std::string(who) + ": bad magic (not a ccq snapshot)");
+
+    ByteReader fields(std::string_view(header).substr(kMagic.size()));
+    Envelope envelope;
+    envelope.version = fields.u32();
+    const std::uint64_t payload_size = fields.u64();
+
+    // The length field sits outside the checksummed payload, so it is
+    // untrusted: read in bounded chunks instead of allocating it upfront,
+    // so a corrupted huge length ends as "truncated payload" once the
+    // stream runs dry rather than as a multi-GB allocation.
+    std::string& payload = envelope.payload;
+    constexpr std::uint64_t kChunk = 1 << 20;
+    while (payload.size() < payload_size) {
+        const std::uint64_t want = std::min<std::uint64_t>(kChunk, payload_size - payload.size());
+        const std::size_t old_size = payload.size();
+        payload.resize(old_size + want);
+        in.read(payload.data() + old_size, static_cast<std::streamsize>(want));
+        if (static_cast<std::uint64_t>(in.gcount()) != want)
+            throw snapshot_io_error(std::string(who) + ": truncated payload");
+    }
+
+    std::string footer(kFooterBytes, '\0');
+    in.read(footer.data(), static_cast<std::streamsize>(footer.size()));
+    if (static_cast<std::size_t>(in.gcount()) != footer.size())
+        throw snapshot_io_error(std::string(who) + ": truncated checksum");
+    ByteReader footer_reader(footer);
+    if (footer_reader.u64() != fnv1a(payload))
+        throw snapshot_io_error(std::string(who) + ": checksum mismatch (corrupted snapshot)");
+    return envelope;
+}
+
 } // namespace
+
+const char* snapshot_format_name(SnapshotFormat format) noexcept
+{
+    switch (format) {
+    case SnapshotFormat::v1_raw: return "v1-raw";
+    case SnapshotFormat::v2_compressed: return "v2-compressed";
+    case SnapshotFormat::v3_spanner: return "v3-spanner";
+    }
+    return "unknown";
+}
+
+SnapshotFormat peek_snapshot_format(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw snapshot_io_error("peek_snapshot_format: cannot open " + path);
+    std::string header(kHeaderBytes, '\0');
+    in.read(header.data(), static_cast<std::streamsize>(header.size()));
+    if (static_cast<std::size_t>(in.gcount()) != header.size())
+        throw snapshot_io_error("peek_snapshot_format: truncated header in " + path);
+    if (std::memcmp(header.data(), kMagic.data(), kMagic.size()) != 0)
+        throw snapshot_io_error("peek_snapshot_format: bad magic (not a ccq snapshot): " + path);
+    ByteReader fields(std::string_view(header).substr(kMagic.size()));
+    const std::uint32_t version = fields.u32();
+    if (version < format_version(SnapshotFormat::v1_raw) || version > kSnapshotFormatVersion)
+        throw_unknown_version("peek_snapshot_format", version);
+    return static_cast<SnapshotFormat>(version);
+}
 
 OracleSnapshot OracleSnapshot::from_result(const Graph& source, const ApspResult& result,
                                            std::uint64_t build_seed,
@@ -362,7 +462,7 @@ OracleSnapshot OracleSnapshot::from_result(const Graph& source, const ApspResult
     return snapshot;
 }
 
-void write_snapshot(std::ostream& out, const OracleSnapshot& snapshot, SnapshotCodec codec)
+void write_snapshot(std::ostream& out, const OracleSnapshot& snapshot, SnapshotFormat format)
 {
     obs::TraceSpan span("snapshot/write", "serve");
     const SnapshotMeta& meta = snapshot.meta;
@@ -370,76 +470,33 @@ void write_snapshot(std::ostream& out, const OracleSnapshot& snapshot, SnapshotC
                "write_snapshot: meta/estimate node count mismatch");
     CCQ_EXPECT(!snapshot.has_routing || snapshot.routing.size() == meta.node_count,
                "write_snapshot: routing node count mismatch");
-    CCQ_EXPECT(codec == SnapshotCodec::raw || codec == SnapshotCodec::compressed,
-               "write_snapshot: unknown codec");
+    CCQ_EXPECT(format == SnapshotFormat::v1_raw || format == SnapshotFormat::v2_compressed,
+               "write_snapshot: dense snapshots are v1 or v2 (v3 is write_sparse_snapshot)");
 
-    const std::string payload = codec == SnapshotCodec::raw ? encode_payload_v1(snapshot)
-                                                            : encode_payload_v2(snapshot);
-
-    std::string header;
-    header.append(kMagic.data(), kMagic.size());
-    put_u32(header, static_cast<std::uint32_t>(codec));
-    put_u64(header, payload.size());
-
-    std::string footer;
-    put_u64(footer, fnv1a(payload));
-
-    out.write(header.data(), static_cast<std::streamsize>(header.size()));
-    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    out.write(footer.data(), static_cast<std::streamsize>(footer.size()));
-    if (!out) throw snapshot_io_error("write_snapshot: stream write failed");
+    const std::string payload = format == SnapshotFormat::v1_raw ? encode_payload_v1(snapshot)
+                                                                 : encode_payload_v2(snapshot);
+    write_envelope(out, format, payload, "write_snapshot");
 }
 
 OracleSnapshot read_snapshot(std::istream& in)
 {
     obs::TraceSpan span("snapshot/read", "serve");
-    std::string header(kHeaderBytes, '\0');
-    in.read(header.data(), static_cast<std::streamsize>(header.size()));
-    if (static_cast<std::size_t>(in.gcount()) != header.size())
-        throw snapshot_io_error("read_snapshot: truncated header");
-    if (std::memcmp(header.data(), kMagic.data(), kMagic.size()) != 0)
-        throw snapshot_io_error("read_snapshot: bad magic (not a ccq snapshot)");
-
-    ByteReader fields(std::string_view(header).substr(kMagic.size()));
-    const std::uint32_t version = fields.u32();
-    if (version != kSnapshotVersionRaw && version != kSnapshotVersionCompressed)
-        throw snapshot_io_error("read_snapshot: unsupported format version " +
-                                std::to_string(version) + " (this reader understands 1.." +
-                                std::to_string(kSnapshotFormatVersion) + ")");
-    const std::uint64_t payload_size = fields.u64();
-
-    // The length field sits outside the checksummed payload, so it is
-    // untrusted: read in bounded chunks instead of allocating it upfront,
-    // so a corrupted huge length ends as "truncated payload" once the
-    // stream runs dry rather than as a multi-GB allocation.
-    std::string payload;
-    constexpr std::uint64_t kChunk = 1 << 20;
-    while (payload.size() < payload_size) {
-        const std::uint64_t want = std::min<std::uint64_t>(kChunk, payload_size - payload.size());
-        const std::size_t old_size = payload.size();
-        payload.resize(old_size + want);
-        in.read(payload.data() + old_size, static_cast<std::streamsize>(want));
-        if (static_cast<std::uint64_t>(in.gcount()) != want)
-            throw snapshot_io_error("read_snapshot: truncated payload");
-    }
-
-    std::string footer(kFooterBytes, '\0');
-    in.read(footer.data(), static_cast<std::streamsize>(footer.size()));
-    if (static_cast<std::size_t>(in.gcount()) != footer.size())
-        throw snapshot_io_error("read_snapshot: truncated checksum");
-    ByteReader footer_reader(footer);
-    const std::uint64_t stored = footer_reader.u64();
-    if (stored != fnv1a(payload))
-        throw snapshot_io_error("read_snapshot: checksum mismatch (corrupted snapshot)");
-
-    return decode_payload(version, payload);
+    const Envelope envelope = read_envelope(in, "read_snapshot");
+    if (envelope.version == format_version(SnapshotFormat::v3_spanner))
+        throw snapshot_io_error(
+            "read_snapshot: format version 3 stores a sparse spanner, not a dense matrix; "
+            "load it with load_sparse_snapshot or open_distance_source");
+    if (envelope.version != format_version(SnapshotFormat::v1_raw) &&
+        envelope.version != format_version(SnapshotFormat::v2_compressed))
+        throw_unknown_version("read_snapshot", envelope.version);
+    return decode_payload(envelope.version, envelope.payload);
 }
 
-void save_snapshot(const std::string& path, const OracleSnapshot& snapshot, SnapshotCodec codec)
+void save_snapshot(const std::string& path, const OracleSnapshot& snapshot, SnapshotFormat format)
 {
     std::ofstream out(path, std::ios::binary);
     if (!out) throw snapshot_io_error("save_snapshot: cannot open " + path);
-    write_snapshot(out, snapshot, codec);
+    write_snapshot(out, snapshot, format);
     out.flush();
     if (!out) throw snapshot_io_error("save_snapshot: write to " + path + " failed");
 }
@@ -449,6 +506,216 @@ OracleSnapshot load_snapshot(const std::string& path)
     std::ifstream in(path, std::ios::binary);
     if (!in) throw snapshot_io_error("load_snapshot: cannot open " + path);
     return read_snapshot(in);
+}
+
+// --- version 3: sparse spanner edge list (CSR, delta+varint) ----------------
+
+SparseSnapshot SparseSnapshot::from_spanner(const Graph& source, const SpannerResult& result,
+                                            std::string construction, std::uint64_t build_seed)
+{
+    CCQ_EXPECT(source.node_count() == result.spanner.node_count(),
+               "SparseSnapshot::from_spanner: graph/spanner size mismatch");
+    CCQ_EXPECT(!source.is_directed(),
+               "SparseSnapshot::from_spanner: spanners are for undirected graphs");
+    SparseSnapshot snapshot;
+    snapshot.meta.node_count = source.node_count();
+    snapshot.meta.edge_count = source.edge_count();
+    snapshot.meta.directed = false;
+    snapshot.meta.max_weight = source.max_weight();
+    snapshot.meta.algorithm = "spanner-" + construction;
+    snapshot.meta.claimed_stretch = static_cast<double>(result.stretch_bound);
+    snapshot.meta.build_seed = build_seed;
+    snapshot.stretch_bound = result.stretch_bound;
+    snapshot.parameter_k = result.parameter_k;
+    snapshot.construction = std::move(construction);
+
+    // Canonical edge list: u <= v, self-loops dropped, parallels collapsed
+    // to their minimum weight, sorted by (u, v) — the order the CSR
+    // encoding (strictly increasing targets per row) requires.
+    std::vector<WeightedEdge> edges = result.spanner.edge_list();
+    for (WeightedEdge& edge : edges)
+        if (edge.u > edge.v) std::swap(edge.u, edge.v);
+    std::sort(edges.begin(), edges.end(), [](const WeightedEdge& a, const WeightedEdge& b) {
+        if (a.u != b.u) return a.u < b.u;
+        if (a.v != b.v) return a.v < b.v;
+        return a.weight < b.weight;
+    });
+    for (const WeightedEdge& edge : edges) {
+        if (edge.u == edge.v) continue;
+        if (!snapshot.edges.empty() && snapshot.edges.back().u == edge.u &&
+            snapshot.edges.back().v == edge.v)
+            continue; // sorted by weight within (u, v): the kept one is minimal
+        snapshot.edges.push_back(edge);
+    }
+    return snapshot;
+}
+
+Graph SparseSnapshot::spanner_graph() const
+{
+    Graph g(meta.node_count, Orientation::undirected);
+    for (const WeightedEdge& edge : edges) g.add_edge(edge.u, edge.v, edge.weight);
+    return g;
+}
+
+namespace {
+
+[[nodiscard]] std::string encode_payload_v3(const SparseSnapshot& snapshot)
+{
+    const int n = snapshot.meta.node_count;
+    std::string payload;
+    encode_meta(payload, snapshot.meta);
+    put_u32(payload, static_cast<std::uint32_t>(snapshot.stretch_bound));
+    put_u32(payload, static_cast<std::uint32_t>(snapshot.parameter_k));
+    put_string(payload, snapshot.construction);
+    put_u64(payload, snapshot.edges.size());
+
+    std::string blob;
+    std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+    std::size_t next = 0;
+    for (int u = 0; u < n; ++u) {
+        NodeId prev = static_cast<NodeId>(u);
+        while (next < snapshot.edges.size() && snapshot.edges[next].u == u) {
+            const WeightedEdge& edge = snapshot.edges[next];
+            CCQ_EXPECT(edge.v > prev && edge.v < n && edge.weight >= 0 &&
+                           edge.weight < kInfinity,
+                       "write_sparse_snapshot: edge list not canonical (sorted, u < v, "
+                       "finite weights)");
+            put_varint_u64(blob, static_cast<std::uint64_t>(edge.v - prev));
+            put_varint_u64(blob, static_cast<std::uint64_t>(edge.weight));
+            prev = edge.v;
+            ++next;
+        }
+        offsets[static_cast<std::size_t>(u) + 1] = blob.size();
+    }
+    CCQ_EXPECT(next == snapshot.edges.size(),
+               "write_sparse_snapshot: edge endpoints out of node range");
+    for (const std::uint64_t offset : offsets) put_u64(payload, offset);
+    payload += blob;
+    return payload;
+}
+
+[[nodiscard]] SparseSnapshot decode_payload_v3(std::string_view payload)
+{
+    ByteReader reader(payload);
+    SparseSnapshot snapshot;
+    snapshot.meta = decode_meta(reader);
+    const int n = snapshot.meta.node_count;
+    if (snapshot.meta.directed)
+        throw snapshot_io_error("read_sparse_snapshot: spanner snapshots are undirected");
+
+    const std::uint32_t stretch = reader.u32();
+    const std::uint32_t k = reader.u32();
+    if (stretch < 1 || stretch > std::numeric_limits<std::int32_t>::max() || k < 1 ||
+        k > std::numeric_limits<std::int32_t>::max())
+        throw snapshot_io_error("read_sparse_snapshot: stretch/k out of range");
+    snapshot.stretch_bound = static_cast<int>(stretch);
+    snapshot.parameter_k = static_cast<int>(k);
+    snapshot.construction = reader.str();
+
+    // edge_count is untrusted (FNV-1a detects accidents, not forgery):
+    // each edge costs at least 2 blob bytes (delta + weight varints), so
+    // prove the payload can hold m edges before allocating m.
+    const std::uint64_t m = reader.u64();
+    if (m > reader.remaining() / 2)
+        throw snapshot_io_error("read_sparse_snapshot: edge count exceeds payload size");
+
+    const std::uint64_t entries = static_cast<std::uint64_t>(n) + 1;
+    if (entries > reader.remaining() / 8)
+        throw snapshot_io_error(
+            "read_sparse_snapshot: node count exceeds payload size (spanner offsets)");
+    std::vector<std::size_t> offsets(static_cast<std::size_t>(entries));
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+        const std::uint64_t offset = reader.u64();
+        if (offset > reader.remaining())
+            throw snapshot_io_error(
+                "read_sparse_snapshot: spanner row offset exceeds payload size");
+        offsets[i] = static_cast<std::size_t>(offset);
+    }
+    if (offsets.front() != 0)
+        throw snapshot_io_error("read_sparse_snapshot: spanner offsets do not start at zero");
+    for (std::size_t i = 0; i + 1 < offsets.size(); ++i)
+        if (offsets[i + 1] < offsets[i])
+            throw snapshot_io_error("read_sparse_snapshot: spanner row offsets not monotone");
+    const std::size_t blob_size = offsets.back();
+    if (blob_size > reader.remaining())
+        throw snapshot_io_error("read_sparse_snapshot: spanner blob exceeds payload size");
+    const std::size_t blob_offset = reader.position();
+    (void)reader.bytes(blob_size);
+    if (!reader.exhausted())
+        throw snapshot_io_error("read_sparse_snapshot: trailing bytes after payload");
+
+    snapshot.edges.reserve(static_cast<std::size_t>(m));
+    for (int u = 0; u < n; ++u) {
+        const std::size_t begin = offsets[static_cast<std::size_t>(u)];
+        const std::size_t end = offsets[static_cast<std::size_t>(u) + 1];
+        ByteReader row(payload.substr(blob_offset + begin, end - begin));
+        NodeId prev = static_cast<NodeId>(u);
+        while (!row.exhausted()) {
+            const std::uint64_t delta = row.varint_u64();
+            // delta >= 1 keeps targets strictly increasing; the sum
+            // check also rejects targets past the last node.
+            if (delta == 0 ||
+                delta > static_cast<std::uint64_t>(n) - static_cast<std::uint64_t>(prev) - 1)
+                throw snapshot_io_error("read_sparse_snapshot: spanner target out of range");
+            const NodeId target = static_cast<NodeId>(prev + static_cast<NodeId>(delta));
+            const std::uint64_t weight = row.varint_u64();
+            if (weight >= static_cast<std::uint64_t>(kInfinity))
+                throw snapshot_io_error("read_sparse_snapshot: edge weight out of range");
+            if (snapshot.edges.size() >= m)
+                throw snapshot_io_error(
+                    "read_sparse_snapshot: more edges than the declared count");
+            snapshot.edges.push_back({static_cast<NodeId>(u), target,
+                                      static_cast<Weight>(weight)});
+            prev = target;
+        }
+    }
+    if (snapshot.edges.size() != m)
+        throw snapshot_io_error("read_sparse_snapshot: fewer edges than the declared count");
+    return snapshot;
+}
+
+} // namespace
+
+void write_sparse_snapshot(std::ostream& out, const SparseSnapshot& snapshot)
+{
+    obs::TraceSpan span("snapshot/write_sparse", "serve");
+    CCQ_EXPECT(snapshot.meta.node_count >= 0, "write_sparse_snapshot: negative node count");
+    write_envelope(out, SnapshotFormat::v3_spanner, encode_payload_v3(snapshot),
+                   "write_sparse_snapshot");
+}
+
+SparseSnapshot read_sparse_snapshot(std::istream& in)
+{
+    obs::TraceSpan span("snapshot/read_sparse", "serve");
+    const Envelope envelope = read_envelope(in, "read_sparse_snapshot");
+    if (envelope.version == format_version(SnapshotFormat::v1_raw) ||
+        envelope.version == format_version(SnapshotFormat::v2_compressed))
+        throw snapshot_io_error("read_sparse_snapshot: format version " +
+                                std::to_string(envelope.version) +
+                                " is a dense snapshot; load it with load_snapshot");
+    if (envelope.version != format_version(SnapshotFormat::v3_spanner))
+        throw_unknown_version("read_sparse_snapshot", envelope.version);
+    try {
+        return decode_payload_v3(envelope.payload);
+    } catch (const decode_error& error) {
+        throw snapshot_io_error(std::string("read_sparse_snapshot: ") + error.what());
+    }
+}
+
+void save_sparse_snapshot(const std::string& path, const SparseSnapshot& snapshot)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw snapshot_io_error("save_sparse_snapshot: cannot open " + path);
+    write_sparse_snapshot(out, snapshot);
+    out.flush();
+    if (!out) throw snapshot_io_error("save_sparse_snapshot: write to " + path + " failed");
+}
+
+SparseSnapshot load_sparse_snapshot(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw snapshot_io_error("load_sparse_snapshot: cannot open " + path);
+    return read_sparse_snapshot(in);
 }
 
 // --- MappedSnapshot ---------------------------------------------------------
@@ -482,9 +749,13 @@ MappedSnapshot::MappedSnapshot(const std::string& path)
             throw snapshot_io_error("MappedSnapshot: bad magic (not a ccq snapshot)");
         ByteReader header(std::string_view(bytes + kMagic.size(), 4 + 8));
         version_ = header.u32();
-        if (version_ != kSnapshotVersionRaw && version_ != kSnapshotVersionCompressed)
-            throw snapshot_io_error("MappedSnapshot: unsupported format version " +
-                                    std::to_string(version_));
+        if (version_ == ccq::format_version(SnapshotFormat::v3_spanner))
+            throw snapshot_io_error(
+                "MappedSnapshot: format version 3 stores a sparse spanner, not a dense "
+                "matrix; load it with load_sparse_snapshot or open_distance_source");
+        if (version_ != ccq::format_version(SnapshotFormat::v1_raw) &&
+            version_ != ccq::format_version(SnapshotFormat::v2_compressed))
+            throw_unknown_version("MappedSnapshot", version_);
         const std::uint64_t payload_size = header.u64();
         if (payload_size != map_size_ - kHeaderBytes - kFooterBytes)
             throw snapshot_io_error(
@@ -505,7 +776,7 @@ MappedSnapshot::MappedSnapshot(const std::string& path)
             const int n = meta_.node_count;
             const std::uint64_t cells =
                 static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n);
-            if (version_ == kSnapshotVersionRaw) {
+            if (version_ == ccq::format_version(SnapshotFormat::v1_raw)) {
                 if (cells > reader.remaining() / 8)
                     throw snapshot_io_error(
                         "read_snapshot: node count exceeds payload size");
@@ -615,7 +886,7 @@ Weight MappedSnapshot::distance(NodeId from, NodeId to) const
 {
     check_node(from, "MappedSnapshot::distance: node out of range");
     check_node(to, "MappedSnapshot::distance: node out of range");
-    if (version_ == kSnapshotVersionRaw) {
+    if (version_ == ccq::format_version(SnapshotFormat::v1_raw)) {
         const std::size_t cell = static_cast<std::size_t>(from) *
                                      static_cast<std::size_t>(meta_.node_count) +
                                  static_cast<std::size_t>(to);
@@ -630,7 +901,7 @@ NodeId MappedSnapshot::next_hop(NodeId from, NodeId to) const
     check_node(from, "MappedSnapshot::next_hop: node out of range");
     check_node(to, "MappedSnapshot::next_hop: node out of range");
     CCQ_EXPECT(has_routing_, "MappedSnapshot::next_hop: snapshot has no routing tables");
-    if (version_ == kSnapshotVersionRaw) {
+    if (version_ == ccq::format_version(SnapshotFormat::v1_raw)) {
         const std::size_t cell = static_cast<std::size_t>(from) *
                                      static_cast<std::size_t>(meta_.node_count) +
                                  static_cast<std::size_t>(to);

@@ -12,9 +12,9 @@
 // Envelope (all integers little-endian, fixed width):
 //
 //   magic    8 bytes  "CCQSNAP\n"
-//   version  u32      1 (raw codec) or 2 (compressed codec)
+//   version  u32      SnapshotFormat (1, 2 or 3)
 //   length   u64      payload byte count (truncation detection)
-//   payload  ...      meta + estimate + optional next hops
+//   payload  ...      format-dependent (see below)
 //   checksum u64      FNV-1a 64 of the payload (corruption detection)
 //
 // Version 1 stores every estimate cell as a fixed 8-byte integer and
@@ -22,12 +22,17 @@
 // delta-encoded as zigzag varints behind a row-offset table, which both
 // shrinks the file (neighboring estimates are close; unreachable runs
 // collapse to one byte per cell) and enables lazy per-row decoding.
+// Version 3 ("codec v3") stores no distance matrix at all: only a
+// spanner edge list in CSR form (delta-varint targets + varint weights),
+// O(k n^{1+1/k}) cells instead of n^2 — distances are reconstructed at
+// query time by SpannerDistanceSource (serve/distance_source.hpp).
 //
-// Readers accept both versions and reject unknown versions, short
-// files, and checksum mismatches with snapshot_io_error; a successful
-// load round-trips bitwise.  MappedSnapshot serves either version
-// straight from an mmap'd file: integrity is verified once at open, and
-// v2 rows are decoded on first touch (decode-once, thread-safe).
+// Dense readers accept versions 1 and 2 and reject everything else
+// (including v3, with a pointer at the sparse loader) with
+// snapshot_io_error naming the found version; a successful load
+// round-trips bitwise.  MappedSnapshot serves version 1 or 2 straight
+// from an mmap'd file: integrity is verified once at open, and v2 rows
+// are decoded on first touch (decode-once, thread-safe).
 #ifndef CCQ_SERVE_SNAPSHOT_HPP
 #define CCQ_SERVE_SNAPSHOT_HPP
 
@@ -43,6 +48,7 @@
 #include "ccq/core/routing.hpp"
 #include "ccq/graph/graph.hpp"
 #include "ccq/matrix/dense.hpp"
+#include "ccq/spanner/baswana_sen.hpp"
 
 namespace ccq {
 
@@ -52,16 +58,34 @@ public:
     explicit snapshot_io_error(const std::string& what_arg) : std::runtime_error(what_arg) {}
 };
 
-/// On-disk encodings; the envelope version field is the codec.
-enum class SnapshotCodec : std::uint32_t {
-    raw = 1,        ///< fixed-width cells (format version 1)
-    compressed = 2, ///< per-row delta+varint behind offset tables (version 2)
+/// On-disk encodings; the envelope version field is the format.  Every
+/// writer, reader, and tool names formats through this enum — the
+/// integer only appears on the wire.
+enum class SnapshotFormat : std::uint32_t {
+    v1_raw = 1,        ///< dense, fixed-width cells
+    v2_compressed = 2, ///< dense, per-row delta+varint behind offset tables
+    v3_spanner = 3,    ///< sparse: spanner edge list only (CSR, delta+varint)
 };
 
-inline constexpr std::uint32_t kSnapshotVersionRaw = 1;
-inline constexpr std::uint32_t kSnapshotVersionCompressed = 2;
-/// Highest format version this reader understands.
-inline constexpr std::uint32_t kSnapshotFormatVersion = kSnapshotVersionCompressed;
+/// Highest format version any reader in this build understands.
+inline constexpr std::uint32_t kSnapshotFormatVersion =
+    static_cast<std::uint32_t>(SnapshotFormat::v3_spanner);
+
+/// The wire value of a format.
+[[nodiscard]] constexpr std::uint32_t format_version(SnapshotFormat format) noexcept
+{
+    return static_cast<std::uint32_t>(format);
+}
+
+/// "v1-raw" / "v2-compressed" / "v3-spanner" (for logs, bench JSON, CLI).
+[[nodiscard]] const char* snapshot_format_name(SnapshotFormat format) noexcept;
+
+/// Reads just the envelope header of a snapshot file and returns its
+/// format, so callers (ccq_served, ccq_serve, bench) can pick the dense
+/// or sparse load path before committing to either.  Throws
+/// snapshot_io_error on missing files, bad magic, or a version this
+/// build does not understand (naming the found version).
+[[nodiscard]] SnapshotFormat peek_snapshot_format(const std::string& path);
 
 /// Everything about the build that is not the bulk payload.
 struct SnapshotMeta {
@@ -94,12 +118,55 @@ struct OracleSnapshot {
 };
 
 void write_snapshot(std::ostream& out, const OracleSnapshot& snapshot,
-                    SnapshotCodec codec = SnapshotCodec::raw);
+                    SnapshotFormat format = SnapshotFormat::v1_raw);
 [[nodiscard]] OracleSnapshot read_snapshot(std::istream& in);
 
 void save_snapshot(const std::string& path, const OracleSnapshot& snapshot,
-                   SnapshotCodec codec = SnapshotCodec::raw);
+                   SnapshotFormat format = SnapshotFormat::v1_raw);
 [[nodiscard]] OracleSnapshot load_snapshot(const std::string& path);
+
+/// A persisted sparse oracle (format v3): the spanner edge list plus the
+/// source graph's metadata and the stretch contract.  The n^2 estimate
+/// is never stored; SpannerDistanceSource reconstructs rows on demand.
+///
+/// v3 payload layout (after the shared meta block):
+///
+///   stretch_bound  u32          guaranteed multiplicative stretch (2k-1)
+///   parameter_k    u32          the k used by the construction
+///   construction   string       "baswana-sen" / "greedy" / ...
+///   edge_count     u64          m, undirected spanner edges
+///   offsets        (n+1) x u64  CSR row u holds edges {u,v} with v > u
+///   blob           offsets[n] bytes of concatenated rows; each edge is
+///                  varint(target delta, strictly positive) + varint(weight)
+///
+/// Storing each undirected edge once under its smaller endpoint with
+/// strictly increasing targets makes every delta >= 1, so a valid blob
+/// spends at least 2 bytes per edge — the pre-allocation bound the
+/// reader proves before trusting the claimed edge count.
+struct SparseSnapshot {
+    SnapshotMeta meta;        ///< describes the SOURCE graph, not the spanner
+    int stretch_bound = 1;
+    int parameter_k = 1;
+    std::string construction; ///< spanner algorithm name
+    std::vector<WeightedEdge> edges; ///< u <= v, sorted, deduplicated
+
+    /// Assembles a sparse snapshot from a spanner of `source`.
+    [[nodiscard]] static SparseSnapshot from_spanner(const Graph& source,
+                                                     const SpannerResult& result,
+                                                     std::string construction,
+                                                     std::uint64_t build_seed);
+
+    /// The spanner as an adjacency-list graph (undirected).
+    [[nodiscard]] Graph spanner_graph() const;
+
+    friend bool operator==(const SparseSnapshot&, const SparseSnapshot&) = default;
+};
+
+void write_sparse_snapshot(std::ostream& out, const SparseSnapshot& snapshot);
+[[nodiscard]] SparseSnapshot read_sparse_snapshot(std::istream& in);
+
+void save_sparse_snapshot(const std::string& path, const SparseSnapshot& snapshot);
+[[nodiscard]] SparseSnapshot load_sparse_snapshot(const std::string& path);
 
 /// An oracle served directly from an mmap'd snapshot file.
 ///
@@ -109,6 +176,8 @@ void save_snapshot(const std::string& path, const OracleSnapshot& snapshot,
 /// version-2 rows are decoded on first touch into a per-row cache
 /// (std::call_once, so concurrent readers are safe and each row is
 /// decoded exactly once).  All accessors are const and thread-safe.
+/// Dense formats only; a v3 file loads via load_sparse_snapshot /
+/// open_distance_source instead.
 class MappedSnapshot {
 public:
     explicit MappedSnapshot(const std::string& path);
@@ -134,7 +203,7 @@ public:
     [[nodiscard]] std::vector<NodeId> route(NodeId from, NodeId to) const;
 
     /// Full eager decode into an in-memory snapshot (for tests and for
-    /// re-encoding under a different codec).
+    /// re-encoding under a different format).
     [[nodiscard]] OracleSnapshot materialize() const;
 
 private:

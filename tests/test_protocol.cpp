@@ -269,6 +269,9 @@ TEST(Protocol, RepliesRoundTrip)
     stats.backpressure_pauses = 11;
     stats.build_total_rounds = 17.5;
     stats.build_total_words = 4096;
+    stats.source_kind = 2; // spanner
+    stats.stored_cells = 1234;
+    stats.rows_materialized = 17;
     EXPECT_EQ(decode_stats_reply(split_reply(encode_stats_reply(stats)).second), stats);
 
     // Prometheus scrape text passes through byte-for-byte.
@@ -279,29 +282,47 @@ TEST(Protocol, RepliesRoundTrip)
 
 TEST(Protocol, StatsV1RepliesDecodeWithDefaultTrailer)
 {
-    // A v1 server's stats reply simply ends after has_routing; the
-    // decoder must leave the v2 trailer fields at their defaults, not
-    // reject the frame.  Strip the 24-byte trailer (u64 + f64 + u64)
-    // the v2 encoder appends to forge the old shape.
+    // Older servers' stats replies simply end early; the decoder must
+    // leave the newer trailer fields at their defaults, not reject the
+    // frame.  Strip the trailers the current encoder appends — v3 is
+    // 17 bytes (u8 + u64 + u64), v2 another 24 (u64 + f64 + u64) — to
+    // forge the old shapes.
     ServerStats stats;
     stats.frames_served = 5;
     stats.backpressure_pauses = 9;
     stats.build_total_rounds = 3.25;
     stats.build_total_words = 64;
+    stats.source_kind = 1; // mapped
+    stats.stored_cells = 9216;
+    stats.rows_materialized = 3;
     const std::string reply = encode_stats_reply(stats);
     const auto [status, payload] = split_reply(reply);
     ASSERT_EQ(status, Status::ok);
-    const std::string v1 = std::string(payload).substr(0, payload.size() - 24);
 
-    const ServerStats decoded = decode_stats_reply(v1);
-    EXPECT_EQ(decoded.frames_served, 5u);
-    EXPECT_EQ(decoded.backpressure_pauses, 0u);
-    EXPECT_EQ(decoded.build_total_rounds, 0.0);
-    EXPECT_EQ(decoded.build_total_words, 0u);
+    // A v2 server's reply: ends after build_total_words.
+    const ServerStats from_v2 =
+        decode_stats_reply(std::string(payload).substr(0, payload.size() - 17));
+    EXPECT_EQ(from_v2.frames_served, 5u);
+    EXPECT_EQ(from_v2.build_total_words, 64u);
+    EXPECT_EQ(from_v2.source_kind, 0u);
+    EXPECT_EQ(from_v2.stored_cells, 0u);
+    EXPECT_EQ(from_v2.rows_materialized, 0u);
 
-    // A partial trailer is torn, not v1: reject it.
+    // A v1 server's reply: ends after has_routing.
+    const ServerStats from_v1 =
+        decode_stats_reply(std::string(payload).substr(0, payload.size() - 17 - 24));
+    EXPECT_EQ(from_v1.frames_served, 5u);
+    EXPECT_EQ(from_v1.backpressure_pauses, 0u);
+    EXPECT_EQ(from_v1.build_total_rounds, 0.0);
+    EXPECT_EQ(from_v1.build_total_words, 0u);
+    EXPECT_EQ(from_v1.source_kind, 0u);
+
+    // A partial trailer is torn, not an older version: reject it.
     EXPECT_THROW((void)decode_stats_reply(std::string(payload).substr(0, payload.size() - 8)),
                  protocol_error);
+    EXPECT_THROW(
+        (void)decode_stats_reply(std::string(payload).substr(0, payload.size() - 17 - 8)),
+        protocol_error);
 }
 
 TEST(Protocol, OpMetricIndexCoversEveryOpcode)

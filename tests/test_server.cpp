@@ -217,12 +217,12 @@ TEST_P(ServerBackends, RoundTripEquivalenceAcrossCodecV2AndMmap)
 
     const std::string v1_path = ::testing::TempDir() + "ccq_server_equiv_v1.snap";
     const std::string v2_path = ::testing::TempDir() + "ccq_server_equiv_v2.snap";
-    save_snapshot(v1_path, built.snapshot, SnapshotCodec::raw);
-    save_snapshot(v2_path, built.snapshot, SnapshotCodec::compressed);
+    save_snapshot(v1_path, built.snapshot, SnapshotFormat::v1_raw);
+    save_snapshot(v2_path, built.snapshot, SnapshotFormat::v2_compressed);
 
     const QueryEngine reference(load_snapshot(v1_path));
     const auto mapped = std::make_shared<const MappedSnapshot>(v2_path);
-    EXPECT_EQ(mapped->format_version(), kSnapshotVersionCompressed);
+    EXPECT_EQ(mapped->format_version(), format_version(SnapshotFormat::v2_compressed));
     RunningServer running(std::make_shared<const QueryEngine>(mapped), backend_config());
     Client client = running.connect();
 
@@ -1061,7 +1061,7 @@ TEST(Server, VersionSkewAgainstASimulatedV1Peer)
     v1_stats.build_total_rounds = 3.25;   // never sends: forged below by
     v1_stats.build_total_words = 64;      // truncating the reply
     std::string stats_reply = encode_stats_reply(v1_stats);
-    stats_reply.resize(stats_reply.size() - 24); // strip the v2 trailer
+    stats_reply.resize(stats_reply.size() - 24 - 17); // strip the v2+v3 trailers
     scripted->push_reply(stats_reply);
     scripted->push_reply(encode_error_reply(Status::malformed, "unknown opcode 0x11"));
     scripted->push_reply(encode_error_reply(Status::malformed, "unknown opcode 0x12"));

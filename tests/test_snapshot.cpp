@@ -32,7 +32,7 @@ OracleSnapshot make_snapshot(const InstanceSpec& spec)
 }
 
 /// Serializes to an in-memory byte string.
-std::string to_bytes(const OracleSnapshot& snapshot, SnapshotCodec codec = SnapshotCodec::raw)
+std::string to_bytes(const OracleSnapshot& snapshot, SnapshotFormat codec = SnapshotFormat::v1_raw)
 {
     std::ostringstream out(std::ios::binary);
     write_snapshot(out, snapshot, codec);
@@ -249,7 +249,7 @@ TEST(SnapshotCellValidation, OutOfRangeEstimateCellsAreRejectedByBothCodecs)
                              std::numeric_limits<Weight>::max(),
                              std::numeric_limits<Weight>::min()}) {
         const OracleSnapshot forged = snapshot_with_bad_cell(bad);
-        for (const SnapshotCodec codec : {SnapshotCodec::raw, SnapshotCodec::compressed}) {
+        for (const SnapshotFormat codec : {SnapshotFormat::v1_raw, SnapshotFormat::v2_compressed}) {
             try {
                 (void)from_bytes(to_bytes(forged, codec));
                 FAIL() << "codec " << static_cast<int>(codec) << " accepted cell " << bad;
@@ -261,7 +261,7 @@ TEST(SnapshotCellValidation, OutOfRangeEstimateCellsAreRejectedByBothCodecs)
     }
     // kInfinity itself (unreachable) stays legal in both codecs.
     const OracleSnapshot legal = snapshot_with_bad_cell(kInfinity);
-    for (const SnapshotCodec codec : {SnapshotCodec::raw, SnapshotCodec::compressed})
+    for (const SnapshotFormat codec : {SnapshotFormat::v1_raw, SnapshotFormat::v2_compressed})
         EXPECT_EQ(from_bytes(to_bytes(legal, codec)).estimate.at(2, 7), kInfinity);
 }
 
@@ -271,7 +271,7 @@ TEST(SnapshotCellValidation, OutOfRangeNextHopsAreRejectedByBothCodecs)
     std::vector<NodeId> hops(100, -1);
     hops[5] = 10; // one past the node range
     forged.routing = RoutingTables(10, std::move(hops));
-    for (const SnapshotCodec codec : {SnapshotCodec::raw, SnapshotCodec::compressed}) {
+    for (const SnapshotFormat codec : {SnapshotFormat::v1_raw, SnapshotFormat::v2_compressed}) {
         try {
             (void)from_bytes(to_bytes(forged, codec));
             FAIL() << "codec " << static_cast<int>(codec) << " accepted a bad hop";
@@ -307,7 +307,7 @@ TEST(SnapshotV2, RoundTripsBitwiseOnRandomGraphs)
           InstanceSpec{GraphFamily::tree, 24, 9}}) {
         const OracleSnapshot original = make_snapshot(spec);
         const OracleSnapshot loaded =
-            from_bytes(to_bytes(original, SnapshotCodec::compressed));
+            from_bytes(to_bytes(original, SnapshotFormat::v2_compressed));
         expect_equal(original, loaded);
     }
 }
@@ -317,7 +317,7 @@ TEST(SnapshotV2, RoundTripsWithoutRouting)
     const Graph g = testing::make_instance(InstanceSpec{GraphFamily::grid, 25, 2});
     const ApspResult result = logn_approx_apsp(g, {});
     const OracleSnapshot original = OracleSnapshot::from_result(g, result, 1);
-    const OracleSnapshot loaded = from_bytes(to_bytes(original, SnapshotCodec::compressed));
+    const OracleSnapshot loaded = from_bytes(to_bytes(original, SnapshotFormat::v2_compressed));
     expect_equal(original, loaded);
 }
 
@@ -325,8 +325,8 @@ TEST(SnapshotV2, CompressedIsStrictlySmallerThanRaw)
 {
     const OracleSnapshot snapshot =
         make_snapshot(InstanceSpec{GraphFamily::erdos_renyi_sparse, 64, 11});
-    const std::size_t raw = to_bytes(snapshot, SnapshotCodec::raw).size();
-    const std::size_t compressed = to_bytes(snapshot, SnapshotCodec::compressed).size();
+    const std::size_t raw = to_bytes(snapshot, SnapshotFormat::v1_raw).size();
+    const std::size_t compressed = to_bytes(snapshot, SnapshotFormat::v2_compressed).size();
     EXPECT_LT(compressed, raw);
     // Delta+varint should beat fixed 8-byte cells by a wide margin on
     // 1..100-weight instances; 2x is a deliberately loose floor.
@@ -338,8 +338,8 @@ TEST(SnapshotV2, VersionFieldDistinguishesTheCodecs)
     // Back-compat contract: the default writer still produces version 1,
     // the compressed writer stamps version 2, and both load.
     const OracleSnapshot snapshot = make_snapshot(InstanceSpec{GraphFamily::tree, 12, 1});
-    const std::string v1 = to_bytes(snapshot, SnapshotCodec::raw);
-    const std::string v2 = to_bytes(snapshot, SnapshotCodec::compressed);
+    const std::string v1 = to_bytes(snapshot, SnapshotFormat::v1_raw);
+    const std::string v2 = to_bytes(snapshot, SnapshotFormat::v2_compressed);
     EXPECT_EQ(v1[8], 1);
     EXPECT_EQ(v2[8], 2);
     expect_equal(from_bytes(v1), from_bytes(v2));
@@ -349,7 +349,7 @@ TEST(SnapshotV2, RejectsTruncationAndBitFlipsLikeV1)
 {
     const std::string bytes =
         to_bytes(make_snapshot(InstanceSpec{GraphFamily::tree, 12, 1}),
-                 SnapshotCodec::compressed);
+                 SnapshotFormat::v2_compressed);
     for (const std::size_t keep :
          {std::size_t{0}, std::size_t{5}, std::size_t{19}, bytes.size() / 2, bytes.size() - 3})
         EXPECT_THROW((void)from_bytes(bytes.substr(0, keep)), snapshot_io_error)
@@ -371,11 +371,11 @@ TEST(SnapshotV2, V1PayloadRelabeledAsV2IsRejected)
     // it alone passes the checksum; the structural row-table validation
     // must catch the mismatch (and not crash or misread).
     std::string bytes = to_bytes(make_snapshot(InstanceSpec{GraphFamily::tree, 12, 1}),
-                                 SnapshotCodec::raw);
+                                 SnapshotFormat::v1_raw);
     bytes[8] = 2;
     EXPECT_THROW((void)from_bytes(bytes), snapshot_io_error);
     std::string reversed = to_bytes(make_snapshot(InstanceSpec{GraphFamily::tree, 12, 1}),
-                                    SnapshotCodec::compressed);
+                                    SnapshotFormat::v2_compressed);
     reversed[8] = 1;
     EXPECT_THROW((void)from_bytes(reversed), snapshot_io_error);
 }
@@ -385,7 +385,7 @@ TEST(SnapshotV2, ForgedNodeCountIsRejectedBeforeAllocation)
     // Same contract as v1: a crafted huge node_count with a recomputed
     // checksum dies on the payload-size bound, not on an n^2 allocation.
     std::string bytes = to_bytes(make_snapshot(InstanceSpec{GraphFamily::tree, 12, 1}),
-                                 SnapshotCodec::compressed);
+                                 SnapshotFormat::v2_compressed);
     const std::size_t header_size = 8 + 4 + 8;
     bytes[header_size + 0] = 0;
     bytes[header_size + 1] = 0;
@@ -406,7 +406,7 @@ TEST(SnapshotV2, CorruptedRowOffsetsAreRejectedEvenWithAValidChecksum)
     // Break the estimate row-offset table structurally (non-monotone /
     // out-of-bounds) and rehash, so only the v2 validation can object.
     const OracleSnapshot snapshot = make_snapshot(InstanceSpec{GraphFamily::tree, 12, 1});
-    const std::string good = to_bytes(snapshot, SnapshotCodec::compressed);
+    const std::string good = to_bytes(snapshot, SnapshotFormat::v2_compressed);
     // The offset table starts right after the meta block; find it by
     // encoding meta alone is fragile, so flip high bytes of several u64s
     // in the table region instead (first ~13*8 bytes after meta end are
@@ -430,7 +430,7 @@ TEST(SnapshotV2, CorruptedRowOffsetsAreRejectedEvenWithAValidChecksum)
 class SnapshotMmap : public ::testing::Test {
 protected:
     [[nodiscard]] static std::string write_file(const OracleSnapshot& snapshot,
-                                                SnapshotCodec codec, const std::string& name)
+                                                SnapshotFormat codec, const std::string& name)
     {
         const std::string path = ::testing::TempDir() + name;
         save_snapshot(path, snapshot, codec);
@@ -442,7 +442,7 @@ TEST_F(SnapshotMmap, ServesBothCodecsBitwiseIdenticalToEagerLoading)
 {
     const OracleSnapshot original =
         make_snapshot(InstanceSpec{GraphFamily::erdos_renyi_sparse, 40, 13});
-    for (const SnapshotCodec codec : {SnapshotCodec::raw, SnapshotCodec::compressed}) {
+    for (const SnapshotFormat codec : {SnapshotFormat::v1_raw, SnapshotFormat::v2_compressed}) {
         const std::string path = write_file(
             original, codec, "ccq_mmap_" + std::to_string(static_cast<int>(codec)) + ".snap");
         const MappedSnapshot mapped(path);
@@ -469,7 +469,7 @@ TEST_F(SnapshotMmap, ConcurrentLazyRowDecodingIsConsistent)
     const OracleSnapshot original =
         make_snapshot(InstanceSpec{GraphFamily::clustered, 48, 5});
     const std::string path =
-        write_file(original, SnapshotCodec::compressed, "ccq_mmap_concurrent.snap");
+        write_file(original, SnapshotFormat::v2_compressed, "ccq_mmap_concurrent.snap");
     const MappedSnapshot mapped(path);
     std::vector<std::thread> workers;
     std::atomic<int> failures{0};
@@ -489,7 +489,7 @@ TEST_F(SnapshotMmap, ConcurrentLazyRowDecodingIsConsistent)
 TEST_F(SnapshotMmap, RejectsCorruptionTruncationAndBadMagicAtOpen)
 {
     const OracleSnapshot original = make_snapshot(InstanceSpec{GraphFamily::tree, 12, 1});
-    const std::string good = to_bytes(original, SnapshotCodec::compressed);
+    const std::string good = to_bytes(original, SnapshotFormat::v2_compressed);
     const std::string path = ::testing::TempDir() + "ccq_mmap_corrupt.snap";
 
     const auto write_raw = [&](const std::string& bytes) {
@@ -531,13 +531,13 @@ TEST_F(SnapshotMmap, OutOfRangeCellsAreRejectedInBothCodecs)
 
     // v1 cells are served straight from the mapping, so the invariant
     // scan runs at open and the constructor itself must reject.
-    const std::string v1 = write_file(forged, SnapshotCodec::raw, "ccq_mmap_badcell_v1.snap");
+    const std::string v1 = write_file(forged, SnapshotFormat::v1_raw, "ccq_mmap_badcell_v1.snap");
     EXPECT_THROW((void)MappedSnapshot(v1), snapshot_io_error);
 
     // v2 rows decode lazily: the open validates structure, the poisoned
     // row is rejected on first touch, and clean rows still answer.
     const std::string v2 =
-        write_file(forged, SnapshotCodec::compressed, "ccq_mmap_badcell_v2.snap");
+        write_file(forged, SnapshotFormat::v2_compressed, "ccq_mmap_badcell_v2.snap");
     const MappedSnapshot mapped(v2);
     EXPECT_EQ(mapped.distance(0, 7), forged.estimate.at(0, 7));
     EXPECT_THROW((void)mapped.distance(2, 7), snapshot_io_error);
@@ -551,7 +551,7 @@ TEST_F(SnapshotMmap, QueryEngineOverMmapMatchesInMemoryEngine)
     const OracleSnapshot original =
         make_snapshot(InstanceSpec{GraphFamily::erdos_renyi_sparse, 32, 7});
     const std::string path =
-        write_file(original, SnapshotCodec::compressed, "ccq_mmap_engine.snap");
+        write_file(original, SnapshotFormat::v2_compressed, "ccq_mmap_engine.snap");
     const QueryEngine reference(original);
     const QueryEngine served(std::make_shared<const MappedSnapshot>(path));
     EXPECT_TRUE(served.is_mapped());

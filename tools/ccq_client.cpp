@@ -33,6 +33,7 @@
 
 #include "ccq/net/client.hpp"
 #include "ccq/obs/metrics.hpp"
+#include "ccq/serve/distance_source.hpp"
 #include "tool_common.hpp"
 
 namespace {
@@ -226,7 +227,9 @@ int run(Args& args)
                         "\"path_queries\":%llu,\"knearest_queries\":%llu,\"batch_items\":%llu,"
                         "\"cache_hits\":%llu,\"cache_misses\":%llu,"
                         "\"backpressure_pauses\":%llu,\"build_total_rounds\":%.6g,"
-                        "\"build_total_words\":%llu,\"uptime_seconds\":%.3f,"
+                        "\"build_total_words\":%llu,\"source_kind\":\"%s\","
+                        "\"stored_cells\":%llu,\"rows_materialized\":%llu,"
+                        "\"uptime_seconds\":%.3f,"
                         "\"node_count\":%d,\"has_routing\":%s}\n",
                         static_cast<unsigned long long>(s.connections_accepted),
                         static_cast<unsigned long long>(s.connections_rejected),
@@ -242,10 +245,14 @@ int run(Args& args)
                         static_cast<unsigned long long>(s.backpressure_pauses),
                         s.build_total_rounds,
                         static_cast<unsigned long long>(s.build_total_words),
+                        source_kind_name(static_cast<SourceKind>(s.source_kind)),
+                        static_cast<unsigned long long>(s.stored_cells),
+                        static_cast<unsigned long long>(s.rows_materialized),
                         s.uptime_seconds, s.node_count, s.has_routing ? "true" : "false");
         } else {
-            std::printf("n=%d routing=%s up=%.1fs\n", s.node_count,
-                        s.has_routing ? "yes" : "no", s.uptime_seconds);
+            std::printf("n=%d routing=%s up=%.1fs source=%s\n", s.node_count,
+                        s.has_routing ? "yes" : "no", s.uptime_seconds,
+                        source_kind_name(static_cast<SourceKind>(s.source_kind)));
             std::printf("connections: %llu accepted, %llu rejected, %llu active\n",
                         static_cast<unsigned long long>(s.connections_accepted),
                         static_cast<unsigned long long>(s.connections_rejected),
@@ -265,6 +272,9 @@ int run(Args& args)
                         static_cast<unsigned long long>(s.backpressure_pauses));
             std::printf("build ledger: %.6g rounds, %llu words\n", s.build_total_rounds,
                         static_cast<unsigned long long>(s.build_total_words));
+            std::printf("source: %llu stored cells, %llu rows materialized\n",
+                        static_cast<unsigned long long>(s.stored_cells),
+                        static_cast<unsigned long long>(s.rows_materialized));
         }
         return 0;
     }

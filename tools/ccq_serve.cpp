@@ -24,6 +24,7 @@
 #include <deque>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -43,8 +44,10 @@
 #include "ccq/net/client.hpp"
 #include "ccq/net/server.hpp"
 #include "ccq/obs/trace.hpp"
+#include "ccq/serve/distance_source.hpp"
 #include "ccq/serve/query_engine.hpp"
 #include "ccq/serve/snapshot.hpp"
+#include "ccq/spanner/greedy.hpp"
 #include "tool_common.hpp"
 
 namespace {
@@ -63,6 +66,8 @@ int usage(const char* argv0)
                  "large-bandwidth|general]\n"
                  "       [--seed <n>] [--eps <x>] [--threads <n>] [--no-routing]"
                  " [--compress] [--save-graph <file>] [--trace-out <json>]\n"
+                 "       [--sparse [--spanner baswana-sen|greedy] [--spanner-k <k>]"
+                 " [--verify-stretch <sources>]]\n"
                  "  %s query --snapshot <file> (--from <u> --to <v> | --batch <file>)\n"
                  "       [--path] [--k <n>] [--json] [--threads <n>] [--mmap]\n"
                  "  %s bench --snapshot <file> [--queries <n>] [--warmup <n>] [--threads <n>]\n"
@@ -70,8 +75,11 @@ int usage(const char* argv0)
                  "       [--trace-every <n>]\n"
                  "       [--io threads|epoll] [--mmap] [--no-recode] [--no-metrics]"
                  " [--metrics-ab]\n"
-                 "       [--mix distance|path|mixed] [--seed <n>] [--out <json>]\n",
-                 argv0, argv0, argv0);
+                 "       [--mix distance|path|mixed] [--seed <n>] [--out <json>]\n"
+                 "  %s bench --oracle-ablation [--sizes <n1,n2,...>] [--family <name>]\n"
+                 "       [--queries <n>] [--spanner-k <k>] [--stretch-sources <n>]\n"
+                 "       [--seed <n>] [--out <json>]\n",
+                 argv0, argv0, argv0, argv0);
     return 1;
 }
 
@@ -111,10 +119,74 @@ int usage(const char* argv0)
 
 // --- build ------------------------------------------------------------------
 
+/// `build --sparse`: persist a spanner edge list (codec v3) instead of a
+/// dense n^2 oracle.  Orders of magnitude smaller on disk; the server
+/// answers from it via bounded Dijkstra with a row cache.
+int cmd_build_sparse(Args& args, const std::string& out)
+{
+    const std::optional<std::string> graph_path = args.value("--graph");
+    const std::optional<std::string> random_spec = args.value("--random");
+    if (graph_path.has_value() == random_spec.has_value())
+        throw std::runtime_error("build: exactly one of --graph / --random is required");
+    const std::optional<std::string> save = args.value("--save-graph");
+    if (args.value("--algo") || args.flag("--compress"))
+        throw std::runtime_error(
+            "build: --sparse picks codec v3; --algo/--compress apply to dense snapshots only");
+
+    std::uint64_t seed = 0;
+    if (const std::optional<std::string> seed_text = args.value("--seed"))
+        seed = static_cast<std::uint64_t>(std::stoull(*seed_text));
+    int k = 2;
+    if (const std::optional<std::string> k_text = args.value("--spanner-k")) {
+        k = std::stoi(*k_text);
+        if (k < 1) throw std::runtime_error("build: --spanner-k must be >= 1");
+    }
+    std::string construction = args.value("--spanner").value_or("baswana-sen");
+    if (construction != "baswana-sen" && construction != "greedy")
+        throw std::runtime_error("build: --spanner must be baswana-sen or greedy");
+    std::optional<int> verify_sources;
+    if (const std::optional<std::string> verify = args.value("--verify-stretch")) {
+        verify_sources = std::stoi(*verify);
+        if (*verify_sources < 1)
+            throw std::runtime_error("build: --verify-stretch needs >= 1 sample sources");
+    }
+    args.finish();
+
+    const Graph g = graph_path ? load_graph(*graph_path) : generate_instance(*random_spec);
+    if (g.is_directed()) throw std::runtime_error("build: --sparse requires an undirected graph");
+    if (save) save_graph(*save, g, "ccq_serve build instance");
+
+    const auto t0 = std::chrono::steady_clock::now();
+    Rng rng(seed);
+    const SpannerResult result =
+        construction == "greedy" ? greedy_spanner(g, k) : baswana_sen_spanner(g, k, rng);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    const SparseSnapshot snapshot = SparseSnapshot::from_spanner(g, result, construction, seed);
+    save_sparse_snapshot(out, snapshot);
+
+    const double build_s = std::chrono::duration<double>(t1 - t0).count();
+    std::printf("built %s spanner: n=%d m=%zu -> %zu edges, stretch<=%d (k=%d) (%.2fs)\n",
+                construction.c_str(), g.node_count(), g.edge_count(), snapshot.edges.size(),
+                snapshot.stretch_bound, snapshot.parameter_k, build_s);
+    std::printf("snapshot: %s (codec=v%u, %llu bytes, routing=on-demand)\n", out.c_str(),
+                format_version(SnapshotFormat::v3_spanner),
+                static_cast<unsigned long long>(std::filesystem::file_size(out)));
+    if (verify_sources) {
+        const double measured = measured_spanner_stretch(g, result.spanner, *verify_sources);
+        std::printf("measured stretch over %d sources: %.4f (bound %d)\n", *verify_sources,
+                    measured, snapshot.stretch_bound);
+        if (measured > static_cast<double>(snapshot.stretch_bound) + 1e-9)
+            throw std::runtime_error("build: measured stretch exceeds the claimed bound");
+    }
+    return 0;
+}
+
 int cmd_build(Args& args)
 {
     const std::optional<std::string> out = args.value("--out");
     if (!out) throw std::runtime_error("build: --out is required");
+    if (args.flag("--sparse")) return cmd_build_sparse(args, *out);
     const std::optional<std::string> graph_path = args.value("--graph");
     const std::optional<std::string> random_spec = args.value("--random");
     if (graph_path.has_value() == random_spec.has_value())
@@ -134,8 +206,8 @@ int cmd_build(Args& args)
     if (const std::optional<std::string> threads = args.value("--threads"))
         options.engine.threads = std::stoi(*threads);
     const bool no_routing = args.flag("--no-routing");
-    const SnapshotCodec codec =
-        args.flag("--compress") ? SnapshotCodec::compressed : SnapshotCodec::raw;
+    const SnapshotFormat codec =
+        args.flag("--compress") ? SnapshotFormat::v2_compressed : SnapshotFormat::v1_raw;
     const std::optional<std::string> trace_out = args.value("--trace-out");
     args.finish();
 
@@ -194,9 +266,11 @@ int cmd_query(Args& args)
     const std::optional<std::string> to_text = args.value("--to");
     args.finish();
 
-    const QueryEngine engine =
-        use_mmap ? QueryEngine(std::make_shared<const MappedSnapshot>(*snapshot_path), config)
-                 : QueryEngine(load_snapshot(*snapshot_path), config);
+    // The factory hides the format: dense v1/v2 (eager or mmap'd) and
+    // sparse v3 all come back as the same DistanceSource.
+    const QueryEngine engine(
+        open_distance_source(*snapshot_path, DistanceSourceOptions{.prefer_mmap = use_mmap}),
+        config);
     if (want_path && !engine.has_routing())
         throw std::runtime_error(
             "query: snapshot has no routing tables, cannot answer --path "
@@ -598,29 +672,219 @@ void append_run_json(std::string& out, const BenchRun& run)
 }
 
 /// The byte size of `snapshot` re-encoded under `codec` (no file IO).
-[[nodiscard]] std::uint64_t encoded_bytes(const OracleSnapshot& snapshot, SnapshotCodec codec)
+[[nodiscard]] std::uint64_t encoded_bytes(const OracleSnapshot& snapshot, SnapshotFormat codec)
 {
     std::ostringstream out(std::ios::binary);
     write_snapshot(out, snapshot, codec);
     return static_cast<std::uint64_t>(out.str().size());
 }
 
-/// The format version straight from the envelope header (magic + u32).
-[[nodiscard]] std::uint32_t peek_format_version(const std::string& path)
+// --- bench --oracle-ablation ------------------------------------------------
+
+/// One (codec, instance) measurement of the storage/latency/accuracy
+/// trade-off: bytes on disk, load time, point-query percentiles, and the
+/// worst observed estimate/exact ratio over the sampled source rows.
+struct AblationFormatStats {
+    std::string format;
+    std::string kind;
+    std::uint64_t bytes = 0;
+    double load_seconds = 0.0;
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    double measured_stretch = 0.0; ///< infinity if any finite pair was lost
+};
+
+[[nodiscard]] AblationFormatStats measure_format(
+    const std::string& path, const std::vector<PointQuery>& queries,
+    const std::vector<std::pair<NodeId, std::vector<Weight>>>& exact_rows)
 {
-    std::ifstream in(path, std::ios::binary);
-    char header[12] = {};
-    in.read(header, sizeof(header));
-    if (!in) throw std::runtime_error("bench: cannot read snapshot header of " + path);
-    std::uint32_t version = 0;
-    for (int i = 0; i < 4; ++i)
-        version |= static_cast<std::uint32_t>(static_cast<unsigned char>(header[8 + i]))
-                   << (8 * i);
-    return version;
+    AblationFormatStats stats;
+    stats.bytes = static_cast<std::uint64_t>(std::filesystem::file_size(path));
+
+    const auto load0 = std::chrono::steady_clock::now();
+    const std::shared_ptr<const DistanceSource> source = open_distance_source(path);
+    const auto load1 = std::chrono::steady_clock::now();
+    stats.load_seconds = std::chrono::duration<double>(load1 - load0).count();
+    stats.format = snapshot_format_name(peek_snapshot_format(path));
+    stats.kind = source_kind_name(source->kind());
+
+    const QueryEngine engine(source, QueryEngineConfig{.threads = 1});
+    std::vector<double> latencies;
+    latencies.reserve(queries.size());
+    for (const PointQuery& q : queries) {
+        const auto t0 = std::chrono::steady_clock::now();
+        (void)engine.distance(q.from, q.to);
+        const auto t1 = std::chrono::steady_clock::now();
+        latencies.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+    std::sort(latencies.begin(), latencies.end());
+    stats.p50_us = percentile_us(latencies, 0.50);
+    stats.p99_us = percentile_us(latencies, 0.99);
+
+    double worst = 1.0;
+    for (const auto& [s, exact] : exact_rows) {
+        for (NodeId t = 0; t < static_cast<NodeId>(exact.size()); ++t) {
+            if (t == s || !is_finite(exact[static_cast<std::size_t>(t)])) continue;
+            const Weight estimate = engine.distance(s, t);
+            if (!is_finite(estimate)) {
+                worst = std::numeric_limits<double>::infinity();
+                continue;
+            }
+            worst = std::max(worst, static_cast<double>(estimate) /
+                                        static_cast<double>(exact[static_cast<std::size_t>(t)]));
+        }
+    }
+    stats.measured_stretch = worst;
+    return stats;
+}
+
+void append_format_json(std::string& out, const AblationFormatStats& stats)
+{
+    // An infinite stretch (a pair the format lost) has no JSON spelling;
+    // it lands as null so consumers notice instead of mis-parsing "inf".
+    char stretch_text[32] = "null";
+    if (stats.measured_stretch < std::numeric_limits<double>::infinity())
+        std::snprintf(stretch_text, sizeof(stretch_text), "%.4f", stats.measured_stretch);
+    char buffer[384];
+    std::snprintf(buffer, sizeof(buffer),
+                  "{\"format\": \"%s\", \"kind\": \"%s\", \"bytes\": %llu, "
+                  "\"load_seconds\": %.6f, \"query_p50_us\": %.3f, \"query_p99_us\": %.3f, "
+                  "\"measured_stretch\": %s}",
+                  stats.format.c_str(), stats.kind.c_str(),
+                  static_cast<unsigned long long>(stats.bytes), stats.load_seconds, stats.p50_us,
+                  stats.p99_us, stretch_text);
+    out += buffer;
+}
+
+/// `bench --oracle-ablation`: for each instance size, build the same
+/// oracle three ways (dense v1, dense v2, spanner v3), then measure
+/// bytes / load time / query latency / realized stretch for each.  The
+/// artifact (BENCH_oracle.json) is the data behind docs/SNAPSHOTS.md's
+/// trade-off table.
+int cmd_bench_ablation(Args& args)
+{
+    const std::string out_path = args.value("--out").value_or("BENCH_oracle.json");
+    std::vector<int> sizes{48, 96, 192};
+    if (const std::optional<std::string> text = args.value("--sizes")) {
+        sizes.clear();
+        std::istringstream fields(*text);
+        for (std::string item; std::getline(fields, item, ',');) sizes.push_back(std::stoi(item));
+        if (sizes.empty()) throw std::runtime_error("bench: --sizes needs at least one n");
+        for (const int n : sizes)
+            if (n < 2) throw std::runtime_error("bench: ablation sizes must be >= 2");
+    }
+    const std::string family_text = args.value("--family").value_or("er_sparse");
+    const std::optional<GraphFamily> family = parse_family(family_text);
+    if (!family) throw std::runtime_error("unknown graph family '" + family_text + "'");
+    std::uint64_t seed = 7;
+    if (const std::optional<std::string> s = args.value("--seed"))
+        seed = static_cast<std::uint64_t>(std::stoull(*s));
+    long long query_count = 2000;
+    if (const std::optional<std::string> q = args.value("--queries")) query_count = std::stoll(*q);
+    if (query_count < 1) throw std::runtime_error("bench: --queries must be >= 1");
+    int spanner_k = 2;
+    if (const std::optional<std::string> k = args.value("--spanner-k")) spanner_k = std::stoi(*k);
+    if (spanner_k < 1) throw std::runtime_error("bench: --spanner-k must be >= 1");
+    int stretch_sources = 4;
+    if (const std::optional<std::string> c = args.value("--stretch-sources"))
+        stretch_sources = std::stoi(*c);
+    if (stretch_sources < 1) throw std::runtime_error("bench: --stretch-sources must be >= 1");
+    args.finish();
+
+    const std::filesystem::path tmp_dir =
+        std::filesystem::temp_directory_path() /
+        ("ccq_ablation_" + std::to_string(static_cast<unsigned long long>(seed)));
+    std::filesystem::create_directories(tmp_dir);
+
+    std::string points_json;
+    for (std::size_t index = 0; index < sizes.size(); ++index) {
+        const int n = sizes[index];
+        Rng instance_rng(seed + static_cast<std::uint64_t>(n));
+        const Graph g = make_family_instance(*family, n, WeightRange{1, 100}, instance_rng);
+
+        // Ground truth for the sampled sources (exact Dijkstra on the
+        // input graph), shared by all three formats.
+        Rng source_rng(seed * 31 + static_cast<std::uint64_t>(n));
+        std::vector<NodeId> sources;
+        while (sources.size() < static_cast<std::size_t>(std::min(stretch_sources, n))) {
+            const NodeId s = static_cast<NodeId>(source_rng.uniform_int(0, n - 1));
+            if (std::find(sources.begin(), sources.end(), s) == sources.end())
+                sources.push_back(s);
+        }
+        std::vector<std::pair<NodeId, std::vector<Weight>>> exact_rows;
+        for (const NodeId s : sources) exact_rows.emplace_back(s, dijkstra_from(g, s));
+
+        // Identical workload for every format at this n.
+        Rng query_rng(seed + 1);
+        std::vector<PointQuery> queries;
+        queries.reserve(static_cast<std::size_t>(query_count));
+        for (long long i = 0; i < query_count; ++i) {
+            PointQuery q;
+            q.from = static_cast<NodeId>(query_rng.uniform_int(0, n - 1));
+            q.to = static_cast<NodeId>(query_rng.uniform_int(0, n - 2));
+            if (q.to >= q.from) ++q.to;
+            queries.push_back(q);
+        }
+
+        // Dense oracle once, persisted under both dense codecs.
+        ApspOptions options;
+        options.seed = seed;
+        const DistanceOracle oracle(g, ApspAlgorithmKind::general, options);
+        RoutingTables routing = build_routing_tables(g);
+        const OracleSnapshot dense =
+            OracleSnapshot::from_result(g, oracle.result(), seed, &routing);
+        const std::string v1_path = (tmp_dir / (std::to_string(n) + ".v1.snap")).string();
+        const std::string v2_path = (tmp_dir / (std::to_string(n) + ".v2.snap")).string();
+        save_snapshot(v1_path, dense, SnapshotFormat::v1_raw);
+        save_snapshot(v2_path, dense, SnapshotFormat::v2_compressed);
+
+        // Spanner snapshot of the same instance (codec v3).
+        Rng spanner_rng(seed + 2);
+        const SpannerResult spanner = baswana_sen_spanner(g, spanner_k, spanner_rng);
+        const SparseSnapshot sparse =
+            SparseSnapshot::from_spanner(g, spanner, "baswana-sen", seed);
+        const std::string v3_path = (tmp_dir / (std::to_string(n) + ".v3.snap")).string();
+        save_sparse_snapshot(v3_path, sparse);
+
+        std::string formats_json;
+        for (const std::string& path : {v1_path, v2_path, v3_path}) {
+            if (!formats_json.empty()) formats_json += ", ";
+            const AblationFormatStats stats = measure_format(path, queries, exact_rows);
+            append_format_json(formats_json, stats);
+            std::printf("n=%d %-13s %9llu bytes  load=%.4fs  p50=%.1fus p99=%.1fus  "
+                        "stretch=%.3f\n",
+                        n, stats.format.c_str(), static_cast<unsigned long long>(stats.bytes),
+                        stats.load_seconds, stats.p50_us, stats.p99_us, stats.measured_stretch);
+            std::filesystem::remove(path);
+        }
+
+        if (index > 0) points_json += ",\n";
+        points_json += "    {\"n\": " + std::to_string(n) +
+                       ", \"edges\": " + std::to_string(g.edge_count()) +
+                       ", \"spanner_edges\": " + std::to_string(sparse.edges.size()) +
+                       ", \"spanner_stretch_bound\": " + std::to_string(sparse.stretch_bound) +
+                       ", \"formats\": [" + formats_json + "]}";
+    }
+    std::filesystem::remove_all(tmp_dir);
+
+    std::string json = "{\n  \"tool\": \"ccq_serve bench --oracle-ablation\",\n";
+    json += "  \"family\": \"" + family_text + "\",\n";
+    json += "  \"seed\": " + std::to_string(seed) + ",\n";
+    json += "  \"queries\": " + std::to_string(query_count) + ",\n";
+    json += "  \"spanner_k\": " + std::to_string(spanner_k) + ",\n";
+    json += "  \"stretch_sources\": " + std::to_string(stretch_sources) + ",\n";
+    json += "  \"points\": [\n" + points_json + "\n  ]\n}\n";
+
+    std::ofstream out(out_path);
+    if (!out) throw std::runtime_error("bench: cannot open " + out_path);
+    out << json;
+    std::printf("oracle ablation: %zu sizes -> %s\n", sizes.size(), out_path.c_str());
+    return 0;
 }
 
 int cmd_bench(Args& args)
 {
+    if (args.flag("--oracle-ablation")) return cmd_bench_ablation(args);
     const std::optional<std::string> snapshot_path = args.value("--snapshot");
     if (!snapshot_path) throw std::runtime_error("bench: --snapshot is required");
     const std::string out_path = args.value("--out").value_or("BENCH_serve.json");
@@ -667,44 +931,66 @@ int cmd_bench(Args& args)
     if (trace_every > 0 && rate <= 0.0)
         throw std::runtime_error("bench: --trace-every needs --rate (open-loop load)");
 
-    // Load (timed): eagerly, or just the mmap open + integrity pass.
+    // Load (timed): eagerly, just the mmap open + integrity pass, or —
+    // for a v3 file — the sparse decode + CSR build.
     const std::uint64_t file_bytes =
         static_cast<std::uint64_t>(std::filesystem::file_size(*snapshot_path));
+    const SnapshotFormat format = peek_snapshot_format(*snapshot_path);
+    const bool sparse = format == SnapshotFormat::v3_spanner;
+    if (sparse && use_mmap)
+        throw std::runtime_error(
+            "bench: --mmap applies to dense snapshots (v3 decodes into memory)");
     const auto load0 = std::chrono::steady_clock::now();
     std::shared_ptr<const MappedSnapshot> mapped;
+    std::shared_ptr<const DistanceSource> sparse_source;
     OracleSnapshot snapshot;
-    if (use_mmap)
+    std::optional<std::uint64_t> v3_bytes;
+    if (sparse) {
+        SparseSnapshot sparse_snapshot = load_sparse_snapshot(*snapshot_path);
+        if (!no_recode) {
+            std::ostringstream encoded(std::ios::binary);
+            write_sparse_snapshot(encoded, sparse_snapshot);
+            v3_bytes = static_cast<std::uint64_t>(encoded.str().size());
+        }
+        sparse_source = std::make_shared<const SpannerDistanceSource>(std::move(sparse_snapshot),
+                                                                      SpannerSourceConfig{});
+    } else if (use_mmap) {
         mapped = std::make_shared<const MappedSnapshot>(*snapshot_path);
-    else
+    } else {
         snapshot = load_snapshot(*snapshot_path);
+    }
     const auto load1 = std::chrono::steady_clock::now();
     const double load_seconds = std::chrono::duration<double>(load1 - load0).count();
 
-    const SnapshotMeta meta = use_mmap ? mapped->meta() : snapshot.meta;
-    const std::uint32_t format_version =
-        use_mmap ? mapped->format_version() : peek_format_version(*snapshot_path);
+    const SnapshotMeta meta =
+        sparse ? sparse_source->meta() : (use_mmap ? mapped->meta() : snapshot.meta);
+    const std::uint32_t file_format_version = format_version(format);
     const int n = meta.node_count;
     if (n < 2) throw std::runtime_error("bench: snapshot too small to query");
-    const bool can_path = use_mmap ? mapped->has_routing() : snapshot.has_routing;
+    // A spanner source routes on demand (fresh Dijkstra tree per walk).
+    const bool can_path =
+        sparse ? true : (use_mmap ? mapped->has_routing() : snapshot.has_routing);
     if (mix_name == "path" && !can_path)
         throw std::runtime_error("bench: snapshot has no routing tables, cannot bench --mix path");
 
     // Codec comparison on the bench instance: re-encode the same oracle
-    // under both codecs (in memory, no temp files).  The materialized
-    // copy is scoped: in --mmap mode it exists only for the re-encode,
-    // so the serving runs keep the lazy-decode memory profile — and
-    // --no-recode skips the O(n^2) materialization entirely for large
-    // artifacts where only qps/latency matter.  In eager mode the copy
-    // becomes the one shared snapshot every engine serves from (fresh
-    // engine per run = cold cache, without re-copying n^2 cells).
+    // under both dense codecs (in memory, no temp files).  The
+    // materialized copy is scoped: in --mmap mode it exists only for the
+    // re-encode, so the serving runs keep the lazy-decode memory profile
+    // — and --no-recode skips the O(n^2) materialization entirely for
+    // large artifacts where only qps/latency matter.  In eager mode the
+    // copy becomes the one shared snapshot every engine serves from
+    // (fresh engine per run = cold cache, without re-copying n^2 cells).
+    // Sparse files report only codec_v3_bytes: the source graph needed
+    // to rebuild a dense oracle is not in the file, and vice versa.
     std::shared_ptr<const OracleSnapshot> shared_snapshot;
     std::optional<std::uint64_t> v1_bytes;
     std::optional<std::uint64_t> v2_bytes;
-    if (!use_mmap || !no_recode) {
+    if (!sparse && (!use_mmap || !no_recode)) {
         OracleSnapshot materialized = use_mmap ? mapped->materialize() : std::move(snapshot);
         if (!no_recode) {
-            v1_bytes = encoded_bytes(materialized, SnapshotCodec::raw);
-            v2_bytes = encoded_bytes(materialized, SnapshotCodec::compressed);
+            v1_bytes = encoded_bytes(materialized, SnapshotFormat::v1_raw);
+            v2_bytes = encoded_bytes(materialized, SnapshotFormat::v2_compressed);
         }
         if (!use_mmap)
             shared_snapshot =
@@ -743,6 +1029,7 @@ int cmd_bench(Args& args)
     // Fresh engine per run so the path cache starts cold for each; both
     // modes share the underlying data (shared_ptr), so engines are cheap.
     const auto make_engine = [&](QueryEngineConfig config) {
+        if (sparse) return QueryEngine(sparse_source, config);
         return use_mmap ? QueryEngine(mapped, config) : QueryEngine(shared_snapshot, config);
     };
 
@@ -767,9 +1054,10 @@ int cmd_bench(Args& args)
         // In-place construction: QueryEngine is deliberately immovable
         // (mutex shards), so build it inside the shared_ptr directly.
         const std::shared_ptr<const QueryEngine> engine =
-            use_mmap ? std::make_shared<const QueryEngine>(mapped, QueryEngineConfig{})
-                     : std::make_shared<const QueryEngine>(shared_snapshot,
-                                                           QueryEngineConfig{});
+            sparse ? std::make_shared<const QueryEngine>(sparse_source, QueryEngineConfig{})
+            : use_mmap
+                ? std::make_shared<const QueryEngine>(mapped, QueryEngineConfig{})
+                : std::make_shared<const QueryEngine>(shared_snapshot, QueryEngineConfig{});
         ServerConfig server_config;
         server_config.io = io;
         server_config.metrics = metrics_on;
@@ -847,13 +1135,20 @@ int cmd_bench(Args& args)
             json_escape(meta.algorithm) + "\", \"claimed_stretch\": " +
             std::to_string(meta.claimed_stretch) + ", \"routing\": " +
             (can_path ? "true" : "false") + "},\n";
+    // Schema contract: every codec_*_bytes key is always present (null
+    // when not measured), so consumers can key on shape, not probing.
     json += "  \"snapshot_file\": {\"path\": \"" + json_escape(*snapshot_path) +
             "\", \"bytes\": " + std::to_string(file_bytes) +
-            ", \"format_version\": " + std::to_string(format_version) +
-            ", \"load_mode\": \"" + (use_mmap ? "mmap" : "eager") +
+            ", \"format_version\": " + std::to_string(file_format_version) +
+            ", \"format\": \"" + snapshot_format_name(format) +
+            "\", \"source_kind\": \"" +
+            (sparse ? source_kind_name(SourceKind::spanner)
+                    : source_kind_name(use_mmap ? SourceKind::mapped : SourceKind::dense)) +
+            "\", \"load_mode\": \"" + (sparse ? "sparse" : (use_mmap ? "mmap" : "eager")) +
             "\", \"load_seconds\": " + std::to_string(load_seconds) +
             ", \"codec_v1_bytes\": " + (v1_bytes ? std::to_string(*v1_bytes) : "null") +
             ", \"codec_v2_bytes\": " + (v2_bytes ? std::to_string(*v2_bytes) : "null") +
+            ", \"codec_v3_bytes\": " + (v3_bytes ? std::to_string(*v3_bytes) : "null") +
             "},\n";
     json += "  \"mix\": \"" + mix_name + "\",\n";
     json += "  \"queries\": " + std::to_string(query_count) + ",\n";
@@ -919,10 +1214,12 @@ int cmd_bench(Args& args)
     std::ofstream out(out_path);
     if (!out) throw std::runtime_error("bench: cannot open " + out_path);
     out << json;
-    const std::string codec_text =
-        v1_bytes ? "codec v1=" + std::to_string(*v1_bytes) + " v2=" +
-                       std::to_string(*v2_bytes) + " bytes"
-                 : std::string("codec sizes skipped (--no-recode)");
+    std::string codec_text = "codec sizes skipped (--no-recode)";
+    if (v1_bytes)
+        codec_text = "codec v1=" + std::to_string(*v1_bytes) + " v2=" +
+                     std::to_string(*v2_bytes) + " bytes";
+    else if (v3_bytes)
+        codec_text = "codec v3=" + std::to_string(*v3_bytes) + " bytes";
     std::printf("speedup %dx-thread vs 1-thread: %.2fx; %s -> %s\n", threads, speedup,
                 codec_text.c_str(), out_path.c_str());
     return 0;

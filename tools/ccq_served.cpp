@@ -4,9 +4,10 @@
 //   ccq_served --snapshot wan.snap --port 0 --port-file port.txt --mmap
 //   ccq_served --snapshot wan.snap --stdio
 //
-// Loads a snapshot (eagerly, or mmap-backed with --mmap so the process
-// starts serving before touching the n^2 payload) and speaks the framed
-// protocol of docs/PROTOCOL.md: over TCP by default, or over
+// Loads a snapshot — dense v1/v2 (eagerly, or mmap-backed with --mmap
+// so the process starts serving before touching the n^2 payload) or a
+// sparse v3 spanner, auto-detected from the file header — and speaks
+// the framed protocol of docs/PROTOCOL.md: over TCP by default, or over
 // stdin/stdout with --stdio (one connection, ends at EOF).  Graceful
 // shutdown on SIGINT/SIGTERM or a shutdown control frame; --port-file
 // writes the bound port for scripts that bind an ephemeral port.
@@ -31,6 +32,7 @@
 #include "ccq/net/socket.hpp"
 #include "ccq/obs/log.hpp"
 #include "ccq/obs/trace.hpp"
+#include "ccq/serve/distance_source.hpp"
 #include "ccq/serve/query_engine.hpp"
 #include "ccq/serve/snapshot.hpp"
 #include "tool_common.hpp"
@@ -96,20 +98,18 @@ int run(Args& args)
 
     if (trace_out) obs::Tracer::global().enable();
 
-    std::shared_ptr<const QueryEngine> engine;
-    if (use_mmap) {
-        auto mapped = std::make_shared<const MappedSnapshot>(*snapshot_path);
-        CCQ_LOG_INFO("mapped %s (v%u, %llu bytes, n=%d, routing=%s)", snapshot_path->c_str(),
-                     mapped->format_version(),
-                     static_cast<unsigned long long>(mapped->file_bytes()),
-                     mapped->node_count(), mapped->has_routing() ? "yes" : "no");
-        engine = std::make_shared<const QueryEngine>(std::move(mapped), engine_config);
-    } else {
-        OracleSnapshot snapshot = load_snapshot(*snapshot_path);
-        CCQ_LOG_INFO("loaded %s (n=%d, routing=%s)", snapshot_path->c_str(),
-                     snapshot.meta.node_count, snapshot.has_routing ? "yes" : "no");
-        engine = std::make_shared<const QueryEngine>(std::move(snapshot), engine_config);
-    }
+    // Format auto-detect: dense v1/v2 (eager or --mmap) and sparse v3
+    // all arrive as a DistanceSource; the engine never knows which.
+    const std::shared_ptr<const DistanceSource> source =
+        open_distance_source(*snapshot_path, DistanceSourceOptions{.prefer_mmap = use_mmap});
+    CCQ_LOG_INFO("opened %s (%s, %s source, n=%d, %llu stored cells, routing=%s)",
+                 snapshot_path->c_str(),
+                 snapshot_format_name(peek_snapshot_format(*snapshot_path)),
+                 source_kind_name(source->kind()), source->node_count(),
+                 static_cast<unsigned long long>(source->stored_cells()),
+                 source->has_routing() ? "yes" : "no");
+    const std::shared_ptr<const QueryEngine> engine =
+        std::make_shared<const QueryEngine>(source, engine_config);
 
     Server server(engine, config);
     const auto write_trace = [&] {
