@@ -169,15 +169,30 @@ BENCHMARK(BM_DenseMinPlusEngine)
     ->ArgsProduct({{128, 512}, {1, 2, 4}, {8, 64, 128}})
     ->Unit(benchmark::kMillisecond);
 
-// ---- per-ISA kernel ablation ----------------------------------------------
+// ---- per-{ISA, width} kernel ablation --------------------------------------
 //
-// One benchmark per ISA the host supports (scalar always; AVX2/AVX-512
-// when the CPU has them), single-threaded so the counters isolate the
-// kernel itself.  The acceptance bar: at n = 512 the widest available
-// SIMD kernel must beat the blocked scalar kernel (speedup_vs_scalar_kernel
-// > 1) with bitwise-identical output (identical == 1).
+// One benchmark per {ISA, element width} the host supports (scalar
+// always; AVX2/AVX-512 when the CPU has them; i64 always; i32 whenever
+// the width rule admits it — which it always does for these max_weight
+// = 100 operands), single-threaded so the counters isolate the kernel
+// itself.  The acceptance bars: at n = 512 the widest available SIMD
+// kernel must beat the blocked scalar kernel (speedup_vs_scalar_kernel
+// > 1), and on the SIMD ISAs the i32 kernel must beat the same-ISA i64
+// kernel (speedup_vs_same_isa_wide >= 1) — all with bitwise-identical
+// output (identical == 1).
 
-/// Blocked scalar-kernel wall time (milliseconds), best of 3; cached.
+/// EngineConfig{1, 64} pinned to an explicit width, so the ablation legs
+/// are immune to CCQ_KERNEL_WIDTH in the bench environment.
+EngineConfig kernel_config(KernelWidth width)
+{
+    EngineConfig config{1, 64};
+    config.width = width;
+    return config;
+}
+
+/// Blocked scalar i64-kernel wall time (milliseconds), best of 3; cached.
+/// The historical baseline every speedup_vs_scalar_kernel column divides
+/// by, so it stays pinned wide even now that auto width packs to i32.
 double scalar_kernel_ms(int n)
 {
     static std::map<int, double> cache;
@@ -188,7 +203,7 @@ double scalar_kernel_ms(int n)
         double best_ms = 0.0;
         for (int attempt = 0; attempt < 3; ++attempt) {
             const auto start = std::chrono::steady_clock::now();
-            const DistanceMatrix c = min_plus_product(a, a, EngineConfig{1, 64});
+            const DistanceMatrix c = min_plus_product(a, a, kernel_config(KernelWidth::kWide));
             const auto stop = std::chrono::steady_clock::now();
             benchmark::DoNotOptimize(c.data());
             const double ms =
@@ -201,12 +216,39 @@ double scalar_kernel_ms(int n)
     return it->second;
 }
 
-void BM_DenseMinPlusKernel(benchmark::State& state, kernels::Isa isa)
+/// Same-ISA i64 wall time (milliseconds), best of 3; cached per {isa, n}.
+/// Denominator of the narrow-vs-wide speedup column.
+double isa_wide_ms(kernels::Isa isa, int n)
+{
+    static std::map<std::pair<int, int>, double> cache;
+    const auto key = std::make_pair(static_cast<int>(isa), n);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        const DistanceMatrix& a = bench_operand(n);
+        kernels::set_isa_override(isa);
+        double best_ms = 0.0;
+        for (int attempt = 0; attempt < 3; ++attempt) {
+            const auto start = std::chrono::steady_clock::now();
+            const DistanceMatrix c = min_plus_product(a, a, kernel_config(KernelWidth::kWide));
+            const auto stop = std::chrono::steady_clock::now();
+            benchmark::DoNotOptimize(c.data());
+            const double ms =
+                std::chrono::duration<double, std::milli>(stop - start).count();
+            if (attempt == 0 || ms < best_ms) best_ms = ms;
+        }
+        kernels::set_isa_override(std::nullopt);
+        it = cache.emplace(key, best_ms).first;
+    }
+    return it->second;
+}
+
+void BM_DenseMinPlusKernel(benchmark::State& state, kernels::Isa isa, KernelWidth width)
 {
     const int n = static_cast<int>(state.range(0));
     const DistanceMatrix& a = bench_operand(n);
-    const EngineConfig config{1, 64};
+    const EngineConfig config = kernel_config(width);
     kernels::set_isa_override(isa);
+    const ProductPlan plan = preview_product_plan(a, a, config);
     const bool identical = min_plus_product(a, a, config) == seed_product(n);
     DistanceMatrix c;
     // Hardware counters bracket exactly the timed loop; on hosts where
@@ -230,9 +272,11 @@ void BM_DenseMinPlusKernel(benchmark::State& state, kernels::Isa isa)
 
     state.counters["n"] = n;
     state.counters["isa"] = static_cast<double>(isa);
+    state.counters["element_width"] = plan.narrow ? 32.0 : 64.0;
     state.counters["identical"] = identical ? 1.0 : 0.0;
     state.counters["speedup_vs_seed"] = seed_serial_ms(n) / kernel_ms;
     state.counters["speedup_vs_scalar_kernel"] = scalar_kernel_ms(n) / kernel_ms;
+    state.counters["speedup_vs_same_isa_wide"] = isa_wide_ms(isa, n) / kernel_ms;
     state.counters["perf_available"] = counts.available ? 1.0 : 0.0;
     if (counts.available) {
         const double cells = static_cast<double>(iterations > 0 ? iterations : 1) *
@@ -245,23 +289,113 @@ void BM_DenseMinPlusKernel(benchmark::State& state, kernels::Isa isa)
     }
 }
 
-/// Registers the ablation for exactly the ISAs this host can run, so a
-/// non-AVX runner produces a JSON without fake zero rows.
+/// Registers the ablation for exactly the {ISA, width} grid this host can
+/// run, so a non-AVX runner produces a JSON without fake zero rows.
 const int g_register_kernel_benchmarks = [] {
     for (const kernels::Isa isa : kernels::supported_isas()) {
-        const std::string name =
-            std::string("BM_DenseMinPlusKernel/isa:") + kernels::isa_name(isa);
-        benchmark::RegisterBenchmark(name.c_str(),
-                                     [isa](benchmark::State& state) {
-                                         BM_DenseMinPlusKernel(state, isa);
-                                     })
-            ->ArgName("n")
-            ->Arg(128)
-            ->Arg(512)
-            ->Unit(benchmark::kMillisecond);
+        for (const KernelWidth width : {KernelWidth::kWide, KernelWidth::kNarrowIfSafe}) {
+            const std::string name = std::string("BM_DenseMinPlusKernel/isa:") +
+                                     kernels::isa_name(isa) +
+                                     (width == KernelWidth::kWide ? "/w:i64" : "/w:i32");
+            benchmark::RegisterBenchmark(name.c_str(),
+                                         [isa, width](benchmark::State& state) {
+                                             BM_DenseMinPlusKernel(state, isa, width);
+                                         })
+                ->ArgName("n")
+                ->Arg(128)
+                ->Arg(512)
+                ->Unit(benchmark::kMillisecond);
+        }
     }
     return 0;
 }();
+
+// ---- sparse-row skip ablation ----------------------------------------------
+//
+// A spanner-density dense operand (diagonal + ~8 finite cells per row,
+// everything else kInfinity — the shape Theorem 1.1's skeleton products
+// feed the dense engine) through the dense band kernel with and without
+// the sparse-row skip pass.  Acceptance: skip on beats skip off
+// (speedup_vs_dense_band > 1) with bitwise-identical output.
+
+const DistanceMatrix& spanner_density_operand(int n)
+{
+    static std::map<int, DistanceMatrix> cache;
+    auto it = cache.find(n);
+    if (it == cache.end()) {
+        Rng rng(4242);
+        DistanceMatrix m(n);
+        m.set_diagonal_zero();
+        for (NodeId u = 0; u < n; ++u)
+            for (int e = 0; e < 8; ++e)
+                m.at(u, static_cast<NodeId>(rng.uniform_int(0, n - 1))) =
+                    rng.uniform_int(1, 100);
+        it = cache.emplace(n, std::move(m)).first;
+    }
+    return it->second;
+}
+
+/// Dense-band (skip off) wall time on the spanner-density operand, best
+/// of 3; cached per {width, n}.
+double dense_band_ms(KernelWidth width, int n)
+{
+    static std::map<std::pair<int, int>, double> cache;
+    const auto key = std::make_pair(static_cast<int>(width), n);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        const DistanceMatrix& a = spanner_density_operand(n);
+        EngineConfig config = kernel_config(width);
+        config.sparse_skip = false;
+        double best_ms = 0.0;
+        for (int attempt = 0; attempt < 3; ++attempt) {
+            const auto start = std::chrono::steady_clock::now();
+            const DistanceMatrix c = min_plus_product(a, a, config);
+            const auto stop = std::chrono::steady_clock::now();
+            benchmark::DoNotOptimize(c.data());
+            const double ms =
+                std::chrono::duration<double, std::milli>(stop - start).count();
+            if (attempt == 0 || ms < best_ms) best_ms = ms;
+        }
+        it = cache.emplace(key, best_ms).first;
+    }
+    return it->second;
+}
+
+void BM_DenseMinPlusSparseSkip(benchmark::State& state)
+{
+    const int n = 512;
+    const bool skip = state.range(0) != 0;
+    const KernelWidth width =
+        state.range(1) != 0 ? KernelWidth::kNarrowIfSafe : KernelWidth::kWide;
+    const DistanceMatrix& a = spanner_density_operand(n);
+    EngineConfig config = kernel_config(width);
+    config.sparse_skip = skip;
+    const ProductPlan plan = preview_product_plan(a, a, config);
+    const bool identical = min_plus_product(a, a, config) == min_plus_product_reference(a, a);
+    DistanceMatrix c;
+    const auto start = std::chrono::steady_clock::now();
+    std::int64_t iterations = 0;
+    for (auto _ : state) {
+        c = min_plus_product(a, a, config);
+        ++iterations;
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(c);
+    const double pass_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count() /
+        static_cast<double>(iterations > 0 ? iterations : 1);
+
+    state.counters["n"] = n;
+    state.counters["density"] = plan.a_density;
+    state.counters["sparse_skip"] = plan.sparse_skip ? 1.0 : 0.0;
+    state.counters["element_width"] = plan.narrow ? 32.0 : 64.0;
+    state.counters["identical"] = identical ? 1.0 : 0.0;
+    state.counters["speedup_vs_dense_band"] = dense_band_ms(width, n) / pass_ms;
+}
+BENCHMARK(BM_DenseMinPlusSparseSkip)
+    ->ArgNames({"skip", "narrow"})
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SparseMinPlusEngineThreads(benchmark::State& state)
 {

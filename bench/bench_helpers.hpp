@@ -9,6 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -16,28 +19,75 @@
 
 namespace ccq::bench {
 
+/// Whether the ccq library itself was compiled with NDEBUG.  Debug-build
+/// numbers are not perf numbers; everything downstream of this flag
+/// exists to keep them out of the committed BENCH_*.json trajectory.
+inline constexpr bool library_is_release_build()
+{
+#ifdef NDEBUG
+    return true;
+#else
+    return false;
+#endif
+}
+
+/// Stamps a top-level "library_build_type" key into a Google Benchmark
+/// JSON file so CI (and readers of the committed BENCH_*.json) can tell a
+/// Release run from a Debug run without parsing compiler flags out of
+/// `context`.  Inserted right after the opening brace; best-effort — a
+/// missing or malformed file is left untouched.
+inline void stamp_build_type(const std::string& json_path)
+{
+    std::ifstream in(json_path);
+    if (!in) return;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string json = buffer.str();
+    const std::size_t brace = json.find('{');
+    if (brace == std::string::npos) return;
+    const std::string key = std::string("\n  \"library_build_type\": \"") +
+                            (library_is_release_build() ? "release" : "debug") + "\",";
+    json.insert(brace + 1, key);
+    std::ofstream out(json_path, std::ios::trunc);
+    out << json;
+}
+
 /// Entry point shared by every bench binary (bench_main.cpp).
 ///
 /// Adds a `--json out.json` flag on top of the standard Google Benchmark
 /// flags: it expands to `--benchmark_out=out.json` +
 /// `--benchmark_out_format=json`, so CI and future PRs can append runs to
 /// the BENCH_*.json perf trajectory without remembering the long
-/// spellings.  Everything else is passed through untouched.
+/// spellings.  Everything else is passed through untouched.  The emitted
+/// JSON gains a top-level "library_build_type" flag, and Debug builds
+/// get a loud warning: their numbers must never be committed as perf
+/// results.
 inline int run_benchmarks(int argc, char** argv)
 {
     std::vector<std::string> args;
+    std::string json_path;
     args.reserve(static_cast<std::size_t>(argc) + 1);
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--json" && i + 1 < argc) {
-            args.push_back("--benchmark_out=" + std::string(argv[++i]));
+            json_path = argv[++i];
+            args.push_back("--benchmark_out=" + json_path);
             args.push_back("--benchmark_out_format=json");
         } else if (arg.rfind("--json=", 0) == 0) {
-            args.push_back("--benchmark_out=" + arg.substr(7));
+            json_path = arg.substr(7);
+            args.push_back("--benchmark_out=" + json_path);
             args.push_back("--benchmark_out_format=json");
         } else {
             args.push_back(arg);
         }
+    }
+    if (!library_is_release_build()) {
+        std::fprintf(stderr,
+                     "=================================================================\n"
+                     "  WARNING: ccq was built WITHOUT NDEBUG (Debug/assert build).\n"
+                     "  These numbers are NOT perf results.  Rebuild with\n"
+                     "  -DCMAKE_BUILD_TYPE=Release before committing BENCH_*.json.\n"
+                     "=================================================================\n");
     }
     std::vector<char*> translated;
     translated.reserve(args.size());
@@ -47,6 +97,7 @@ inline int run_benchmarks(int argc, char** argv)
     if (benchmark::ReportUnrecognizedArguments(translated_argc, translated.data())) return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    if (!json_path.empty()) stamp_build_type(json_path);
     return 0;
 }
 

@@ -28,14 +28,33 @@ namespace ccq {
     return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+/// Element-width policy of the dense min-plus kernels.
+///
+/// kAuto defers to the CCQ_KERNEL_WIDTH environment variable ("wide" |
+/// "narrow" | "auto") and otherwise behaves like kNarrowIfSafe.  kWide
+/// forces the i64 kernels unconditionally.  kNarrowIfSafe packs the
+/// product to i32 lanes whenever the engine's width rule proves the
+/// result bitwise identical (max finite A cell + max finite B cell <
+/// kInfinity32); unsafe products silently stay wide, so the setting is
+/// always correctness-neutral.
+enum class KernelWidth {
+    kAuto = 0,
+    kWide,
+    kNarrowIfSafe,
+};
+
 /// Local-execution parameters of the min-plus engine.
 ///
 /// `threads == 0` means "one per hardware thread"; `threads == 1` runs
 /// strictly serially on the calling thread.  `block_size` is the tile
-/// edge of the dense blocked kernel (entries, not bytes).
+/// edge of the dense blocked kernel (entries, not bytes).  `width` and
+/// `sparse_skip` select kernel variants only — every setting produces
+/// bitwise identical output (docs/ENGINE.md).
 struct EngineConfig {
     int threads = 0;
     int block_size = 64;
+    KernelWidth width = KernelWidth::kAuto;
+    bool sparse_skip = true;
 
     [[nodiscard]] int resolved_threads() const { return resolved_thread_count(threads); }
 

@@ -42,6 +42,26 @@ inline constexpr Weight kInfinity = std::numeric_limits<Weight>::max() / 4;
     return a < b ? a : b;
 }
 
+/// Narrow (32-bit) weight domain for the width-adaptive kernels.
+///
+/// When every finite cell of both product operands is small enough that
+/// `max_a + max_b < kInfinity32`, the engine packs tiles to i32, doubling
+/// the SIMD lanes per vector.  The mapping is exact: finite cells map to
+/// themselves, kInfinity maps to kInfinity32, and under the safety rule
+/// every sum a kernel can form stays strictly below kInfinity32 (finite +
+/// finite) or strictly above it but below 2^31 (finite + sentinel), so
+/// compares order identically to the i64 domain and the unpacked result
+/// is bitwise identical to the wide path (docs/ENGINE.md, "Kernel width
+/// selection").
+using Weight32 = std::int32_t;
+
+/// i32 sentinel for "no path", mirroring kInfinity: far enough below the
+/// int32 ceiling that finite + kInfinity32 cannot overflow.
+inline constexpr Weight32 kInfinity32 = std::numeric_limits<Weight32>::max() / 4;
+
+/// True if `w` represents a real (finite) distance in the i32 domain.
+[[nodiscard]] constexpr bool is_finite32(Weight32 w) noexcept { return w < kInfinity32; }
+
 } // namespace ccq
 
 #endif // CCQ_COMMON_TYPES_HPP

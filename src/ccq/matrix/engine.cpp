@@ -1,6 +1,11 @@
 #include "ccq/matrix/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -9,6 +14,109 @@
 
 namespace ccq {
 namespace {
+
+// ---- width dispatch + sparse-skip planning ---------------------------------
+
+std::atomic<std::uint64_t> g_products_wide{0};
+std::atomic<std::uint64_t> g_products_narrow{0};
+std::atomic<std::uint64_t> g_products_sparse_skip{0};
+
+/// CCQ_KERNEL_WIDTH environment policy, parsed once: "wide" forces i64,
+/// "narrow" means narrow-if-safe, anything else (incl. "auto"/unset)
+/// leaves the decision to the default rule.  Consulted only when the
+/// config says kAuto, so programmatic settings (tests, ablations) win.
+[[nodiscard]] KernelWidth env_kernel_width()
+{
+    static const KernelWidth resolved = [] {
+        if (const char* env = std::getenv("CCQ_KERNEL_WIDTH")) {
+            const std::string want(env);
+            if (want == "wide") return KernelWidth::kWide;
+            if (want == "narrow") return KernelWidth::kNarrowIfSafe;
+        }
+        return KernelWidth::kAuto;
+    }();
+    return resolved;
+}
+
+[[nodiscard]] KernelWidth resolved_kernel_width(const EngineConfig& engine)
+{
+    KernelWidth width = engine.width;
+    if (width == KernelWidth::kAuto) width = env_kernel_width();
+    if (width == KernelWidth::kAuto) width = KernelWidth::kNarrowIfSafe;
+    return width;
+}
+
+struct OperandScan {
+    Weight max_finite = 0;
+    std::size_t finite_cells = 0;
+};
+
+/// One parallel pass over the cells: max finite value + finite count.
+[[nodiscard]] OperandScan scan_operand(const DistanceMatrix& m, int threads)
+{
+    const int n = m.size();
+    const Weight* p = m.data();
+    std::mutex mutex;
+    OperandScan total;
+    parallel_chunks(threads, 0, n, 1, [&](int r0, int r1) {
+        OperandScan local;
+        const Weight* cell = p + static_cast<std::size_t>(r0) * n;
+        const Weight* end = p + static_cast<std::size_t>(r1) * n;
+        for (; cell != end; ++cell) {
+            if (is_finite(*cell)) {
+                ++local.finite_cells;
+                if (*cell > local.max_finite) local.max_finite = *cell;
+            }
+        }
+        const std::lock_guard<std::mutex> lock(mutex);
+        total.finite_cells += local.finite_cells;
+        if (local.max_finite > total.max_finite) total.max_finite = local.max_finite;
+    });
+    return total;
+}
+
+/// The width-dispatch rule.  Narrow is provably safe when
+///
+///   max_a + max_b < kInfinity32
+///
+/// (maxes over *finite* cells; 0 when a matrix has none): then every
+/// finite cell packs losslessly (each max < kInfinity32), every
+/// finite+finite candidate stays < kInfinity32 — exactly the i64 sum —
+/// and every finite+sentinel candidate lands in (kInfinity32, 2^31), so
+/// it loses all comparisons just like its >= kInfinity i64 twin.  Add
+/// and min are exact in both domains, so the unpacked narrow product is
+/// bitwise identical to the wide one (docs/ENGINE.md spells out the
+/// case analysis; tests/test_kernel_width.cpp straddles the boundary).
+[[nodiscard]] ProductPlan make_plan(const DistanceMatrix& a, const DistanceMatrix& b,
+                                    const EngineConfig& engine)
+{
+    const int n = a.size();
+    const int threads = engine.resolved_threads();
+    const OperandScan sa = scan_operand(a, threads);
+    const OperandScan sb = scan_operand(b, threads);
+    ProductPlan plan;
+    plan.max_a = sa.max_finite;
+    plan.max_b = sb.max_finite;
+    const std::size_t cells = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+    plan.a_density =
+        cells == 0 ? 0.0 : static_cast<double>(sa.finite_cells) / static_cast<double>(cells);
+    plan.sparse_skip = engine.sparse_skip && plan.a_density < kSparseSkipThreshold;
+    plan.narrow = resolved_kernel_width(engine) != KernelWidth::kWide &&
+                  plan.max_a + plan.max_b < static_cast<Weight>(kInfinity32);
+    return plan;
+}
+
+/// Pack rows [r0, r1) into the i32 domain: finite cells map to
+/// themselves (they fit — the width rule bounds them), kInfinity maps
+/// to kInfinity32.
+void pack_rows(const Weight* src, Weight32* dst, int n, int r0, int r1)
+{
+    const Weight* cell = src + static_cast<std::size_t>(r0) * n;
+    const Weight* end = src + static_cast<std::size_t>(r1) * n;
+    Weight32* out = dst + static_cast<std::size_t>(r0) * n;
+    for (; cell != end; ++cell, ++out)
+        *out = is_finite(*cell) ? static_cast<Weight32>(*cell) : kInfinity32;
+}
 
 /// Relaxes row u of a*b into the dense scratch `best`, recording touched
 /// columns.  Byte-for-byte the reference row loop, shared by the plain
@@ -70,22 +178,48 @@ SparseMatrix sparse_product_impl(const SparseMatrix& a, const SparseMatrix& b, i
 
 } // namespace
 
+ProductPlan preview_product_plan(const DistanceMatrix& a, const DistanceMatrix& b,
+                                 const EngineConfig& engine)
+{
+    CCQ_EXPECT(a.size() == b.size(), "preview_product_plan: size mismatch");
+    return make_plan(a, b, engine);
+}
+
+EngineCounters engine_counters() noexcept
+{
+    EngineCounters counters;
+    counters.products_wide = g_products_wide.load(std::memory_order_relaxed);
+    counters.products_narrow = g_products_narrow.load(std::memory_order_relaxed);
+    counters.products_sparse_skip = g_products_sparse_skip.load(std::memory_order_relaxed);
+    return counters;
+}
+
 DistanceMatrix min_plus_product(const DistanceMatrix& a, const DistanceMatrix& b,
                                 const EngineConfig& engine)
 {
     CCQ_EXPECT(a.size() == b.size(), "min_plus_product: size mismatch");
     const int n = a.size();
     if (n == 0) return DistanceMatrix(0);
-    obs::TraceSpan span("min_plus_product", "engine",
-                        obs::Tracer::global().enabled()
-                            ? "{\"n\":" + std::to_string(n) + "}"
-                            : std::string());
+    const ProductPlan plan = make_plan(a, b, engine);
+    obs::TraceSpan span(
+        "min_plus_product", "engine",
+        obs::Tracer::global().enabled()
+            ? "{\"n\":" + std::to_string(n) +
+                  ",\"width\":" + (plan.narrow ? "\"narrow\"" : "\"wide\"") +
+                  ",\"sparse_skip\":" + (plan.sparse_skip ? "true" : "false") +
+                  ",\"max_a\":" + std::to_string(plan.max_a) +
+                  ",\"max_b\":" + std::to_string(plan.max_b) +
+                  ",\"a_density\":" + std::to_string(plan.a_density) + "}"
+            : std::string());
     const int bs = std::min(engine.resolved_block_size(), n);
-    const Weight* ap = a.data();
-    const Weight* bp = b.data();
-    // The band kernel for the dispatched ISA (cpuid + CCQ_SIMD override),
-    // resolved once per product.  Every ISA is bitwise identical.
-    const kernels::DenseBandFn band = kernels::dense_band_kernel(kernels::dispatch_isa());
+    const int threads = engine.resolved_threads();
+    const std::size_t cells = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+    // The band kernels for the dispatched ISA (cpuid + CCQ_SIMD
+    // override), resolved once per product.  Every ISA, element width,
+    // and k-loop shape is bitwise identical.
+    const kernels::BandKernels band = kernels::band_kernels(kernels::dispatch_isa());
+    (plan.narrow ? g_products_narrow : g_products_wide).fetch_add(1, std::memory_order_relaxed);
+    if (plan.sparse_skip) g_products_sparse_skip.fetch_add(1, std::memory_order_relaxed);
     // C starts uninitialized; each strided band task first-touches its
     // own rows (fill = the kInfinity the old constructor wrote) before
     // relaxing them, so with pinned workers the pages of band i live on
@@ -93,10 +227,39 @@ DistanceMatrix min_plus_product(const DistanceMatrix& a, const DistanceMatrix& b
     // to the stable strided mapping, every later one.
     DistanceMatrix c = DistanceMatrix::uninitialized(n);
     Weight* cp = c.data();
-    parallel_chunks_pinned(engine.resolved_threads(), 0, n, bs, [&](int i0, int i1) {
+    if (plan.narrow) {
+        // Narrow path: pack both operands to i32 (O(n^2), amortized by
+        // the O(n^3) kernel), run the 2x-lane kernels, unpack each band
+        // back to i64 on the thread that computed it so the first touch
+        // of C's pages stays band-local.
+        const std::unique_ptr<Weight32[]> a32(new Weight32[cells]);
+        const std::unique_ptr<Weight32[]> b32(new Weight32[cells]);
+        const std::unique_ptr<Weight32[]> c32(new Weight32[cells]);
+        parallel_chunks(threads, 0, n, 1, [&](int r0, int r1) {
+            pack_rows(a.data(), a32.get(), n, r0, r1);
+            pack_rows(b.data(), b32.get(), n, r0, r1);
+        });
+        const kernels::DenseBandFn32 band32 =
+            plan.sparse_skip ? band.sparse_narrow : band.dense_narrow;
+        parallel_chunks_pinned(threads, 0, n, bs, [&](int i0, int i1) {
+            Weight32* cb = c32.get() + static_cast<std::size_t>(i0) * n;
+            std::fill(cb, c32.get() + static_cast<std::size_t>(i1) * n, kInfinity32);
+            band32(a32.get(), b32.get(), c32.get(), n, i0, i1, bs);
+            const Weight32* in = c32.get() + static_cast<std::size_t>(i0) * n;
+            const Weight32* end = c32.get() + static_cast<std::size_t>(i1) * n;
+            Weight* out = cp + static_cast<std::size_t>(i0) * n;
+            for (; in != end; ++in, ++out)
+                *out = is_finite32(*in) ? static_cast<Weight>(*in) : kInfinity;
+        });
+        return c;
+    }
+    const Weight* ap = a.data();
+    const Weight* bp = b.data();
+    const kernels::DenseBandFn band64 = plan.sparse_skip ? band.sparse_wide : band.dense_wide;
+    parallel_chunks_pinned(threads, 0, n, bs, [&](int i0, int i1) {
         std::fill(cp + static_cast<std::size_t>(i0) * n,
                   cp + static_cast<std::size_t>(i1) * n, kInfinity);
-        band(ap, bp, cp, n, i0, i1, bs);
+        band64(ap, bp, cp, n, i0, i1, bs);
     });
     return c;
 }

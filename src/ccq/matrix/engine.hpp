@@ -17,11 +17,49 @@
 
 namespace ccq {
 
+/// Finite-cell density of A below which the engine swaps the dense band
+/// kernel for the sparse-row skip pass (per-row packed finite-k lists).
+/// Both shapes are bitwise identical; the threshold only tunes speed.
+inline constexpr double kSparseSkipThreshold = 0.25;
+
+/// The per-product kernel decisions the engine derives from one scan of
+/// the operands — exposed so tests and bench ablations can assert the
+/// width-dispatch rule instead of reverse-engineering it from timings.
+struct ProductPlan {
+    bool narrow = false;     ///< i32 kernels selected (provably bitwise safe)
+    bool sparse_skip = false; ///< sparse-row skip pass selected for A's density
+    Weight max_a = 0;        ///< max finite cell of A (0 when none)
+    Weight max_b = 0;        ///< max finite cell of B (0 when none)
+    double a_density = 0.0;  ///< finite fraction of A's cells
+};
+
+/// The plan min_plus_product would execute for these operands — the
+/// width rule (`max_a + max_b < kInfinity32`, gated by engine.width /
+/// CCQ_KERNEL_WIDTH) and the sparse-skip threshold decision.
+[[nodiscard]] ProductPlan preview_product_plan(const DistanceMatrix& a,
+                                               const DistanceMatrix& b,
+                                               const EngineConfig& engine);
+
+/// Process-lifetime engine counters (relaxed atomics), rendered into the
+/// obs/ registry by the server's collector: dense products by element
+/// width, plus how many ran the sparse-row skip pass.
+struct EngineCounters {
+    std::uint64_t products_wide = 0;
+    std::uint64_t products_narrow = 0;
+    std::uint64_t products_sparse_skip = 0;
+};
+
+/// Snapshot of the global counters.
+[[nodiscard]] EngineCounters engine_counters() noexcept;
+
 /// Blocked parallel C[i,j] = min_k A[i,k] + B[k,j].  Tiles all three loop
 /// dimensions by engine.block_size and parallelizes block rows of C on
 /// the ISA-dispatched SIMD band kernels (matrix/kernels/), with
 /// first-touch C initialization and a stable band->thread mapping for
-/// NUMA locality.  docs/ENGINE.md describes the full execution model.
+/// NUMA locality.  Per product the engine picks the element width (i64 /
+/// packed i32) and k-loop shape (dense / sparse-row skip) from one scan
+/// of the operands; every choice is bitwise identical.  docs/ENGINE.md
+/// describes the full execution model.
 [[nodiscard]] DistanceMatrix min_plus_product(const DistanceMatrix& a, const DistanceMatrix& b,
                                               const EngineConfig& engine);
 

@@ -84,20 +84,30 @@ Isa dispatch_isa()
     return env_or_widest();
 }
 
-DenseBandFn dense_band_kernel(Isa isa)
+DenseBandFn dense_band_kernel(Isa isa) { return band_kernels(isa).dense_wide; }
+
+BandKernels band_kernels(Isa isa)
 {
-    CCQ_EXPECT(isa_supported(isa), "dense_band_kernel: ISA not supported on this host");
+    CCQ_EXPECT(isa_supported(isa), "band_kernels: ISA not supported on this host");
     switch (isa) {
-    case Isa::scalar: return &dense_band_scalar;
+    case Isa::scalar:
+        return {&dense_band_scalar, &sparse_band_scalar, &dense_band_scalar_w32,
+                &sparse_band_scalar_w32};
 #ifdef CCQ_KERNELS_X86
-    case Isa::avx2: return &dense_band_avx2;
-    case Isa::avx512: return &dense_band_avx512;
+    case Isa::avx2:
+        return {&dense_band_avx2, &sparse_band_avx2, &dense_band_avx2_w32,
+                &sparse_band_avx2_w32};
+    case Isa::avx512:
+        return {&dense_band_avx512, &sparse_band_avx512, &dense_band_avx512_w32,
+                &sparse_band_avx512_w32};
 #else
     case Isa::avx2:
     case Isa::avx512: break;
 #endif
     }
-    return &dense_band_scalar; // unreachable: CCQ_EXPECT above
+    // unreachable: CCQ_EXPECT above
+    return {&dense_band_scalar, &sparse_band_scalar, &dense_band_scalar_w32,
+            &sparse_band_scalar_w32};
 }
 
 void set_isa_override(std::optional<Isa> isa)

@@ -12,6 +12,7 @@
 #include <exception>
 #include <utility>
 
+#include "ccq/matrix/engine.hpp"
 #include "ccq/net/epoll_server.hpp"
 #include "ccq/obs/log.hpp"
 #include "ccq/obs/trace.hpp"
@@ -178,6 +179,21 @@ void Server::init_metrics()
                            "Row-cache hits inside a sparse source.", "counter");
         obs::append_sample(out, "ccq_source_row_cache_hits_total", {},
                            engine_->source().row_cache_hits());
+        // Width-adaptive min-plus engine: products run in this process
+        // (lazy sparse-source rows, admin rebuilds), by element width
+        // and k-loop shape.
+        const EngineCounters ec = engine_counters();
+        obs::append_header(out, "ccq_engine_products_total",
+                           "Dense min-plus products run, by kernel element width.", "counter");
+        obs::append_sample(out, "ccq_engine_products_total", {{"width", "wide"}},
+                           ec.products_wide);
+        obs::append_sample(out, "ccq_engine_products_total", {{"width", "narrow"}},
+                           ec.products_narrow);
+        obs::append_header(out, "ccq_engine_sparse_skip_products_total",
+                           "Dense min-plus products that ran the sparse-row skip pass.",
+                           "counter");
+        obs::append_sample(out, "ccq_engine_sparse_skip_products_total", {},
+                           ec.products_sparse_skip);
     });
 }
 

@@ -1,10 +1,13 @@
 // Differential tests for the ISA-dispatched dense min-plus kernels:
 // every compiled-and-supported ISA (scalar, AVX2, AVX-512) must produce
 // bitwise identical products for every {threads, block_size}
-// configuration, including adversarial all-INF and near-saturation
-// rows.  ISAs the host CPU lacks are skipped, never failed.
+// configuration — in both element widths and both k-loop shapes —
+// including adversarial all-INF and near-saturation rows.  ISAs the
+// host CPU lacks are skipped, never failed.  (The width-dispatch rule
+// itself is covered by tests/test_kernel_width.cpp.)
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <optional>
 #include <vector>
 
@@ -156,6 +159,78 @@ TEST(KernelDifferential, RawBandCallsAgreeOnPartialBandsAndTails)
                     EXPECT_EQ(actual, expected) << kernels::isa_name(isa) << " n=" << n
                                                 << " band=[" << i0 << "," << i1
                                                 << ") bs=" << bs;
+                }
+            }
+        }
+    }
+}
+
+// The sparse-row skip shape must agree with the dense shape bit for bit
+// on every ISA: same relaxations, different k-loop.  Operands mix
+// mostly-INF rows (the shape's target) with dense rows.
+TEST(KernelDifferential, SparseBandShapeMatchesDenseShape)
+{
+    for (const int n : {7, 16, 33, 49}) {
+        Rng rng(8100 + static_cast<std::uint64_t>(n));
+        const DistanceMatrix a = random_dense(n, rng, 0.8, 0.05);
+        const DistanceMatrix b = random_dense(n, rng, 0.3, 0.0);
+        for (const int bs : {1, 8, 64}) {
+            DistanceMatrix expected(n);
+            kernels::dense_band_scalar(a.data(), b.data(), expected.data(), n, 0, n, bs);
+            for (const Isa isa : kernels::supported_isas()) {
+                const kernels::BandKernels band = kernels::band_kernels(isa);
+                DistanceMatrix actual(n);
+                band.sparse_wide(a.data(), b.data(), actual.data(), n, 0, n, bs);
+                EXPECT_EQ(actual, expected)
+                    << kernels::isa_name(isa) << " sparse shape, n=" << n << " bs=" << bs;
+            }
+        }
+    }
+}
+
+/// Packs a small-weight matrix into the i32 domain the narrow kernels
+/// consume (kInfinity -> kInfinity32, finite cells verbatim).
+std::vector<Weight32> pack32(const DistanceMatrix& m)
+{
+    const int n = m.size();
+    std::vector<Weight32> packed(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+    const Weight* cell = m.data();
+    for (Weight32& out : packed) {
+        out = is_finite(*cell) ? static_cast<Weight32>(*cell) : kInfinity32;
+        ++cell;
+    }
+    return packed;
+}
+
+// Narrow (i32) raw band calls: every ISA's dense and sparse narrow
+// kernels must match the scalar narrow kernel on partial bands, every
+// tail length (8- and 16-lane vectors), and every block size.
+TEST(KernelDifferential, NarrowRawBandCallsAgreeAcrossIsasAndShapes)
+{
+    for (const int n : {5, 8, 11, 16, 17, 23, 31, 33}) {
+        Rng rng(700 + static_cast<std::uint64_t>(n));
+        // inf_fraction only — huge weights exceed the i32 domain by
+        // design; the engine's width rule routes those to i64 kernels.
+        const std::vector<Weight32> a = pack32(random_dense(n, rng, 0.35, 0.0));
+        const std::vector<Weight32> b = pack32(random_dense(n, rng, 0.2, 0.0));
+        for (const auto& [i0, i1] : std::vector<std::pair<int, int>>{
+                 {0, n}, {0, 1}, {n / 2, n}, {1, n - 1}}) {
+            if (i0 >= i1) continue;
+            for (const int bs : {1, 3, 8, 64}) {
+                std::vector<Weight32> expected(a.size(), kInfinity32);
+                kernels::dense_band_scalar_w32(a.data(), b.data(), expected.data(), n, i0,
+                                               i1, bs);
+                for (const Isa isa : kernels::supported_isas()) {
+                    const kernels::BandKernels band = kernels::band_kernels(isa);
+                    for (const auto& [label32, fn] :
+                         {std::pair{"dense32", band.dense_narrow},
+                          std::pair{"sparse32", band.sparse_narrow}}) {
+                        std::vector<Weight32> actual(a.size(), kInfinity32);
+                        fn(a.data(), b.data(), actual.data(), n, i0, i1, bs);
+                        EXPECT_EQ(actual, expected)
+                            << kernels::isa_name(isa) << " " << label32 << " n=" << n
+                            << " band=[" << i0 << "," << i1 << ") bs=" << bs;
+                    }
                 }
             }
         }

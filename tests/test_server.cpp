@@ -689,6 +689,15 @@ TEST_P(ServerBackends, MetricsScrapeCountsScriptedWorkloadExactly)
     ASSERT_TRUE(sample_value(second, "ccq_cache_events_total{event=\"miss\"}").has_value());
     EXPECT_EQ(sample_value(second, "ccq_snapshot_build_rounds"),
               built.snapshot.meta.total_rounds);
+    // The engine's width-dispatch counters render on every scrape
+    // (values are process-lifetime, so only presence is asserted here;
+    // tests/test_kernel_width.cpp pins the increments).
+    ASSERT_TRUE(
+        sample_value(second, "ccq_engine_products_total{width=\"wide\"}").has_value());
+    ASSERT_TRUE(
+        sample_value(second, "ccq_engine_products_total{width=\"narrow\"}").has_value());
+    ASSERT_TRUE(
+        sample_value(second, "ccq_engine_sparse_skip_products_total").has_value());
 }
 
 TEST_P(ServerBackends, MetricsDisabledStillAnswersWithZeroRequestCounts)
